@@ -1,0 +1,24 @@
+"""Compilation-cost benchmark: how long UNIT's own pipeline takes per operator.
+
+Not a paper figure, but useful for tracking the reproduction itself: the
+Inspector + Rewriter + lowering + instruction injection for a realistic
+convolution should stay in the milliseconds range.
+"""
+
+from repro.core import tensorize
+from repro.rewriter import CpuTuningConfig
+from repro.workloads import Conv2DParams, conv2d_nchwc
+
+
+def _compile_once():
+    params = Conv2DParams(
+        in_channels=64, in_height=14, in_width=14, out_channels=128, kernel=3, name="bench"
+    )
+    conv = conv2d_nchwc(params)
+    return tensorize(conv, "x86.avx512.vpdpbusd", config=CpuTuningConfig())
+
+
+def test_tensorize_compile_time(benchmark):
+    result = benchmark(_compile_once)
+    assert result.func is not None
+    assert result.intrinsic.name == "x86.avx512.vpdpbusd"

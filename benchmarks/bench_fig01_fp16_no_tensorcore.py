@@ -1,0 +1,16 @@
+"""Figure 1: cuDNN fp16 *without* Tensor Cores vs cuDNN fp32 (all bars < 1.0)."""
+
+from repro.core.experiments import figure1_fp16_without_tensor_core
+
+from .conftest import print_table
+
+
+def test_figure1_fp16_without_tensor_core(benchmark):
+    rows = benchmark.pedantic(figure1_fp16_without_tensor_core, rounds=1, iterations=1)
+    print_table(
+        "Figure 1 — relative performance of fp16 (no Tensor Core) vs fp32",
+        rows,
+        ["model", "cudnn_fp32_ms", "cudnn_fp16_no_tc_ms", "relative_fp16_vs_fp32"],
+    )
+    body = [r for r in rows if r["model"] != "geomean"]
+    assert all(r["relative_fp16_vs_fp32"] < 1.0 for r in body)

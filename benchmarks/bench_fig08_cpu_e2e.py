@@ -1,0 +1,21 @@
+"""Figure 8: quantized end-to-end inference on Intel VNNI (bs = 1).
+
+Paper headline: UNIT is ~1.3x faster than MXNet+oneDNN and ~1.18x faster than
+hand-written TVM VNNI schedules (geomean over nine models).
+"""
+
+from repro.core.experiments import figure8_cpu_end_to_end
+
+from .conftest import print_table
+
+
+def test_figure8_cpu_end_to_end(benchmark):
+    rows = benchmark.pedantic(figure8_cpu_end_to_end, rounds=1, iterations=1)
+    print_table(
+        "Figure 8 — CPU end-to-end (relative to MXNet+oneDNN = 1.0)",
+        rows,
+        ["model", "mxnet_onednn_ms", "tvm_ms", "unit_ms", "rel_tvm", "rel_unit", "unit_vs_tvm"],
+    )
+    geo = rows[-1]
+    assert geo["rel_unit"] > 1.0
+    assert geo["unit_vs_tvm"] > 1.0

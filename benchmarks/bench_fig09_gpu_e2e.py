@@ -1,0 +1,19 @@
+"""Figure 9: mixed-precision end-to-end inference on Tensor Cores (bs = 1).
+
+Paper headline: UNIT is ~1.75x faster than TVM+cuDNN (up to 2.2x).
+"""
+
+from repro.core.experiments import figure9_gpu_end_to_end
+
+from .conftest import print_table
+
+
+def test_figure9_gpu_end_to_end(benchmark):
+    rows = benchmark.pedantic(figure9_gpu_end_to_end, rounds=1, iterations=1)
+    print_table(
+        "Figure 9 — GPU end-to-end (relative to cuDNN Tensor Core = 1.0)",
+        rows,
+        ["model", "cudnn_tc_ms", "unit_ms", "rel_unit"],
+    )
+    geo = rows[-1]
+    assert geo["rel_unit"] > 1.0

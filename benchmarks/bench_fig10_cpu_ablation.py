@@ -1,0 +1,23 @@
+"""Figure 10: CPU ablation (Parallel / +Unroll / +Tune vs oneDNN) on Table I layers.
+
+Paper findings reproduced: Parallel+Unroll deliver most of the speedup, the
+extra gain from tuning is small, and layers 1 and 4 (prime output widths whose
+residue guards hurt) stay below oneDNN.
+"""
+
+from repro.core.experiments import figure10_cpu_ablation
+
+from .conftest import print_table
+
+
+def test_figure10_cpu_ablation(benchmark):
+    rows = benchmark.pedantic(figure10_cpu_ablation, rounds=1, iterations=1)
+    print_table(
+        "Figure 10 — CPU ablation (relative to oneDNN = 1.0)",
+        rows,
+        ["layer", "onednn_us", "parallel_us", "unroll_us", "tune_us",
+         "rel_parallel", "rel_unroll", "rel_tune"],
+    )
+    by_layer = {r["layer"]: r for r in rows}
+    assert by_layer[1]["rel_tune"] < 1.0 and by_layer[4]["rel_tune"] < 1.0
+    assert sum(1 for r in rows if r["rel_tune"] > 1.0) >= 12

@@ -1,0 +1,22 @@
+"""Figure 11: GPU ablation (Generic / +FuseDim / +SplitK / +Tune vs cuDNN).
+
+Paper findings reproduced: most layers beat cuDNN after tuning, SplitK is what
+rescues the deep-channel layers, and the strided layer 1 stays below cuDNN.
+"""
+
+from repro.core.experiments import figure11_gpu_ablation
+
+from .conftest import print_table
+
+
+def test_figure11_gpu_ablation(benchmark):
+    rows = benchmark.pedantic(figure11_gpu_ablation, rounds=1, iterations=1)
+    print_table(
+        "Figure 11 — GPU ablation (relative to cuDNN Tensor Core = 1.0)",
+        rows,
+        ["layer", "cudnn_us", "generic_us", "fusedim_us", "splitk_us", "tune_us",
+         "rel_generic", "rel_fusedim", "rel_splitk", "rel_tune"],
+    )
+    by_layer = {r["layer"]: r for r in rows}
+    assert by_layer[1]["rel_tune"] < 1.05
+    assert sum(1 for r in rows if r["rel_tune"] > 1.0) >= 12

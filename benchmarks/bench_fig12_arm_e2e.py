@@ -1,0 +1,22 @@
+"""Figure 12: end-to-end inference on the ARM CPU (DOT instruction).
+
+Paper headline: UNIT beats both plain-NEON TVM and the manually written DOT
+schedules (~1.13x over the manual schedules).
+"""
+
+from repro.core.experiments import figure12_arm_end_to_end
+
+from .conftest import print_table
+
+
+def test_figure12_arm_end_to_end(benchmark):
+    rows = benchmark.pedantic(figure12_arm_end_to_end, rounds=1, iterations=1)
+    print_table(
+        "Figure 12 — ARM end-to-end (relative to TVM-NEON = 1.0)",
+        rows,
+        ["model", "tvm_neon_ms", "tvm_manual_ms", "unit_ms",
+         "rel_manual", "rel_unit", "unit_vs_manual"],
+    )
+    geo = rows[-1]
+    assert geo["unit_vs_manual"] > 1.0
+    assert geo["rel_unit"] > geo["rel_manual"]

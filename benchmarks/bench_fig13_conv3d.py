@@ -1,0 +1,20 @@
+"""Figure 13: 3-D convolution extensibility (oneDNN vs UNIT on res18-3d layers).
+
+Paper headline: UNIT extends to conv3d with no compiler changes and averages
+~1.2x over oneDNN across the converted ResNet-18 layers.
+"""
+
+from repro.core.experiments import figure13_conv3d
+
+from .conftest import print_table
+
+
+def test_figure13_conv3d(benchmark):
+    rows = benchmark.pedantic(figure13_conv3d, rounds=1, iterations=1)
+    print_table(
+        "Figure 13 — conv3d layers of res18-3d (relative to oneDNN = 1.0)",
+        rows,
+        ["layer", "onednn_us", "unit_us", "rel_unit"],
+    )
+    gmean = [r for r in rows if r["layer"] == "gmean"][0]
+    assert gmean["rel_unit"] > 1.0

@@ -1,0 +1,16 @@
+"""Table I: characteristics of the 16 selected convolution layers."""
+
+from repro.core.experiments import table1_characteristics
+
+from .conftest import print_table
+
+
+def test_table1_characteristics(benchmark):
+    rows = benchmark(table1_characteristics)
+    print_table(
+        "Table I — selected convolution layers",
+        rows,
+        ["layer", "C", "IHW", "K", "R=S", "stride", "OHW", "MACs"],
+    )
+    assert len(rows) == 16
+    assert [r["OHW"] for r in rows] == [17, 7, 7, 71, 14, 14, 14, 14, 14, 14, 14, 14, 14, 27, 28, 14]

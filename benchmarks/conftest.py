@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment driver under ``pytest-benchmark`` (so the harness
+also tracks how long the reproduction itself takes) and prints the same
+rows/series the paper reports, so the output can be compared side by side with
+the published figure.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def print_table(title: str, rows: Sequence[Dict], columns: Sequence[str]) -> None:
+    """Print experiment rows as an aligned table."""
+    print(f"\n=== {title} ===")
+    widths = {c: max(len(c), 10) for c in columns}
+    header = "  ".join(f"{c:>{widths[c]}}" for c in columns)
+    print(header)
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>{widths[c]}.3f}")
+            else:
+                cells.append(f"{str(value):>{widths[c]}}")
+        print("  ".join(cells))

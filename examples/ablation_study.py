@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Ablation study over the Table I convolution layers (Figures 10 and 11).
+
+For every selected layer the script prints the relative performance of each
+optimisation step of UNIT's Rewriter against the vendor library baseline:
+CPU: Parallel / +Unroll / +Tune vs oneDNN; GPU: Generic / +FuseDim / +SplitK /
++Tune vs cuDNN Tensor Core kernels.
+
+Run:  python examples/ablation_study.py
+"""
+
+from repro.core.experiments import (
+    figure10_cpu_ablation,
+    figure11_gpu_ablation,
+    table1_characteristics,
+    tuning_convergence,
+)
+
+
+def main() -> None:
+    print("Table I — selected convolution layers")
+    header = f"{'layer':>5} {'C':>5} {'IHW':>4} {'K':>5} {'R=S':>4} {'stride':>6} {'OHW':>4} {'MMACs':>8}"
+    print(header)
+    for row in table1_characteristics():
+        print(
+            f"{row['layer']:>5} {row['C']:>5} {row['IHW']:>4} {row['K']:>5} "
+            f"{row['R=S']:>4} {row['stride']:>6} {row['OHW']:>4} {row['MACs']/1e6:>8.1f}"
+        )
+
+    print("\nFigure 10 — CPU ablation (relative to oneDNN = 1.0)")
+    print(f"{'layer':>5} {'Parallel':>9} {'+Unroll':>9} {'+Tune':>9}")
+    for row in figure10_cpu_ablation():
+        print(
+            f"{row['layer']:>5} {row['rel_parallel']:>9.2f} "
+            f"{row['rel_unroll']:>9.2f} {row['rel_tune']:>9.2f}"
+        )
+
+    print("\nFigure 11 — GPU ablation (relative to cuDNN Tensor Core = 1.0)")
+    print(f"{'layer':>5} {'Generic':>9} {'+FuseDim':>9} {'+SplitK':>9} {'+Tune':>9}")
+    for row in figure11_gpu_ablation():
+        print(
+            f"{row['layer']:>5} {row['rel_generic']:>9.2f} {row['rel_fusedim']:>9.2f} "
+            f"{row['rel_splitk']:>9.2f} {row['rel_tune']:>9.2f}"
+        )
+
+    conv = tuning_convergence()
+    print("\nTuning convergence (Section VI-B):")
+    print(f"  optimal at the first tuning pair : {conv['optimal_at_first_pair']*100:.0f}% of layers")
+    print(f"  optimal within the first 8 pairs : {conv['optimal_within_8_pairs']*100:.0f}% of layers")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""End-to-end model inference: compile ResNet-50 with UNIT and compare baselines.
+
+Reproduces, for a single model, what Figures 8 and 9 do for the whole zoo:
+quantize the graph, fuse elementwise operators, plan the blocked layout, tune
+every convolution/dense layer, and estimate the end-to-end latency — then do
+the same under the MXNet+oneDNN and TVM+cuDNN baselines.
+
+Run:  python examples/end_to_end_resnet.py [model-name]
+"""
+
+import sys
+
+from repro.baselines import MxnetOneDnnRunner, TvmCudnnRunner
+from repro.core import UnitCpuRunner, UnitGpuRunner, compile_model
+from repro.graph import estimate_graph_latency, fuse_elementwise, quantize_graph
+from repro.models import EVALUATED_MODELS, get_model
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "resnet-50"
+    if name not in EVALUATED_MODELS:
+        raise SystemExit(f"unknown model {name!r}; choose from {EVALUATED_MODELS}")
+
+    graph = get_model(name, fresh=True)
+    print(f"model: {name}  ({len(graph.conv_nodes())} convolutions, "
+          f"{graph.total_macs/1e9:.2f} GMACs)")
+
+    # --- CPU (Intel VNNI) -------------------------------------------------------
+    unit_cpu = compile_model(graph, target="x86")
+    mxnet_graph = quantize_graph(get_model(name, fresh=True), "int8")
+    mxnet = estimate_graph_latency(mxnet_graph, MxnetOneDnnRunner())
+    print("\n-- Cascade Lake (int8 / VNNI) --")
+    print(f"UNIT           : {unit_cpu.latency_ms:8.3f} ms")
+    print(f"MXNet + oneDNN : {mxnet.total_milliseconds:8.3f} ms   "
+          f"(UNIT speedup {mxnet.total_seconds / unit_cpu.report.total_seconds:.2f}x)")
+    print("slowest UNIT layers:", ", ".join(unit_cpu.report.slowest_nodes(3)))
+
+    # --- GPU (Tensor Core) --------------------------------------------------------
+    unit_gpu = compile_model(get_model(name, fresh=True), target="cuda")
+    cudnn_graph = fuse_elementwise(quantize_graph(get_model(name, fresh=True), "float16"))
+    cudnn = estimate_graph_latency(cudnn_graph, TvmCudnnRunner(mode="tensor_core"))
+    print("\n-- V100 (fp16 / Tensor Core) --")
+    print(f"UNIT           : {unit_gpu.latency_ms:8.3f} ms")
+    print(f"TVM + cuDNN    : {cudnn.total_milliseconds:8.3f} ms   "
+          f"(UNIT speedup {cudnn.total_seconds / unit_gpu.report.total_seconds:.2f}x)")
+
+    # --- ARM (DOT) -----------------------------------------------------------------
+    unit_arm = compile_model(get_model(name, fresh=True), target="arm")
+    print("\n-- Graviton2 (int8 / DOT) --")
+    print(f"UNIT           : {unit_arm.latency_ms:8.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

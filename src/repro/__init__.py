@@ -1,0 +1,26 @@
+"""Reproduction of "UNIT: Unifying Tensorized Instruction Compilation" (CGO 2021).
+
+The package is organised in the same layers as the paper's Figure 3:
+
+* ``repro.dsl`` / ``repro.schedule`` / ``repro.tir`` — the tensor DSL, the
+  schedule language, and the loop-based tensor IR (the TVM substrate the
+  paper builds on, reimplemented from scratch).
+* ``repro.isa`` — tensorized instructions described as small DSL programs
+  (Intel VNNI, ARM DOT, Nvidia Tensor Core, plus SIMD fallbacks).
+* ``repro.inspector`` — applicability detection: arithmetic isomorphism and
+  array-access isomorphism.
+* ``repro.rewriter`` — loop reorganization, tensorized-instruction
+  replacement, and the CPU/GPU tuners.
+* ``repro.hwsim`` — analytical CPU/GPU performance models standing in for
+  the Cascade Lake / Graviton2 / V100 machines of the evaluation.
+* ``repro.baselines`` — oneDNN / cuDNN / MXNet / hand-written-TVM cost
+  models used as comparison points.
+* ``repro.graph`` / ``repro.models`` — a Relay-like graph IR, quantization
+  and layout passes, and the DNN model zoo used in the end-to-end figures.
+* ``repro.core`` — the UNIT pipeline: ``tensorize()`` for a single operator
+  and ``compile_model()`` for end-to-end inference.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

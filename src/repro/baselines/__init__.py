@@ -1,0 +1,24 @@
+"""``repro.baselines`` — cost models of the evaluation's comparison points.
+
+Intel oneDNN, Nvidia cuDNN (fp32 / fp16-without-TensorCore / fp16-TensorCore),
+MXNet+oneDNN and TVM+cuDNN framework runners, and the hand-written TVM
+schedules (VNNI manual, ARM DOT manual, plain NEON).
+"""
+
+from .cudnn import CuDnnModel
+from .frameworks import FrameworkOverheads, MxnetOneDnnRunner, TvmCudnnRunner
+from .library import LibraryProfile, roofline_latency
+from .onednn import OneDnnModel
+from .tvm_baseline import TvmManualModel, TvmNeonModel
+
+__all__ = [
+    "LibraryProfile",
+    "roofline_latency",
+    "OneDnnModel",
+    "CuDnnModel",
+    "MxnetOneDnnRunner",
+    "TvmCudnnRunner",
+    "FrameworkOverheads",
+    "TvmManualModel",
+    "TvmNeonModel",
+]

@@ -1,0 +1,109 @@
+"""Nvidia cuDNN baseline cost models (Figures 1 and 9/11).
+
+Three kernel families are modelled:
+
+* ``fp32`` — single precision on the CUDA cores (the Figure 1 reference);
+* ``fp16`` *without* Tensor Cores — fp16 storage but no mixed-precision
+  instruction, so every multiply-accumulate pays casting overhead; this is the
+  configuration that is *slower* than fp32 in Figure 1;
+* ``fp16 Tensor Core`` — cuDNN's hand-tuned WMMA kernels, the baseline UNIT is
+  compared against in Figures 9 and 11.  cuDNN ships dedicated kernels for
+  strided convolutions, which is why Table I layers 1 and 15 stay ahead of
+  UNIT's generic schedule in Figure 11.
+"""
+
+from __future__ import annotations
+
+from ..hwsim.cost import CostBreakdown
+from ..hwsim.machine import V100, GpuSpec
+from ..workloads.conv2d import Conv2DParams
+from ..workloads.dense import DenseParams
+from .library import LibraryProfile, conv_bytes, roofline_latency
+
+__all__ = ["CuDnnModel"]
+
+
+class CuDnnModel:
+    """Latency model of cuDNN convolution/GEMM kernels on a V100."""
+
+    def __init__(self, machine: GpuSpec = V100) -> None:
+        self.machine = machine
+        tc_peak_macs = machine.tensor_fp16_tflops * 1e12 / 2.0
+        fp32_peak_macs = machine.fp32_tflops * 1e12 / 2.0
+        fp16_peak_macs = machine.fp16_simd_tflops * 1e12 / 2.0
+        self.tensor_core_profile = LibraryProfile(
+            name="cuDNN fp16 TensorCore conv",
+            peak_macs_per_second=tc_peak_macs,
+            efficiency=0.26,
+            small_layer_efficiency=0.06,
+            strided_efficiency=0.38,
+            per_call_overhead_us=5.0,
+            memory_bandwidth_gbps=machine.dram_gbps * 0.8,
+        )
+        self.fp32_profile = LibraryProfile(
+            name="cuDNN fp32 conv",
+            peak_macs_per_second=fp32_peak_macs,
+            efficiency=0.52,
+            small_layer_efficiency=0.16,
+            strided_efficiency=0.50,
+            per_call_overhead_us=7.0,
+            memory_bandwidth_gbps=machine.dram_gbps * 0.8,
+        )
+        # fp16 without Tensor Cores: nominally twice the fp32 rate, but the
+        # casting between storage and accumulation types erases the benefit
+        # (the Figure 1 observation).  Modelled as a low sustained efficiency.
+        self.fp16_no_tc_profile = LibraryProfile(
+            name="cuDNN fp16 conv (no TensorCore)",
+            peak_macs_per_second=fp16_peak_macs,
+            efficiency=0.19,
+            small_layer_efficiency=0.07,
+            strided_efficiency=0.18,
+            per_call_overhead_us=7.0,
+            memory_bandwidth_gbps=machine.dram_gbps * 0.8,
+        )
+
+    # -- convolutions ---------------------------------------------------------
+    def _conv(self, profile: LibraryProfile, params: Conv2DParams, in_bytes: int) -> CostBreakdown:
+        return roofline_latency(
+            profile,
+            macs=float(params.macs),
+            bytes_moved=conv_bytes(params, in_bytes, 2 if in_bytes == 2 else 4),
+            parallel_work=float(
+                params.out_height * params.out_width * params.out_channels / 256
+            ),
+            stride=params.stride,
+            parallelism_threshold=600.0,
+        )
+
+    def conv2d_tensor_core(self, params: Conv2DParams) -> CostBreakdown:
+        return self._conv(self.tensor_core_profile, params, in_bytes=2)
+
+    def conv2d_fp32(self, params: Conv2DParams) -> CostBreakdown:
+        return self._conv(self.fp32_profile, params, in_bytes=4)
+
+    def conv2d_fp16_no_tensor_core(self, params: Conv2DParams) -> CostBreakdown:
+        return self._conv(self.fp16_no_tc_profile, params, in_bytes=2)
+
+    # -- dense ------------------------------------------------------------------
+    def _dense(self, profile: LibraryProfile, params: DenseParams, in_bytes: int) -> CostBreakdown:
+        bytes_moved = (
+            params.batch * params.in_features * in_bytes
+            + params.in_features * params.out_features * in_bytes
+            + params.batch * params.out_features * 4
+        )
+        return roofline_latency(
+            profile,
+            macs=float(params.macs),
+            bytes_moved=float(bytes_moved),
+            parallel_work=float(params.batch * params.out_features / 256),
+            parallelism_threshold=600.0,
+        )
+
+    def dense_tensor_core(self, params: DenseParams) -> CostBreakdown:
+        return self._dense(self.tensor_core_profile, params, in_bytes=2)
+
+    def dense_fp32(self, params: DenseParams) -> CostBreakdown:
+        return self._dense(self.fp32_profile, params, in_bytes=4)
+
+    def dense_fp16_no_tensor_core(self, params: DenseParams) -> CostBreakdown:
+        return self._dense(self.fp16_no_tc_profile, params, in_bytes=2)

@@ -1,0 +1,106 @@
+"""Framework-level baselines: MXNet + oneDNN and TVM + cuDNN end-to-end runners.
+
+The end-to-end figures compare UNIT against "the best available solution"
+built on the vendor library: MXNet with oneDNN on the CPU (Figure 8) and TVM
+with cuDNN offloading on the GPU (Figure 9).  On top of the per-operator
+library latencies these add framework behaviour: per-operator dispatch
+overhead and — for MXNet — the absence of the operator fusion that a compiler
+pipeline performs, so the elementwise operators that UNIT fuses into the
+convolutions remain separate kernel launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hwsim.cost import CostBreakdown
+from .cudnn import CuDnnModel
+from .onednn import OneDnnModel
+
+__all__ = ["FrameworkOverheads", "MxnetOneDnnRunner", "TvmCudnnRunner"]
+
+
+@dataclass(frozen=True)
+class FrameworkOverheads:
+    """Per-operator overheads added by the host framework."""
+
+    per_op_dispatch_us: float
+    elementwise_op_us: float  # cost of one unfused elementwise/normalisation op
+
+
+class MxnetOneDnnRunner:
+    """MXNet with the oneDNN backend (the Figure 8 CPU baseline)."""
+
+    def __init__(
+        self,
+        onednn: Optional[OneDnnModel] = None,
+        overheads: FrameworkOverheads = FrameworkOverheads(
+            per_op_dispatch_us=1.5, elementwise_op_us=2.0
+        ),
+    ) -> None:
+        self.onednn = onednn or OneDnnModel()
+        self.overheads = overheads
+
+    def conv2d_latency(self, params) -> CostBreakdown:
+        cost = self.onednn.conv2d_latency(params)
+        return _with_dispatch(cost, self.overheads.per_op_dispatch_us)
+
+    def dense_latency(self, params) -> CostBreakdown:
+        cost = self.onednn.dense_latency(params)
+        return _with_dispatch(cost, self.overheads.per_op_dispatch_us)
+
+    def elementwise_latency(self) -> CostBreakdown:
+        us = self.overheads.elementwise_op_us + self.overheads.per_op_dispatch_us
+        return CostBreakdown(seconds=us * 1e-6, overhead_seconds=us * 1e-6)
+
+
+class TvmCudnnRunner:
+    """TVM graph runtime offloading convolutions to cuDNN (the Figure 9 baseline).
+
+    TVM fuses the elementwise operators, so unlike MXNet only a small graph
+    dispatch cost remains per fused operator.
+    """
+
+    def __init__(
+        self,
+        cudnn: Optional[CuDnnModel] = None,
+        per_op_dispatch_us: float = 3.0,
+        mode: str = "tensor_core",
+    ) -> None:
+        self.cudnn = cudnn or CuDnnModel()
+        self.per_op_dispatch_us = per_op_dispatch_us
+        if mode not in ("tensor_core", "fp32", "fp16_no_tc"):
+            raise ValueError(f"unknown cuDNN mode {mode!r}")
+        self.mode = mode
+
+    def conv2d_latency(self, params) -> CostBreakdown:
+        cost = {
+            "tensor_core": self.cudnn.conv2d_tensor_core,
+            "fp32": self.cudnn.conv2d_fp32,
+            "fp16_no_tc": self.cudnn.conv2d_fp16_no_tensor_core,
+        }[self.mode](params)
+        return _with_dispatch(cost, self.per_op_dispatch_us)
+
+    def dense_latency(self, params) -> CostBreakdown:
+        cost = {
+            "tensor_core": self.cudnn.dense_tensor_core,
+            "fp32": self.cudnn.dense_fp32,
+            "fp16_no_tc": self.cudnn.dense_fp16_no_tensor_core,
+        }[self.mode](params)
+        return _with_dispatch(cost, self.per_op_dispatch_us)
+
+    def elementwise_latency(self) -> CostBreakdown:
+        # Fused into the producing operator by the TVM graph compiler.
+        return CostBreakdown(seconds=0.0)
+
+
+def _with_dispatch(cost: CostBreakdown, dispatch_us: float) -> CostBreakdown:
+    extra = dispatch_us * 1e-6
+    return CostBreakdown(
+        seconds=cost.seconds + extra,
+        compute_seconds=cost.compute_seconds,
+        memory_seconds=cost.memory_seconds,
+        overhead_seconds=cost.overhead_seconds + extra,
+        detail=dict(cost.detail),
+    )

@@ -1,0 +1,104 @@
+"""Intel oneDNN baseline cost model (the CPU library baseline of Figures 8/10/13).
+
+oneDNN provides expert-written VNNI kernels for the standard convolution and
+inner-product primitives.  At batch size 1 its efficiency is limited by the
+scarce parallelism of a single image (the paper's motivation for evaluating
+N = 1) and by the per-call overheads of primitive creation and memory-format
+reorders.  Layers with strided or unusual shapes are handled by dedicated
+kernels, so — unlike UNIT's generic schedule — oneDNN does not fall off a
+cliff on Table I layers 1 and 4; that asymmetry is what produces the paper's
+crossover in Figure 10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..hwsim.cost import CostBreakdown
+from ..hwsim.machine import CASCADE_LAKE, CpuSpec
+from ..workloads.conv2d import Conv2DParams
+from ..workloads.conv3d import Conv3DParams
+from ..workloads.dense import DenseParams
+from .library import LibraryProfile, conv_bytes, roofline_latency
+
+__all__ = ["OneDnnModel"]
+
+
+def _vnni_peak_macs(machine: CpuSpec) -> float:
+    # 2 VNNI issues/cycle/core, 64 MACs per instruction.
+    return machine.cores * 2.0 * 64.0 * machine.frequency_ghz * 1e9
+
+
+class OneDnnModel:
+    """Latency model of oneDNN int8 (VNNI) primitives."""
+
+    def __init__(self, machine: CpuSpec = CASCADE_LAKE) -> None:
+        self.machine = machine
+        peak = _vnni_peak_macs(machine)
+        self.conv_profile = LibraryProfile(
+            name="oneDNN int8 conv",
+            peak_macs_per_second=peak,
+            efficiency=0.50,
+            small_layer_efficiency=0.18,
+            strided_efficiency=0.48,
+            per_call_overhead_us=8.0,
+            memory_bandwidth_gbps=machine.dram_gbps * 0.8,
+        )
+        self.dense_profile = LibraryProfile(
+            name="oneDNN int8 inner-product",
+            peak_macs_per_second=peak,
+            efficiency=0.36,
+            small_layer_efficiency=0.12,
+            per_call_overhead_us=9.0,
+            memory_bandwidth_gbps=machine.dram_gbps * 0.8,
+        )
+        # 3-D convolutions are far less tuned in the library (Section VI-C's
+        # point): the blocked 3-D kernels fall back to a generic driver.
+        self.conv3d_profile = LibraryProfile(
+            name="oneDNN int8 conv3d",
+            peak_macs_per_second=peak,
+            efficiency=0.36,
+            small_layer_efficiency=0.14,
+            per_call_overhead_us=14.0,
+            memory_bandwidth_gbps=machine.dram_gbps * 0.8,
+        )
+
+    def conv2d_latency(self, params: Conv2DParams) -> CostBreakdown:
+        return roofline_latency(
+            self.conv_profile,
+            macs=float(params.macs),
+            bytes_moved=conv_bytes(params, 1, 4),
+            parallel_work=float(params.out_height * params.out_width * params.out_channels / 16),
+            stride=params.stride,
+            parallelism_threshold=8192.0,
+        )
+
+    def conv3d_latency(self, params: Conv3DParams) -> CostBreakdown:
+        bytes_moved = (
+            params.in_depth * params.in_height * params.in_width * params.in_channels
+            + params.kernel**3 * params.in_channels * params.out_channels
+            + params.out_depth * params.out_height * params.out_width * params.out_channels * 4
+        )
+        return roofline_latency(
+            self.conv3d_profile,
+            macs=float(params.macs),
+            bytes_moved=float(bytes_moved),
+            parallel_work=float(
+                params.out_depth * params.out_height * params.out_width * params.out_channels / 16
+            ),
+            stride=params.stride,
+        )
+
+    def dense_latency(self, params: DenseParams) -> CostBreakdown:
+        bytes_moved = (
+            params.batch * params.in_features
+            + params.in_features * params.out_features
+            + params.batch * params.out_features * 4
+        )
+        return roofline_latency(
+            self.dense_profile,
+            macs=float(params.macs),
+            bytes_moved=float(bytes_moved),
+            parallel_work=float(params.batch * params.out_features / 16),
+        )

@@ -1,0 +1,98 @@
+"""Hand-written TVM schedule baselines (Figures 8 and 12).
+
+Two families of TVM baselines appear in the evaluation:
+
+* **TVM-Manual** — manually written schedules that use the tensorized
+  instruction through explicit intrinsics (`tensorize` with a hand-declared
+  lowering rule): Intel VNNI schedules for Figure 8 and ARM DOT schedules for
+  Figure 12.  These use the same instruction as UNIT but a fixed, non-searched
+  loop organisation, so they run through the same mechanistic CPU model with
+  the first tuning pair and a schedule-quality discount (a hand schedule
+  cannot specialise to every layer shape).
+* **TVM-NEON** — plain NEON code without the DOT instruction: int8 operands
+  are widened to int32 before the multiply-accumulate, costing both the
+  horizontal-reduction benefit and extra instructions.
+"""
+
+from __future__ import annotations
+
+from ..hwsim.cost import CostBreakdown
+from ..hwsim.cpu import CpuKernelModel
+from ..hwsim.machine import CASCADE_LAKE, GRAVITON2, CpuSpec
+from ..isa.registry import get_intrinsic
+from ..rewriter.cpu_tuner import CpuTuningConfig
+from ..workloads.conv2d import Conv2DParams
+from ..workloads.conv3d import Conv3DParams
+from ..workloads.dense import DenseParams
+
+__all__ = ["TvmManualModel", "TvmNeonModel"]
+
+# The fixed configuration a hand-written schedule typically hard-codes: the
+# recommended default pair, never re-searched per layer.
+_MANUAL_CONFIG = CpuTuningConfig(parallel_extent=3000, unroll_limit=8)
+
+
+class TvmManualModel:
+    """Hand-written tensorized TVM schedules (VNNI on x86, DOT on ARM)."""
+
+    def __init__(self, machine: CpuSpec, intrinsic_name: str, quality: float = 0.82) -> None:
+        self.machine = machine
+        self.intrin = get_intrinsic(intrinsic_name)
+        self.quality = quality
+        self.model = CpuKernelModel(machine, self.intrin, per_call_overhead_us=2.0)
+
+    @classmethod
+    def for_x86(cls) -> "TvmManualModel":
+        return cls(CASCADE_LAKE, "x86.avx512.vpdpbusd", quality=0.87)
+
+    @classmethod
+    def for_arm(cls) -> "TvmManualModel":
+        return cls(GRAVITON2, "arm.neon.sdot", quality=0.90)
+
+    def _discount(self, cost: CostBreakdown) -> CostBreakdown:
+        return cost.scaled(1.0 / self.quality)
+
+    def conv2d_latency(self, params: Conv2DParams) -> CostBreakdown:
+        return self._discount(self.model.conv2d_latency(params, _MANUAL_CONFIG))
+
+    def conv3d_latency(self, params: Conv3DParams) -> CostBreakdown:
+        return self._discount(self.model.conv3d_latency(params, _MANUAL_CONFIG))
+
+    def dense_latency(self, params: DenseParams) -> CostBreakdown:
+        return self._discount(self.model.dense_latency(params, _MANUAL_CONFIG))
+
+    def elementwise_latency(self) -> CostBreakdown:
+        # The TVM graph compiler fuses elementwise operators; only a small
+        # dispatch cost remains.
+        return CostBreakdown(seconds=1.2e-6, overhead_seconds=1.2e-6)
+
+
+class TvmNeonModel:
+    """TVM compiling to plain NEON (no DOT instruction) on the ARM CPU.
+
+    Every 4-lane MAC needs the int8 operands widened to int32 first, which
+    costs roughly two extra vector instructions per multiply-accumulate.
+    """
+
+    def __init__(self, machine: CpuSpec = GRAVITON2, widen_overhead: float = 3.0) -> None:
+        self.machine = machine
+        self.intrin = get_intrinsic("arm.neon.mla.int8.widened")
+        self.model = CpuKernelModel(
+            machine,
+            self.intrin,
+            instruction_overhead_factor=widen_overhead,
+            per_call_overhead_us=2.0,
+        )
+        self.config = CpuTuningConfig()
+
+    def conv2d_latency(self, params: Conv2DParams) -> CostBreakdown:
+        return self.model.conv2d_latency(params, self.config)
+
+    def conv3d_latency(self, params: Conv3DParams) -> CostBreakdown:
+        return self.model.conv3d_latency(params, self.config)
+
+    def dense_latency(self, params: DenseParams) -> CostBreakdown:
+        return self.model.dense_latency(params, self.config)
+
+    def elementwise_latency(self) -> CostBreakdown:
+        return CostBreakdown(seconds=1.2e-6, overhead_seconds=1.2e-6)

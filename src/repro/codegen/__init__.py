@@ -1,0 +1,11 @@
+"""``repro.codegen`` — lowering tensor IR to a virtual vector ISA.
+
+The stand-in for the paper's LLVM backend: emits a textual register-based
+program (loads, broadcasts, stores, tensorized intrinsic calls) from the
+rewritten tensor IR, together with instruction statistics used to sanity-check
+the analytical cost models.
+"""
+
+from .lowlevel import CodegenResult, Instruction, REGISTER_PREFIX, generate
+
+__all__ = ["CodegenResult", "Instruction", "REGISTER_PREFIX", "generate"]

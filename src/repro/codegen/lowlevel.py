@@ -1,0 +1,210 @@
+"""Low-level code generation: tensor IR → a virtual vector ISA.
+
+The paper's pipeline hands the transformed tensor IR to LLVM for machine-code
+generation (Section II-C.4).  In this reproduction the "machine" is the
+analytical simulator, so code generation targets a small *virtual vector ISA*:
+a textual, register-based program whose instructions are scalar ALU ops,
+vector loads/stores/broadcasts, and the tensorized intrinsics themselves.  It
+exists for three reasons:
+
+* it demonstrates that the rewritten tensor IR is fully lowerable (every
+  operand-generation rule materialises into loads/broadcasts/concatenations);
+* it provides instruction statistics (tensorized ops, loads, loop overhead)
+  that can be cross-checked against the analytical cost models;
+* it renders readable "assembly" listings for the examples and docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dsl import expr as E
+from ..dsl.printer import expr_to_str
+from ..tir.lower import PrimFunc
+from ..tir.stmt import (
+    Allocate,
+    AttrStmt,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    IntrinsicCall,
+    SeqStmt,
+    Stmt,
+    Store,
+)
+
+__all__ = ["Instruction", "CodegenResult", "generate", "REGISTER_PREFIX"]
+
+REGISTER_PREFIX = {
+    "x86": "zmm",
+    "arm": "v",
+    "cuda": "frag",
+    "generic": "r",
+}
+
+
+@dataclass
+class Instruction:
+    """One virtual-ISA instruction."""
+
+    opcode: str
+    operands: List[str] = field(default_factory=list)
+    comment: str = ""
+
+    def render(self) -> str:
+        text = f"{self.opcode} " + ", ".join(self.operands) if self.operands else self.opcode
+        if self.comment:
+            text = f"{text:<60s} ; {self.comment}"
+        return text
+
+
+@dataclass
+class CodegenResult:
+    """The emitted program plus summary statistics."""
+
+    func_name: str
+    target: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        lines = [f".func {self.func_name} (target={self.target})"]
+        indent = 1
+        for instr in self.instructions:
+            if instr.opcode in (".endloop", ".endif"):
+                indent -= 1
+            lines.append("  " * indent + instr.render())
+            if instr.opcode in (".loop", ".parallel_loop", ".unrolled_loop", ".if"):
+                indent += 1
+        lines.append(".endfunc")
+        return "\n".join(lines)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {
+            "tensorized": 0,
+            "vector_load": 0,
+            "vector_store": 0,
+            "broadcast": 0,
+            "scalar_store": 0,
+            "loops": 0,
+            "guards": 0,
+        }
+        for instr in self.instructions:
+            if instr.opcode.startswith("tensor."):
+                counts["tensorized"] += 1
+            elif instr.opcode == "vload":
+                counts["vector_load"] += 1
+            elif instr.opcode == "vstore":
+                counts["vector_store"] += 1
+            elif instr.opcode == "vbcast":
+                counts["broadcast"] += 1
+            elif instr.opcode == "store":
+                counts["scalar_store"] += 1
+            elif instr.opcode in (".loop", ".parallel_loop", ".unrolled_loop"):
+                counts["loops"] += 1
+            elif instr.opcode == ".if":
+                counts["guards"] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.text
+
+
+class _Emitter:
+    def __init__(self, target: str) -> None:
+        self.target = target
+        self.prefix = REGISTER_PREFIX.get(target, REGISTER_PREFIX["generic"])
+        self.instructions: List[Instruction] = []
+        self._next_register = 0
+
+    def fresh_register(self) -> str:
+        name = f"{self.prefix}{self._next_register}"
+        self._next_register += 1
+        return name
+
+    def emit(self, opcode: str, operands: Optional[List[str]] = None, comment: str = "") -> None:
+        self.instructions.append(Instruction(opcode, operands or [], comment))
+
+    # -- statements ---------------------------------------------------------
+    def visit(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.visit(s)
+        elif isinstance(stmt, For):
+            opcode = {
+                ForKind.PARALLEL: ".parallel_loop",
+                ForKind.UNROLL: ".unrolled_loop",
+            }.get(stmt.kind, ".loop")
+            tag = f" bound={stmt.thread_tag}" if stmt.thread_tag else ""
+            self.emit(opcode, [stmt.var.name, str(stmt.extent)], comment=stmt.kind.value + tag)
+            self.visit(stmt.body)
+            self.emit(".endloop", [stmt.var.name])
+        elif isinstance(stmt, IfThenElse):
+            self.emit(".if", [expr_to_str(stmt.condition)],
+                      comment="likely residue guard" if stmt.likely else "")
+            self.visit(stmt.then_case)
+            if stmt.else_case is not None:
+                self.emit(".else")
+                self.visit(stmt.else_case)
+            self.emit(".endif")
+        elif isinstance(stmt, AttrStmt):
+            self.emit(".attr", [stmt.key, str(stmt.value)])
+            self.visit(stmt.body)
+        elif isinstance(stmt, Allocate):
+            shape = "x".join(str(s) for s in stmt.tensor.shape)
+            self.emit("alloca", [stmt.tensor.name, shape, stmt.tensor.dtype.name],
+                      comment=f"scope={stmt.scope}")
+            self.visit(stmt.body)
+        elif isinstance(stmt, Store):
+            value = self._scalar(stmt.value)
+            address = self._address(stmt.tensor.name, stmt.indices)
+            self.emit("store", [address, value], comment=f"{stmt.tensor.dtype.name}")
+        elif isinstance(stmt, Evaluate):
+            self.emit("eval", [expr_to_str(stmt.expr)])
+        elif isinstance(stmt, IntrinsicCall):
+            self._emit_intrinsic(stmt)
+        else:
+            raise TypeError(f"cannot generate code for {type(stmt).__name__}")
+
+    # -- intrinsic operand materialisation -----------------------------------
+    def _emit_intrinsic(self, call: IntrinsicCall) -> None:
+        intrin = call.intrin
+        intrin_axis_vars = {ax.var for ax in call.axes}
+        registers: List[str] = []
+        for binding in call.inputs:
+            reg = self.fresh_register()
+            varying = set()
+            for idx in binding.program_indices:
+                varying.update(v for v in E.free_vars(idx) if v in intrin_axis_vars)
+            address = self._address(binding.program_tensor.name, binding.program_indices)
+            lanes = binding.intrin_tensor.num_elements
+            if not varying:
+                self.emit("vbcast", [reg, address, str(lanes)],
+                          comment=f"{binding.intrin_tensor.name}: broadcast to {lanes} lanes")
+            else:
+                self.emit("vload", [reg, address, str(lanes)],
+                          comment=f"{binding.intrin_tensor.name}: gather over "
+                                  + ",".join(sorted(v.name for v in varying)))
+            registers.append(reg)
+        dst = self.fresh_register()
+        self.emit(f"tensor.{intrin.name}", [dst] + registers,
+                  comment=f"{intrin.macs_per_call} MACs")
+        out_address = self._address(call.output.program_tensor.name, call.output.program_indices)
+        self.emit("vstore", [out_address, dst, str(call.output.intrin_tensor.num_elements)])
+
+    # -- scalars ---------------------------------------------------------------
+    def _scalar(self, value: E.Expr) -> str:
+        return expr_to_str(value)
+
+    def _address(self, buffer: str, indices) -> str:
+        return f"{buffer}[" + ", ".join(expr_to_str(i) for i in indices) + "]"
+
+
+def generate(func: PrimFunc, target: str = "generic") -> CodegenResult:
+    """Generate virtual-ISA code for a lowered (and possibly tensorized) function."""
+    emitter = _Emitter(target)
+    emitter.visit(func.body)
+    return CodegenResult(func_name=func.name, target=target, instructions=emitter.instructions)

@@ -1,0 +1,23 @@
+"""``repro.core`` — the UNIT pipeline.
+
+``tensorize()`` compiles one tensor operation with a tensorized instruction
+(Inspector → Rewriter → lowering → instruction injection); ``compile_model()``
+runs the graph-level passes and estimates end-to-end inference latency via the
+machine models; ``experiments`` holds one driver per table/figure of the
+paper's evaluation.
+"""
+
+from . import experiments
+from .pipeline import CompiledModel, UnitCpuRunner, UnitGpuRunner, compile_model
+from .unit import TensorizeResult, select_intrinsic, tensorize
+
+__all__ = [
+    "tensorize",
+    "select_intrinsic",
+    "TensorizeResult",
+    "UnitCpuRunner",
+    "UnitGpuRunner",
+    "CompiledModel",
+    "compile_model",
+    "experiments",
+]

@@ -1,0 +1,119 @@
+"""Iteration axes (loop variables) of the tensor DSL.
+
+The paper distinguishes *data parallel* axes (``loop_axis``) from *reduction*
+axes (``reduce_axis``); only axes with the same annotation can be mapped onto
+each other by the Inspector (Section III-B).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from .expr import Var
+from .dtype import int32
+
+__all__ = ["AxisKind", "IterAxis", "loop_axis", "reduce_axis"]
+
+
+class AxisKind(Enum):
+    """Annotation of an iteration axis."""
+
+    DATA_PARALLEL = "data_parallel"
+    REDUCE = "reduce"
+
+
+class IterAxis:
+    """An iteration axis: a loop variable with an extent and an annotation.
+
+    Attributes
+    ----------
+    var:
+        The :class:`~repro.dsl.expr.Var` bound in expressions.
+    extent:
+        The trip count (loops are canonical: ``for v in range(extent)``).
+    kind:
+        Whether the axis is data-parallel or a reduction.
+    """
+
+    _counter = 0
+
+    def __init__(self, extent: int, kind: AxisKind, name: Optional[str] = None) -> None:
+        if int(extent) <= 0:
+            raise ValueError(f"axis extent must be positive, got {extent}")
+        IterAxis._counter += 1
+        if name is None:
+            prefix = "i" if kind == AxisKind.DATA_PARALLEL else "r"
+            name = f"{prefix}{IterAxis._counter}"
+        self.name = name
+        self.extent = int(extent)
+        self.kind = kind
+        self.var = Var(name, int32)
+
+    # -- predicates -------------------------------------------------------
+    @property
+    def is_reduce(self) -> bool:
+        return self.kind == AxisKind.REDUCE
+
+    @property
+    def is_data_parallel(self) -> bool:
+        return self.kind == AxisKind.DATA_PARALLEL
+
+    def __repr__(self) -> str:
+        tag = "reduce" if self.is_reduce else "parallel"
+        return f"IterAxis({self.name}, extent={self.extent}, {tag})"
+
+    # Axes participate in index expressions directly by exposing their Var
+    # through arithmetic operators.
+    def __add__(self, other):
+        return self.var + _unwrap(other)
+
+    def __radd__(self, other):
+        return _unwrap(other) + self.var
+
+    def __sub__(self, other):
+        return self.var - _unwrap(other)
+
+    def __rsub__(self, other):
+        return _unwrap(other) - self.var
+
+    def __mul__(self, other):
+        return self.var * _unwrap(other)
+
+    def __rmul__(self, other):
+        return _unwrap(other) * self.var
+
+    def __floordiv__(self, other):
+        return self.var // _unwrap(other)
+
+    def __mod__(self, other):
+        return self.var % _unwrap(other)
+
+
+def _unwrap(value):
+    return value.var if isinstance(value, IterAxis) else value
+
+
+def loop_axis(start: int, stop: Optional[int] = None, name: Optional[str] = None) -> IterAxis:
+    """Declare a data-parallel axis.
+
+    Mirrors the paper's ``loop_axis(0, 16)`` notation; the one-argument form
+    ``loop_axis(16)`` is also accepted.  Only canonical (0-based) ranges are
+    supported, matching the tensor-IR constraint.
+    """
+    extent = _extent(start, stop)
+    return IterAxis(extent, AxisKind.DATA_PARALLEL, name)
+
+
+def reduce_axis(start: int, stop: Optional[int] = None, name: Optional[str] = None) -> IterAxis:
+    """Declare a reduction axis (``reduce_axis(0, 4)`` in the paper)."""
+    extent = _extent(start, stop)
+    return IterAxis(extent, AxisKind.REDUCE, name)
+
+
+def _extent(start: int, stop: Optional[int]) -> int:
+    if stop is None:
+        return int(start)
+    if int(start) != 0:
+        raise ValueError("axes must start at 0 (canonical loops)")
+    return int(stop)

@@ -1,0 +1,191 @@
+"""Tensor operations (the ``ComputeOp`` data structure of Section II-C.2).
+
+A :class:`ComputeOp` captures everything the Inspector and Rewriter need about
+a tensor operation: the declared output axes, the reduction axes, the
+expression tree of the body, and the referenced input tensors.  It is the
+analysis-friendly counterpart of the imperative tensor IR (``repro.tir``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .axis import AxisKind, IterAxis, loop_axis
+from .dtype import from_string
+from .expr import (
+    Expr,
+    Reduce,
+    TensorLoad,
+    free_vars,
+    post_order,
+    tensors_referenced,
+)
+from .tensor import Tensor
+
+__all__ = ["Operation", "PlaceholderOp", "ComputeOp", "compute"]
+
+
+class Operation:
+    """Base class of all tensor operations."""
+
+    name: str
+
+    @property
+    def input_tensors(self) -> List[Tensor]:
+        raise NotImplementedError
+
+    @property
+    def output(self) -> Tensor:
+        raise NotImplementedError
+
+
+class PlaceholderOp(Operation):
+    """The trivial operation that produces an input tensor."""
+
+    def __init__(self, tensor: Tensor) -> None:
+        self.name = tensor.name
+        self._tensor = tensor
+
+    @property
+    def input_tensors(self) -> List[Tensor]:
+        return []
+
+    @property
+    def output(self) -> Tensor:
+        return self._tensor
+
+    def __repr__(self) -> str:
+        return f"PlaceholderOp({self._tensor!r})"
+
+
+class ComputeOp(Operation):
+    """A tensor operation described by axes and an expression body.
+
+    Attributes
+    ----------
+    axes:
+        The data-parallel output axes, one per output dimension.
+    body:
+        The expression computed for each output point.  It may contain a
+        :class:`~repro.dsl.expr.Reduce` node.
+    accumulate:
+        When ``True``, the operation *updates* its output in place
+        (``c[i, j] += ...``), i.e. the accumulator register and the output
+        register are the same.  This models the Tensor Core constraint
+        discussed under Figure 4(c).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        axes: Sequence[IterAxis],
+        body: Expr,
+        accumulate: bool = False,
+        output_dtype=None,
+    ) -> None:
+        self.name = name
+        self.axes = list(axes)
+        for ax in self.axes:
+            if ax.is_reduce:
+                raise ValueError(f"output axis {ax.name} must be data parallel")
+        self.body = body
+        self.accumulate = bool(accumulate)
+        dtype = from_string(output_dtype) if output_dtype is not None else body.dtype
+        shape = tuple(ax.extent for ax in self.axes)
+        self._output = Tensor(shape, dtype, name, op=self)
+        self._validate()
+
+    # -- derived structure ------------------------------------------------
+    @property
+    def reduce_axes(self) -> List[IterAxis]:
+        """All reduction axes appearing in the body (in first-use order)."""
+        found: List[IterAxis] = []
+        for node in post_order(self.body):
+            if isinstance(node, Reduce):
+                for ax in node.axes:
+                    if ax not in found:
+                        found.append(ax)
+        return found
+
+    @property
+    def all_axes(self) -> List[IterAxis]:
+        """Data-parallel axes followed by reduction axes."""
+        return list(self.axes) + self.reduce_axes
+
+    @property
+    def input_tensors(self) -> List[Tensor]:
+        tensors = [t for t in tensors_referenced(self.body) if t is not self._output]
+        return tensors
+
+    @property
+    def output(self) -> Tensor:
+        return self._output
+
+    @property
+    def has_reduction(self) -> bool:
+        return bool(self.reduce_axes) or self.accumulate
+
+    # -- validation ---------------------------------------------------------
+    def _validate(self) -> None:
+        axis_vars = {ax.var for ax in self.axes} | {ax.var for ax in self.reduce_axes}
+        for var in free_vars(self.body):
+            if var not in axis_vars:
+                raise ValueError(
+                    f"operation {self.name!r}: body references unbound variable "
+                    f"{var.name!r}"
+                )
+        # Reduce nodes may not be nested inside other expressions' reduces.
+        def check_nesting(expr: Expr, inside_reduce: bool) -> None:
+            if isinstance(expr, Reduce):
+                if inside_reduce:
+                    raise ValueError("nested reductions are not supported")
+                check_nesting(expr.source, True)
+                return
+            for child in expr.children:
+                check_nesting(child, inside_reduce)
+
+        check_nesting(self.body, False)
+
+    def __repr__(self) -> str:
+        return (
+            f"ComputeOp({self.name}, out_shape={self._output.shape}, "
+            f"dtype={self._output.dtype.name}, "
+            f"reduce={[ax.name for ax in self.reduce_axes]})"
+        )
+
+
+def compute(
+    shape: Sequence[int],
+    fcompute: Callable[..., Expr],
+    name: str = "compute",
+    accumulate: bool = False,
+    output_dtype=None,
+    axis_names: Optional[Sequence[str]] = None,
+) -> Tensor:
+    """Declare a computed tensor.
+
+    ``fcompute`` receives one data-parallel :class:`IterAxis` per output
+    dimension and returns the body expression, which may contain
+    :func:`~repro.dsl.expr.sum_reduce` over reduction axes created by the
+    caller.  Example (the VNNI semantics of Figure 4(a))::
+
+        a = placeholder((64,), "uint8", "a")
+        b = placeholder((64,), "int8", "b")
+        c = placeholder((16,), "int32", "c")
+        j = reduce_axis(0, 4, "j")
+        d = compute(
+            (16,),
+            lambda i: c[i] + sum_reduce(cast("int32", a[i * 4 + j]) *
+                                        cast("int32", b[i * 4 + j]), j),
+            name="d",
+        )
+    """
+    shape = tuple(int(s) for s in shape)
+    if axis_names is None:
+        axis_names = [f"{name}_i{k}" for k in range(len(shape))]
+    axes = [loop_axis(0, s, n) for s, n in zip(shape, axis_names)]
+    body = fcompute(*axes)
+    if not isinstance(body, Expr):
+        raise TypeError("fcompute must return a DSL expression")
+    op = ComputeOp(name, axes, body, accumulate=accumulate, output_dtype=output_dtype)
+    return op.output

@@ -1,0 +1,213 @@
+"""Data types used throughout the tensor DSL, tensor IR, and simulators.
+
+The paper's tensorized instructions are *mixed precision*: the elementwise
+operands use a narrow type (``int8``, ``uint8``, ``fp16``) while accumulation
+happens in a wider type (``int32``, ``fp32``).  Types carry their bit width and
+numpy equivalent so that the interpreter can execute programs exactly and the
+hardware simulators can reason about register/vector widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "int8",
+    "uint8",
+    "int16",
+    "uint16",
+    "int32",
+    "int64",
+    "float16",
+    "float32",
+    "float64",
+    "bool_",
+    "from_string",
+    "common_type",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """A scalar data type.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"int"``, ``"uint"``, ``"float"``, ``"bool"``.
+    bits:
+        Bit width of a single scalar element.
+    """
+
+    kind: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "uint", "float", "bool"):
+            raise ValueError(f"unknown dtype kind: {self.kind!r}")
+        if self.bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported bit width: {self.bits}")
+
+    # -- naming ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The canonical textual name, e.g. ``"int8"`` or ``"float32"``."""
+        if self.kind == "bool":
+            return "bool"
+        return f"{self.kind}{self.bits}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"DType({self.name})"
+
+    # -- classification -------------------------------------------------
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in ("int", "uint")
+
+    @property
+    def is_signed(self) -> bool:
+        return self.kind in ("int", "float")
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_bool(self) -> bool:
+        return self.kind == "bool"
+
+    @property
+    def bytes(self) -> int:
+        """Storage size in bytes (bool is stored as one byte)."""
+        return max(self.bits, 8) // 8
+
+    # -- numpy bridge ----------------------------------------------------
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype used to execute this type exactly.
+
+        ``float16`` is executed as numpy ``float16`` so rounding behaviour of
+        mixed-precision instructions is observable in tests.
+        """
+        if self.kind == "bool":
+            return np.dtype(np.bool_)
+        return np.dtype(f"{self.kind}{self.bits}")
+
+    # -- value range ------------------------------------------------------
+    @property
+    def min_value(self) -> float:
+        if self.kind == "bool":
+            return 0
+        if self.kind == "uint":
+            return 0
+        if self.kind == "int":
+            return -(2 ** (self.bits - 1))
+        return float(np.finfo(self.np_dtype).min)
+
+    @property
+    def max_value(self) -> float:
+        if self.kind == "bool":
+            return 1
+        if self.kind == "uint":
+            return 2**self.bits - 1
+        if self.kind == "int":
+            return 2 ** (self.bits - 1) - 1
+        return float(np.finfo(self.np_dtype).max)
+
+    def can_hold(self, other: "DType") -> bool:
+        """Whether every value of ``other`` is exactly representable in self."""
+        if self == other:
+            return True
+        if self.is_float and other.is_float:
+            return self.bits >= other.bits
+        if self.is_float and other.is_integer:
+            # float mantissa bits: fp16=11, fp32=24, fp64=53
+            mantissa = {16: 11, 32: 24, 64: 53}[self.bits]
+            return mantissa >= other.bits
+        if self.is_integer and other.is_integer:
+            if self.kind == other.kind:
+                return self.bits >= other.bits
+            if self.kind == "int" and other.kind == "uint":
+                return self.bits > other.bits
+            return False
+        return False
+
+
+# Canonical singletons -------------------------------------------------------
+int8 = DType("int", 8)
+uint8 = DType("uint", 8)
+int16 = DType("int", 16)
+uint16 = DType("uint", 16)
+int32 = DType("int", 32)
+int64 = DType("int", 64)
+float16 = DType("float", 16)
+float32 = DType("float", 32)
+float64 = DType("float", 64)
+bool_ = DType("bool", 1)
+
+_BY_NAME = {
+    t.name: t
+    for t in (
+        int8,
+        uint8,
+        int16,
+        uint16,
+        int32,
+        int64,
+        float16,
+        float32,
+        float64,
+        bool_,
+    )
+}
+# Convenience aliases matching the paper's notation.
+_BY_NAME.update(
+    {
+        "i8": int8,
+        "u8": uint8,
+        "i16": int16,
+        "u16": uint16,
+        "i32": int32,
+        "i64": int64,
+        "fp16": float16,
+        "fp32": float32,
+        "fp64": float64,
+        "f16": float16,
+        "f32": float32,
+        "f64": float64,
+    }
+)
+
+
+def from_string(name) -> DType:
+    """Resolve a dtype from its name (``"int8"``, ``"fp32"``, ``"u8"``, ...)."""
+    if isinstance(name, DType):
+        return name
+    try:
+        return _BY_NAME[str(name)]
+    except KeyError as exc:
+        raise ValueError(f"unknown dtype name: {name!r}") from exc
+
+
+def common_type(a: DType, b: DType) -> DType:
+    """The implicit promotion type of a binary arithmetic operation.
+
+    The tensor DSL deliberately does *not* auto-promote mixed-precision
+    operands (the point of the paper is that the cast must be explicit), so
+    this is only used for same-kind widening, comparisons and constants.
+    """
+    if a == b:
+        return a
+    if a.is_float or b.is_float:
+        bits = max(a.bits if a.is_float else 0, b.bits if b.is_float else 0, 32)
+        return DType("float", bits)
+    if a.is_integer and b.is_integer:
+        kind = "int" if ("int" in (a.kind, b.kind)) else "uint"
+        return DType(kind, max(a.bits, b.bits))
+    raise TypeError(f"no common type for {a} and {b}")

@@ -1,0 +1,694 @@
+"""Expression tree of the tensor DSL.
+
+Expressions are what appear on the right-hand side of a ``compute`` definition
+(Figure 4/5 of the paper): loop variables, tensor loads, casts, arithmetic and
+reductions.  The Inspector (``repro.inspector``) walks these trees to match a
+tensor operation against a tensorized instruction, so the node set is kept
+small and explicit.
+
+All nodes are immutable; construct new nodes instead of mutating.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .dtype import DType, bool_, common_type, float32, from_string, int32
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "Cast",
+    "BinaryOp",
+    "Add",
+    "Sub",
+    "Mul",
+    "FloorDiv",
+    "Mod",
+    "Min",
+    "Max",
+    "Compare",
+    "Select",
+    "TensorLoad",
+    "Reduce",
+    "Ramp",
+    "Broadcast",
+    "Shuffle",
+    "Call",
+    "const",
+    "as_expr",
+    "cast",
+    "sum_reduce",
+    "max_reduce",
+    "min_reduce",
+    "post_order",
+    "free_vars",
+    "tensors_referenced",
+    "structural_equal",
+    "substitute",
+    "simplify",
+    "extract_linear",
+]
+
+ExprLike = Union["Expr", int, float, bool]
+
+
+class Expr:
+    """Base class of all DSL expressions."""
+
+    dtype: DType
+
+    # -- operator overloading -------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return Add(self, as_expr(other, self.dtype))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return Add(as_expr(other, self.dtype), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return Sub(self, as_expr(other, self.dtype))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return Sub(as_expr(other, self.dtype), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return Mul(self, as_expr(other, self.dtype))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return Mul(as_expr(other, self.dtype), self)
+
+    def __floordiv__(self, other: ExprLike) -> "Expr":
+        return FloorDiv(self, as_expr(other, self.dtype))
+
+    def __mod__(self, other: ExprLike) -> "Expr":
+        return Mod(self, as_expr(other, self.dtype))
+
+    def __neg__(self) -> "Expr":
+        return Sub(Const(0, self.dtype), self)
+
+    # Comparisons build Compare nodes (not booleans), used by Select.
+    def equal(self, other: ExprLike) -> "Expr":
+        return Compare("==", self, as_expr(other, self.dtype))
+
+    def __lt__(self, other: ExprLike) -> "Expr":
+        return Compare("<", self, as_expr(other, self.dtype))
+
+    def __le__(self, other: ExprLike) -> "Expr":
+        return Compare("<=", self, as_expr(other, self.dtype))
+
+    def __gt__(self, other: ExprLike) -> "Expr":
+        return Compare(">", self, as_expr(other, self.dtype))
+
+    def __ge__(self, other: ExprLike) -> "Expr":
+        return Compare(">=", self, as_expr(other, self.dtype))
+
+    # -- helpers ----------------------------------------------------------
+    def astype(self, dtype) -> "Expr":
+        return cast(dtype, self)
+
+    @property
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import expr_to_str
+
+        return expr_to_str(self)
+
+    # Expressions are identity-hashable; use structural_equal for structure.
+    __hash__ = object.__hash__
+
+
+class Var(Expr):
+    """A scalar variable — usually a loop iteration variable.
+
+    Variables compare by identity: two distinct ``Var("i")`` objects are
+    different variables.  This mirrors TVM, where ``IterVar``s are objects.
+    """
+
+    _counter = 0
+
+    def __init__(self, name: str, dtype=int32) -> None:
+        self.name = name
+        self.dtype = from_string(dtype)
+        Var._counter += 1
+        self._uid = Var._counter
+
+
+class Const(Expr):
+    """A scalar constant."""
+
+    def __init__(self, value, dtype=None) -> None:
+        if dtype is None:
+            if isinstance(value, bool):
+                dtype = bool_
+            elif isinstance(value, int):
+                dtype = int32
+            else:
+                dtype = float32
+        self.dtype = from_string(dtype)
+        if self.dtype.is_bool:
+            self.value = bool(value)
+        elif self.dtype.is_integer:
+            self.value = int(value)
+        else:
+            self.value = float(value)
+
+
+class Cast(Expr):
+    """An explicit type conversion, e.g. ``i32(a[i])`` in Figure 4."""
+
+    def __init__(self, dtype, value: Expr) -> None:
+        self.dtype = from_string(dtype)
+        self.value = value
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+
+class BinaryOp(Expr):
+    """Base class for arithmetic binary operators."""
+
+    opcode: str = "?"
+
+    def __init__(self, a: Expr, b: Expr) -> None:
+        self.a = a
+        self.b = b
+        self.dtype = common_type(a.dtype, b.dtype)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.a, self.b)
+
+
+class Add(BinaryOp):
+    opcode = "+"
+
+
+class Sub(BinaryOp):
+    opcode = "-"
+
+
+class Mul(BinaryOp):
+    opcode = "*"
+
+
+class FloorDiv(BinaryOp):
+    opcode = "//"
+
+
+class Mod(BinaryOp):
+    opcode = "%"
+
+
+class Min(BinaryOp):
+    opcode = "min"
+
+
+class Max(BinaryOp):
+    opcode = "max"
+
+
+class Compare(Expr):
+    """A comparison, yielding a boolean."""
+
+    def __init__(self, op: str, a: Expr, b: Expr) -> None:
+        if op not in ("==", "!=", "<", "<=", ">", ">="):
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.a = a
+        self.b = b
+        self.dtype = bool_
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.a, self.b)
+
+
+class Select(Expr):
+    """``cond ? true_value : false_value``."""
+
+    def __init__(self, cond: Expr, true_value: Expr, false_value: Expr) -> None:
+        self.cond = cond
+        self.true_value = true_value
+        self.false_value = false_value
+        self.dtype = common_type(true_value.dtype, false_value.dtype)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.cond, self.true_value, self.false_value)
+
+
+class TensorLoad(Expr):
+    """A read of one element of a tensor, e.g. ``a[x + r, y + s, rc]``."""
+
+    def __init__(self, tensor, indices: Sequence[ExprLike]) -> None:
+        self.tensor = tensor
+        self.indices = tuple(as_expr(i, int32) for i in indices)
+        if len(self.indices) != len(tensor.shape):
+            raise ValueError(
+                f"tensor {tensor.name!r} has {len(tensor.shape)} dimensions, "
+                f"got {len(self.indices)} indices"
+            )
+        self.dtype = tensor.dtype
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return self.indices
+
+
+class Reduce(Expr):
+    """A reduction over one or more reduce axes.
+
+    ``combiner`` is one of ``"sum"``, ``"max"``, ``"min"``.  ``source`` is the
+    expression accumulated for each point of the reduction domain spanned by
+    ``axes`` (which must all be reduce axes).
+    """
+
+    COMBINERS = ("sum", "max", "min")
+
+    def __init__(self, combiner: str, source: Expr, axes: Sequence) -> None:
+        if combiner not in self.COMBINERS:
+            raise ValueError(f"unknown reduction combiner {combiner!r}")
+        axes = tuple(axes)
+        if not axes:
+            raise ValueError("reduction requires at least one axis")
+        for ax in axes:
+            if not getattr(ax, "is_reduce", False):
+                raise ValueError(f"axis {ax!r} is not a reduce axis")
+        self.combiner = combiner
+        self.source = source
+        self.axes = axes
+        self.dtype = source.dtype
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.source,)
+
+
+class Ramp(Expr):
+    """A vector of ``lanes`` consecutive values ``base + i*stride`` (codegen)."""
+
+    def __init__(self, base: Expr, stride: int, lanes: int) -> None:
+        self.base = base
+        self.stride = int(stride)
+        self.lanes = int(lanes)
+        self.dtype = base.dtype
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.base,)
+
+
+class Broadcast(Expr):
+    """A scalar value replicated across ``lanes`` vector lanes (codegen)."""
+
+    def __init__(self, value: Expr, lanes: int) -> None:
+        self.value = value
+        self.lanes = int(lanes)
+        self.dtype = value.dtype
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+
+class Shuffle(Expr):
+    """Concatenation of vectors — models the unroll-and-concatenate operand rule."""
+
+    def __init__(self, vectors: Sequence[Expr]) -> None:
+        self.vectors = tuple(vectors)
+        if not self.vectors:
+            raise ValueError("Shuffle requires at least one vector")
+        self.dtype = self.vectors[0].dtype
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return self.vectors
+
+
+class Call(Expr):
+    """A call to a named intrinsic, e.g. ``x86.avx512.vpdpbusd``."""
+
+    def __init__(self, name: str, args: Sequence[Expr], dtype) -> None:
+        self.name = name
+        self.args = tuple(args)
+        self.dtype = from_string(dtype)
+
+    @property
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+
+def const(value, dtype=None) -> Const:
+    """Create a constant expression."""
+    return Const(value, dtype)
+
+
+def as_expr(value: ExprLike, dtype=None) -> Expr:
+    """Coerce a Python number, iteration axis, or Expr into an Expr."""
+    if isinstance(value, Expr):
+        return value
+    # Iteration axes (repro.dsl.axis.IterAxis) stand for their loop variable.
+    if isinstance(getattr(value, "var", None), Var):
+        return value.var
+    if isinstance(value, bool):
+        return Const(value, bool_)
+    if isinstance(value, int):
+        return Const(value, int32 if dtype is None or not from_string(dtype).is_integer else dtype)
+    if isinstance(value, float):
+        return Const(value, float32 if dtype is None or not from_string(dtype).is_float else dtype)
+    raise TypeError(f"cannot convert {value!r} to an expression")
+
+
+def cast(dtype, value: ExprLike) -> Expr:
+    """Explicit cast; folds away no-op casts and constant casts."""
+    dtype = from_string(dtype)
+    value = as_expr(value)
+    if value.dtype == dtype:
+        return value
+    if isinstance(value, Const):
+        return Const(value.value, dtype)
+    return Cast(dtype, value)
+
+
+def sum_reduce(source: Expr, axes) -> Reduce:
+    """``sum(source)`` over the given reduce axes (Figure 4's ``sum``)."""
+    return Reduce("sum", source, _as_axis_list(axes))
+
+
+def max_reduce(source: Expr, axes) -> Reduce:
+    return Reduce("max", source, _as_axis_list(axes))
+
+
+def min_reduce(source: Expr, axes) -> Reduce:
+    return Reduce("min", source, _as_axis_list(axes))
+
+
+def _as_axis_list(axes) -> List:
+    if isinstance(axes, (list, tuple)):
+        return list(axes)
+    return [axes]
+
+
+# ---------------------------------------------------------------------------
+# Traversal and analysis
+# ---------------------------------------------------------------------------
+
+
+def post_order(expr: Expr) -> Iterator[Expr]:
+    """Yield every node of the tree in post-order (children first)."""
+    for child in expr.children:
+        yield from post_order(child)
+    if isinstance(expr, Reduce):
+        # Reduce's source is already covered by children.
+        pass
+    yield expr
+
+
+def free_vars(expr: Expr) -> List[Var]:
+    """All distinct Vars referenced by ``expr`` (in first-appearance order)."""
+    seen: List[Var] = []
+    for node in post_order(expr):
+        if isinstance(node, Var) and node not in seen:
+            seen.append(node)
+    return seen
+
+
+def tensors_referenced(expr: Expr) -> List:
+    """All distinct tensors loaded by ``expr`` (first-appearance order)."""
+    seen: List = []
+    for node in post_order(expr):
+        if isinstance(node, TensorLoad) and node.tensor not in seen:
+            seen.append(node.tensor)
+    return seen
+
+
+def structural_equal(a: Expr, b: Expr, var_map: Optional[dict] = None) -> bool:
+    """Structural equality of two expressions.
+
+    ``var_map`` optionally maps variables of ``a`` onto variables of ``b``;
+    when omitted variables must be identical objects.
+    """
+    if var_map is None:
+        var_map = {}
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Var):
+        return var_map.get(a, a) is b
+    if isinstance(a, Const):
+        return a.dtype == b.dtype and a.value == b.value
+    if isinstance(a, Cast):
+        return a.dtype == b.dtype and structural_equal(a.value, b.value, var_map)
+    if isinstance(a, BinaryOp):
+        return (
+            a.opcode == b.opcode
+            and structural_equal(a.a, b.a, var_map)
+            and structural_equal(a.b, b.b, var_map)
+        )
+    if isinstance(a, Compare):
+        return (
+            a.op == b.op
+            and structural_equal(a.a, b.a, var_map)
+            and structural_equal(a.b, b.b, var_map)
+        )
+    if isinstance(a, Select):
+        return all(
+            structural_equal(x, y, var_map)
+            for x, y in zip(a.children, b.children)
+        )
+    if isinstance(a, TensorLoad):
+        if a.tensor is not b.tensor or len(a.indices) != len(b.indices):
+            return False
+        return all(
+            structural_equal(x, y, var_map) for x, y in zip(a.indices, b.indices)
+        )
+    if isinstance(a, Reduce):
+        if a.combiner != b.combiner or len(a.axes) != len(b.axes):
+            return False
+        extended = dict(var_map)
+        for ax_a, ax_b in zip(a.axes, b.axes):
+            extended[ax_a.var] = ax_b.var
+        return structural_equal(a.source, b.source, extended)
+    if isinstance(a, (Ramp, Broadcast, Shuffle, Call)):
+        if isinstance(a, Ramp) and (a.stride != b.stride or a.lanes != b.lanes):
+            return False
+        if isinstance(a, Broadcast) and a.lanes != b.lanes:
+            return False
+        if isinstance(a, Call) and (a.name != b.name or a.dtype != b.dtype):
+            return False
+        if len(a.children) != len(b.children):
+            return False
+        return all(
+            structural_equal(x, y, var_map) for x, y in zip(a.children, b.children)
+        )
+    raise TypeError(f"unhandled node type {type(a).__name__}")
+
+
+def substitute(expr: Expr, mapping: dict) -> Expr:
+    """Replace variables (keys) with expressions (values) throughout ``expr``."""
+    if isinstance(expr, Var):
+        replacement = mapping.get(expr)
+        return replacement if replacement is not None else expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Cast):
+        return cast(expr.dtype, substitute(expr.value, mapping))
+    if isinstance(expr, BinaryOp):
+        return type(expr)(substitute(expr.a, mapping), substitute(expr.b, mapping))
+    if isinstance(expr, Compare):
+        return Compare(expr.op, substitute(expr.a, mapping), substitute(expr.b, mapping))
+    if isinstance(expr, Select):
+        return Select(
+            substitute(expr.cond, mapping),
+            substitute(expr.true_value, mapping),
+            substitute(expr.false_value, mapping),
+        )
+    if isinstance(expr, TensorLoad):
+        return TensorLoad(expr.tensor, [substitute(i, mapping) for i in expr.indices])
+    if isinstance(expr, Reduce):
+        return Reduce(expr.combiner, substitute(expr.source, mapping), expr.axes)
+    if isinstance(expr, Ramp):
+        return Ramp(substitute(expr.base, mapping), expr.stride, expr.lanes)
+    if isinstance(expr, Broadcast):
+        return Broadcast(substitute(expr.value, mapping), expr.lanes)
+    if isinstance(expr, Shuffle):
+        return Shuffle([substitute(v, mapping) for v in expr.vectors])
+    if isinstance(expr, Call):
+        return Call(expr.name, [substitute(a, mapping) for a in expr.args], expr.dtype)
+    raise TypeError(f"unhandled node type {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Simplification
+# ---------------------------------------------------------------------------
+
+
+def simplify(expr: Expr) -> Expr:
+    """Lightweight constant folding and algebraic identities.
+
+    This is not a general simplifier; it covers what the lowering pipeline and
+    the access analysis need: ``x+0``, ``x*1``, ``x*0``, constant folding of
+    integer arithmetic, and nested cast collapsing.
+    """
+    if isinstance(expr, (Var, Const)):
+        return expr
+    if isinstance(expr, Cast):
+        inner = simplify(expr.value)
+        return cast(expr.dtype, inner)
+    if isinstance(expr, BinaryOp):
+        a = simplify(expr.a)
+        b = simplify(expr.b)
+        if isinstance(a, Const) and isinstance(b, Const):
+            return _fold_binary(type(expr), a, b)
+        if isinstance(expr, Add):
+            if _is_zero(a):
+                return b
+            if _is_zero(b):
+                return a
+        if isinstance(expr, Sub) and _is_zero(b):
+            return a
+        if isinstance(expr, Mul):
+            if _is_zero(a) or _is_zero(b):
+                return Const(0, expr.dtype)
+            if _is_one(a):
+                return b
+            if _is_one(b):
+                return a
+        if isinstance(expr, FloorDiv) and _is_one(b):
+            return a
+        if isinstance(expr, Mod) and _is_one(b):
+            return Const(0, expr.dtype)
+        return type(expr)(a, b)
+    if isinstance(expr, Compare):
+        a, b = simplify(expr.a), simplify(expr.b)
+        if isinstance(a, Const) and isinstance(b, Const):
+            ops = {
+                "==": a.value == b.value,
+                "!=": a.value != b.value,
+                "<": a.value < b.value,
+                "<=": a.value <= b.value,
+                ">": a.value > b.value,
+                ">=": a.value >= b.value,
+            }
+            return Const(ops[expr.op], bool_)
+        return Compare(expr.op, a, b)
+    if isinstance(expr, Select):
+        cond = simplify(expr.cond)
+        if isinstance(cond, Const):
+            return simplify(expr.true_value if cond.value else expr.false_value)
+        return Select(cond, simplify(expr.true_value), simplify(expr.false_value))
+    if isinstance(expr, TensorLoad):
+        return TensorLoad(expr.tensor, [simplify(i) for i in expr.indices])
+    if isinstance(expr, Reduce):
+        return Reduce(expr.combiner, simplify(expr.source), expr.axes)
+    if isinstance(expr, Ramp):
+        return Ramp(simplify(expr.base), expr.stride, expr.lanes)
+    if isinstance(expr, Broadcast):
+        return Broadcast(simplify(expr.value), expr.lanes)
+    if isinstance(expr, Shuffle):
+        return Shuffle([simplify(v) for v in expr.vectors])
+    if isinstance(expr, Call):
+        return Call(expr.name, [simplify(a) for a in expr.args], expr.dtype)
+    return expr
+
+
+def _is_zero(e: Expr) -> bool:
+    return isinstance(e, Const) and e.value == 0
+
+
+def _is_one(e: Expr) -> bool:
+    return isinstance(e, Const) and e.value == 1
+
+
+def _fold_binary(cls, a: Const, b: Const) -> Const:
+    dtype = common_type(a.dtype, b.dtype)
+    x, y = a.value, b.value
+    if cls is Add:
+        return Const(x + y, dtype)
+    if cls is Sub:
+        return Const(x - y, dtype)
+    if cls is Mul:
+        return Const(x * y, dtype)
+    if cls is FloorDiv:
+        return Const(x // y, dtype)
+    if cls is Mod:
+        return Const(x % y, dtype)
+    if cls is Min:
+        return Const(min(x, y), dtype)
+    if cls is Max:
+        return Const(max(x, y), dtype)
+    raise TypeError(f"cannot fold {cls.__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Linear (affine) form extraction — used by the access-pattern analysis and
+# the operand-generation rules (strides of the tensorized loop variables).
+# ---------------------------------------------------------------------------
+
+
+def extract_linear(expr: Expr, variables: Iterable[Var]) -> Optional[Tuple[dict, int]]:
+    """Express ``expr`` as ``sum(coeff[v] * v) + constant`` over ``variables``.
+
+    Returns ``(coefficients, constant)`` or ``None`` if the expression is not
+    affine in the given variables (e.g. contains ``v * w`` or a non-linear
+    function).  Variables not listed are treated as symbolic *parameters* only
+    when they never appear — any unknown variable makes the result ``None``.
+    """
+    variables = list(variables)
+
+    def walk(node: Expr) -> Optional[Tuple[dict, int]]:
+        if isinstance(node, Const):
+            if not node.dtype.is_integer and not node.dtype.is_bool:
+                return None
+            return {}, int(node.value)
+        if isinstance(node, Var):
+            if node in variables:
+                return {node: 1}, 0
+            return None
+        if isinstance(node, Cast):
+            return walk(node.value)
+        if isinstance(node, Add):
+            lhs, rhs = walk(node.a), walk(node.b)
+            if lhs is None or rhs is None:
+                return None
+            return _merge(lhs, rhs, 1)
+        if isinstance(node, Sub):
+            lhs, rhs = walk(node.a), walk(node.b)
+            if lhs is None or rhs is None:
+                return None
+            return _merge(lhs, rhs, -1)
+        if isinstance(node, Mul):
+            lhs, rhs = walk(node.a), walk(node.b)
+            if lhs is None or rhs is None:
+                return None
+            lc, lk = lhs
+            rc, rk = rhs
+            if lc and rc:
+                return None  # product of two variable terms: non-affine
+            if lc:
+                scale, (coeffs, k) = rk, (lc, lk)
+                if rc:
+                    return None
+            else:
+                scale, (coeffs, k) = lk, (rc, rk)
+            return {v: c * scale for v, c in coeffs.items()}, k * scale
+        return None
+
+    def _merge(lhs, rhs, sign):
+        lc, lk = lhs
+        rc, rk = rhs
+        coeffs = dict(lc)
+        for v, c in rc.items():
+            coeffs[v] = coeffs.get(v, 0) + sign * c
+        coeffs = {v: c for v, c in coeffs.items() if c != 0}
+        return coeffs, lk + sign * rk
+
+    return walk(simplify(expr))

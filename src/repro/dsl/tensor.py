@@ -1,0 +1,94 @@
+"""Tensors of the tensor DSL.
+
+A :class:`Tensor` is a multi-dimensional array with a static shape and a
+scalar element type.  Placeholder tensors are the inputs of a tensor
+operation; computed tensors are produced by :func:`repro.dsl.compute.compute`.
+Indexing a tensor with loop axes or index expressions produces a
+:class:`~repro.dsl.expr.TensorLoad` expression, exactly as written in the
+paper's Figure 4/5 listings (``a[i*4+j]``, ``b[r, s, k, rc]``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from .dtype import DType, from_string
+from .expr import Expr, TensorLoad, as_expr
+
+__all__ = ["Tensor", "placeholder", "tensor"]
+
+
+class Tensor:
+    """A statically shaped, typed multi-dimensional array."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        dtype,
+        name: str = "tensor",
+        op=None,
+    ) -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        if any(s <= 0 for s in self.shape):
+            raise ValueError(f"tensor {name!r} has non-positive dimension: {self.shape}")
+        self.dtype: DType = from_string(dtype)
+        self.name = name
+        self.op = op
+
+    # -- basic metadata ---------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint in bytes (used by the cache/memory models)."""
+        return self.num_elements * self.dtype.bytes
+
+    @property
+    def is_placeholder(self) -> bool:
+        from .compute import PlaceholderOp
+
+        return self.op is None or isinstance(self.op, PlaceholderOp)
+
+    # -- indexing ---------------------------------------------------------
+    def __getitem__(self, indices) -> TensorLoad:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        exprs = [self._coerce_index(i) for i in indices]
+        return TensorLoad(self, exprs)
+
+    @staticmethod
+    def _coerce_index(index) -> Expr:
+        # Loop axes are used directly as indices in the DSL listings.
+        from .axis import IterAxis
+
+        if isinstance(index, IterAxis):
+            return index.var
+        return as_expr(index)
+
+    def __repr__(self) -> str:
+        return f"Tensor({self.name}, shape={self.shape}, dtype={self.dtype.name})"
+
+
+def placeholder(shape: Sequence[int], dtype, name: str = "placeholder") -> Tensor:
+    """Declare an input tensor.
+
+    Mirrors the paper's ``a = tensor((64,), u8)``.
+    """
+    from .compute import PlaceholderOp
+
+    t = Tensor(shape, dtype, name)
+    t.op = PlaceholderOp(t)
+    return t
+
+
+# The paper's listings use the name ``tensor`` for input declarations.
+tensor = placeholder

@@ -1,0 +1,86 @@
+"""Operator-fusion pass.
+
+Compiler pipelines (TVM, and UNIT built on it) fuse elementwise operators —
+ReLU, batch-norm scaling, residual adds, quantize/requantize — into the
+producing convolution or dense operator, eliminating their kernel launches and
+extra memory round trips.  Library-backed frameworks such as MXNet+oneDNN keep
+many of them as separate operators; that difference is part of the end-to-end
+gap in Figure 8, so the pass is applied only to the compiler-backed flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .ir import (
+    ConcatNode,
+    Conv2DNode,
+    DenseNode,
+    DepthwiseConv2DNode,
+    ElementwiseNode,
+    Graph,
+    GraphNode,
+)
+
+__all__ = ["fuse_elementwise", "FUSABLE_KINDS"]
+
+FUSABLE_KINDS = {
+    "relu",
+    "relu6",
+    "clip",
+    "batch_norm",
+    "bias_add",
+    "add",
+    "quantize",
+    "requantize",
+    "dequantize",
+    "sigmoid",
+    "swish",
+}
+
+_PRODUCER_TYPES = (Conv2DNode, DenseNode, DepthwiseConv2DNode)
+
+
+def fuse_elementwise(graph: Graph) -> Graph:
+    """Fuse elementwise consumers into their compute-intensive producers.
+
+    An elementwise node is fused when every one of its inputs is either the
+    producer itself or a node that appears earlier (e.g. the residual branch of
+    an ``add``).  Fused nodes are removed from the graph and recorded in the
+    producer's ``fused_activations`` list.
+    """
+    graph.infer_shapes()
+    consumers: Dict[str, int] = {}
+    for node in graph.nodes:
+        for inp in node.inputs:
+            consumers[inp] = consumers.get(inp, 0) + 1
+
+    kept: List[GraphNode] = []
+    renamed: Dict[str, str] = {}
+    by_name: Dict[str, GraphNode] = {}
+
+    def resolve(name: str) -> str:
+        while name in renamed:
+            name = renamed[name]
+        return name
+
+    for node in graph.nodes:
+        import copy
+
+        clone = copy.copy(node)
+        clone.inputs = [resolve(i) for i in node.inputs]
+        clone.fused_activations = list(node.fused_activations)
+        if isinstance(node, ElementwiseNode) and node.kind in FUSABLE_KINDS and clone.inputs:
+            producer_name = clone.inputs[0]
+            producer = by_name.get(producer_name)
+            if (
+                isinstance(producer, _PRODUCER_TYPES)
+                and consumers.get(node.inputs[0], 0) <= 1 + (node.kind == "add")
+            ):
+                producer.fused_activations.append(node.kind)
+                renamed[node.name] = producer_name
+                continue
+        kept.append(clone)
+        by_name[clone.name] = clone
+
+    return graph.rebuild(kept)

@@ -1,0 +1,90 @@
+"""Graph-level quantization pass (Section V-C).
+
+The evaluated CPU models are quantized: fp32 convolutions and dense layers
+become uint8×int8 operators accumulating in int32, with quantize/dequantize
+boundaries where non-quantizable operators require fp32 inputs.  On the GPU
+the analogous transformation converts operators to fp16 storage with fp32
+accumulation (mixed precision).
+
+The pass rewrites operator dtypes and inserts explicit ``quantize`` /
+``dequantize`` elementwise nodes so the executor charges their (small) cost,
+mirroring the casting overhead discussion around Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .ir import (
+    Conv2DNode,
+    DenseNode,
+    DepthwiseConv2DNode,
+    ElementwiseNode,
+    Graph,
+    GraphNode,
+    InputNode,
+)
+
+__all__ = ["quantize_graph", "QUANTIZABLE_TYPES"]
+
+QUANTIZABLE_TYPES = (Conv2DNode, DenseNode, DepthwiseConv2DNode)
+
+
+def quantize_graph(graph: Graph, target_dtype: str = "int8") -> Graph:
+    """Return a quantized (or mixed-precision) copy of ``graph``.
+
+    ``target_dtype`` is ``"int8"`` for the CPU flow (uint8 activations, int8
+    weights, int32 accumulation) or ``"float16"`` for the GPU flow (fp16
+    storage, fp32 accumulation).
+    """
+    if target_dtype not in ("int8", "float16"):
+        raise ValueError("target_dtype must be 'int8' or 'float16'")
+    graph.infer_shapes()
+    new_nodes: List[GraphNode] = []
+    renamed = {}
+
+    def resolve(name: str) -> str:
+        return renamed.get(name, name)
+
+    for node in graph.nodes:
+        inputs = [resolve(i) for i in node.inputs]
+        if isinstance(node, InputNode):
+            new_nodes.append(node)
+            # Quantize the network input once.
+            q = ElementwiseNode(
+                name=f"{node.name}_quantize",
+                inputs=[node.name],
+                dtype=target_dtype,
+                kind="quantize",
+            )
+            new_nodes.append(q)
+            renamed[node.name] = q.name
+            continue
+        if isinstance(node, QUANTIZABLE_TYPES):
+            clone = _clone_with(node, inputs=inputs, dtype=target_dtype)
+            new_nodes.append(clone)
+            renamed[node.name] = clone.name
+            continue
+        # Non-compute operators follow the dtype of their inputs; pooling,
+        # elementwise and concat all operate fine on quantized data.
+        clone = _clone_with(node, inputs=inputs, dtype=target_dtype)
+        new_nodes.append(clone)
+        renamed[node.name] = clone.name
+
+    # Dequantize before the final classifier output (softmax needs fp32).
+    last = new_nodes[-1]
+    dq = ElementwiseNode(
+        name="final_dequantize", inputs=[last.name], dtype="float32", kind="dequantize"
+    )
+    new_nodes.append(dq)
+    return graph.rebuild(new_nodes)
+
+
+def _clone_with(node: GraphNode, inputs: List[str], dtype: str) -> GraphNode:
+    import copy
+
+    clone = copy.copy(node)
+    clone.inputs = list(inputs)
+    clone.dtype = dtype
+    clone.fused_activations = list(node.fused_activations)
+    return clone

@@ -1,0 +1,30 @@
+"""``repro.hwsim`` — analytical machine models of the evaluation platforms.
+
+These stand in for the physical Cascade Lake, Graviton2 and V100 machines of
+Section V-A: the interpreter (``repro.tir``) provides functional correctness,
+and these models provide latency estimates driven by the same schedule
+structure (parallelism, unrolling, reuse, residue guards) the paper's tuner
+manipulates.
+"""
+
+from .cost import CostBreakdown, geometric_mean
+from .cpu import CpuKernelModel, ParallelPlan, UnrollPlan, plan_parallel, plan_unroll
+from .gpu import GpuKernelModel
+from .machine import CASCADE_LAKE, GRAVITON2, V100, CpuSpec, GpuSpec, machine_by_name
+
+__all__ = [
+    "CostBreakdown",
+    "geometric_mean",
+    "CpuKernelModel",
+    "UnrollPlan",
+    "ParallelPlan",
+    "plan_unroll",
+    "plan_parallel",
+    "GpuKernelModel",
+    "CpuSpec",
+    "GpuSpec",
+    "CASCADE_LAKE",
+    "GRAVITON2",
+    "V100",
+    "machine_by_name",
+]

@@ -1,0 +1,62 @@
+"""Common cost-model datatypes shared by the CPU and GPU machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["CostBreakdown", "geometric_mean"]
+
+
+@dataclass
+class CostBreakdown:
+    """The estimated latency of one operator on one machine.
+
+    ``seconds`` is the headline number; the other fields expose the model's
+    intermediate quantities so ablations and tests can reason about *why* a
+    schedule is fast or slow.
+    """
+
+    seconds: float
+    compute_seconds: float = 0.0
+    memory_seconds: float = 0.0
+    overhead_seconds: float = 0.0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def microseconds(self) -> float:
+        return self.seconds * 1e6
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        return CostBreakdown(
+            seconds=self.seconds * factor,
+            compute_seconds=self.compute_seconds * factor,
+            memory_seconds=self.memory_seconds * factor,
+            overhead_seconds=self.overhead_seconds * factor,
+            detail=dict(self.detail),
+        )
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            seconds=self.seconds + other.seconds,
+            compute_seconds=self.compute_seconds + other.compute_seconds,
+            memory_seconds=self.memory_seconds + other.memory_seconds,
+            overhead_seconds=self.overhead_seconds + other.overhead_seconds,
+        )
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean, used for the "geomean" bars of the end-to-end figures."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= float(v)
+    return product ** (1.0 / len(values))

@@ -1,0 +1,339 @@
+"""Analytical CPU performance model (the stand-in for Cascade Lake / Graviton2).
+
+The model mirrors the CPU scheduling strategy of Section III-C / Figure 7: a
+fused-and-parallelised band of outer data-parallel loops, a serial band, the
+reduction loops, and an unrolled band of data-parallel loops whose independent
+accumulator chains hide the tensorized instruction's result latency (the RAW
+hazard the paper discusses).  Its inputs are the layer shape, the tuning
+configuration (the same :class:`CpuTuningConfig` the Rewriter uses), and the
+instruction's performance characteristics; its output is a latency estimate
+with a breakdown into compute, memory and overhead components.
+
+Mechanisms modelled (all taken from effects the paper names):
+
+* instruction-level parallelism limited by ``unroll / latency`` accumulator
+  chains versus the issue-port ceiling;
+* ``likely`` residue guards for output widths that cannot be tiled perfectly
+  (layers 1 and 4 of Table I);
+* multi-core scaling with load balance and a parallel-region launch overhead;
+* loop-control overhead amortised over the unrolled body;
+* instruction-cache pressure for very large unrolled bodies;
+* a bandwidth bound from streaming the activations, weights and outputs;
+* extra instruction overhead for executing mixed precision *without* a
+  tensorized instruction (the casting overhead of Figure 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.intrinsic import TensorIntrinsic
+from ..rewriter.cpu_tuner import CpuTuningConfig
+from ..workloads.conv2d import Conv2DParams
+from ..workloads.conv3d import Conv3DParams
+from ..workloads.dense import DenseParams
+from .cost import CostBreakdown
+from .machine import CpuSpec
+
+__all__ = ["CpuKernelModel", "UnrollPlan", "plan_unroll", "plan_parallel"]
+
+
+@dataclass
+class UnrollPlan:
+    """How the innermost data-parallel band is unrolled."""
+
+    factor: int
+    has_residue_guard: bool
+    wasted_fraction: float  # extra iterations introduced by an imperfect tile
+
+
+@dataclass
+class ParallelPlan:
+    """How the outer data-parallel band is fused and distributed to threads."""
+
+    iterations: int
+    threads: int
+    balance: float
+    has_residue_guard: bool
+
+
+def _largest_divisor_at_most(n: int, bound: int) -> int:
+    bound = max(1, min(n, bound))
+    for d in range(bound, 0, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
+def plan_unroll(dp_extents: Sequence[int], unroll_limit: int) -> UnrollPlan:
+    """Mirror of the Rewriter's unroll-band selection.
+
+    ``dp_extents`` are the data-parallel loop extents from outermost to
+    innermost (excluding the tensorized lanes).  The band is grown from the
+    innermost loop; a loop that does not fit the remaining budget is tiled —
+    perfectly when a good divisor exists, imperfectly (with a residue guard)
+    otherwise.
+    """
+    if unroll_limit <= 1:
+        return UnrollPlan(factor=1, has_residue_guard=False, wasted_fraction=0.0)
+    factor = 1
+    residue = False
+    waste = 0.0
+    for extent in reversed(list(dp_extents)):
+        if factor * extent <= unroll_limit:
+            factor *= extent
+            continue
+        budget = unroll_limit // factor
+        if budget <= 1:
+            break
+        divisor = _largest_divisor_at_most(extent, budget)
+        if divisor <= max(1, budget // 2) and extent > budget:
+            # Imperfect split: unroll by the full budget, guard the residue.
+            tiles = math.ceil(extent / budget)
+            waste = (tiles * budget) / extent - 1.0
+            factor *= budget
+            residue = True
+        elif divisor > 1:
+            factor *= divisor
+        break
+    return UnrollPlan(factor=factor, has_residue_guard=residue, wasted_fraction=waste)
+
+
+def plan_parallel(
+    dp_extents: Sequence[int],
+    parallel_extent: int,
+    cores: int,
+    enable: bool = True,
+) -> ParallelPlan:
+    """Mirror of the Rewriter's fuse-and-parallelise band selection."""
+    if not enable:
+        return ParallelPlan(iterations=1, threads=1, balance=1.0, has_residue_guard=False)
+    iterations = 1
+    residue = False
+    for extent in dp_extents:
+        if iterations == 1 or iterations * extent <= parallel_extent:
+            iterations *= extent
+            continue
+        # Breaking point inside this loop: tile it to approach the target.
+        budget = max(1, parallel_extent // iterations)
+        divisor = _largest_divisor_at_most(extent, budget)
+        if divisor > 1:
+            iterations *= divisor
+        elif budget > 1 and extent > budget:
+            iterations *= budget
+            residue = True
+        break
+    threads = max(1, min(cores, iterations))
+    chunks = math.ceil(iterations / threads)
+    balance = iterations / (chunks * threads)
+    return ParallelPlan(
+        iterations=iterations, threads=threads, balance=balance, has_residue_guard=residue
+    )
+
+
+class CpuKernelModel:
+    """Latency model of tensorized (and plain-SIMD) kernels on a CPU."""
+
+    def __init__(
+        self,
+        machine: CpuSpec,
+        intrin: TensorIntrinsic,
+        instruction_overhead_factor: float = 1.0,
+        per_call_overhead_us: float = 1.0,
+    ) -> None:
+        """``instruction_overhead_factor`` > 1 models code that needs extra
+        instructions around each MAC vector op (e.g. widening int8 to int32
+        when no dot-product instruction exists, or fp16→fp32 casts on CPUs
+        without native fp16 arithmetic)."""
+        self.machine = machine
+        self.intrin = intrin
+        self.instruction_overhead_factor = instruction_overhead_factor
+        self.per_call_overhead_us = per_call_overhead_us
+
+    # -- generic engine ------------------------------------------------------
+    def loop_nest_latency(
+        self,
+        dp_extents: Sequence[int],
+        reduce_iterations: int,
+        config: CpuTuningConfig,
+        bytes_read: float,
+        bytes_written: float,
+        lanes_used_fraction: float = 1.0,
+    ) -> CostBreakdown:
+        """Latency of a tensorized loop nest.
+
+        ``dp_extents`` are the non-tensorized data-parallel loop extents
+        (outermost first); ``reduce_iterations`` the product of the
+        non-tensorized reduction extents.  One tensorized instruction executes
+        per point of that iteration space.
+        """
+        machine = self.machine
+        perf = self.intrin.perf
+
+        instructions = float(reduce_iterations)
+        for extent in dp_extents:
+            instructions *= extent
+        instructions *= self.instruction_overhead_factor
+
+        unroll = plan_unroll(dp_extents, config.unroll_limit if config.enable_unroll else 1)
+        parallel = plan_parallel(
+            dp_extents,
+            config.parallel_extent,
+            machine.cores,
+            enable=config.enable_parallel,
+        )
+
+        # Instruction-level parallelism: independent accumulator chains from
+        # the unrolled data-parallel band hide the instruction latency.  The
+        # sustainable rate is also bounded by the load ports: each tensorized
+        # MAC needs (roughly) two fresh vector operands from memory.
+        issue_ceiling = perf.issue_ports * perf.throughput_per_cycle
+        load_ceiling = machine.load_ports / 2.0
+        dependence_ipc = max(unroll.factor, 1) / perf.latency_cycles
+        ipc = min(issue_ceiling, load_ceiling, dependence_ipc)
+
+        cycles_per_instruction = 1.0 / ipc
+        # Register pressure: every unrolled accumulator needs its own vector
+        # register plus an operand register; once roughly three quarters of
+        # the architectural register file is claimed the compiler starts
+        # spilling between instructions.
+        registers_needed = 2 * unroll.factor + 4
+        register_budget = machine.vector_registers * 0.75
+        if registers_needed > register_budget:
+            cycles_per_instruction *= 1.0 + 1.0 * (registers_needed / register_budget - 1.0)
+        # Loop-control overhead of the innermost non-unrolled loop, amortised
+        # over the unrolled body.
+        cycles_per_instruction += machine.loop_overhead_cycles / max(unroll.factor, 1)
+        if unroll.has_residue_guard:
+            # The ``likely`` guard costs a predictable branch per unrolled body
+            # and wastes the guarded-off fraction of the last tile.
+            cycles_per_instruction += 0.5 * machine.branch_penalty_cycles / max(unroll.factor, 1)
+            cycles_per_instruction *= 1.0 + 0.35 * unroll.wasted_fraction
+        if parallel.has_residue_guard:
+            cycles_per_instruction *= 1.10
+        # Instruction-cache pressure for extreme unrolling (loads + MACs).
+        body_instructions = unroll.factor * 3
+        if body_instructions > machine.icache_instruction_budget:
+            cycles_per_instruction *= 1.0 + 0.25 * (
+                body_instructions / machine.icache_instruction_budget - 1.0
+            )
+
+        effective_threads = max(parallel.threads * parallel.balance, 1.0)
+        compute_seconds = (
+            instructions * cycles_per_instruction * machine.cycle_time_s / effective_threads
+        )
+        # Padding of the lane dimension wastes a fraction of each instruction.
+        if lanes_used_fraction < 1.0:
+            compute_seconds /= max(lanes_used_fraction, 1e-3)
+
+        total_bytes = float(bytes_read + bytes_written)
+        footprint_mb = total_bytes / 1e6
+        if footprint_mb <= machine.llc_mb:
+            bandwidth_gbps = min(
+                machine.dram_gbps * 3.0,
+                machine.l2_bytes_per_cycle
+                * machine.frequency_ghz
+                * max(parallel.threads, 1),
+            )
+        else:
+            bandwidth_gbps = machine.dram_gbps
+        memory_seconds = total_bytes / (bandwidth_gbps * 1e9)
+
+        overhead_seconds = self.per_call_overhead_us * 1e-6
+        if parallel.threads > 1:
+            overhead_seconds += machine.thread_spawn_us * 1e-6
+
+        seconds = max(compute_seconds, memory_seconds) + overhead_seconds
+        return CostBreakdown(
+            seconds=seconds,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            overhead_seconds=overhead_seconds,
+            detail={
+                "instructions": instructions,
+                "ipc": ipc,
+                "unroll_factor": float(unroll.factor),
+                "residue_guard": float(unroll.has_residue_guard),
+                "threads": float(parallel.threads),
+                "parallel_iterations": float(parallel.iterations),
+                "cycles_per_instruction": cycles_per_instruction,
+            },
+        )
+
+    # -- operator-specific wrappers -------------------------------------------
+    def conv2d_latency(
+        self, params: Conv2DParams, config: CpuTuningConfig
+    ) -> CostBreakdown:
+        """Latency of a blocked (NCHW[x]c) 2-D convolution."""
+        lanes = self.intrin.output_lanes
+        red = self.intrin.reduction_width
+        k_outer = math.ceil(params.out_channels / lanes)
+        c_outer = math.ceil(params.in_channels / red)
+        dp_extents = [k_outer, params.out_height, params.out_width]
+        reduce_iterations = c_outer * params.kernel * params.kernel
+        lanes_used = params.out_channels / (k_outer * lanes)
+
+        in_bytes = (
+            (params.in_height + 2 * params.padding)
+            * (params.in_width + 2 * params.padding)
+            * c_outer
+            * red
+        )
+        weight_bytes = k_outer * lanes * c_outer * red * params.kernel * params.kernel
+        out_bytes = params.out_height * params.out_width * k_outer * lanes * 4
+        return self.loop_nest_latency(
+            dp_extents,
+            reduce_iterations,
+            config,
+            bytes_read=in_bytes + weight_bytes,
+            bytes_written=out_bytes,
+            lanes_used_fraction=lanes_used,
+        )
+
+    def conv3d_latency(
+        self, params: Conv3DParams, config: CpuTuningConfig
+    ) -> CostBreakdown:
+        """Latency of a blocked 3-D convolution (the Section VI-C study)."""
+        lanes = self.intrin.output_lanes
+        red = self.intrin.reduction_width
+        k_outer = math.ceil(params.out_channels / lanes)
+        c_outer = math.ceil(params.in_channels / red)
+        dp_extents = [k_outer, params.out_depth, params.out_height, params.out_width]
+        reduce_iterations = c_outer * params.kernel**3
+        lanes_used = params.out_channels / (k_outer * lanes)
+
+        in_bytes = params.in_depth * params.in_height * params.in_width * c_outer * red
+        weight_bytes = k_outer * lanes * c_outer * red * params.kernel**3
+        out_bytes = params.out_depth * params.out_height * params.out_width * k_outer * lanes * 4
+        return self.loop_nest_latency(
+            dp_extents,
+            reduce_iterations,
+            config,
+            bytes_read=in_bytes + weight_bytes,
+            bytes_written=out_bytes,
+            lanes_used_fraction=lanes_used,
+        )
+
+    def dense_latency(self, params: DenseParams, config: CpuTuningConfig) -> CostBreakdown:
+        """Latency of a quantized dense (fully-connected) layer."""
+        lanes = self.intrin.output_lanes
+        red = self.intrin.reduction_width
+        n_outer = math.ceil(params.out_features / lanes)
+        k_outer = math.ceil(params.in_features / red)
+        dp_extents = [params.batch, n_outer]
+        reduce_iterations = k_outer
+        lanes_used = params.out_features / (n_outer * lanes)
+
+        in_bytes = params.batch * k_outer * red
+        weight_bytes = n_outer * lanes * k_outer * red
+        out_bytes = params.batch * n_outer * lanes * 4
+        return self.loop_nest_latency(
+            dp_extents,
+            reduce_iterations,
+            config,
+            bytes_read=in_bytes + weight_bytes,
+            bytes_written=out_bytes,
+            lanes_used_fraction=lanes_used,
+        )

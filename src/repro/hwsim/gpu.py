@@ -1,0 +1,243 @@
+"""Analytical GPU performance model (the stand-in for the V100).
+
+The model follows the GPU strategy of Section III-C / Figure 6: convolutions
+are executed as implicit GEMMs whose 16×16×16 tiles map onto Tensor Core WMMA
+operations; each thread block accumulates a ``p × p`` window of tiles so that
+buffered sub-matrices are reused ``p`` times and the accumulation dependence
+is hidden by ``p²`` independent accumulators.  The tuner's three optimisations
+(generic parallelism, dimension fusion, split-K reduction parallelisation)
+each map onto an explicit term of the model.
+
+Mechanisms modelled:
+
+* Tensor Core throughput ceiling per SM and the accumulation-dependence limit
+  (``p²`` chains vs. WMMA latency);
+* block-level occupancy / wave quantisation across the 80 SMs;
+* DRAM traffic as a function of the reuse window ``p`` (Figure 6's point) and
+  the L2 cache;
+* padding waste for small spatial dimensions, removed by FuseDim at the cost
+  of a data-rearrangement overhead;
+* extra parallelism from SplitK, at the cost of synchronisation, partial-sum
+  traffic and register pressure;
+* register-file capacity limiting ``p`` (the paper observes p > 2 overflows);
+* reduced locality for strided convolutions (the reason layers 1 and 15 of
+  Table I stay below cuDNN).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.intrinsic import TensorIntrinsic
+from ..rewriter.gpu_tuner import GpuTuningConfig
+from ..workloads.conv2d import Conv2DParams
+from .cost import CostBreakdown
+from .machine import GpuSpec
+
+__all__ = ["GpuKernelModel"]
+
+_WMMA_TILE = 16
+_WMMA_FLOPS = 2 * _WMMA_TILE * _WMMA_TILE * _WMMA_TILE  # FMA = 2 flops
+_WMMA_LATENCY_CYCLES = 32.0
+_REGISTERS_PER_ACCUM_TILE = 256  # 16x16 fp32 accumulator per warp
+# Per reduction step each block stages its operand tiles through shared memory
+# and synchronises: this fixed cost is what the SplitK optimisation amortises
+# across thread blocks.
+_KSTEP_OVERHEAD_CYCLES = 96.0
+# Keep at least this many k-tiles per split segment (splitting finer than the
+# staging granularity only adds synchronisation).
+_MIN_KTILES_PER_SEGMENT = 4
+
+
+class GpuKernelModel:
+    """Latency model of Tensor Core (and plain fp16/fp32) kernels on a GPU."""
+
+    def __init__(
+        self,
+        machine: GpuSpec,
+        intrin: Optional[TensorIntrinsic] = None,
+        use_tensor_core: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.intrin = intrin
+        self.use_tensor_core = use_tensor_core
+
+    # -- core GEMM engine ------------------------------------------------------
+    def gemm_latency(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        config: GpuTuningConfig,
+        stride: int = 1,
+        spatial: Optional[Tuple[int, int]] = None,
+        element_bytes: int = 2,
+    ) -> CostBreakdown:
+        """Latency of ``C[m, n] += A[m, k] · B[k, n]`` on Tensor Cores.
+
+        ``spatial`` carries the (OH, OW) pair of the originating convolution so
+        the FuseDim padding effect can be modelled; ``stride`` carries its
+        spatial stride (strided implicit-GEMM gathers lose locality).
+        """
+        machine = self.machine
+        p = max(1, config.outer_product_p)
+
+        # ---- padding of the M dimension (FuseDim) ----------------------------
+        if spatial is not None:
+            oh, ow = spatial
+            if config.fuse_spatial:
+                m_eff = _round_up(oh * ow, _WMMA_TILE)
+                rearrange_overhead = 0.05
+            else:
+                # Without fusion every output row is padded separately.
+                m_eff = oh * _round_up(ow, _WMMA_TILE)
+                rearrange_overhead = 0.0
+        else:
+            m_eff = _round_up(m, _WMMA_TILE)
+            rearrange_overhead = 0.0
+        n_eff = _round_up(n, _WMMA_TILE)
+        k_eff = _round_up(k, _WMMA_TILE)
+
+        # ---- tile and block decomposition -------------------------------------
+        block_tile = _WMMA_TILE * p
+        blocks_m = math.ceil(m_eff / block_tile)
+        blocks_n = math.ceil(n_eff / block_tile)
+        k_tiles = max(1, k_eff // _WMMA_TILE)
+        split = max(1, config.split_k)
+        split = min(split, max(1, k_tiles // _MIN_KTILES_PER_SEGMENT))
+        blocks = blocks_m * blocks_n * split
+
+        ksteps_per_block = math.ceil(k_tiles / split)
+        wmma_per_block = p * p * ksteps_per_block
+        total_wmma = blocks * wmma_per_block
+
+        # ---- compute rate ------------------------------------------------------
+        per_sm_flops = machine.tensor_fp16_tflops * 1e12 / machine.sms
+        peak_wmma_per_cycle = per_sm_flops / _WMMA_FLOPS / (machine.frequency_ghz * 1e9)
+        dependence_rate = (p * p) / _WMMA_LATENCY_CYCLES
+        rate = min(peak_wmma_per_cycle, dependence_rate)
+
+        # Register pressure: the p×p fp32 accumulators plus the double-buffered
+        # operand tiles; beyond the register file the compiler spills.
+        regs_needed = (p * p) * _REGISTERS_PER_ACCUM_TILE * 8  # 8 warps per block
+        regs_needed += 2 * p * _REGISTERS_PER_ACCUM_TILE * 4
+        if regs_needed > machine.registers_per_sm:
+            # Spilling accumulators to local memory is catastrophic; the
+            # penalty grows quadratically with the overflow.
+            rate *= (machine.registers_per_sm / regs_needed) ** 2
+
+        if stride > 1:
+            # Strided gathers break coalescing of the implicit-GEMM operand and
+            # thrash the staging buffers.
+            rate *= 0.45
+
+        # ---- occupancy ---------------------------------------------------------
+        waves = math.ceil(blocks / machine.sms)
+        balance = blocks / (waves * machine.sms)
+
+        # Each block pays a fixed staging + synchronisation cost per reduction
+        # step; the serial length of one block bounds latency even when the
+        # grid underfills the machine (what SplitK fixes for deep channels).
+        cycles_per_block = wmma_per_block / rate + ksteps_per_block * _KSTEP_OVERHEAD_CYCLES
+        throughput_cycles = (
+            total_wmma / rate + blocks * ksteps_per_block * _KSTEP_OVERHEAD_CYCLES
+        ) / (machine.sms * balance)
+        cycles = max(cycles_per_block, throughput_cycles)
+        compute_seconds = cycles * machine.cycle_time_s
+        compute_seconds *= 1.0 + rearrange_overhead
+
+        # ---- memory traffic ----------------------------------------------------
+        a_bytes_per_block = block_tile * (k_eff / split) * element_bytes
+        b_bytes_per_block = (k_eff / split) * block_tile * element_bytes
+        c_bytes_per_block = block_tile * block_tile * 4
+        traffic = blocks * (a_bytes_per_block + b_bytes_per_block) + blocks_m * blocks_n * c_bytes_per_block
+        unique = (m_eff * k_eff + k_eff * n_eff) * element_bytes + m_eff * n_eff * 4
+        if unique < machine.l2_mb * 1e6:
+            traffic = unique + 0.3 * (traffic - unique)
+        if stride > 1:
+            traffic *= 1.0 + 1.0 * (stride - 1)
+        memory_seconds = traffic / (machine.dram_gbps * 1e9)
+        if split > 1:
+            # Grid-level split-K: partial sums are exchanged through the L2
+            # cache and reduced by a lightweight epilogue.
+            partial_bytes = blocks * block_tile * block_tile * 4
+            compute_seconds += partial_bytes / (machine.dram_gbps * 2.5 * 1e9)
+
+        # ---- overheads ---------------------------------------------------------
+        overhead_seconds = machine.kernel_launch_us * 1e-6
+        if split > 1:
+            overhead_seconds += machine.sync_overhead_us * 1e-6
+            overhead_seconds += waves * 0.2e-6
+
+        seconds = max(compute_seconds, memory_seconds) + overhead_seconds
+        return CostBreakdown(
+            seconds=seconds,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            overhead_seconds=overhead_seconds,
+            detail={
+                "blocks": float(blocks),
+                "waves": float(waves),
+                "balance": balance,
+                "total_wmma": float(total_wmma),
+                "rate_wmma_per_cycle": rate,
+                "traffic_bytes": traffic,
+                "m_eff": float(m_eff),
+            },
+        )
+
+    # -- non-Tensor-Core vector paths (Figure 1 and cuDNN fp32) ----------------
+    def simd_gemm_latency(
+        self,
+        m: int,
+        n: int,
+        k: int,
+        dtype: str = "float32",
+        cast_overhead: float = 0.0,
+        efficiency: float = 0.55,
+    ) -> CostBreakdown:
+        """GEMM on the ordinary CUDA cores (fp32, or fp16 without Tensor Cores).
+
+        ``cast_overhead`` is the fractional extra work spent converting between
+        fp16 storage and fp32 math when no mixed-precision instruction exists —
+        the effect responsible for the slowdowns in Figure 1.
+        """
+        machine = self.machine
+        flops = 2.0 * m * n * k
+        if dtype == "float32":
+            peak = machine.fp32_tflops * 1e12
+            element_bytes = 4
+        else:
+            peak = machine.fp16_simd_tflops * 1e12
+            element_bytes = 2
+        compute_seconds = flops * (1.0 + cast_overhead) / (peak * efficiency)
+        traffic = (m * k + k * n) * element_bytes + m * n * 4
+        memory_seconds = traffic / (machine.dram_gbps * 1e9)
+        overhead = machine.kernel_launch_us * 1e-6
+        return CostBreakdown(
+            seconds=max(compute_seconds, memory_seconds) + overhead,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            overhead_seconds=overhead,
+        )
+
+    # -- convolution wrapper -----------------------------------------------------
+    def conv2d_latency(self, params: Conv2DParams, config: GpuTuningConfig) -> CostBreakdown:
+        """Implicit-GEMM convolution latency on Tensor Cores."""
+        m = params.out_height * params.out_width
+        n = params.out_channels
+        k = params.in_channels * params.kernel * params.kernel
+        return self.gemm_latency(
+            m,
+            n,
+            k,
+            config,
+            stride=params.stride,
+            spatial=(params.out_height, params.out_width),
+        )
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple

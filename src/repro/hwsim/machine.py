@@ -1,0 +1,138 @@
+"""Machine descriptions of the three evaluation platforms (Section V-A).
+
+These are analytical stand-ins for the physical machines the paper uses:
+
+* **Cascade Lake** — AWS c5.12xlarge, 24-core Intel Xeon Platinum 8275CL
+  @ 3.0 GHz, AVX-512 with VNNI.
+* **Graviton2** — AWS m6g.8xlarge, 32-core ARM Neoverse-based CPU @ 2.3 GHz
+  with the NEON DOT extension (the paper calls it a Cortex-A72-class core).
+* **V100** — AWS p3.2xlarge, Nvidia Tesla V100-SXM2 with 80 SMs and Tensor
+  Cores.
+
+Peak numbers are taken from public specifications; the cost models in
+``repro.hwsim.cpu`` / ``repro.hwsim.gpu`` apply efficiency factors derived
+from the schedule structure (parallelism, unrolling, data reuse, residue
+guards), which is where the paper's performance effects come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CpuSpec", "GpuSpec", "CASCADE_LAKE", "GRAVITON2", "V100", "machine_by_name"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """An analytical CPU description."""
+
+    name: str
+    cores: int
+    frequency_ghz: float
+    # Vector/tensor execution resources (per core).
+    vector_bytes: int  # SIMD register width in bytes (64 = AVX-512, 16 = NEON)
+    fma_ports: int  # number of vector FMA/dot-product ports
+    # Memory hierarchy.
+    l1_kb: int
+    l2_kb: int
+    llc_mb: float
+    dram_gbps: float
+    l2_bytes_per_cycle: float  # per-core sustained L2 bandwidth
+    # Software overheads.
+    thread_spawn_us: float = 3.0  # cost of dispatching a parallel region
+    loop_overhead_cycles: float = 2.0  # per iteration of a non-unrolled loop
+    branch_penalty_cycles: float = 9.0  # mispredicted/guard branch cost
+    icache_instruction_budget: int = 1500  # unrolled body size before I$ misses
+    load_ports: int = 2  # vector load issue ports (bounds MACs needing 2 loads)
+    vector_registers: int = 32  # architectural vector registers (zmm / v regs)
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0e-9 / self.frequency_ghz
+
+    def peak_int8_tops(self, macs_per_instr: int, throughput: float) -> float:
+        """Peak tensorized MAC throughput of the whole chip, in tera-MACs/s."""
+        per_core = macs_per_instr * throughput * self.frequency_ghz * 1e9
+        return per_core * self.cores / 1e12
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An analytical GPU description."""
+
+    name: str
+    sms: int
+    frequency_ghz: float
+    tensor_cores_per_sm: int
+    # Peak throughputs (whole chip).
+    tensor_fp16_tflops: float  # with Tensor Cores (FMA counted as 2 flops)
+    fp32_tflops: float
+    fp16_simd_tflops: float  # fp16 math *without* Tensor Cores
+    # Memory.
+    dram_gbps: float
+    l2_mb: float
+    shared_kb_per_sm: int
+    registers_per_sm: int
+    max_threads_per_sm: int
+    kernel_launch_us: float = 2.0
+    sync_overhead_us: float = 1.0
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0e-9 / self.frequency_ghz
+
+
+CASCADE_LAKE = CpuSpec(
+    name="Intel Xeon Platinum 8275CL (Cascade Lake, c5.12xlarge)",
+    cores=24,
+    frequency_ghz=3.0,
+    vector_bytes=64,
+    fma_ports=2,
+    l1_kb=32,
+    l2_kb=1024,
+    llc_mb=35.75,
+    dram_gbps=140.0,
+    l2_bytes_per_cycle=64.0,
+)
+
+GRAVITON2 = CpuSpec(
+    name="AWS Graviton2 (m6g.8xlarge)",
+    cores=32,
+    frequency_ghz=2.3,
+    vector_bytes=16,
+    fma_ports=2,
+    l1_kb=64,
+    l2_kb=1024,
+    llc_mb=32.0,
+    dram_gbps=190.0,
+    l2_bytes_per_cycle=32.0,
+)
+
+V100 = GpuSpec(
+    name="Nvidia Tesla V100-SXM2 (p3.2xlarge)",
+    sms=80,
+    frequency_ghz=1.53,
+    tensor_cores_per_sm=8,
+    tensor_fp16_tflops=112.0,
+    fp32_tflops=15.7,
+    fp16_simd_tflops=31.4,
+    dram_gbps=900.0,
+    l2_mb=6.0,
+    shared_kb_per_sm=96,
+    registers_per_sm=65536,
+    max_threads_per_sm=2048,
+)
+
+_MACHINES = {
+    "cascade-lake": CASCADE_LAKE,
+    "graviton2": GRAVITON2,
+    "v100": V100,
+}
+
+
+def machine_by_name(name: str):
+    """Look up a machine description by its short name."""
+    key = name.lower()
+    if key not in _MACHINES:
+        raise KeyError(f"unknown machine {name!r}; known: {sorted(_MACHINES)}")
+    return _MACHINES[key]

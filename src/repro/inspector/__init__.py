@@ -1,0 +1,40 @@
+"""``repro.inspector`` — applicability detection (Section III-B).
+
+Decides whether a tensorized instruction can execute (part of) a tensor
+operation, via arithmetic isomorphism of expression trees (Algorithm 1) and
+array-access isomorphism over enumerated loop mappings.
+"""
+
+from .access import (
+    LoopMapping,
+    check_mapping,
+    enumerate_mappings,
+    feasible_mappings,
+)
+from .inspector import (
+    InspectionResult,
+    Inspector,
+    applicable_intrinsics,
+    inspect_applicability,
+)
+from .isomorphism import (
+    IsomorphismResult,
+    UpdateForm,
+    match_isomorphism,
+    update_form,
+)
+
+__all__ = [
+    "LoopMapping",
+    "enumerate_mappings",
+    "check_mapping",
+    "feasible_mappings",
+    "InspectionResult",
+    "Inspector",
+    "inspect_applicability",
+    "applicable_intrinsics",
+    "IsomorphismResult",
+    "UpdateForm",
+    "match_isomorphism",
+    "update_form",
+]

@@ -1,0 +1,113 @@
+"""The Inspector: applicability detection for tensorized instructions.
+
+Given a tensor operation and a tensorized instruction (both as ComputeOps),
+the Inspector answers *whether* and *how* the instruction can execute part of
+the operation:
+
+1. arithmetic isomorphism of the expression trees (Algorithm 1);
+2. array-access isomorphism, which enumerates feasible loop mappings.
+
+The first feasible mapping (in innermost-first order) is the greedy default
+used for code generation; all feasible mappings are also exposed because the
+paper leaves the choice as a dimension of the tuning space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dsl.compute import ComputeOp
+from ..isa.intrinsic import TensorIntrinsic
+from ..isa.registry import intrinsics_for_target
+from .access import LoopMapping, check_mapping, enumerate_mappings, feasible_mappings
+from .isomorphism import IsomorphismResult, match_isomorphism
+
+__all__ = ["InspectionResult", "Inspector", "inspect_applicability", "applicable_intrinsics"]
+
+
+@dataclass
+class InspectionResult:
+    """Everything the Rewriter needs to tensorize an operation."""
+
+    operation: ComputeOp
+    intrinsic: TensorIntrinsic
+    applicable: bool
+    isomorphism: Optional[IsomorphismResult] = None
+    mappings: List[LoopMapping] = field(default_factory=list)
+    reason: str = ""
+
+    @property
+    def mapping(self) -> LoopMapping:
+        """The greedily chosen (innermost, best-locality) feasible mapping."""
+        if not self.mappings:
+            raise ValueError("operation is not tensorizable with this instruction")
+        return self.mappings[0]
+
+    def __repr__(self) -> str:
+        status = "applicable" if self.applicable else f"not applicable ({self.reason})"
+        return (
+            f"InspectionResult({self.operation.name} x {self.intrinsic.name}: {status}, "
+            f"{len(self.mappings)} feasible mapping(s))"
+        )
+
+
+class Inspector:
+    """Applicability detection pass (Section III-B)."""
+
+    def __init__(self, intrinsic: TensorIntrinsic) -> None:
+        self.intrinsic = intrinsic
+
+    def inspect(self, operation: ComputeOp) -> InspectionResult:
+        """Run both inspection steps on ``operation``."""
+        iso = match_isomorphism(self.intrinsic.op, operation)
+        if not iso.matched:
+            return InspectionResult(
+                operation,
+                self.intrinsic,
+                applicable=False,
+                isomorphism=iso,
+                reason=f"arithmetic isomorphism failed: {iso.reason}",
+            )
+        mappings = feasible_mappings(operation, self.intrinsic.op, iso)
+        if not mappings:
+            total = len(enumerate_mappings(operation, self.intrinsic.op))
+            return InspectionResult(
+                operation,
+                self.intrinsic,
+                applicable=False,
+                isomorphism=iso,
+                reason=(
+                    f"no feasible loop mapping (tried {total} candidate "
+                    f"mappings; data-access isomorphism failed for all)"
+                ),
+            )
+        return InspectionResult(
+            operation,
+            self.intrinsic,
+            applicable=True,
+            isomorphism=iso,
+            mappings=mappings,
+        )
+
+
+def inspect_applicability(operation_or_tensor, intrinsic: TensorIntrinsic) -> InspectionResult:
+    """Convenience wrapper around :class:`Inspector`."""
+    op = getattr(operation_or_tensor, "op", operation_or_tensor)
+    return Inspector(intrinsic).inspect(op)
+
+
+def applicable_intrinsics(operation_or_tensor, target: str) -> List[InspectionResult]:
+    """Inspect the operation against every instruction registered for ``target``.
+
+    Returns the applicable results only, mixed-precision tensorized
+    instructions first (they execute more MACs per instruction).
+    """
+    op = getattr(operation_or_tensor, "op", operation_or_tensor)
+    results = []
+    for intrin in intrinsics_for_target(target):
+        res = Inspector(intrin).inspect(op)
+        if res.applicable:
+            results.append(res)
+    results.sort(key=lambda r: r.intrinsic.macs_per_call, reverse=True)
+    return results

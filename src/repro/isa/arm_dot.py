@@ -1,0 +1,71 @@
+"""ARM DOT-product instructions (``sdot`` / ``udot``), Figure 4(b).
+
+Each instruction consumes two 128-bit registers of 16 × int8 (or uint8)
+values plus a 128-bit accumulator of 4 × int32 values and produces
+``d[i] = c[i] + sum_{j<4} a[4i+j] * b[4i+j]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..dsl import cast, compute, placeholder, reduce_axis, sum_reduce
+from .intrinsic import IntrinsicPerf, TensorIntrinsic
+
+__all__ = ["make_sdot", "make_udot", "DOT_LANES", "DOT_REDUCTION"]
+
+DOT_LANES = 4
+DOT_REDUCTION = 4
+
+
+def _dot_hw(prefix: str):
+    def impl(operands: Dict[str, np.ndarray]) -> np.ndarray:
+        a = operands[f"{prefix}_a"].astype(np.int32)
+        b = operands[f"{prefix}_b"].astype(np.int32)
+        c = operands[f"{prefix}_c"].astype(np.int32)
+        prod = (a * b).reshape(DOT_LANES, DOT_REDUCTION).sum(axis=1)
+        return (c + prod).astype(np.int32)
+
+    return impl
+
+
+def _make_dot(name: str, prefix: str, a_dtype: str, b_dtype: str, llvm: str) -> TensorIntrinsic:
+    a = placeholder((DOT_LANES * DOT_REDUCTION,), a_dtype, f"{prefix}_a")
+    b = placeholder((DOT_LANES * DOT_REDUCTION,), b_dtype, f"{prefix}_b")
+    c = placeholder((DOT_LANES,), "int32", f"{prefix}_c")
+    j = reduce_axis(0, DOT_REDUCTION, f"{prefix}_j")
+    d = compute(
+        (DOT_LANES,),
+        lambda i: c[i]
+        + sum_reduce(
+            cast("int32", a[i * DOT_REDUCTION + j]) * cast("int32", b[i * DOT_REDUCTION + j]),
+            j,
+        ),
+        name=f"{prefix}_d",
+        axis_names=[f"{prefix}_i"],
+    )
+    return TensorIntrinsic(
+        name=name,
+        op=d.op,
+        target="arm",
+        llvm_intrinsic=llvm,
+        perf=IntrinsicPerf(latency_cycles=3.0, throughput_per_cycle=2.0, issue_ports=2),
+        hardware_impl=_dot_hw(prefix),
+        description=f"{a_dtype} x {b_dtype} dot-product into int32, 4 lanes, width 4",
+    )
+
+
+def make_sdot() -> TensorIntrinsic:
+    """Signed int8 dot product (``sdot``)."""
+    return _make_dot(
+        "arm.neon.sdot", "sdot", "int8", "int8", "llvm.aarch64.neon.sdot.v4i32.v16i8"
+    )
+
+
+def make_udot() -> TensorIntrinsic:
+    """Unsigned/signed mixed dot product (``udot``)."""
+    return _make_dot(
+        "arm.neon.udot", "udot", "uint8", "uint8", "llvm.aarch64.neon.udot.v4i32.v16i8"
+    )

@@ -1,0 +1,183 @@
+"""The unified tensorized-instruction abstraction (Section III-A).
+
+A :class:`TensorIntrinsic` packages three things:
+
+1. its **semantics**, written as a small tensor-DSL program — exactly the
+   listings of Figure 4 (this is what the Inspector matches against);
+2. its **hardware model** — an exact lane-by-lane numpy implementation used by
+   the interpreter as the golden functional model of the instruction;
+3. its **performance characteristics** — issue latency/throughput, number of
+   MAC lanes, register width — consumed by the hardware simulators.
+
+The abstraction is what makes UNIT "unified": adding a new instruction means
+writing one new description, not a new compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..dsl.axis import IterAxis
+from ..dsl.compute import ComputeOp
+from ..dsl.dtype import DType
+from ..dsl.tensor import Tensor
+from ..tir import lower, run
+
+__all__ = ["TensorIntrinsic", "IntrinsicPerf"]
+
+
+@dataclass(frozen=True)
+class IntrinsicPerf:
+    """Performance characteristics used by the analytical machine models.
+
+    Attributes
+    ----------
+    latency_cycles:
+        Result latency of one instruction (creates the RAW-hazard penalty the
+        CPU tuner's unrolling hides — Section III-C).
+    throughput_per_cycle:
+        How many of these instructions one core / one sub-core unit can issue
+        per cycle when the pipeline is saturated.
+    issue_ports:
+        Number of execution ports/units able to execute the instruction.
+    """
+
+    latency_cycles: float = 4.0
+    throughput_per_cycle: float = 1.0
+    issue_ports: int = 1
+
+
+class TensorIntrinsic:
+    """A tensorized (or vector) instruction described in the tensor DSL."""
+
+    def __init__(
+        self,
+        name: str,
+        op: ComputeOp,
+        target: str,
+        llvm_intrinsic: str = "",
+        perf: Optional[IntrinsicPerf] = None,
+        hardware_impl: Optional[Callable[[Dict[str, np.ndarray]], np.ndarray]] = None,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.op = op
+        self.target = target
+        self.llvm_intrinsic = llvm_intrinsic or name
+        self.perf = perf or IntrinsicPerf()
+        self.hardware_impl = hardware_impl
+        self.description = description
+
+    # -- structural views --------------------------------------------------
+    @property
+    def output(self) -> Tensor:
+        return self.op.output
+
+    @property
+    def input_tensors(self) -> List[Tensor]:
+        return self.op.input_tensors
+
+    @property
+    def axes(self) -> List[IterAxis]:
+        """All iteration axes of the instruction's DSL description."""
+        return self.op.all_axes
+
+    @property
+    def data_parallel_axes(self) -> List[IterAxis]:
+        return list(self.op.axes)
+
+    @property
+    def reduce_axes(self) -> List[IterAxis]:
+        return self.op.reduce_axes
+
+    @property
+    def output_lanes(self) -> int:
+        """Number of output elements produced per instruction."""
+        return self.op.output.num_elements
+
+    @property
+    def reduction_width(self) -> int:
+        """Number of elements accumulated horizontally per output lane."""
+        width = 1
+        for ax in self.reduce_axes:
+            width *= ax.extent
+        return width
+
+    @property
+    def macs_per_call(self) -> int:
+        """Multiply-accumulate operations executed by one instruction."""
+        return self.output_lanes * self.reduction_width
+
+    @property
+    def operand_dtypes(self) -> List[DType]:
+        return [t.dtype for t in self.input_tensors]
+
+    @property
+    def output_dtype(self) -> DType:
+        return self.op.output.dtype
+
+    @property
+    def is_mixed_precision(self) -> bool:
+        """Whether the accumulation dtype is wider than the operand dtypes."""
+        narrow = [d for d in self.operand_dtypes if d != self.output_dtype]
+        return any(d.bits < self.output_dtype.bits for d in narrow)
+
+    @property
+    def accumulate(self) -> bool:
+        """Whether the destination register is also the accumulator source."""
+        return self.op.accumulate
+
+    # -- functional execution ----------------------------------------------
+    def execute(self, operands: Dict[str, np.ndarray]) -> np.ndarray:
+        """Execute the instruction on register contents.
+
+        ``operands`` maps the DSL operand tensor names to numpy arrays with the
+        register shapes.  Returns the destination register contents.  Uses the
+        hand-written hardware model when available, otherwise falls back to
+        interpreting the DSL description (both paths are cross-checked in the
+        test suite).
+        """
+        self._check_operands(operands)
+        if self.hardware_impl is not None:
+            return self.hardware_impl(operands)
+        return self.reference(operands)
+
+    def reference(self, operands: Dict[str, np.ndarray]) -> np.ndarray:
+        """Execute the instruction by interpreting its DSL description."""
+        self._check_operands(operands)
+        func = lower(self.op, name=f"{self.op.name}_ref")
+        buffers = {}
+        for tensor in func.inputs:
+            buffers[tensor] = np.ascontiguousarray(
+                operands[tensor.name], dtype=tensor.dtype.np_dtype
+            )
+        out = func.output
+        if self.accumulate:
+            init = operands.get(out.name)
+            if init is None:
+                init = np.zeros(out.shape, dtype=out.dtype.np_dtype)
+            buffers[out] = np.array(init, dtype=out.dtype.np_dtype, copy=True)
+        else:
+            buffers[out] = np.zeros(out.shape, dtype=out.dtype.np_dtype)
+        return run(func, buffers)
+
+    def _check_operands(self, operands: Dict[str, np.ndarray]) -> None:
+        for tensor in self.input_tensors:
+            if tensor.name not in operands:
+                raise KeyError(f"{self.name}: missing operand {tensor.name!r}")
+            got = operands[tensor.name]
+            if tuple(np.shape(got)) != tensor.shape:
+                raise ValueError(
+                    f"{self.name}: operand {tensor.name!r} has shape "
+                    f"{np.shape(got)}, expected {tensor.shape}"
+                )
+
+    def __repr__(self) -> str:
+        ins = ", ".join(f"{t.name}:{t.dtype.name}x{t.num_elements}" for t in self.input_tensors)
+        return (
+            f"TensorIntrinsic({self.name}, [{ins}] -> "
+            f"{self.output_dtype.name}x{self.output_lanes}, target={self.target})"
+        )

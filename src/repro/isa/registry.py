@@ -1,0 +1,91 @@
+"""Registry of tensorized instructions.
+
+UNIT's extensibility story (Section VI-C) is that supporting a new
+instruction only requires registering its DSL description.  The registry keeps
+the instructions addressable by name and by hardware target so the Inspector
+can enumerate candidates for a given platform.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .arm_dot import make_sdot, make_udot
+from .intrinsic import TensorIntrinsic
+from .simd import (
+    make_avx512_fma_fp32,
+    make_avx512_fma_int8_via_widen,
+    make_neon_mla_int8,
+)
+from .tensor_core import make_wmma_16x16x16
+from .vnni import make_vpdpbusd, make_vpdpwssd
+
+__all__ = [
+    "register_intrinsic",
+    "get_intrinsic",
+    "list_intrinsics",
+    "intrinsics_for_target",
+    "default_intrinsic_for_target",
+]
+
+_FACTORIES: Dict[str, Callable[[], TensorIntrinsic]] = {}
+_CACHE: Dict[str, TensorIntrinsic] = {}
+
+
+def register_intrinsic(name: str, factory: Callable[[], TensorIntrinsic]) -> None:
+    """Register a new tensorized instruction under ``name``.
+
+    Registering twice with the same name overwrites the previous entry (useful
+    for experimenting with alternative descriptions in tests).
+    """
+    _FACTORIES[name] = factory
+    _CACHE.pop(name, None)
+
+
+def get_intrinsic(name: str) -> TensorIntrinsic:
+    """Fetch (and lazily instantiate) a registered instruction by name."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown tensorized instruction {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    if name not in _CACHE:
+        _CACHE[name] = _FACTORIES[name]()
+    return _CACHE[name]
+
+
+def list_intrinsics() -> List[str]:
+    """All registered instruction names."""
+    return sorted(_FACTORIES)
+
+
+def intrinsics_for_target(target: str) -> List[TensorIntrinsic]:
+    """All instructions whose hardware target matches ``target``."""
+    result = []
+    for name in list_intrinsics():
+        intrin = get_intrinsic(name)
+        if intrin.target == target:
+            result.append(intrin)
+    return result
+
+
+def default_intrinsic_for_target(target: str) -> TensorIntrinsic:
+    """The flagship mixed-precision instruction of each evaluated platform."""
+    defaults = {
+        "x86": "x86.avx512.vpdpbusd",
+        "arm": "arm.neon.sdot",
+        "cuda": "nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+    }
+    if target not in defaults:
+        raise KeyError(f"no default tensorized instruction for target {target!r}")
+    return get_intrinsic(defaults[target])
+
+
+# -- built-in registrations ---------------------------------------------------
+register_intrinsic("x86.avx512.vpdpbusd", make_vpdpbusd)
+register_intrinsic("x86.avx512.vpdpwssd", make_vpdpwssd)
+register_intrinsic("arm.neon.sdot", make_sdot)
+register_intrinsic("arm.neon.udot", make_udot)
+register_intrinsic("nvvm.wmma.m16n16k16.mma.row.row.f32.f32", make_wmma_16x16x16)
+register_intrinsic("x86.avx512.fma.fp32", make_avx512_fma_fp32)
+register_intrinsic("x86.avx512.mac.int8.widened", make_avx512_fma_int8_via_widen)
+register_intrinsic("arm.neon.mla.int8.widened", make_neon_mla_int8)

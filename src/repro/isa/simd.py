@@ -1,0 +1,110 @@
+"""Plain SIMD (non-tensorized) vector FMA instructions.
+
+These are *not* mixed-precision tensorized instructions: they perform
+elementwise multiply-accumulate with no horizontal reduction.  They exist to
+model the baseline code paths of the evaluation — AVX-512 fp32 FMA (what
+oneDNN fp32 kernels and the non-VNNI TVM schedules bottleneck on), fp16 vector
+arithmetic without Tensor Core support (the Figure 1 experiment), and ARM
+NEON MLA (the TVM-NEON baseline of Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..dsl import cast, compute, placeholder
+from .intrinsic import IntrinsicPerf, TensorIntrinsic
+
+__all__ = ["make_avx512_fma_fp32", "make_avx512_fma_int8_via_widen", "make_neon_mla_int8"]
+
+
+def _fma_hw(prefix: str, acc_np):
+    def impl(operands: Dict[str, np.ndarray]) -> np.ndarray:
+        a = operands[f"{prefix}_a"].astype(acc_np)
+        b = operands[f"{prefix}_b"].astype(acc_np)
+        c = operands[f"{prefix}_c"].astype(acc_np)
+        return (c + a * b).astype(acc_np)
+
+    return impl
+
+
+def _make_fma(
+    name: str,
+    prefix: str,
+    lanes: int,
+    in_dtype: str,
+    acc_dtype: str,
+    target: str,
+    perf: IntrinsicPerf,
+    description: str,
+) -> TensorIntrinsic:
+    a = placeholder((lanes,), in_dtype, f"{prefix}_a")
+    b = placeholder((lanes,), in_dtype, f"{prefix}_b")
+    c = placeholder((lanes,), acc_dtype, f"{prefix}_c")
+    d = compute(
+        (lanes,),
+        lambda i: c[i] + cast(acc_dtype, a[i]) * cast(acc_dtype, b[i]),
+        name=f"{prefix}_d",
+        axis_names=[f"{prefix}_i"],
+    )
+    import numpy as np
+
+    acc_np = {"float32": np.float32, "int32": np.int32, "float16": np.float16}[acc_dtype]
+    return TensorIntrinsic(
+        name=name,
+        op=d.op,
+        target=target,
+        perf=perf,
+        hardware_impl=_fma_hw(prefix, acc_np),
+        description=description,
+    )
+
+
+def make_avx512_fma_fp32() -> TensorIntrinsic:
+    """AVX-512 fp32 fused multiply-add: 16 lanes, no horizontal reduction."""
+    return _make_fma(
+        "x86.avx512.fma.fp32",
+        "fma32",
+        16,
+        "float32",
+        "float32",
+        "x86",
+        IntrinsicPerf(latency_cycles=4.0, throughput_per_cycle=2.0, issue_ports=2),
+        "16-lane fp32 FMA (the SIMD baseline the paper compares VNNI against)",
+    )
+
+
+def make_avx512_fma_int8_via_widen() -> TensorIntrinsic:
+    """The int8 path *without* VNNI: widen to int32 then vector MAC.
+
+    Executing quantized MACs without VNNI costs extra widening instructions;
+    this intrinsic models the per-element semantics while the CPU cost model
+    charges the additional casting overhead (the Figure 1 phenomenon for
+    integer types).
+    """
+    return _make_fma(
+        "x86.avx512.mac.int8.widened",
+        "maci8",
+        16,
+        "int8",
+        "int32",
+        "x86",
+        IntrinsicPerf(latency_cycles=5.0, throughput_per_cycle=1.0, issue_ports=2),
+        "16-lane int8 MAC emulated through widening (no VNNI)",
+    )
+
+
+def make_neon_mla_int8() -> TensorIntrinsic:
+    """ARM NEON 128-bit MLA on widened int8 operands (the TVM-NEON baseline)."""
+    return _make_fma(
+        "arm.neon.mla.int8.widened",
+        "mlai8",
+        4,
+        "int8",
+        "int32",
+        "arm",
+        IntrinsicPerf(latency_cycles=4.0, throughput_per_cycle=2.0, issue_ports=2),
+        "4-lane int32 MLA on widened int8 operands (no DOT)",
+    )

@@ -1,0 +1,60 @@
+"""Nvidia Tensor Core WMMA instruction (Figure 2(b)/4(c)).
+
+``wmma.m16n16k16`` performs ``C += A @ B`` on 16×16 tiles where A and B hold
+fp16 values and C accumulates in fp32.  The key structural difference from the
+CPU instructions (noted under Figure 4(c)) is that the accumulator register is
+also the destination register, so the DSL description uses the accumulate
+(``+=``) form and an arbitrary initial accumulator cannot be supplied
+separately — a constraint the Inspector honours when matching.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..dsl import cast, compute, placeholder, reduce_axis, sum_reduce
+from .intrinsic import IntrinsicPerf, TensorIntrinsic
+
+__all__ = ["make_wmma_16x16x16", "WMMA_M", "WMMA_N", "WMMA_K"]
+
+WMMA_M = 16
+WMMA_N = 16
+WMMA_K = 16
+
+
+def _wmma_hw(operands: Dict[str, np.ndarray]) -> np.ndarray:
+    """Exact model: fp16 operands, fp32 multiply-accumulate.
+
+    Real Tensor Cores multiply fp16 values exactly (fp16→fp32 conversion is
+    lossless) and add in fp32, which is what this model does.
+    """
+    a = operands["wmma_a"].astype(np.float32)
+    b = operands["wmma_b"].astype(np.float32)
+    c = operands["wmma_c"].astype(np.float32)
+    return c + a @ b
+
+
+def make_wmma_16x16x16() -> TensorIntrinsic:
+    """The ``nvvm.wmma.m16n16k16.mma.row.row.f32.f32`` instruction."""
+    a = placeholder((WMMA_M, WMMA_K), "float16", "wmma_a")
+    b = placeholder((WMMA_K, WMMA_N), "float16", "wmma_b")
+    k = reduce_axis(0, WMMA_K, "wmma_k")
+    c = compute(
+        (WMMA_M, WMMA_N),
+        lambda i, j: sum_reduce(cast("float32", a[i, k]) * cast("float32", b[k, j]), k),
+        name="wmma_c",
+        accumulate=True,
+        output_dtype="float32",
+        axis_names=["wmma_i", "wmma_j"],
+    )
+    return TensorIntrinsic(
+        name="nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+        op=c.op,
+        target="cuda",
+        llvm_intrinsic="llvm.nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
+        perf=IntrinsicPerf(latency_cycles=8.0, throughput_per_cycle=1.0, issue_ports=2),
+        hardware_impl=_wmma_hw,
+        description="16x16x16 fp16 matrix multiply-accumulate into fp32",
+    )

@@ -1,0 +1,28 @@
+"""``repro.models`` — the DNN model zoo of the evaluation.
+
+ResNet-18/50/50_v1b/101/152, Inception-BN, Inception-v3, MobileNet-v1/v2,
+built as graph-IR DAGs with the published layer configurations.
+"""
+
+from .builder import GraphBuilder
+from .inception import inception_bn, inception_v3
+from .mobilenet import mobilenet_v1, mobilenet_v2
+from .resnet import resnet101, resnet152, resnet18, resnet50, resnet50_v1b
+from .zoo import EVALUATED_MODELS, MODEL_ZOO, all_models, get_model
+
+__all__ = [
+    "GraphBuilder",
+    "resnet18",
+    "resnet50",
+    "resnet50_v1b",
+    "resnet101",
+    "resnet152",
+    "inception_bn",
+    "inception_v3",
+    "mobilenet_v1",
+    "mobilenet_v2",
+    "MODEL_ZOO",
+    "EVALUATED_MODELS",
+    "get_model",
+    "all_models",
+]

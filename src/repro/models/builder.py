@@ -1,0 +1,158 @@
+"""Small helper for assembling model graphs.
+
+The model definitions only need the layer *shapes* (the evaluation estimates
+latency, it does not train), so the builder provides the usual macro layers —
+conv+BN+ReLU, depthwise separable blocks, residual blocks — and tracks tensor
+names so definitions read like the original network descriptions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..graph.ir import (
+    ConcatNode,
+    Conv2DNode,
+    DenseNode,
+    DepthwiseConv2DNode,
+    ElementwiseNode,
+    FlattenNode,
+    GlobalPoolNode,
+    Graph,
+    InputNode,
+    PoolNode,
+    SoftmaxNode,
+    TensorShape,
+)
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`~repro.graph.ir.Graph`."""
+
+    def __init__(self, name: str, input_shape: TensorShape = TensorShape(3, 224, 224)) -> None:
+        self.graph = Graph(name)
+        self._counter = 0
+        self.last = self.graph.add(InputNode(name="data", shape=input_shape))
+
+    # -- naming -----------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"{prefix}_{self._counter}"
+
+    # -- primitive layers ---------------------------------------------------
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: Optional[int] = None,
+        source: Optional[str] = None,
+        relu: bool = True,
+        batch_norm: bool = True,
+        prefix: str = "conv",
+    ) -> str:
+        """Convolution followed by (optional) batch-norm and ReLU."""
+        if padding is None:
+            padding = kernel // 2
+        src = source or self.last
+        name = self._fresh(prefix)
+        self.graph.add(
+            Conv2DNode(
+                name=name,
+                inputs=[src],
+                out_channels=out_channels,
+                kernel=kernel,
+                stride=stride,
+                padding=padding,
+            )
+        )
+        out = name
+        if batch_norm:
+            out = self.elementwise("batch_norm", source=out)
+        if relu:
+            out = self.elementwise("relu", source=out)
+        self.last = out
+        return out
+
+    def depthwise(
+        self,
+        kernel: int = 3,
+        stride: int = 1,
+        source: Optional[str] = None,
+        relu: bool = True,
+    ) -> str:
+        src = source or self.last
+        name = self._fresh("dwconv")
+        self.graph.add(
+            DepthwiseConv2DNode(
+                name=name, inputs=[src], kernel=kernel, stride=stride, padding=kernel // 2
+            )
+        )
+        out = self.elementwise("batch_norm", source=name)
+        if relu:
+            out = self.elementwise("relu", source=out)
+        self.last = out
+        return out
+
+    def elementwise(self, kind: str, source: Optional[str] = None, extra: Optional[str] = None) -> str:
+        src = source or self.last
+        name = self._fresh(kind)
+        inputs = [src] if extra is None else [src, extra]
+        self.graph.add(ElementwiseNode(name=name, inputs=inputs, kind=kind))
+        self.last = name
+        return name
+
+    def add(self, a: str, b: str, relu: bool = True) -> str:
+        """Residual addition (optionally followed by ReLU)."""
+        out = self.elementwise("add", source=a, extra=b)
+        if relu:
+            out = self.elementwise("relu", source=out)
+        self.last = out
+        return out
+
+    def pool(self, kind: str = "max", kernel: int = 3, stride: int = 2, padding: int = 1,
+             source: Optional[str] = None) -> str:
+        src = source or self.last
+        name = self._fresh(f"{kind}pool")
+        self.graph.add(
+            PoolNode(name=name, inputs=[src], kind=kind, kernel=kernel, stride=stride, padding=padding)
+        )
+        self.last = name
+        return name
+
+    def global_pool(self, source: Optional[str] = None) -> str:
+        src = source or self.last
+        name = self._fresh("global_pool")
+        self.graph.add(GlobalPoolNode(name=name, inputs=[src]))
+        self.last = name
+        return name
+
+    def concat(self, sources: List[str]) -> str:
+        name = self._fresh("concat")
+        self.graph.add(ConcatNode(name=name, inputs=list(sources)))
+        self.last = name
+        return name
+
+    def dense(self, out_features: int, source: Optional[str] = None) -> str:
+        src = source or self.last
+        flat = self._fresh("flatten")
+        self.graph.add(FlattenNode(name=flat, inputs=[src]))
+        name = self._fresh("fc")
+        self.graph.add(DenseNode(name=name, inputs=[flat], out_features=out_features))
+        self.last = name
+        return name
+
+    def classifier(self, classes: int = 1000, source: Optional[str] = None) -> Graph:
+        """Global pooling + dense classifier + softmax, then finish the graph."""
+        self.global_pool(source=source)
+        self.dense(classes)
+        name = self._fresh("softmax")
+        self.graph.add(SoftmaxNode(name=name, inputs=[self.last]))
+        self.last = name
+        return self.finish()
+
+    def finish(self) -> Graph:
+        self.graph.infer_shapes()
+        return self.graph

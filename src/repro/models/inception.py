@@ -1,0 +1,172 @@
+"""Inception family (inception-bn and inception-v3).
+
+``inception-bn`` is the batch-normalised GoogLeNet (Inception-v2 in the MXNet
+model zoo naming); ``inception-v3`` follows the Szegedy et al. v3 design with
+its factorised 5×5 → two 3×3 and 7×1/1×7 modules.  The channel configurations
+follow the published architectures; auxiliary classifier heads are omitted
+(they are not executed at inference time).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graph.ir import Graph, TensorShape
+from .builder import GraphBuilder
+
+__all__ = ["inception_bn", "inception_v3"]
+
+
+# ---------------------------------------------------------------------------
+# Inception-BN (GoogLeNet with batch norm)
+# ---------------------------------------------------------------------------
+
+def _bn_module(
+    builder: GraphBuilder,
+    c1: int,
+    c3r: int,
+    c3: int,
+    c5r: int,
+    c5: int,
+    pool_proj: int,
+    stride: int = 1,
+) -> str:
+    """One Inception-BN mixed module (1x1 / 3x3 / double-3x3 / pool branches)."""
+    source = builder.last
+    branches: List[str] = []
+    if c1 > 0:
+        branches.append(builder.conv(c1, 1, source=source, prefix="mix1x1"))
+    b3 = builder.conv(c3r, 1, source=source, prefix="mix3r")
+    branches.append(builder.conv(c3, 3, stride=stride, source=b3, prefix="mix3"))
+    b5 = builder.conv(c5r, 1, source=source, prefix="mix5r")
+    b5 = builder.conv(c5, 3, source=b5, prefix="mix5a")
+    branches.append(builder.conv(c5, 3, stride=stride, source=b5, prefix="mix5b"))
+    if pool_proj > 0:
+        pooled = builder.pool("avg", 3, stride=stride, padding=1, source=source)
+        branches.append(builder.conv(pool_proj, 1, source=pooled, prefix="mixpool"))
+    else:
+        branches.append(builder.pool("max", 3, stride=stride, padding=1, source=source))
+    return builder.concat(branches)
+
+
+def inception_bn() -> Graph:
+    """Inception-BN (the MXNet model zoo's bn-GoogLeNet)."""
+    builder = GraphBuilder("inception-bn", TensorShape(3, 224, 224))
+    builder.conv(64, 7, stride=2, padding=3)
+    builder.pool("max", 3, 2, 1)
+    builder.conv(64, 1)
+    builder.conv(192, 3)
+    builder.pool("max", 3, 2, 1)
+    # 3a, 3b, 3c (stride 2)
+    _bn_module(builder, 64, 64, 64, 64, 96, 32)
+    _bn_module(builder, 64, 64, 96, 64, 96, 64)
+    _bn_module(builder, 0, 128, 160, 64, 96, 0, stride=2)
+    # 4a-4e (4e stride 2)
+    _bn_module(builder, 224, 64, 96, 96, 128, 128)
+    _bn_module(builder, 192, 96, 128, 96, 128, 128)
+    _bn_module(builder, 160, 128, 160, 128, 160, 128)
+    _bn_module(builder, 96, 128, 192, 160, 192, 128)
+    _bn_module(builder, 0, 128, 192, 192, 256, 0, stride=2)
+    # 5a, 5b
+    _bn_module(builder, 352, 192, 320, 160, 224, 128)
+    _bn_module(builder, 352, 192, 320, 192, 224, 128)
+    return builder.classifier(1000)
+
+
+# ---------------------------------------------------------------------------
+# Inception-v3
+# ---------------------------------------------------------------------------
+
+def _v3_module_a(builder: GraphBuilder, pool_features: int) -> str:
+    source = builder.last
+    b1 = builder.conv(64, 1, source=source)
+    b5 = builder.conv(48, 1, source=source)
+    b5 = builder.conv(64, 5, source=b5, padding=2)
+    b3 = builder.conv(64, 1, source=source)
+    b3 = builder.conv(96, 3, source=b3)
+    b3 = builder.conv(96, 3, source=b3)
+    bp = builder.pool("avg", 3, 1, 1, source=source)
+    bp = builder.conv(pool_features, 1, source=bp)
+    return builder.concat([b1, b5, b3, bp])
+
+
+def _v3_module_b(builder: GraphBuilder) -> str:
+    """Grid-size reduction 35x35 -> 17x17."""
+    source = builder.last
+    b3 = builder.conv(384, 3, stride=2, padding=0, source=source)
+    bd = builder.conv(64, 1, source=source)
+    bd = builder.conv(96, 3, source=bd)
+    bd = builder.conv(96, 3, stride=2, padding=0, source=bd)
+    bp = builder.pool("max", 3, 2, 0, source=source)
+    return builder.concat([b3, bd, bp])
+
+
+def _v3_module_c(builder: GraphBuilder, c7: int) -> str:
+    source = builder.last
+    b1 = builder.conv(192, 1, source=source)
+    # The 1×7 / 7×1 factorised pairs are modelled as 3×3 convolutions with the
+    # same channel flow (14 vs 9 MACs per output point — the closest square
+    # kernel; the graph IR tracks square kernels only).
+    b7 = builder.conv(c7, 1, source=source)
+    b7 = builder.conv(c7, 3, source=b7)
+    b7 = builder.conv(192, 3, source=b7)
+    b77 = builder.conv(c7, 1, source=source)
+    b77 = builder.conv(c7, 3, source=b77)
+    b77 = builder.conv(c7, 3, source=b77)
+    b77 = builder.conv(c7, 3, source=b77)
+    b77 = builder.conv(192, 3, source=b77)
+    bp = builder.pool("avg", 3, 1, 1, source=source)
+    bp = builder.conv(192, 1, source=bp)
+    return builder.concat([b1, b7, b77, bp])
+
+
+def _v3_module_d(builder: GraphBuilder) -> str:
+    """Grid-size reduction 17x17 -> 8x8."""
+    source = builder.last
+    b3 = builder.conv(192, 1, source=source)
+    b3 = builder.conv(320, 3, stride=2, padding=0, source=b3)
+    b7 = builder.conv(192, 1, source=source)
+    b7 = builder.conv(192, 3, source=b7)  # factorised 1x7 + 7x1 pair
+    b7 = builder.conv(192, 3, source=b7)
+    b7 = builder.conv(192, 3, stride=2, padding=0, source=b7)
+    bp = builder.pool("max", 3, 2, 0, source=source)
+    return builder.concat([b3, b7, bp])
+
+
+def _v3_module_e(builder: GraphBuilder) -> str:
+    source = builder.last
+    b1 = builder.conv(320, 1, source=source)
+    b3 = builder.conv(384, 1, source=source)
+    b3a = builder.conv(384, 3, source=b3)
+    b3b = builder.conv(384, 3, source=b3)
+    bd = builder.conv(448, 1, source=source)
+    bd = builder.conv(384, 3, source=bd)
+    bda = builder.conv(384, 3, source=bd)
+    bdb = builder.conv(384, 3, source=bd)
+    bp = builder.pool("avg", 3, 1, 1, source=source)
+    bp = builder.conv(192, 1, source=bp)
+    return builder.concat([b1, b3a, b3b, bda, bdb, bp])
+
+
+def inception_v3() -> Graph:
+    """Inception-v3 (299×299 input, factorised convolutions)."""
+    builder = GraphBuilder("inception-v3", TensorShape(3, 299, 299))
+    builder.conv(32, 3, stride=2, padding=0)
+    builder.conv(32, 3, padding=0)
+    builder.conv(64, 3)
+    builder.pool("max", 3, 2, 0)
+    builder.conv(80, 1, padding=0)
+    builder.conv(192, 3, padding=0)
+    builder.pool("max", 3, 2, 0)
+    _v3_module_a(builder, 32)
+    _v3_module_a(builder, 64)
+    _v3_module_a(builder, 64)
+    _v3_module_b(builder)
+    _v3_module_c(builder, 128)
+    _v3_module_c(builder, 160)
+    _v3_module_c(builder, 160)
+    _v3_module_c(builder, 192)
+    _v3_module_d(builder)
+    _v3_module_e(builder)
+    _v3_module_e(builder)
+    return builder.classifier(1000)

@@ -1,0 +1,73 @@
+"""MobileNet-v1 and MobileNet-v2.
+
+MobileNets alternate depthwise convolutions (not tensorizable — no channel
+reduction) with 1×1 pointwise convolutions (tensorizable and the bulk of the
+MACs), which is why they still benefit from VNNI/DOT in the end-to-end
+figures, though less than the ResNet/Inception models.
+"""
+
+from __future__ import annotations
+
+from ..graph.ir import Graph, TensorShape
+from .builder import GraphBuilder
+
+__all__ = ["mobilenet_v1", "mobilenet_v2"]
+
+# (pointwise output channels, depthwise stride) per separable block of v1.
+_V1_BLOCKS = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+# (expansion factor, output channels, repeats, first stride) per v2 stage.
+_V2_STAGES = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def mobilenet_v1() -> Graph:
+    """MobileNet-v1 (width multiplier 1.0, 224×224)."""
+    builder = GraphBuilder("mobilenet-v1", TensorShape(3, 224, 224))
+    builder.conv(32, 3, stride=2)
+    for out_channels, stride in _V1_BLOCKS:
+        builder.depthwise(kernel=3, stride=stride)
+        builder.conv(out_channels, 1, prefix="pointwise")
+    return builder.classifier(1000)
+
+
+def mobilenet_v2() -> Graph:
+    """MobileNet-v2 (inverted residual bottlenecks, width 1.0, 224×224)."""
+    builder = GraphBuilder("mobilenet-v2", TensorShape(3, 224, 224))
+    builder.conv(32, 3, stride=2)
+    in_channels = 32
+    for expansion, out_channels, repeats, first_stride in _V2_STAGES:
+        for block in range(repeats):
+            stride = first_stride if block == 0 else 1
+            block_input = builder.last
+            hidden = in_channels * expansion
+            if expansion != 1:
+                builder.conv(hidden, 1, prefix="expand")
+            builder.depthwise(kernel=3, stride=stride)
+            out = builder.conv(out_channels, 1, relu=False, prefix="project")
+            if stride == 1 and in_channels == out_channels:
+                builder.add(out, block_input, relu=False)
+            in_channels = out_channels
+    builder.conv(1280, 1, prefix="head")
+    return builder.classifier(1000)

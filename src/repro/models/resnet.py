@@ -1,0 +1,93 @@
+"""ResNet family (resnet-18 / 50 / 50_v1b / 101 / 152).
+
+Layer configurations follow the original architecture (He et al.) and the
+GluonCV "v1b" variant, which moves the stride-2 downsampling from the first
+1×1 convolution of a bottleneck to its 3×3 convolution — the distinction that
+makes ``resnet-50`` and ``resnet-50_v1b`` separate bars in the paper's
+end-to-end figures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.ir import Graph, TensorShape
+from .builder import GraphBuilder
+
+__all__ = ["resnet18", "resnet50", "resnet50_v1b", "resnet101", "resnet152"]
+
+_STAGE_CHANNELS = [64, 128, 256, 512]
+
+
+def _stem(builder: GraphBuilder) -> None:
+    builder.conv(64, kernel=7, stride=2, padding=3, prefix="stem_conv")
+    builder.pool("max", kernel=3, stride=2, padding=1)
+
+
+def _basic_block(builder: GraphBuilder, channels: int, stride: int) -> None:
+    identity = builder.last
+    builder.conv(channels, kernel=3, stride=stride)
+    out = builder.conv(channels, kernel=3, stride=1, relu=False)
+    if stride != 1 or _input_channels(builder, identity) != channels:
+        identity = builder.conv(
+            channels, kernel=1, stride=stride, source=identity, relu=False, prefix="downsample"
+        )
+    builder.add(out, identity)
+
+
+def _bottleneck_block(
+    builder: GraphBuilder, channels: int, stride: int, v1b: bool = False
+) -> None:
+    identity = builder.last
+    expansion = channels * 4
+    # v1 puts the stride on the first 1x1 conv, v1b on the 3x3 conv.
+    builder.conv(channels, kernel=1, stride=1 if v1b else stride)
+    builder.conv(channels, kernel=3, stride=stride if v1b else 1)
+    out = builder.conv(expansion, kernel=1, stride=1, relu=False)
+    if stride != 1 or _input_channels(builder, identity) != expansion:
+        identity = builder.conv(
+            expansion, kernel=1, stride=stride, source=identity, relu=False, prefix="downsample"
+        )
+    builder.add(out, identity)
+
+
+def _input_channels(builder: GraphBuilder, name: str) -> int:
+    return builder.graph.output_shape(name).channels
+
+
+def _resnet(name: str, block: str, layers: List[int], v1b: bool = False) -> Graph:
+    builder = GraphBuilder(name, TensorShape(3, 224, 224))
+    _stem(builder)
+    for stage, (channels, blocks) in enumerate(zip(_STAGE_CHANNELS, layers)):
+        for b in range(blocks):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            if block == "basic":
+                _basic_block(builder, channels, stride)
+            else:
+                _bottleneck_block(builder, channels, stride, v1b=v1b)
+    return builder.classifier(1000)
+
+
+def resnet18() -> Graph:
+    """ResNet-18 (basic blocks, [2, 2, 2, 2])."""
+    return _resnet("resnet-18", "basic", [2, 2, 2, 2])
+
+
+def resnet50() -> Graph:
+    """ResNet-50 (bottleneck blocks, [3, 4, 6, 3])."""
+    return _resnet("resnet-50", "bottleneck", [3, 4, 6, 3])
+
+
+def resnet50_v1b() -> Graph:
+    """ResNet-50 v1b (stride on the 3×3 convolution of each bottleneck)."""
+    return _resnet("resnet-50_v1b", "bottleneck", [3, 4, 6, 3], v1b=True)
+
+
+def resnet101() -> Graph:
+    """ResNet-101 (bottleneck blocks, [3, 4, 23, 3])."""
+    return _resnet("resnet-101", "bottleneck", [3, 4, 23, 3])
+
+
+def resnet152() -> Graph:
+    """ResNet-152 (bottleneck blocks, [3, 8, 36, 3])."""
+    return _resnet("resnet-152", "bottleneck", [3, 8, 36, 3])

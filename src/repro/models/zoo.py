@@ -1,0 +1,50 @@
+"""The model zoo used by the end-to-end experiments (Section V-C).
+
+Nine models, matching the x-axes of Figures 8, 9 and 12:
+resnet-18, resnet-50, resnet-50_v1b, inception-bn, inception-v3, resnet-101,
+resnet-152, mobilenet-v1, mobilenet-v2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..graph.ir import Graph
+from .inception import inception_bn, inception_v3
+from .mobilenet import mobilenet_v1, mobilenet_v2
+from .resnet import resnet101, resnet152, resnet18, resnet50, resnet50_v1b
+
+__all__ = ["MODEL_ZOO", "EVALUATED_MODELS", "get_model", "all_models"]
+
+MODEL_ZOO: Dict[str, Callable[[], Graph]] = {
+    "resnet-18": resnet18,
+    "resnet-50": resnet50,
+    "resnet-50_v1b": resnet50_v1b,
+    "inception-bn": inception_bn,
+    "inception-v3": inception_v3,
+    "resnet-101": resnet101,
+    "resnet-152": resnet152,
+    "mobilenet-v1": mobilenet_v1,
+    "mobilenet-v2": mobilenet_v2,
+}
+
+# The order the paper's figures use on the x axis.
+EVALUATED_MODELS: List[str] = list(MODEL_ZOO.keys())
+
+_CACHE: Dict[str, Graph] = {}
+
+
+def get_model(name: str, fresh: bool = False) -> Graph:
+    """Build (or fetch a cached copy of) a model graph by its figure name."""
+    if name not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; known: {EVALUATED_MODELS}")
+    if fresh:
+        return MODEL_ZOO[name]()
+    if name not in _CACHE:
+        _CACHE[name] = MODEL_ZOO[name]()
+    return _CACHE[name]
+
+
+def all_models(fresh: bool = False) -> Dict[str, Graph]:
+    """All nine evaluated models, keyed by name."""
+    return {name: get_model(name, fresh=fresh) for name in EVALUATED_MODELS}

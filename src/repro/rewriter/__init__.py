@@ -1,0 +1,50 @@
+"""``repro.rewriter`` — code transformation (Section III-C).
+
+Loop reorganization tiles and reorders the loops selected by the Inspector so
+the innermost nest performs exactly the instruction's semantics; the
+replacement pass swaps that nest for an :class:`~repro.tir.stmt.IntrinsicCall`
+with explicit operand-generation bindings; the CPU and GPU tuners organise the
+remaining loops for parallelism, unrolling and data reuse, and the tuning
+driver profiles candidate configurations on the machine models.
+"""
+
+from .cpu_tuner import (
+    DEFAULT_PARALLEL_EXTENT,
+    DEFAULT_UNROLL_LIMIT,
+    CpuScheduleReport,
+    CpuTuningConfig,
+    apply_cpu_schedule,
+    cpu_tuning_candidates,
+)
+from .gpu_tuner import (
+    GpuScheduleReport,
+    GpuTuningConfig,
+    apply_gpu_schedule,
+    gpu_tuning_candidates,
+)
+from .loop_reorg import TensorizeError, TensorizeSpec, reorganize_loops
+from .replace import build_intrinsic_call, has_tensorize_pragma, replace_tensorize
+from .tuner import TuningResult, TuningTrial, exhaustive_search, first_k_search
+
+__all__ = [
+    "TensorizeError",
+    "TensorizeSpec",
+    "reorganize_loops",
+    "build_intrinsic_call",
+    "replace_tensorize",
+    "has_tensorize_pragma",
+    "CpuTuningConfig",
+    "CpuScheduleReport",
+    "apply_cpu_schedule",
+    "cpu_tuning_candidates",
+    "DEFAULT_PARALLEL_EXTENT",
+    "DEFAULT_UNROLL_LIMIT",
+    "GpuTuningConfig",
+    "GpuScheduleReport",
+    "apply_gpu_schedule",
+    "gpu_tuning_candidates",
+    "TuningResult",
+    "TuningTrial",
+    "exhaustive_search",
+    "first_k_search",
+]

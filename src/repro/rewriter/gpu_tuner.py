@@ -1,0 +1,170 @@
+"""GPU scheduling strategy and tuning space (Sections III-C.3 and IV-B).
+
+Three optimisations drive Tensor Core performance in the paper:
+
+* **Generic** coarse/fine-grained parallelism: data-parallel tile loops are
+  distributed over streaming multiprocessors (blockIdx) and a ``p × p``
+  outer-product accumulation (Figure 6(b)) is unrolled inside each block so
+  that buffered sub-matrices are reused ``p`` times and the loop-carried
+  accumulation dependence is hidden by ``p²`` independent accumulators.
+* **FuseDim**: layers with small height/width fuse those two dimensions into
+  one to avoid redundant padding and wasted memory traffic.
+* **SplitK**: layers with deep channels split the reduction loop and
+  parallelise the segments across ``threadIdx``, followed by a shared-memory
+  reduction — more parallelism at the cost of synchronisation and register
+  pressure.
+
+The loop-level reorganisation is applied to the schedule where it is
+expressible (fusion, tiling, binding, unrolling); the thread-level split
+reduction is recorded as a pragma because its shared-memory epilogue belongs
+to the code generator, and the GPU machine model accounts for its cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..schedule.schedule import LoopVar, Stage
+from .loop_reorg import TensorizeSpec
+
+__all__ = ["GpuTuningConfig", "apply_gpu_schedule", "gpu_tuning_candidates"]
+
+
+@dataclass(frozen=True)
+class GpuTuningConfig:
+    """One point of the GPU tuning space."""
+
+    outer_product_p: int = 2  # the p of the p×p accumulation window
+    fuse_spatial: bool = False  # fuse the H and W dimensions
+    split_k: int = 1  # reduction split factor (1 = no split reduction)
+
+    def describe(self) -> str:
+        parts = [f"p={self.outer_product_p}"]
+        if self.fuse_spatial:
+            parts.append("fuse_hw")
+        if self.split_k > 1:
+            parts.append(f"split_k={self.split_k}")
+        return ",".join(parts)
+
+
+@dataclass
+class GpuScheduleReport:
+    """The resulting block/thread structure (consumed by the GPU cost model)."""
+
+    block_loops: List[LoopVar]
+    blocks: int
+    outer_product_p: int
+    accumulators_per_block: int
+    fused_spatial: bool
+    split_k: int
+    reduce_iterations: int
+    has_residue_guard: bool
+
+
+def apply_gpu_schedule(spec: TensorizeSpec, config: GpuTuningConfig) -> GpuScheduleReport:
+    """Organise the non-tensorized loops of ``spec`` per the GPU strategy."""
+    stage = spec.stage
+    tensorized = list(spec.tensorized_leaves)
+    dp_outer = [l for l in stage.leaf_vars if not l.is_reduce and l not in tensorized]
+    reduce_outer = [l for l in stage.leaf_vars if l.is_reduce and l not in tensorized]
+
+    # ---- FuseDim: collapse small spatial dimensions --------------------------
+    fused_spatial = False
+    if config.fuse_spatial and len(dp_outer) >= 3:
+        # Spatial loops are the leading data-parallel loops that were *not*
+        # produced by tiling a tensorized axis (i.e. not an ``.o`` tile loop).
+        spatial = [l for l in dp_outer if not l.name.endswith(".o")]
+        if len(spatial) >= 2:
+            first, second = spatial[0], spatial[1]
+            rest = [l for l in dp_outer if l not in (first, second)]
+            stage.reorder(*([first, second] + rest + reduce_outer + tensorized))
+            fused = stage.fuse(first, second)
+            dp_outer = [fused] + rest
+            fused_spatial = True
+
+    # ---- p×p outer-product accumulation --------------------------------------
+    p = max(1, config.outer_product_p)
+    unrolled: List[LoopVar] = []
+    block_loops: List[LoopVar] = []
+    accumulators = 1
+    # Tile loops produced for the instruction's data-parallel axes are the
+    # natural candidates for the p×p window (they index 16×16 sub-matrices).
+    tile_loops = [
+        spec.outer_loops[ax]
+        for ax in spec.mapping.axis_map
+        if not ax.is_reduce and spec.outer_loops[ax] in dp_outer
+    ]
+    for loop in dp_outer:
+        if loop in tile_loops and p > 1 and loop.extent % p == 0 and loop.extent > 1:
+            outer, inner = stage.split(loop, p)
+            block_loops.append(outer)
+            unrolled.append(inner)
+            accumulators *= p
+        else:
+            block_loops.append(loop)
+
+    # ---- SplitK: parallelise the reduction across threadIdx ------------------
+    split_k = max(1, config.split_k)
+    reduce_iterations = 1
+    for loop in reduce_outer:
+        reduce_iterations *= loop.extent
+    if split_k > 1 and reduce_outer:
+        # Split the outermost reduction loop; the outer segment count is what
+        # gets distributed over threadIdx (bounded by the loop's extent).
+        target = reduce_outer[0]
+        factor = max(1, min(split_k, target.extent))
+        divisor = _largest_divisor_at_most(target.extent, max(1, target.extent // factor))
+        if divisor < target.extent:
+            outer, inner = stage.split(target, divisor)
+            reduce_outer = [outer, inner] + reduce_outer[1:]
+        stage.pragma(reduce_outer[0], "split_reduction", split_k)
+
+    # ---- final order + bindings ----------------------------------------------
+    stage.reorder(*(block_loops + reduce_outer + unrolled + tensorized))
+    if block_loops:
+        stage.bind(block_loops[0], "blockIdx.x")
+        if len(block_loops) > 1:
+            stage.bind(block_loops[1], "blockIdx.y")
+    for loop in unrolled:
+        stage.unroll(loop)
+
+    blocks = 1
+    for loop in block_loops:
+        blocks *= loop.extent
+    return GpuScheduleReport(
+        block_loops=block_loops,
+        blocks=blocks,
+        outer_product_p=p,
+        accumulators_per_block=accumulators,
+        fused_spatial=fused_spatial,
+        split_k=split_k,
+        reduce_iterations=reduce_iterations,
+        has_residue_guard=stage.has_imperfect_split,
+    )
+
+
+def _largest_divisor_at_most(n: int, bound: int) -> int:
+    bound = max(1, min(n, bound))
+    for d in range(bound, 0, -1):
+        if n % d == 0:
+            return d
+    return 1
+
+
+def gpu_tuning_candidates(
+    ps: Iterable[int] = (2, 1, 4),
+    split_ks: Iterable[int] = (1, 64, 32, 16),
+) -> List[GpuTuningConfig]:
+    """The tuning space explored for GPU kernels.
+
+    Unrolling degrees above 2 tend to exhaust the register file (the paper's
+    observation), so p=2 comes first; SplitK=64 is the fixed value used in the
+    Figure 11 ablation before the full search.
+    """
+    out: List[GpuTuningConfig] = []
+    for p in ps:
+        for fuse in (False, True):
+            for sk in split_ks:
+                out.append(GpuTuningConfig(outer_product_p=p, fuse_spatial=fuse, split_k=sk))
+    return out

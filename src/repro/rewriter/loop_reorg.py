@@ -1,0 +1,142 @@
+"""Loop reorganization (Section III-C.1).
+
+Given an Inspector result, tile every mapped operation loop by the trip count
+of its instruction loop, reorder the inner tiles to the innermost positions in
+the instruction's own loop order, and mark the innermost nest with the
+``tensorize`` pragma.  The result is a :class:`TensorizeSpec` carrying the
+schedule plus the bookkeeping the replacement pass needs (which inner leaf
+variable corresponds to which instruction loop variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..dsl.axis import IterAxis
+from ..dsl.expr import Var
+from ..inspector.access import LoopMapping
+from ..inspector.inspector import InspectionResult
+from ..schedule.schedule import LoopVar, Schedule, Stage, create_schedule
+
+__all__ = ["TensorizeError", "TensorizeSpec", "reorganize_loops"]
+
+
+class TensorizeError(Exception):
+    """Raised when an operation cannot be (perfectly) tensorized."""
+
+
+@dataclass
+class TensorizeSpec:
+    """The reorganized schedule plus the instruction-injection bookkeeping."""
+
+    inspection: InspectionResult
+    mapping: LoopMapping
+    schedule: Schedule
+    stage: Stage
+    # Outer (tile) loop for every mapped operation axis.
+    outer_loops: Dict[IterAxis, LoopVar] = field(default_factory=dict)
+    # Inner (tensorized) loop for every mapped operation axis.
+    inner_loops: Dict[IterAxis, LoopVar] = field(default_factory=dict)
+    # Inner leaf loop variable -> instruction loop variable.
+    leaf_to_intrin_var: Dict[Var, Var] = field(default_factory=dict)
+
+    @property
+    def intrinsic(self):
+        return self.inspection.intrinsic
+
+    @property
+    def operation(self):
+        return self.inspection.operation
+
+    @property
+    def tensorized_leaves(self) -> List[LoopVar]:
+        """The inner loops, in instruction loop order (outermost first)."""
+        order = []
+        for instr_ax in self.intrinsic.op.all_axes:
+            for op_ax, mapped in self.mapping.axis_map.items():
+                if mapped is instr_ax:
+                    order.append(self.inner_loops[op_ax])
+        return order
+
+    @property
+    def outer_data_parallel_leaves(self) -> List[LoopVar]:
+        inner = set(self.tensorized_leaves)
+        return [
+            l for l in self.stage.leaf_vars if not l.is_reduce and l not in inner
+        ]
+
+    @property
+    def outer_reduce_leaves(self) -> List[LoopVar]:
+        inner = set(self.tensorized_leaves)
+        return [l for l in self.stage.leaf_vars if l.is_reduce and l not in inner]
+
+
+def reorganize_loops(
+    inspection: InspectionResult,
+    mapping: Optional[LoopMapping] = None,
+    allow_padding: bool = False,
+) -> TensorizeSpec:
+    """Tile, reorder and mark the loops selected by the Inspector.
+
+    The mapped loops must tile perfectly (their extents divisible by the
+    instruction loop trip counts); the paper relies on graph-level tensor
+    padding to guarantee this, and :mod:`repro.graph.layout` performs that
+    padding.  ``allow_padding`` keeps the error message actionable when the
+    caller forgot to pad.
+    """
+    if not inspection.applicable:
+        raise TensorizeError(
+            f"operation {inspection.operation.name!r} is not tensorizable with "
+            f"{inspection.intrinsic.name!r}: {inspection.reason}"
+        )
+    mapping = mapping or inspection.mapping
+    intrin = inspection.intrinsic
+    op = inspection.operation
+
+    schedule = create_schedule(op)
+    stage = schedule.stage
+
+    outer_loops: Dict[IterAxis, LoopVar] = {}
+    inner_loops: Dict[IterAxis, LoopVar] = {}
+    leaf_to_intrin: Dict[Var, Var] = {}
+
+    for op_axis, instr_axis in mapping.axis_map.items():
+        factor = instr_axis.extent
+        root_loop = stage[op_axis]
+        if root_loop.extent % factor != 0:
+            message = (
+                f"loop {op_axis.name!r} (extent {root_loop.extent}) is not "
+                f"divisible by the instruction loop {instr_axis.name!r} "
+                f"(extent {factor}); pad the tensor shapes at graph level"
+            )
+            if not allow_padding:
+                raise TensorizeError(message)
+        outer, inner = stage.split(root_loop, factor)
+        outer_loops[op_axis] = outer
+        inner_loops[op_axis] = inner
+        leaf_to_intrin[inner.var] = instr_axis.var
+
+    # Reorder: every non-tensorized leaf keeps its relative order and the
+    # tensorized inner loops go innermost, in the instruction's loop order.
+    inner_in_instr_order: List[LoopVar] = []
+    for instr_axis in intrin.op.all_axes:
+        for op_axis, mapped in mapping.axis_map.items():
+            if mapped is instr_axis:
+                inner_in_instr_order.append(inner_loops[op_axis])
+    inner_set = set(inner_in_instr_order)
+    outer_leaves = [l for l in stage.leaf_vars if l not in inner_set]
+    stage.reorder(*(outer_leaves + inner_in_instr_order))
+
+    # Mark the innermost nest for instruction injection.
+    stage.tensorize(inner_in_instr_order[0], intrin)
+
+    return TensorizeSpec(
+        inspection=inspection,
+        mapping=mapping,
+        schedule=schedule,
+        stage=stage,
+        outer_loops=outer_loops,
+        inner_loops=inner_loops,
+        leaf_to_intrin_var=leaf_to_intrin,
+    )

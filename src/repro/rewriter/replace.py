@@ -1,0 +1,146 @@
+"""Tensorized-instruction replacement (Section III-C.2 / IV-B step 3).
+
+The lowered tensor IR contains a loop nest annotated with the ``tensorize``
+pragma.  This pass replaces that nest with an :class:`IntrinsicCall` whose
+operand bindings encode the operand-generation rules: for every register
+operand of the instruction, which program buffer feeds it and at which
+addresses (as index expressions over the instruction's loop variables and the
+remaining outer loop variables).  Broadcasts and unroll-and-concatenate
+patterns fall out of these bindings — a register lane whose program address
+does not involve some instruction loop simply repeats along it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..dsl.expr import Expr, Var, simplify, substitute
+from ..tir.lower import PrimFunc
+from ..tir.stmt import AttrStmt, For, ForKind, IntrinsicCall, OperandBinding, Stmt
+from ..tir.visitor import StmtMutator, collect
+from .loop_reorg import TensorizeError, TensorizeSpec
+
+__all__ = ["build_intrinsic_call", "replace_tensorize", "has_tensorize_pragma"]
+
+
+def build_intrinsic_call(spec: TensorizeSpec) -> IntrinsicCall:
+    """Construct the IntrinsicCall for a tensorize spec.
+
+    Program-side index expressions are obtained by rewriting the operation's
+    original access expressions through the schedule's index map (original
+    axis variables → leaf-variable expressions) and then renaming the
+    tensorized inner leaf variables to the instruction's own loop variables.
+    """
+    iso = spec.inspection.isomorphism
+    if iso is None or not iso.matched:
+        raise TensorizeError("cannot build an intrinsic call from a failed match")
+    index_map: Dict[Var, Expr] = spec.stage.index_expressions()
+    leaf_to_intrin: Dict[Var, Var] = spec.leaf_to_intrin_var
+
+    def program_indices(load) -> List[Expr]:
+        out = []
+        for idx in load.indices:
+            rewritten = substitute(idx, index_map)
+            rewritten = substitute(rewritten, leaf_to_intrin)
+            out.append(simplify(rewritten))
+        return out
+
+    intrin = spec.intrinsic
+    pairs = iso.load_pairs
+    if not pairs:
+        raise TensorizeError("match produced no operand correspondences")
+
+    # The first recorded pair is always the store-target correspondence
+    # (destination register ↔ program output element).
+    store_pair = pairs[0]
+    output_binding = OperandBinding(
+        intrin_tensor=store_pair[0].tensor,
+        intrin_indices=tuple(store_pair[0].indices),
+        program_tensor=store_pair[1].tensor,
+        program_indices=tuple(program_indices(store_pair[1])),
+    )
+
+    input_bindings: List[OperandBinding] = []
+    for instr_load, prog_load in pairs[1:]:
+        input_bindings.append(
+            OperandBinding(
+                intrin_tensor=instr_load.tensor,
+                intrin_indices=tuple(instr_load.indices),
+                program_tensor=prog_load.tensor,
+                program_indices=tuple(program_indices(prog_load)),
+            )
+        )
+
+    return IntrinsicCall(
+        intrin=intrin,
+        inputs=input_bindings,
+        output=output_binding,
+        axes=intrin.op.all_axes,
+        reads_output=True,
+    )
+
+
+def has_tensorize_pragma(stmt: Stmt) -> bool:
+    """Whether a tensorize pragma survives anywhere in the statement tree."""
+    return bool(
+        collect(
+            stmt,
+            lambda s: isinstance(s, AttrStmt)
+            and s.key == "pragma_tensorize"
+            or (isinstance(s, For) and s.kind == ForKind.TENSORIZE),
+        )
+    )
+
+
+class _Replacer(StmtMutator):
+    def __init__(self, call: IntrinsicCall) -> None:
+        self.call = call
+        self.replaced = 0
+
+    def mutate_attrstmt(self, stmt: AttrStmt) -> Stmt:
+        if stmt.key == "pragma_tensorize":
+            self.replaced += 1
+            return self._wrap_with_guards(stmt.body)
+        return self.generic_mutate(stmt)
+
+    def _wrap_with_guards(self, region: Stmt) -> Stmt:
+        """Re-apply residue (``likely``) guards from outer imperfect splits.
+
+        Guards produced by imperfect splits of *non-tensorized* loops are
+        emitted around the innermost store and would otherwise be dropped when
+        the tensorized nest is replaced; they are hoisted around the intrinsic
+        call instead.  (Guards over the tensorized loops themselves cannot
+        occur — reorganize_loops enforces perfect tiling there.)
+        """
+        from ..tir.stmt import IfThenElse
+        from ..tir.visitor import collect
+
+        guards = collect(region, lambda s: isinstance(s, IfThenElse) and s.likely)
+        intrin_axis_vars = {ax.var for ax in self.call.axes}
+        tensorized_vars = set()
+        for node in collect(region, lambda s: isinstance(s, For)):
+            tensorized_vars.add(node.var)
+        result: Stmt = self.call
+        from ..dsl.expr import free_vars
+
+        for guard in reversed(guards):
+            if any(v in tensorized_vars for v in free_vars(guard.condition)):
+                raise TensorizeError(
+                    "residue guard over a tensorized loop; the mapped axes must "
+                    "tile perfectly (pad the tensor shapes at graph level)"
+                )
+            result = IfThenElse(guard.condition, result, likely=True)
+        return result
+
+
+def replace_tensorize(func: PrimFunc, spec: TensorizeSpec) -> PrimFunc:
+    """Replace every tensorize-pragma region of ``func`` with the intrinsic call."""
+    call = build_intrinsic_call(spec)
+    replacer = _Replacer(call)
+    new_body = replacer.mutate(func.body)
+    if replacer.replaced == 0:
+        raise TensorizeError(
+            "the lowered function contains no tensorize pragma; was the "
+            "schedule produced by reorganize_loops()?"
+        )
+    return PrimFunc(func.name, func.params, new_body, func.op)

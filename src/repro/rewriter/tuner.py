@@ -1,0 +1,83 @@
+"""The tuning driver: enumerate schedule configurations, profile, keep the best.
+
+The paper's Rewriter does not model performance analytically — it enumerates
+the (small) tuning space and profiles each candidate (Section III-C.3).  Here
+"profiling" means evaluating the candidate on the analytical machine model of
+the target platform, which plays the role of the physical machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["TuningTrial", "TuningResult", "exhaustive_search", "first_k_search"]
+
+ConfigT = TypeVar("ConfigT")
+
+
+@dataclass
+class TuningTrial(Generic[ConfigT]):
+    """One profiled candidate."""
+
+    config: ConfigT
+    cost: float
+    index: int
+
+
+@dataclass
+class TuningResult(Generic[ConfigT]):
+    """The outcome of a tuning run."""
+
+    best_config: ConfigT
+    best_cost: float
+    trials: List[TuningTrial] = field(default_factory=list)
+
+    @property
+    def num_trials(self) -> int:
+        return len(self.trials)
+
+    def best_rank(self, tolerance: float = 0.0) -> int:
+        """The 1-based position of the first candidate within ``tolerance``
+        (relative) of the best cost.
+
+        This is what the paper's "more than half of the kernels get the
+        optimal performance on the first tuning pair" claim is about; a small
+        tolerance plays the role of profiling noise on real hardware.
+        """
+        threshold = self.best_cost * (1.0 + max(0.0, tolerance))
+        for trial in self.trials:
+            if trial.cost <= threshold:
+                return trial.index + 1
+        return 1
+
+    def cost_of(self, index: int) -> float:
+        return self.trials[index].cost
+
+
+def exhaustive_search(
+    candidates: Sequence[ConfigT],
+    evaluate: Callable[[ConfigT], float],
+) -> TuningResult:
+    """Profile every candidate and return the best one."""
+    if not candidates:
+        raise ValueError("tuning requires at least one candidate configuration")
+    trials: List[TuningTrial] = []
+    best: Optional[TuningTrial] = None
+    for index, config in enumerate(candidates):
+        cost = float(evaluate(config))
+        trial = TuningTrial(config=config, cost=cost, index=index)
+        trials.append(trial)
+        if best is None or cost < best.cost:
+            best = trial
+    assert best is not None
+    return TuningResult(best_config=best.config, best_cost=best.cost, trials=trials)
+
+
+def first_k_search(
+    candidates: Sequence[ConfigT],
+    evaluate: Callable[[ConfigT], float],
+    k: int,
+) -> TuningResult:
+    """Profile only the first ``k`` candidates (budgeted tuning)."""
+    return exhaustive_search(list(candidates)[: max(1, k)], evaluate)

@@ -1,0 +1,18 @@
+"""``repro.schedule`` — loop-nest scheduling primitives.
+
+This is the stand-in for TVM's schedule layer.  A :class:`Schedule` wraps one
+:class:`~repro.dsl.compute.ComputeOp` and records loop transformations (split,
+fuse, reorder) and annotations (parallel, unroll, vectorize, bind, tensorize,
+pragma) without changing the computation's semantics.  The lowering pass in
+``repro.tir.lower`` consumes the schedule to emit tensor IR.
+"""
+
+from .schedule import (
+    Annotation,
+    LoopVar,
+    Schedule,
+    Stage,
+    create_schedule,
+)
+
+__all__ = ["Annotation", "LoopVar", "Schedule", "Stage", "create_schedule"]

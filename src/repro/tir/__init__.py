@@ -1,0 +1,58 @@
+"""``repro.tir`` — the imperative tensor IR.
+
+Lowering (:func:`lower`) turns a ComputeOp plus a schedule into a
+:class:`PrimFunc` whose body is a canonical loop nest.  The interpreter
+executes PrimFuncs over numpy buffers (the correctness oracle), the verifier
+checks structural invariants, and the printer renders C-like listings.
+"""
+
+from .lower import PrimFunc, decompose_reduction, lower
+from .interpreter import Interpreter, alloc_buffers, random_array, run
+from .printer import func_to_str, stmt_to_str
+from .stmt import (
+    Allocate,
+    AttrStmt,
+    Evaluate,
+    For,
+    ForKind,
+    IfThenElse,
+    IntrinsicCall,
+    OperandBinding,
+    SeqStmt,
+    Stmt,
+    Store,
+    seq,
+)
+from .verify import VerificationError, verify
+from .visitor import StmtMutator, StmtVisitor, collect, count_nodes, walk
+
+__all__ = [
+    "PrimFunc",
+    "lower",
+    "decompose_reduction",
+    "Interpreter",
+    "run",
+    "alloc_buffers",
+    "random_array",
+    "func_to_str",
+    "stmt_to_str",
+    "ForKind",
+    "Stmt",
+    "For",
+    "Store",
+    "SeqStmt",
+    "IfThenElse",
+    "AttrStmt",
+    "Allocate",
+    "Evaluate",
+    "OperandBinding",
+    "IntrinsicCall",
+    "seq",
+    "VerificationError",
+    "verify",
+    "StmtVisitor",
+    "StmtMutator",
+    "walk",
+    "collect",
+    "count_nodes",
+]

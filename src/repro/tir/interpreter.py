@@ -1,0 +1,238 @@
+"""A numpy-backed interpreter for tensor IR.
+
+The interpreter is the correctness oracle of the whole repository: every
+schedule transformation, every tensorize rewrite, and every intrinsic
+replacement is validated by executing the resulting tensor IR and comparing
+against a straightforward numpy reference.  Tensorized-instruction calls are
+executed through the instruction's *hardware model* (its exact lane-by-lane
+semantics), so a successful comparison demonstrates that UNIT produced operand
+bindings that feed the instruction correctly — the property the paper's
+Inspector is responsible for.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..dsl import expr as E
+from ..dsl.dtype import DType
+from ..dsl.tensor import Tensor
+from .lower import PrimFunc
+from .stmt import (
+    Allocate,
+    AttrStmt,
+    Evaluate,
+    For,
+    IfThenElse,
+    IntrinsicCall,
+    SeqStmt,
+    Stmt,
+    Store,
+)
+
+__all__ = ["Interpreter", "run", "alloc_buffers"]
+
+
+class Interpreter:
+    """Execute a :class:`PrimFunc` over numpy buffers."""
+
+    def __init__(self, func: PrimFunc) -> None:
+        self.func = func
+
+    # -- public API -------------------------------------------------------
+    def run(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
+        """Execute the function.  ``buffers`` maps every parameter tensor to a
+        numpy array of matching shape/dtype.  Returns the output buffer."""
+        self._buffers: Dict[Tensor, np.ndarray] = {}
+        for tensor in self.func.params:
+            if tensor not in buffers:
+                raise KeyError(f"missing buffer for parameter {tensor.name!r}")
+            array = buffers[tensor]
+            if tuple(array.shape) != tensor.shape:
+                raise ValueError(
+                    f"buffer for {tensor.name!r} has shape {array.shape}, "
+                    f"expected {tensor.shape}"
+                )
+            self._buffers[tensor] = array
+        self._env: Dict[E.Var, int] = {}
+        self._exec(self.func.body)
+        return self._buffers[self.func.output]
+
+    # -- statement execution ----------------------------------------------
+    def _exec(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self._exec(s)
+        elif isinstance(stmt, For):
+            var = stmt.var
+            for i in range(stmt.extent):
+                self._env[var] = i
+                self._exec(stmt.body)
+            self._env.pop(var, None)
+        elif isinstance(stmt, Store):
+            buf = self._get_buffer(stmt.tensor)
+            idx = tuple(int(self._eval(i)) for i in stmt.indices)
+            value = self._eval(stmt.value)
+            buf[idx] = _cast_scalar(value, stmt.tensor.dtype)
+        elif isinstance(stmt, IfThenElse):
+            if self._eval(stmt.condition):
+                self._exec(stmt.then_case)
+            elif stmt.else_case is not None:
+                self._exec(stmt.else_case)
+        elif isinstance(stmt, AttrStmt):
+            self._exec(stmt.body)
+        elif isinstance(stmt, Allocate):
+            self._buffers[stmt.tensor] = np.zeros(
+                stmt.tensor.shape, dtype=stmt.tensor.dtype.np_dtype
+            )
+            self._exec(stmt.body)
+        elif isinstance(stmt, Evaluate):
+            self._eval(stmt.expr)
+        elif isinstance(stmt, IntrinsicCall):
+            self._exec_intrinsic(stmt)
+        else:
+            raise TypeError(f"cannot interpret statement {type(stmt).__name__}")
+
+    def _exec_intrinsic(self, call: IntrinsicCall) -> None:
+        """Execute a tensorized-instruction call through its hardware model."""
+        intrin = call.intrin
+        axes = call.axes
+        extents = [ax.extent for ax in axes]
+        axis_vars = [ax.var for ax in axes]
+
+        # Gather: fill each register operand lane by lane from program memory.
+        operands: Dict[str, np.ndarray] = {}
+        for binding in call.inputs:
+            operands[binding.intrin_tensor.name] = np.zeros(
+                binding.intrin_tensor.shape, dtype=binding.intrin_tensor.dtype.np_dtype
+            )
+        for point in itertools.product(*(range(e) for e in extents)):
+            for var, value in zip(axis_vars, point):
+                self._env[var] = value
+            for binding in call.inputs:
+                reg = operands[binding.intrin_tensor.name]
+                reg_idx = tuple(int(self._eval(i)) for i in binding.intrin_indices)
+                prog_idx = tuple(int(self._eval(i)) for i in binding.program_indices)
+                reg[reg_idx] = self._get_buffer(binding.program_tensor)[prog_idx]
+
+        # Execute the instruction's hardware semantics on the registers.
+        result = intrin.execute(operands)
+
+        # Scatter: write the destination register back to program memory.
+        out = call.output
+        out_buf = self._get_buffer(out.program_tensor)
+        for point in itertools.product(*(range(e) for e in extents)):
+            for var, value in zip(axis_vars, point):
+                self._env[var] = value
+            reg_idx = tuple(int(self._eval(i)) for i in out.intrin_indices)
+            prog_idx = tuple(int(self._eval(i)) for i in out.program_indices)
+            out_buf[prog_idx] = _cast_scalar(result[reg_idx], out.program_tensor.dtype)
+        for var in axis_vars:
+            self._env.pop(var, None)
+
+    # -- expression evaluation ---------------------------------------------
+    def _eval(self, expr: E.Expr):
+        if isinstance(expr, E.Const):
+            return expr.value
+        if isinstance(expr, E.Var):
+            try:
+                return self._env[expr]
+            except KeyError as exc:
+                raise KeyError(f"unbound variable {expr.name!r}") from exc
+        if isinstance(expr, E.Cast):
+            return _cast_scalar(self._eval(expr.value), expr.dtype)
+        if isinstance(expr, E.TensorLoad):
+            buf = self._get_buffer(expr.tensor)
+            idx = tuple(int(self._eval(i)) for i in expr.indices)
+            return buf[idx]
+        if isinstance(expr, E.Add):
+            return self._eval(expr.a) + self._eval(expr.b)
+        if isinstance(expr, E.Sub):
+            return self._eval(expr.a) - self._eval(expr.b)
+        if isinstance(expr, E.Mul):
+            return self._eval(expr.a) * self._eval(expr.b)
+        if isinstance(expr, E.FloorDiv):
+            return self._eval(expr.a) // self._eval(expr.b)
+        if isinstance(expr, E.Mod):
+            return self._eval(expr.a) % self._eval(expr.b)
+        if isinstance(expr, E.Min):
+            return min(self._eval(expr.a), self._eval(expr.b))
+        if isinstance(expr, E.Max):
+            return max(self._eval(expr.a), self._eval(expr.b))
+        if isinstance(expr, E.Compare):
+            a, b = self._eval(expr.a), self._eval(expr.b)
+            return {
+                "==": a == b,
+                "!=": a != b,
+                "<": a < b,
+                "<=": a <= b,
+                ">": a > b,
+                ">=": a >= b,
+            }[expr.op]
+        if isinstance(expr, E.Select):
+            return (
+                self._eval(expr.true_value)
+                if self._eval(expr.cond)
+                else self._eval(expr.false_value)
+            )
+        if isinstance(expr, E.Reduce):
+            return self._eval_reduce(expr)
+        raise TypeError(f"cannot evaluate expression {type(expr).__name__}")
+
+    def _eval_reduce(self, expr: E.Reduce):
+        values = []
+        extents = [ax.extent for ax in expr.axes]
+        axis_vars = [ax.var for ax in expr.axes]
+        for point in itertools.product(*(range(e) for e in extents)):
+            for var, value in zip(axis_vars, point):
+                self._env[var] = value
+            values.append(self._eval(expr.source))
+        for var in axis_vars:
+            self._env.pop(var, None)
+        if expr.combiner == "sum":
+            return sum(values)
+        if expr.combiner == "max":
+            return max(values)
+        return min(values)
+
+    def _get_buffer(self, tensor: Tensor) -> np.ndarray:
+        try:
+            return self._buffers[tensor]
+        except KeyError as exc:
+            raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
+
+
+def _cast_scalar(value, dtype: DType):
+    """Cast a Python/numpy scalar to the exact dtype semantics."""
+    return dtype.np_dtype.type(value)
+
+
+def alloc_buffers(func: PrimFunc, rng: Optional[np.random.Generator] = None) -> Dict[Tensor, np.ndarray]:
+    """Allocate random input buffers and a zeroed output buffer for ``func``.
+
+    Integer inputs are drawn from a small range so mixed-precision
+    accumulation never overflows int32 in tests.
+    """
+    rng = rng or np.random.default_rng(0)
+    buffers: Dict[Tensor, np.ndarray] = {}
+    for tensor in func.inputs:
+        buffers[tensor] = random_array(tensor.shape, tensor.dtype, rng)
+    buffers[func.output] = np.zeros(func.output.shape, dtype=func.output.dtype.np_dtype)
+    return buffers
+
+
+def random_array(shape: Sequence[int], dtype: DType, rng: np.random.Generator) -> np.ndarray:
+    """A random array of the given DSL dtype, with well-behaved value ranges."""
+    if dtype.is_integer:
+        low = max(dtype.min_value, -8)
+        high = min(dtype.max_value, 8)
+        return rng.integers(low, high + 1, size=shape).astype(dtype.np_dtype)
+    return rng.standard_normal(size=shape).astype(dtype.np_dtype)
+
+
+def run(func: PrimFunc, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
+    """Convenience wrapper: interpret ``func`` over ``buffers``."""
+    return Interpreter(func).run(buffers)

@@ -1,0 +1,220 @@
+"""Lowering: ComputeOp + Schedule → tensor IR (a :class:`PrimFunc`).
+
+The lowering emits the canonical loop nest dictated by the schedule's leaf
+order, decomposes reductions into an init nest plus an update nest, inserts
+``likely`` guards for imperfect splits, and carries loop annotations
+(parallel / unroll / vectorize / thread bindings / tensorize pragmas) onto the
+emitted :class:`~repro.tir.stmt.For` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..dsl.axis import IterAxis
+from ..dsl.compute import ComputeOp
+from ..dsl.expr import (
+    Add,
+    Compare,
+    Const,
+    Expr,
+    Max,
+    Min,
+    Reduce,
+    TensorLoad,
+    Var,
+    free_vars,
+    simplify,
+    substitute,
+)
+from ..dsl.tensor import Tensor
+from ..schedule.schedule import Annotation, LoopVar, Schedule, Stage, create_schedule
+from .stmt import AttrStmt, For, ForKind, IfThenElse, SeqStmt, Stmt, Store, seq
+
+__all__ = ["PrimFunc", "lower", "decompose_reduction"]
+
+
+class PrimFunc:
+    """A lowered tensor-IR function: parameters (buffers) plus a body."""
+
+    def __init__(self, name: str, params: Sequence[Tensor], body: Stmt, op: ComputeOp) -> None:
+        self.name = name
+        self.params = list(params)
+        self.body = body
+        self.op = op
+
+    @property
+    def inputs(self) -> List[Tensor]:
+        return self.params[:-1]
+
+    @property
+    def output(self) -> Tensor:
+        return self.params[-1]
+
+    def __repr__(self) -> str:
+        from .printer import func_to_str
+
+        return func_to_str(self)
+
+
+_ANNOTATION_TO_KIND = {
+    Annotation.SERIAL: ForKind.SERIAL,
+    Annotation.PARALLEL: ForKind.PARALLEL,
+    Annotation.UNROLL: ForKind.UNROLL,
+    Annotation.VECTORIZE: ForKind.VECTORIZE,
+    Annotation.TENSORIZE: ForKind.TENSORIZE,
+    Annotation.BLOCK_X: ForKind.THREAD_BINDING,
+    Annotation.BLOCK_Y: ForKind.THREAD_BINDING,
+    Annotation.THREAD_X: ForKind.THREAD_BINDING,
+    Annotation.THREAD_Y: ForKind.THREAD_BINDING,
+}
+
+
+def decompose_reduction(op: ComputeOp) -> Tuple[Optional[Expr], Expr]:
+    """Split an operation body into ``(init_expr, update_expr)``.
+
+    ``init_expr`` is the value stored before accumulation begins (``None`` for
+    accumulate/update operations whose output already holds the running sum,
+    such as the Tensor Core ``+=`` form).  ``update_expr`` is the value stored
+    at every point of the full (data-parallel × reduction) iteration space and
+    references the output tensor as its accumulator.
+
+    Operations without any reduction return ``(None, body)`` unchanged.
+    """
+    body = op.body
+    out = op.output
+    acc = TensorLoad(out, [ax.var for ax in op.axes])
+
+    reduce_node, rest = _find_reduce(body)
+    if reduce_node is None:
+        if op.accumulate:
+            # Pure update without an explicit Reduce: out += body.
+            return None, Add(acc, body)
+        return None, body
+
+    combiner = reduce_node.combiner
+    source = reduce_node.source
+    if combiner == "sum":
+        update = Add(acc, source)
+        identity: Expr = Const(0, out.dtype)
+    elif combiner == "max":
+        update = Max(acc, source)
+        identity = Const(out.dtype.min_value, out.dtype)
+    else:  # min
+        update = Min(acc, source)
+        identity = Const(out.dtype.max_value, out.dtype)
+
+    if op.accumulate:
+        init: Optional[Expr] = None
+    elif rest is not None:
+        init = rest
+    else:
+        init = identity
+    return init, update
+
+
+def _find_reduce(body: Expr) -> Tuple[Optional[Reduce], Optional[Expr]]:
+    """Locate the top-level Reduce and the non-reduced remainder (if any).
+
+    Supports the two shapes used throughout the paper: ``Reduce(...)`` and
+    ``rest + Reduce(...)`` (the VNNI/DOT "c[i] + sum(...)" form).
+    """
+    if isinstance(body, Reduce):
+        return body, None
+    if isinstance(body, Add):
+        if isinstance(body.b, Reduce) and not _contains_reduce(body.a):
+            return body.b, body.a
+        if isinstance(body.a, Reduce) and not _contains_reduce(body.b):
+            return body.a, body.b
+    if _contains_reduce(body):
+        raise ValueError(
+            "unsupported reduction structure: the Reduce node must be the body "
+            "or one operand of a top-level addition"
+        )
+    return None, None
+
+
+def _contains_reduce(expr: Expr) -> bool:
+    from ..dsl.expr import post_order
+
+    return any(isinstance(n, Reduce) for n in post_order(expr))
+
+
+def lower(sched_or_op, name: Optional[str] = None) -> PrimFunc:
+    """Lower a schedule (or an unscheduled operation) to tensor IR."""
+    if isinstance(sched_or_op, Schedule):
+        schedule = sched_or_op
+        stage = schedule.stage
+    else:
+        op = getattr(sched_or_op, "op", sched_or_op)
+        schedule = create_schedule(op)
+        stage = schedule.stage
+    op = stage.op
+    func_name = name or op.name
+
+    index_map = stage.index_expressions()
+    guards = stage.guards()
+    init_expr, update_expr = decompose_reduction(op)
+
+    out_indices = [simplify(substitute(ax.var, index_map)) for ax in op.axes]
+    update_value = simplify(substitute(update_expr, index_map))
+    update_store: Stmt = Store(op.output, out_indices, update_value)
+    update_store = _wrap_guards(update_store, guards, set())
+
+    main_nest = _build_nest(stage, stage.leaf_vars, update_store)
+
+    body: Stmt
+    if init_expr is not None and op.has_reduction:
+        dp_leaves = stage.data_parallel_leaves()
+        dp_vars = {l.var for l in dp_leaves}
+        init_value = simplify(substitute(init_expr, index_map))
+        init_indices = [simplify(substitute(ax.var, index_map)) for ax in op.axes]
+        init_store: Stmt = Store(op.output, init_indices, init_value)
+        init_store = _wrap_guards(init_store, guards, dp_vars, restrict=True)
+        init_nest = _build_nest(stage, dp_leaves, init_store, annotate=False)
+        body = seq(init_nest, main_nest)
+    else:
+        body = main_nest
+
+    params = list(op.input_tensors) + [op.output]
+    return PrimFunc(func_name, params, body, op)
+
+
+def _wrap_guards(
+    stmt: Stmt,
+    guards: List[Tuple[Expr, int]],
+    allowed_vars: set,
+    restrict: bool = False,
+) -> Stmt:
+    """Wrap ``stmt`` in ``likely`` guards produced by imperfect splits.
+
+    When ``restrict`` is set, only guards whose free variables all belong to
+    ``allowed_vars`` are emitted (used for the init nest, which only iterates
+    the data-parallel leaves).
+    """
+    for expr, bound in reversed(guards):
+        if restrict:
+            vars_in_guard = set(free_vars(expr))
+            if not vars_in_guard.issubset(allowed_vars):
+                continue
+        cond = Compare("<", expr, Const(bound, expr.dtype))
+        stmt = IfThenElse(cond, stmt, likely=True)
+    return stmt
+
+
+def _build_nest(
+    stage: Stage,
+    loops: Sequence[LoopVar],
+    innermost: Stmt,
+    annotate: bool = True,
+) -> Stmt:
+    """Emit nested For statements for ``loops`` (outermost first)."""
+    stmt = innermost
+    for loop in reversed(list(loops)):
+        kind = _ANNOTATION_TO_KIND[loop.annotation] if annotate else ForKind.SERIAL
+        thread_tag = loop.annotation.value if loop.annotation.is_gpu_binding else None
+        pragmas = dict(loop.pragmas) if annotate else {}
+        stmt = For(loop.var, loop.extent, stmt, kind, thread_tag, pragmas)
+        if annotate and "tensorize" in pragmas:
+            stmt = AttrStmt("pragma_tensorize", pragmas["tensorize"], stmt)
+    return stmt

@@ -1,0 +1,31 @@
+"""``repro.workloads`` — tensor-operation generators used in the evaluation.
+
+Convolutions (Figure 5 layout, the blocked NCHW[x]c CPU layout, the
+implicit-GEMM GPU formulation), dense/matmul layers, 3-D convolutions
+(Section VI-C), and the 16 representative layers of Table I.
+"""
+
+from .conv2d import Conv2DParams, conv2d_gemm, conv2d_hwc, conv2d_macs, conv2d_nchwc
+from .conv3d import Conv3DParams, conv3d_from_conv2d, conv3d_ncdhwc
+from .dense import DenseParams, dense_int8, matmul_fp16, matmul_fp32, matmul_int8
+from .table1 import TABLE1_EXPECTED_OHW, TABLE1_LAYERS, table1_as_rows, table1_layer
+
+__all__ = [
+    "Conv2DParams",
+    "conv2d_hwc",
+    "conv2d_nchwc",
+    "conv2d_gemm",
+    "conv2d_macs",
+    "Conv3DParams",
+    "conv3d_from_conv2d",
+    "conv3d_ncdhwc",
+    "DenseParams",
+    "dense_int8",
+    "matmul_fp16",
+    "matmul_fp32",
+    "matmul_int8",
+    "TABLE1_LAYERS",
+    "TABLE1_EXPECTED_OHW",
+    "table1_layer",
+    "table1_as_rows",
+]

@@ -1,0 +1,202 @@
+"""2-D convolution workload generators.
+
+Two formulations are provided:
+
+* :func:`conv2d_hwc` — the data-layout of the paper's Figure 5 walkthrough
+  (HWC activations, RSKC weights), used to demonstrate and test the Inspector.
+* :func:`conv2d_nchwc` — the blocked ``NCHW[x]c`` / ``KCRS[y]k[x]c`` layout
+  that the evaluated models use after the graph-level layout pass
+  (Section V-C): the innermost dimensions are padded/blocked so the channel
+  loops tile perfectly by the instruction's lanes, which is what makes VNNI /
+  DOT applicable without residue guards.
+* :func:`conv2d_gemm` — the implicit-GEMM formulation used on the GPU, where
+  the spatial output positions form one data-parallel dimension and the
+  ``C*R*S`` reduction forms the other, matching the Tensor Core's 16×16×16
+  matrix-multiply structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..dsl import (
+    Tensor,
+    cast,
+    compute,
+    placeholder,
+    reduce_axis,
+    sum_reduce,
+)
+
+__all__ = ["Conv2DParams", "conv2d_hwc", "conv2d_nchwc", "conv2d_gemm", "conv2d_macs"]
+
+
+@dataclass(frozen=True)
+class Conv2DParams:
+    """Shape parameters of one convolution layer (Table I's columns).
+
+    ``in_height``/``in_width`` are the input feature-map sizes (IHW),
+    ``in_channels`` is C, ``out_channels`` is K, ``kernel`` is R = S and
+    ``stride`` applies to both spatial dimensions.
+    """
+
+    in_channels: int
+    in_height: int
+    in_width: int
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    name: str = "conv2d"
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width + 2 * self.padding - self.kernel) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the layer (batch size 1)."""
+        return (
+            self.out_height
+            * self.out_width
+            * self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel
+        )
+
+    @property
+    def input_bytes_int8(self) -> int:
+        return self.in_height * self.in_width * self.in_channels
+
+    @property
+    def weight_bytes_int8(self) -> int:
+        return self.kernel * self.kernel * self.out_channels * self.in_channels
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_height * self.out_width * self.out_channels
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: C={self.in_channels} IHW={self.in_height} "
+            f"K={self.out_channels} R=S={self.kernel} stride={self.stride} "
+            f"OHW={self.out_height}"
+        )
+
+
+def conv2d_macs(params: Conv2DParams) -> int:
+    return params.macs
+
+
+def conv2d_hwc(
+    params: Conv2DParams,
+    in_dtype: str = "uint8",
+    weight_dtype: str = "int8",
+    acc_dtype: str = "int32",
+) -> Tensor:
+    """Convolution in the HWC / RSKC layout of Figure 5 (stride 1, no padding)."""
+    if params.stride != 1 or params.padding != 0:
+        raise ValueError("conv2d_hwc models the Figure 5 walkthrough: stride 1, no padding")
+    h, w, c = params.in_height, params.in_width, params.in_channels
+    k, r = params.out_channels, params.kernel
+    data = placeholder((h, w, c), in_dtype, "data")
+    weight = placeholder((r, r, k, c), weight_dtype, "weight")
+    rco = reduce_axis(0, c, "rc")
+    rr = reduce_axis(0, r, "r")
+    rs = reduce_axis(0, r, "s")
+    return compute(
+        (params.out_height, params.out_width, k),
+        lambda x, y, kk: sum_reduce(
+            cast(acc_dtype, data[x + rr, y + rs, rco])
+            * cast(acc_dtype, weight[rr, rs, kk, rco]),
+            [rr, rs, rco],
+        ),
+        name=params.name,
+        axis_names=["x", "y", "k"],
+    )
+
+
+def conv2d_nchwc(
+    params: Conv2DParams,
+    lanes: int = 16,
+    reduction: int = 4,
+    in_dtype: str = "uint8",
+    weight_dtype: str = "int8",
+    acc_dtype: str = "int32",
+) -> Tensor:
+    """Convolution in the blocked NCHW[x]c layout used for CPU inference.
+
+    ``lanes`` is the instruction's output-lane count ([x] = 16 for VNNI,
+    4 for ARM DOT) and ``reduction`` its horizontal width ([y] = 4 for both).
+    Channel counts are padded up to multiples of the block sizes, mirroring
+    the graph-level padding pass.
+    """
+    c_pad = _round_up(params.in_channels, reduction)
+    k_pad = _round_up(params.out_channels, lanes)
+    c_outer = c_pad // reduction
+    k_outer = k_pad // lanes
+    ih = params.in_height + 2 * params.padding
+    iw = params.in_width + 2 * params.padding
+    oh, ow = params.out_height, params.out_width
+    kk = params.kernel
+    stride = params.stride
+
+    # data: [C_outer, H, W, c_inner], weight: [K_outer, C_outer, R, S, k, c]
+    data = placeholder((c_outer, ih, iw, reduction), in_dtype, "data")
+    weight = placeholder(
+        (k_outer, c_outer, kk, kk, lanes, reduction), weight_dtype, "weight"
+    )
+    rco = reduce_axis(0, c_outer, "rco")
+    rci = reduce_axis(0, reduction, "rci")
+    rr = reduce_axis(0, kk, "r")
+    rs = reduce_axis(0, kk, "s")
+    return compute(
+        (k_outer, oh, ow, lanes),
+        lambda ko, y, x, ki: sum_reduce(
+            cast(acc_dtype, data[rco, y * stride + rr, x * stride + rs, rci])
+            * cast(acc_dtype, weight[ko, rco, rr, rs, ki, rci]),
+            [rco, rr, rs, rci],
+        ),
+        name=params.name,
+        axis_names=["ko", "oh", "ow", "ki"],
+    )
+
+
+def conv2d_gemm(
+    params: Conv2DParams,
+    tile: int = 16,
+    in_dtype: str = "float16",
+    weight_dtype: str = "float16",
+    acc_dtype: str = "float32",
+) -> Tensor:
+    """Implicit-GEMM convolution for the GPU / Tensor Core path.
+
+    The output spatial positions (OH·OW, padded to a multiple of ``tile``)
+    form the M dimension, the output channels the N dimension, and C·R·S the
+    K (reduction) dimension.  The input operand is the im2col view of the
+    activations, produced by the graph-level layout pass.
+    """
+    m = _round_up(params.out_height * params.out_width, tile)
+    n = _round_up(params.out_channels, tile)
+    k = _round_up(params.in_channels * params.kernel * params.kernel, tile)
+    data = placeholder((m, k), in_dtype, "data_im2col")
+    weight = placeholder((k, n), weight_dtype, "weight_matrix")
+    rk = reduce_axis(0, k, "rk")
+    return compute(
+        (m, n),
+        lambda i, j: sum_reduce(
+            cast(acc_dtype, data[i, rk]) * cast(acc_dtype, weight[rk, j]), rk
+        ),
+        name=params.name,
+        axis_names=["m", "n"],
+    )
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple

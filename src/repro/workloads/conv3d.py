@@ -1,0 +1,113 @@
+"""3-D convolution workloads (the extensibility study of Section VI-C).
+
+The paper takes every 2-D convolution of ResNet-18, converts it to a 3-D
+convolution (adding a depth dimension), and maps Intel VNNI onto it without
+any change to UNIT — the point being that a new *operation* needs no new
+compiler work.  These generators reproduce that conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..dsl import Tensor, cast, compute, placeholder, reduce_axis, sum_reduce
+from .conv2d import Conv2DParams
+
+__all__ = ["Conv3DParams", "conv3d_ncdhwc", "conv3d_from_conv2d"]
+
+
+@dataclass(frozen=True)
+class Conv3DParams:
+    """Shape parameters of one 3-D convolution layer."""
+
+    in_channels: int
+    in_depth: int
+    in_height: int
+    in_width: int
+    out_channels: int
+    kernel: int  # cubic kernel: KD = KH = KW
+    stride: int = 1
+    name: str = "conv3d"
+
+    @property
+    def out_depth(self) -> int:
+        return (self.in_depth - self.kernel) // self.stride + 1
+
+    @property
+    def out_height(self) -> int:
+        return (self.in_height - self.kernel) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (self.in_width - self.kernel) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        return (
+            self.out_depth
+            * self.out_height
+            * self.out_width
+            * self.out_channels
+            * self.in_channels
+            * self.kernel**3
+        )
+
+
+def conv3d_from_conv2d(params: Conv2DParams, depth: int = 8) -> Conv3DParams:
+    """The paper's conversion: add a depth dimension to a 2-D layer."""
+    return Conv3DParams(
+        in_channels=params.in_channels,
+        in_depth=depth,
+        in_height=params.in_height,
+        in_width=params.in_width,
+        out_channels=params.out_channels,
+        kernel=params.kernel,
+        stride=params.stride,
+        name=params.name.replace("conv2d", "conv3d") + "_3d",
+    )
+
+
+def conv3d_ncdhwc(
+    params: Conv3DParams,
+    lanes: int = 16,
+    reduction: int = 4,
+    in_dtype: str = "uint8",
+    weight_dtype: str = "int8",
+    acc_dtype: str = "int32",
+) -> Tensor:
+    """3-D convolution in the blocked channel layout (NCDHW[x]c)."""
+    c_pad = _round_up(params.in_channels, reduction)
+    k_pad = _round_up(params.out_channels, lanes)
+    c_outer = c_pad // reduction
+    k_outer = k_pad // lanes
+    kk = params.kernel
+    stride = params.stride
+
+    data = placeholder(
+        (c_outer, params.in_depth, params.in_height, params.in_width, reduction),
+        in_dtype,
+        "data",
+    )
+    weight = placeholder(
+        (k_outer, c_outer, kk, kk, kk, lanes, reduction), weight_dtype, "weight"
+    )
+    rco = reduce_axis(0, c_outer, "rco")
+    rci = reduce_axis(0, reduction, "rci")
+    rd = reduce_axis(0, kk, "rd")
+    rr = reduce_axis(0, kk, "rh")
+    rs = reduce_axis(0, kk, "rw")
+    return compute(
+        (k_outer, params.out_depth, params.out_height, params.out_width, lanes),
+        lambda ko, od, oy, ox, ki: sum_reduce(
+            cast(acc_dtype, data[rco, od * stride + rd, oy * stride + rr, ox * stride + rs, rci])
+            * cast(acc_dtype, weight[ko, rco, rd, rr, rs, ki, rci]),
+            [rco, rd, rr, rs, rci],
+        ),
+        name=params.name,
+        axis_names=["ko", "od", "oh", "ow", "ki"],
+    )
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple

@@ -1,0 +1,93 @@
+"""Dense / matrix-multiplication workload generators.
+
+Fully-connected layers are the other tensorization target of the paper's
+models (the classifier heads).  ``dense_int8`` matches the VNNI/DOT data
+types; ``matmul_fp16`` matches Tensor Core; ``matmul_fp32`` is the plain SIMD
+baseline form used by the Figure 1 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dsl import Tensor, cast, compute, placeholder, reduce_axis, sum_reduce
+
+__all__ = ["DenseParams", "dense_int8", "matmul_fp16", "matmul_fp32", "matmul_int8"]
+
+
+@dataclass(frozen=True)
+class DenseParams:
+    """A dense layer: ``out[batch, out_features] = data @ weight^T``."""
+
+    batch: int
+    in_features: int
+    out_features: int
+    name: str = "dense"
+
+    @property
+    def macs(self) -> int:
+        return self.batch * self.in_features * self.out_features
+
+
+def dense_int8(
+    params: DenseParams, lanes: int = 16, reduction: int = 4
+) -> Tensor:
+    """Quantized dense layer in the blocked layout (output channels padded)."""
+    n = _round_up(params.out_features, lanes)
+    k = _round_up(params.in_features, reduction)
+    data = placeholder((params.batch, k), "uint8", "data")
+    weight = placeholder((n, k), "int8", "weight")
+    rk = reduce_axis(0, k, "rk")
+    return compute(
+        (params.batch, n),
+        lambda b, j: sum_reduce(
+            cast("int32", data[b, rk]) * cast("int32", weight[j, rk]), rk
+        ),
+        name=params.name,
+        axis_names=["b", "j"],
+    )
+
+
+def matmul_int8(m: int, n: int, k: int, name: str = "matmul_i8") -> Tensor:
+    """Quantized matrix multiplication C[m, n] = A[m, k] · B[n, k]^T."""
+    a = placeholder((m, k), "uint8", "A")
+    b = placeholder((n, k), "int8", "B")
+    rk = reduce_axis(0, k, "rk")
+    return compute(
+        (m, n),
+        lambda i, j: sum_reduce(cast("int32", a[i, rk]) * cast("int32", b[j, rk]), rk),
+        name=name,
+        axis_names=["i", "j"],
+    )
+
+
+def matmul_fp16(m: int, n: int, k: int, name: str = "matmul_fp16") -> Tensor:
+    """Mixed-precision matmul (fp16 operands, fp32 accumulation) for Tensor Core."""
+    a = placeholder((m, k), "float16", "A")
+    b = placeholder((k, n), "float16", "B")
+    rk = reduce_axis(0, k, "rk")
+    return compute(
+        (m, n),
+        lambda i, j: sum_reduce(
+            cast("float32", a[i, rk]) * cast("float32", b[rk, j]), rk
+        ),
+        name=name,
+        axis_names=["i", "j"],
+    )
+
+
+def matmul_fp32(m: int, n: int, k: int, name: str = "matmul_fp32") -> Tensor:
+    """Single-precision matmul (the non-tensorized baseline form)."""
+    a = placeholder((m, k), "float32", "A")
+    b = placeholder((k, n), "float32", "B")
+    rk = reduce_axis(0, k, "rk")
+    return compute(
+        (m, n),
+        lambda i, j: sum_reduce(a[i, rk] * b[rk, j], rk),
+        name=name,
+        axis_names=["i", "j"],
+    )
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple

@@ -1,0 +1,82 @@
+"""Table I: the 16 representative convolution layers of the ablation study.
+
+These are the layers used in Figures 10 and 11 — chosen by the authors from
+the 148 distinct convolution workloads in the evaluated models to cover
+diverse input shapes, kernel sizes and strides.  The values below are copied
+verbatim from Table I of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .conv2d import Conv2DParams
+
+__all__ = ["TABLE1_LAYERS", "table1_layer", "table1_as_rows"]
+
+# Columns of Table I: C, IHW, K, R=S, stride, OHW (OHW is derived and used as
+# a cross-check in the tests).
+_TABLE1_RAW = [
+    # (index, C, IHW, K, R=S, stride, OHW)
+    (1, 288, 35, 384, 3, 2, 17),
+    (2, 160, 9, 224, 3, 1, 7),
+    (3, 1056, 7, 192, 1, 1, 7),
+    (4, 80, 73, 192, 3, 1, 71),
+    (5, 128, 16, 128, 3, 1, 14),
+    (6, 192, 16, 192, 3, 1, 14),
+    (7, 256, 16, 256, 3, 1, 14),
+    (8, 1024, 14, 512, 1, 1, 14),
+    (9, 128, 16, 160, 3, 1, 14),
+    (10, 576, 14, 192, 1, 1, 14),
+    (11, 96, 16, 128, 3, 1, 14),
+    (12, 1024, 14, 256, 1, 1, 14),
+    (13, 576, 14, 128, 1, 1, 14),
+    (14, 64, 29, 96, 3, 1, 27),
+    (15, 64, 56, 128, 1, 2, 28),
+    (16, 608, 14, 192, 1, 1, 14),
+]
+
+
+def _make(index: int, c: int, ihw: int, k: int, r: int, stride: int, ohw: int) -> Conv2DParams:
+    return Conv2DParams(
+        in_channels=c,
+        in_height=ihw,
+        in_width=ihw,
+        out_channels=k,
+        kernel=r,
+        stride=stride,
+        padding=0,
+        name=f"table1_layer{index}",
+    )
+
+
+TABLE1_LAYERS: List[Conv2DParams] = [_make(*row) for row in _TABLE1_RAW]
+
+# Expected output sizes straight from the paper, for cross-checking.
+TABLE1_EXPECTED_OHW: Dict[int, int] = {row[0]: row[6] for row in _TABLE1_RAW}
+
+
+def table1_layer(index: int) -> Conv2DParams:
+    """The layer with the given 1-based Table I index."""
+    if not 1 <= index <= len(TABLE1_LAYERS):
+        raise IndexError(f"Table I has layers 1..{len(TABLE1_LAYERS)}, got {index}")
+    return TABLE1_LAYERS[index - 1]
+
+
+def table1_as_rows() -> List[Dict[str, int]]:
+    """Table I as a list of dict rows (what the benchmark harness prints)."""
+    rows = []
+    for i, layer in enumerate(TABLE1_LAYERS, start=1):
+        rows.append(
+            {
+                "layer": i,
+                "C": layer.in_channels,
+                "IHW": layer.in_height,
+                "K": layer.out_channels,
+                "R=S": layer.kernel,
+                "stride": layer.stride,
+                "OHW": layer.out_height,
+                "MACs": layer.macs,
+            }
+        )
+    return rows

@@ -1,0 +1,126 @@
+"""Tests for the vendor-library baseline cost models."""
+
+import pytest
+
+from repro.baselines import (
+    CuDnnModel,
+    LibraryProfile,
+    MxnetOneDnnRunner,
+    OneDnnModel,
+    TvmCudnnRunner,
+    TvmManualModel,
+    TvmNeonModel,
+    roofline_latency,
+)
+from repro.workloads import DenseParams, conv3d_from_conv2d, table1_layer
+
+
+class TestRoofline:
+    def test_compute_bound_vs_overhead(self):
+        profile = LibraryProfile(
+            name="test",
+            peak_macs_per_second=1e12,
+            efficiency=0.5,
+            per_call_overhead_us=10.0,
+            memory_bandwidth_gbps=100.0,
+        )
+        small = roofline_latency(profile, macs=1e3, bytes_moved=1e3, parallel_work=1e6)
+        big = roofline_latency(profile, macs=1e9, bytes_moved=1e6, parallel_work=1e6)
+        assert small.seconds == pytest.approx(10e-6, rel=0.2)
+        assert big.seconds > 1e-3
+
+    def test_small_layer_efficiency_interpolation(self):
+        profile = LibraryProfile(
+            name="test",
+            peak_macs_per_second=1e12,
+            efficiency=0.5,
+            small_layer_efficiency=0.1,
+            per_call_overhead_us=0.0,
+            memory_bandwidth_gbps=1e6,
+        )
+        starved = roofline_latency(profile, macs=1e8, bytes_moved=0, parallel_work=10)
+        rich = roofline_latency(profile, macs=1e8, bytes_moved=0, parallel_work=1e6)
+        assert starved.seconds > rich.seconds
+        assert starved.detail["efficiency"] < 0.15
+
+
+class TestOneDnn:
+    def test_conv_layers_have_reasonable_efficiency(self):
+        model = OneDnnModel()
+        for index in (5, 8, 10):
+            layer = table1_layer(index)
+            cost = model.conv2d_latency(layer)
+            eff = layer.macs / cost.seconds / 9.2e12
+            assert 0.0 < eff < 0.6
+
+    def test_conv3d_slower_than_conv2d_by_depth_factor(self):
+        model = OneDnnModel()
+        layer = table1_layer(5)
+        c3 = conv3d_from_conv2d(layer, depth=8)
+        assert model.conv3d_latency(c3).seconds > model.conv2d_latency(layer).seconds
+
+    def test_dense(self):
+        model = OneDnnModel()
+        cost = model.dense_latency(DenseParams(batch=1, in_features=2048, out_features=1000))
+        assert cost.seconds > 0
+
+
+class TestCuDnn:
+    def test_fp16_without_tensor_core_is_slower_than_fp32(self):
+        """The Figure 1 observation, at the operator level."""
+        model = CuDnnModel()
+        for index in (5, 7, 10):
+            layer = table1_layer(index)
+            fp32 = model.conv2d_fp32(layer).seconds
+            fp16 = model.conv2d_fp16_no_tensor_core(layer).seconds
+            assert fp16 > fp32
+
+    def test_tensor_core_is_much_faster_than_fp32(self):
+        model = CuDnnModel()
+        layer = table1_layer(8)
+        assert model.conv2d_tensor_core(layer).seconds < model.conv2d_fp32(layer).seconds
+
+    def test_dense_variants(self):
+        model = CuDnnModel()
+        params = DenseParams(batch=1, in_features=2048, out_features=1000)
+        assert model.dense_tensor_core(params).seconds > 0
+        assert model.dense_fp32(params).seconds > 0
+
+
+class TestTvmBaselines:
+    def test_manual_is_slower_than_tuned_unit(self):
+        from repro.core import UnitCpuRunner
+
+        layer = table1_layer(5)
+        manual = TvmManualModel.for_x86().conv2d_latency(layer).seconds
+        unit = UnitCpuRunner(tuning="full").conv2d_latency(layer).seconds
+        assert manual > unit
+
+    def test_neon_much_slower_than_dot(self):
+        layer = table1_layer(5)
+        neon = TvmNeonModel().conv2d_latency(layer).seconds
+        manual_dot = TvmManualModel.for_arm().conv2d_latency(layer).seconds
+        assert neon > 2 * manual_dot
+
+    def test_elementwise_cost_is_small(self):
+        assert TvmManualModel.for_x86().elementwise_latency().seconds < 1e-5
+
+
+class TestFrameworkRunners:
+    def test_mxnet_adds_dispatch_overhead(self):
+        layer = table1_layer(5)
+        bare = OneDnnModel().conv2d_latency(layer).seconds
+        wrapped = MxnetOneDnnRunner().conv2d_latency(layer).seconds
+        assert wrapped > bare
+
+    def test_tvm_cudnn_modes(self):
+        layer = table1_layer(5)
+        tc = TvmCudnnRunner(mode="tensor_core").conv2d_latency(layer).seconds
+        fp32 = TvmCudnnRunner(mode="fp32").conv2d_latency(layer).seconds
+        assert tc < fp32
+        with pytest.raises(ValueError):
+            TvmCudnnRunner(mode="int4")
+
+    def test_elementwise_behaviour(self):
+        assert MxnetOneDnnRunner().elementwise_latency().seconds > 0
+        assert TvmCudnnRunner().elementwise_latency().seconds == 0.0

@@ -1,0 +1,54 @@
+"""Tests for the virtual-ISA code generator."""
+
+import pytest
+
+from repro.codegen import generate
+from repro.core import tensorize
+from repro.rewriter import CpuTuningConfig
+from repro.tir import lower
+from repro.workloads import Conv2DParams, conv2d_hwc
+from tests.conftest import small_conv_hwc, small_matmul_fp16
+
+
+def _tensorized_conv():
+    params = Conv2DParams(in_channels=8, in_height=10, in_width=10, out_channels=32, kernel=3)
+    return tensorize(conv2d_hwc(params), "x86.avx512.vpdpbusd", config=CpuTuningConfig())
+
+
+class TestCodegen:
+    def test_plain_function_has_loops_and_stores(self):
+        result = generate(lower(small_conv_hwc()), target="x86")
+        stats = result.stats
+        assert stats["loops"] == 9
+        assert stats["scalar_store"] == 2
+        assert stats["tensorized"] == 0
+        assert ".func" in result.text and ".endfunc" in result.text
+
+    def test_tensorized_conv_emits_intrinsic_and_operands(self):
+        compiled = _tensorized_conv()
+        result = generate(compiled.func, target="x86")
+        stats = result.stats
+        assert stats["tensorized"] == 1
+        # Operand-generation rules: the weight/accumulator operands are vector
+        # loads, the activation operand (invariant in the lane loop only via
+        # broadcast rules handled per index) contributes a load or broadcast.
+        assert stats["vector_load"] + stats["broadcast"] == 3
+        assert stats["vector_store"] == 1
+        assert "tensor.x86.avx512.vpdpbusd" in result.text
+        assert "zmm" in result.text  # x86 register naming
+
+    def test_register_prefix_by_target(self):
+        wmma = tensorize(small_matmul_fp16(32, 32, 32), target="cuda")
+        result = generate(wmma.func, target="cuda")
+        assert "frag" in result.text
+        assert result.stats["tensorized"] == 1
+
+    def test_parallel_and_unrolled_loops_marked(self):
+        compiled = _tensorized_conv()
+        text = generate(compiled.func, target="x86").text
+        assert ".parallel_loop" in text
+        assert ".unrolled_loop" in text
+
+    def test_unknown_target_falls_back_to_generic_registers(self):
+        result = generate(lower(small_conv_hwc()), target="riscv")
+        assert result.target == "riscv"

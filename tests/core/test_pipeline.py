@@ -1,0 +1,93 @@
+"""Tests for the end-to-end compilation pipeline and UNIT operator runners."""
+
+import pytest
+
+from repro.core import UnitCpuRunner, UnitGpuRunner, compile_model
+from repro.graph import TensorShape
+from repro.hwsim import GRAVITON2
+from repro.models import GraphBuilder, get_model
+from repro.workloads import DenseParams, table1_layer
+
+
+def _toy_model():
+    builder = GraphBuilder("toy", TensorShape(3, 32, 32))
+    builder.conv(16, 3)
+    builder.conv(32, 3, stride=2)
+    builder.depthwise(3)
+    return builder.classifier(10)
+
+
+class TestUnitRunners:
+    def test_cpu_tuning_modes_ordering(self):
+        layer = table1_layer(5)
+        t_parallel = UnitCpuRunner(tuning="parallel").conv2d_latency(layer).seconds
+        t_first = UnitCpuRunner(tuning="first_pair").conv2d_latency(layer).seconds
+        t_full = UnitCpuRunner(tuning="full").conv2d_latency(layer).seconds
+        assert t_full <= t_first <= t_parallel
+
+    def test_cpu_runner_caches(self):
+        runner = UnitCpuRunner(tuning="full")
+        layer = table1_layer(5)
+        first = runner.conv2d_latency(layer)
+        second = runner.conv2d_latency(layer)
+        assert first is second
+        assert len(runner.tuning_results) == 1
+
+    def test_gpu_modes_ordering(self):
+        layer = table1_layer(8)
+        generic = UnitGpuRunner(mode="generic").conv2d_latency(layer).seconds
+        tuned = UnitGpuRunner(mode="tune").conv2d_latency(layer).seconds
+        assert tuned <= generic
+
+    def test_arm_runner(self):
+        runner = UnitCpuRunner(GRAVITON2, "arm.neon.sdot")
+        assert runner.conv2d_latency(table1_layer(5)).seconds > 0
+
+    def test_dense_and_depthwise_paths(self):
+        from repro.graph import DepthwiseConv2DNode, TensorShape as TS
+
+        runner = UnitCpuRunner()
+        assert runner.dense_latency(DenseParams(1, 2048, 1000)).seconds > 0
+        node = DepthwiseConv2DNode(name="dw", inputs=["x"], kernel=3, stride=1)
+        node.in_shape = TS(32, 14, 14)
+        assert runner.depthwise_conv2d_latency(node).seconds > 0
+
+    def test_invalid_modes_rejected(self):
+        with pytest.raises(ValueError):
+            UnitCpuRunner(tuning="magic")
+        with pytest.raises(ValueError):
+            UnitGpuRunner(mode="magic")
+
+
+class TestCompileModel:
+    def test_toy_model_x86(self):
+        compiled = compile_model(_toy_model(), target="x86")
+        assert compiled.latency_ms > 0
+        assert compiled.target == "x86"
+        assert compiled.layout_decisions  # layout planned for conv/dense nodes
+        # Quantization + fusion happened: compiled graph differs from input.
+        assert any(n.dtype == "int8" for n in compiled.graph.conv_nodes())
+
+    def test_toy_model_cuda_and_arm(self):
+        cuda = compile_model(_toy_model(), target="cuda")
+        arm = compile_model(_toy_model(), target="arm")
+        assert cuda.latency_ms > 0 and arm.latency_ms > 0
+        assert any(n.dtype == "float16" for n in cuda.graph.conv_nodes())
+
+    def test_unknown_target(self):
+        with pytest.raises(ValueError):
+            compile_model(_toy_model(), target="fpga")
+
+    def test_resnet18_end_to_end_plausible(self):
+        compiled = compile_model(get_model("resnet-18", fresh=True), target="x86")
+        # Latency should be sub-100ms and more than a few hundred microseconds.
+        assert 0.1 < compiled.latency_ms < 100.0
+
+    def test_baseline_runner_injection(self):
+        from repro.baselines import MxnetOneDnnRunner
+
+        unit = compile_model(_toy_model(), target="x86")
+        baseline = compile_model(
+            _toy_model(), target="x86", runner=MxnetOneDnnRunner(), fuse=False
+        )
+        assert baseline.latency_ms > unit.latency_ms

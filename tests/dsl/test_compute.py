@@ -1,0 +1,118 @@
+"""Unit tests for tensors, axes and the ComputeOp data structure."""
+
+import pytest
+
+from repro.dsl import (
+    AxisKind,
+    ComputeOp,
+    Const,
+    cast,
+    compute,
+    loop_axis,
+    op_to_str,
+    placeholder,
+    reduce_axis,
+    sum_reduce,
+)
+from tests.conftest import small_conv_hwc
+
+
+class TestTensor:
+    def test_placeholder_metadata(self):
+        t = placeholder((4, 8), "uint8", "t")
+        assert t.shape == (4, 8)
+        assert t.ndim == 2
+        assert t.num_elements == 32
+        assert t.size_bytes == 32
+        assert t.is_placeholder
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            placeholder((0, 4), "int8", "bad")
+
+    def test_indexing_produces_load(self):
+        t = placeholder((4, 8), "int8", "t")
+        i = loop_axis(0, 4, "i")
+        load = t[i, 3]
+        assert load.tensor is t
+        assert len(load.indices) == 2
+
+
+class TestAxis:
+    def test_kinds(self):
+        assert loop_axis(0, 4).kind == AxisKind.DATA_PARALLEL
+        assert reduce_axis(0, 4).kind == AxisKind.REDUCE
+
+    def test_single_argument_form(self):
+        assert loop_axis(7).extent == 7
+
+    def test_non_canonical_range_rejected(self):
+        with pytest.raises(ValueError):
+            loop_axis(1, 4)
+
+    def test_non_positive_extent_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_axis(0, 0)
+
+
+class TestComputeOp:
+    def test_vnni_style_description(self):
+        a = placeholder((64,), "uint8", "a")
+        b = placeholder((64,), "int8", "b")
+        c = placeholder((16,), "int32", "c")
+        j = reduce_axis(0, 4, "j")
+        d = compute(
+            (16,),
+            lambda i: c[i]
+            + sum_reduce(cast("int32", a[i * 4 + j]) * cast("int32", b[i * 4 + j]), j),
+            name="d",
+        )
+        op = d.op
+        assert isinstance(op, ComputeOp)
+        assert d.shape == (16,)
+        assert d.dtype.name == "int32"
+        assert sorted(t.name for t in op.input_tensors) == ["a", "b", "c"]
+        assert [ax.name for ax in op.reduce_axes] == ["j"]
+        assert op.has_reduction
+
+    def test_conv_structure(self):
+        conv = small_conv_hwc()
+        op = conv.op
+        assert conv.shape == (6, 6, 16)
+        assert len(op.axes) == 3
+        assert len(op.reduce_axes) == 3
+        assert len(op.all_axes) == 6
+
+    def test_unbound_variable_rejected(self):
+        from repro.dsl import Var
+
+        stray = Var("stray")
+        with pytest.raises(ValueError):
+            compute((4,), lambda i: i + stray)
+
+    def test_elementwise_has_no_reduction(self):
+        a = placeholder((4,), "float32", "a")
+        out = compute((4,), lambda i: a[i] * 2.0, name="scale")
+        assert not out.op.has_reduction
+        assert out.op.reduce_axes == []
+
+    def test_accumulate_flag(self):
+        a = placeholder((4, 4), "float16", "a")
+        b = placeholder((4, 4), "float16", "b")
+        k = reduce_axis(0, 4, "k")
+        c = compute(
+            (4, 4),
+            lambda i, j: sum_reduce(cast("float32", a[i, k]) * cast("float32", b[k, j]), k),
+            name="c",
+            accumulate=True,
+            output_dtype="float32",
+        )
+        assert c.op.accumulate
+        assert c.dtype.name == "float32"
+
+    def test_printer_round_trip_contains_structure(self):
+        conv = small_conv_hwc()
+        text = op_to_str(conv.op)
+        assert "reduce_axis" in text
+        assert "conv[" in text
+        assert "sum(" in text

@@ -1,0 +1,77 @@
+"""Unit tests for the scalar data-type system."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import dtype as dt
+
+
+class TestBasics:
+    def test_names(self):
+        assert dt.int8.name == "int8"
+        assert dt.uint8.name == "uint8"
+        assert dt.float16.name == "float16"
+        assert dt.bool_.name == "bool"
+
+    def test_from_string_canonical_and_aliases(self):
+        assert dt.from_string("int32") is dt.int32
+        assert dt.from_string("i32") is dt.int32
+        assert dt.from_string("u8") is dt.uint8
+        assert dt.from_string("fp16") is dt.float16
+        assert dt.from_string(dt.float32) is dt.float32
+
+    def test_from_string_unknown(self):
+        with pytest.raises(ValueError):
+            dt.from_string("int7")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            dt.DType("complex", 32)
+        with pytest.raises(ValueError):
+            dt.DType("int", 12)
+
+    def test_bytes(self):
+        assert dt.int8.bytes == 1
+        assert dt.int32.bytes == 4
+        assert dt.float16.bytes == 2
+        assert dt.bool_.bytes == 1
+
+    def test_classification(self):
+        assert dt.uint8.is_integer and not dt.uint8.is_signed
+        assert dt.int8.is_integer and dt.int8.is_signed
+        assert dt.float32.is_float and dt.float32.is_signed
+        assert dt.bool_.is_bool
+
+
+class TestRangesAndNumpy:
+    def test_integer_ranges(self):
+        assert dt.int8.min_value == -128 and dt.int8.max_value == 127
+        assert dt.uint8.min_value == 0 and dt.uint8.max_value == 255
+        assert dt.int32.max_value == 2**31 - 1
+
+    def test_numpy_dtypes(self):
+        assert dt.int8.np_dtype == np.dtype(np.int8)
+        assert dt.float16.np_dtype == np.dtype(np.float16)
+        assert dt.bool_.np_dtype == np.dtype(np.bool_)
+
+    def test_can_hold(self):
+        assert dt.int32.can_hold(dt.int8)
+        assert dt.int32.can_hold(dt.uint8)
+        assert not dt.int8.can_hold(dt.int32)
+        assert not dt.uint8.can_hold(dt.int8)  # sign mismatch
+        assert dt.float32.can_hold(dt.int16)
+        assert not dt.float16.can_hold(dt.int32)
+        assert dt.float32.can_hold(dt.float16)
+
+
+class TestCommonType:
+    def test_same(self):
+        assert dt.common_type(dt.int8, dt.int8) is dt.int8
+
+    def test_integer_widening(self):
+        assert dt.common_type(dt.int8, dt.int32) == dt.int32
+        assert dt.common_type(dt.uint8, dt.int32) == dt.int32
+
+    def test_float_wins(self):
+        assert dt.common_type(dt.int32, dt.float32) == dt.float32
+        assert dt.common_type(dt.float16, dt.float32) == dt.float32

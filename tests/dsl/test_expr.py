@@ -1,0 +1,149 @@
+"""Unit tests for the expression tree: construction, analysis, simplification."""
+
+import pytest
+
+from repro.dsl import (
+    Add,
+    Cast,
+    Compare,
+    Const,
+    Mul,
+    Reduce,
+    Select,
+    TensorLoad,
+    Var,
+    cast,
+    expr_to_str,
+    extract_linear,
+    free_vars,
+    loop_axis,
+    placeholder,
+    reduce_axis,
+    simplify,
+    structural_equal,
+    substitute,
+    sum_reduce,
+    tensors_referenced,
+)
+
+
+class TestConstruction:
+    def test_operator_overloading(self):
+        i = Var("i")
+        e = i * 4 + 1
+        assert isinstance(e, Add)
+        assert isinstance(e.a, Mul)
+        assert expr_to_str(e) == "((i * 4) + 1)"
+
+    def test_axis_participates_in_arithmetic(self):
+        i = loop_axis(0, 16, "i")
+        j = reduce_axis(0, 4, "j")
+        e = i * 4 + j
+        assert sorted(v.name for v in free_vars(e)) == ["i", "j"]
+
+    def test_tensor_load_checks_rank(self):
+        t = placeholder((4, 4), "int8", "t")
+        with pytest.raises(ValueError):
+            TensorLoad(t, [Var("i")])
+
+    def test_cast_folds_noop_and_constant(self):
+        assert cast("int32", Const(3, "int32")) is not None
+        c = cast("int32", Const(3, "int8"))
+        assert isinstance(c, Const) and c.dtype.name == "int32"
+        v = Var("x", "int32")
+        assert cast("int32", v) is v
+
+    def test_reduce_requires_reduce_axis(self):
+        i = loop_axis(0, 4, "i")
+        with pytest.raises(ValueError):
+            sum_reduce(Const(1), i)
+
+    def test_nested_reduce_detected_via_compute(self):
+        from repro.dsl import compute
+
+        j = reduce_axis(0, 4, "j")
+        k = reduce_axis(0, 4, "k")
+        with pytest.raises(ValueError):
+            compute((4,), lambda i: sum_reduce(sum_reduce(Const(1, "int32"), k), j))
+
+
+class TestAnalysis:
+    def test_free_vars_and_tensors(self):
+        a = placeholder((8,), "int8", "a")
+        b = placeholder((8,), "int8", "b")
+        i = Var("i")
+        e = cast("int32", a[i]) * cast("int32", b[i])
+        assert free_vars(e) == [i]
+        assert tensors_referenced(e) == [a, b]
+
+    def test_structural_equal_with_var_map(self):
+        a = placeholder((8,), "int8", "a")
+        i, j = Var("i"), Var("j")
+        e1 = a[i] + 1
+        e2 = a[j] + 1
+        assert not structural_equal(e1, e2)
+        assert structural_equal(e1, e2, {i: j})
+
+    def test_structural_equal_different_tensors(self):
+        a = placeholder((8,), "int8", "a")
+        b = placeholder((8,), "int8", "b")
+        i = Var("i")
+        assert not structural_equal(a[i], b[i])
+
+    def test_substitute(self):
+        a = placeholder((8, 8), "int8", "a")
+        i, j, x = Var("i"), Var("j"), Var("x")
+        e = a[i, j] + i
+        out = substitute(e, {i: x * 2})
+        names = {v.name for v in free_vars(out)}
+        assert names == {"x", "j"}
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        e = Const(2) * Const(3) + Const(4)
+        s = simplify(e)
+        assert isinstance(s, Const) and s.value == 10
+
+    def test_identities(self):
+        x = Var("x")
+        assert simplify(x + 0) is x
+        assert simplify(x * 1) is x
+        mul_zero = simplify(x * 0)
+        assert isinstance(mul_zero, Const) and mul_zero.value == 0
+        assert simplify(x // 1) is x
+
+    def test_select_folding(self):
+        x = Var("x")
+        s = simplify(Select(Compare("<", Const(1), Const(2)), x, x + 1))
+        assert s is x
+
+    def test_compare_folding(self):
+        c = simplify(Compare(">=", Const(4), Const(2)))
+        assert isinstance(c, Const) and c.value is True
+
+
+class TestExtractLinear:
+    def test_affine(self):
+        i, j = Var("i"), Var("j")
+        coeffs, const = extract_linear(i * 4 + j + 2, [i, j])
+        assert coeffs == {i: 4, j: 1}
+        assert const == 2
+
+    def test_nested_scaling(self):
+        i, j = Var("i"), Var("j")
+        coeffs, const = extract_linear((i + j) * 3, [i, j])
+        assert coeffs == {i: 3, j: 3} and const == 0
+
+    def test_non_affine_returns_none(self):
+        i, j = Var("i"), Var("j")
+        assert extract_linear(i * j, [i, j]) is None
+
+    def test_unknown_variable_returns_none(self):
+        i, j = Var("i"), Var("j")
+        assert extract_linear(i + j, [i]) is None
+
+    def test_cast_transparent(self):
+        i = Var("i")
+        coeffs, const = extract_linear(cast("int32", i * 2), [i])
+        assert coeffs == {i: 2} and const == 0

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the expression layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import (
+    Add,
+    Const,
+    FloorDiv,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sub,
+    Var,
+    extract_linear,
+    free_vars,
+    simplify,
+    structural_equal,
+    substitute,
+)
+
+_VAR_POOL = [Var(name) for name in ("i", "j", "k")]
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Random integer expressions over a small pool of variables."""
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return draw(st.sampled_from(_VAR_POOL)), set()
+        value = draw(st.integers(min_value=-20, max_value=20))
+        return Const(value), set()
+    op = draw(st.sampled_from([Add, Sub, Mul, Min, Max]))
+    lhs, lv = draw(int_exprs(depth=depth + 1))
+    rhs, rv = draw(int_exprs(depth=depth + 1))
+    return op(lhs, rhs), lv | rv
+
+
+def _evaluate(expr, env):
+    """Reference evaluator for the random expression trees."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Var):
+        return env[expr]
+    a, b = _evaluate(expr.a, env), _evaluate(expr.b, env)
+    if isinstance(expr, Add):
+        return a + b
+    if isinstance(expr, Sub):
+        return a - b
+    if isinstance(expr, Mul):
+        return a * b
+    if isinstance(expr, Min):
+        return min(a, b)
+    if isinstance(expr, Max):
+        return max(a, b)
+    if isinstance(expr, FloorDiv):
+        return a // b
+    if isinstance(expr, Mod):
+        return a % b
+    raise TypeError(type(expr))
+
+
+@given(int_exprs(), st.lists(st.integers(-50, 50), min_size=3, max_size=3))
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(expr_and_vars, values):
+    """simplify() must never change the value of an expression."""
+    expr, _ = expr_and_vars
+    env = dict(zip(_VAR_POOL, values))
+    assert _evaluate(simplify(expr), env) == _evaluate(expr, env)
+
+
+@given(int_exprs())
+@settings(max_examples=200, deadline=None)
+def test_simplify_idempotent(expr_and_vars):
+    expr, _ = expr_and_vars
+    once = simplify(expr)
+    twice = simplify(once)
+    assert structural_equal(once, twice)
+
+
+@given(int_exprs())
+@settings(max_examples=200, deadline=None)
+def test_structural_equal_reflexive(expr_and_vars):
+    expr, _ = expr_and_vars
+    assert structural_equal(expr, expr)
+
+
+@given(
+    st.integers(-8, 8),
+    st.integers(-8, 8),
+    st.integers(-20, 20),
+    st.lists(st.integers(-30, 30), min_size=2, max_size=2),
+)
+@settings(max_examples=200, deadline=None)
+def test_extract_linear_matches_evaluation(ci, cj, k, values):
+    """The extracted (coefficients, constant) must reproduce the expression."""
+    i, j = _VAR_POOL[0], _VAR_POOL[1]
+    expr = i * ci + j * cj + k
+    result = extract_linear(expr, [i, j])
+    assert result is not None
+    coeffs, const = result
+    env = {i: values[0], j: values[1]}
+    linear_value = sum(coeffs.get(v, 0) * env[v] for v in (i, j)) + const
+    assert linear_value == _evaluate(expr, env)
+
+
+@given(int_exprs(), st.integers(-10, 10))
+@settings(max_examples=150, deadline=None)
+def test_substitute_removes_variable(expr_and_vars, value):
+    expr, _ = expr_and_vars
+    target = _VAR_POOL[0]
+    out = substitute(expr, {target: Const(value)})
+    assert target not in free_vars(out)

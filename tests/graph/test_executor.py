@@ -1,0 +1,76 @@
+"""Tests for the graph latency executor."""
+
+import pytest
+
+from repro.graph import TensorShape, estimate_graph_latency
+from repro.hwsim import CostBreakdown
+from repro.models import GraphBuilder
+
+
+class _CountingRunner:
+    """A stub runner that charges fixed costs and records calls."""
+
+    def __init__(self):
+        self.conv_calls = 0
+        self.dense_calls = 0
+        self.elementwise_calls = 0
+
+    def conv2d_latency(self, params):
+        self.conv_calls += 1
+        return CostBreakdown(seconds=10e-6)
+
+    def dense_latency(self, params):
+        self.dense_calls += 1
+        return CostBreakdown(seconds=5e-6)
+
+    def elementwise_latency(self):
+        self.elementwise_calls += 1
+        return CostBreakdown(seconds=1e-6)
+
+
+def _toy_graph():
+    builder = GraphBuilder("toy", TensorShape(3, 32, 32))
+    builder.conv(16, 3)
+    builder.conv(32, 3, stride=2)
+    builder.depthwise(3)
+    return builder.classifier(10)
+
+
+class TestExecutor:
+    def test_total_is_sum_of_nodes(self):
+        runner = _CountingRunner()
+        graph = _toy_graph()
+        report = estimate_graph_latency(graph, runner)
+        assert runner.conv_calls == 2
+        assert runner.dense_calls == 1
+        assert report.total_seconds == pytest.approx(
+            sum(c.seconds for c in report.per_node.values())
+        )
+        assert report.total_seconds > 25e-6
+        assert report.graph_name == "toy"
+
+    def test_per_node_report_and_slowest(self):
+        runner = _CountingRunner()
+        report = estimate_graph_latency(_toy_graph(), runner)
+        slowest = report.slowest_nodes(2)
+        assert len(slowest) == 2
+        assert all(name in report.per_node for name in slowest)
+
+    def test_depthwise_uses_runner_hook_when_available(self):
+        class WithDepthwise(_CountingRunner):
+            def __init__(self):
+                super().__init__()
+                self.depthwise_calls = 0
+
+            def depthwise_conv2d_latency(self, node):
+                self.depthwise_calls += 1
+                return CostBreakdown(seconds=2e-6)
+
+        runner = WithDepthwise()
+        estimate_graph_latency(_toy_graph(), runner)
+        assert runner.depthwise_calls == 1
+
+    def test_input_nodes_are_free(self):
+        runner = _CountingRunner()
+        report = estimate_graph_latency(_toy_graph(), runner)
+        assert report.per_node["data"].seconds == 0.0

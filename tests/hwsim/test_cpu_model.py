@@ -1,0 +1,135 @@
+"""Tests for the analytical CPU machine model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwsim import CASCADE_LAKE, GRAVITON2, CpuKernelModel, plan_parallel, plan_unroll
+from repro.isa import get_intrinsic
+from repro.rewriter import CpuTuningConfig
+from repro.workloads import Conv2DParams, DenseParams, conv3d_from_conv2d, table1_layer
+
+
+def _model(machine=CASCADE_LAKE, name="x86.avx512.vpdpbusd", **kw):
+    return CpuKernelModel(machine, get_intrinsic(name), **kw)
+
+
+class TestPlans:
+    def test_unroll_plan_perfect(self):
+        plan = plan_unroll([2, 14, 14], 8)
+        assert plan.factor == 7 and not plan.has_residue_guard
+
+    def test_unroll_plan_combines_loops(self):
+        plan = plan_unroll([4, 2, 2], 8)
+        assert plan.factor == 8
+
+    def test_unroll_plan_prime_extent_uses_residue(self):
+        plan = plan_unroll([24, 17, 17], 8)
+        assert plan.factor == 8
+        assert plan.has_residue_guard
+        assert plan.wasted_fraction > 0
+
+    def test_unroll_disabled(self):
+        plan = plan_unroll([4, 4], 1)
+        assert plan.factor == 1 and not plan.has_residue_guard
+
+    def test_parallel_plan_balance(self):
+        plan = plan_parallel([2, 14, 14], 3000, cores=24)
+        assert plan.iterations <= 3000
+        assert plan.threads == 24
+        assert 0 < plan.balance <= 1.0
+
+    def test_parallel_plan_few_iterations(self):
+        plan = plan_parallel([4], 3000, cores=24)
+        assert plan.threads == 4 and plan.balance == 1.0
+
+    def test_parallel_disabled(self):
+        plan = plan_parallel([64, 64], 3000, cores=24, enable=False)
+        assert plan.threads == 1
+
+
+class TestLatencyBehaviour:
+    def test_unrolling_improves_latency(self, tiny_conv_params):
+        layer = table1_layer(5)
+        model = _model()
+        no_unroll = model.conv2d_latency(layer, CpuTuningConfig(enable_unroll=False))
+        unrolled = model.conv2d_latency(layer, CpuTuningConfig())
+        assert unrolled.seconds < no_unroll.seconds
+
+    def test_parallelism_improves_latency(self):
+        layer = table1_layer(5)
+        model = _model()
+        serial = model.conv2d_latency(layer, CpuTuningConfig(enable_parallel=False))
+        parallel = model.conv2d_latency(layer, CpuTuningConfig())
+        assert parallel.seconds < serial.seconds / 4
+
+    def test_residue_layers_are_penalised(self):
+        """Layers 1 and 4 (prime output widths) lose efficiency (Figure 10)."""
+        model = _model()
+        cfg = CpuTuningConfig()
+
+        def macs_per_second(layer):
+            return layer.macs / model.conv2d_latency(layer, cfg).seconds
+
+        good = macs_per_second(table1_layer(5))
+        bad1 = macs_per_second(table1_layer(1))
+        bad4 = macs_per_second(table1_layer(4))
+        assert bad1 < 0.9 * good
+        assert bad4 < 0.95 * good
+
+    def test_never_exceeds_machine_peak(self):
+        model = _model()
+        cfg = CpuTuningConfig()
+        for index in range(1, 17):
+            layer = table1_layer(index)
+            cost = model.conv2d_latency(layer, cfg)
+            peak = CASCADE_LAKE.cores * 2 * 64 * CASCADE_LAKE.frequency_ghz * 1e9
+            assert layer.macs / cost.seconds < peak
+
+    def test_widening_overhead_slows_down(self):
+        layer = table1_layer(5)
+        dot = CpuKernelModel(GRAVITON2, get_intrinsic("arm.neon.sdot"))
+        neon = CpuKernelModel(
+            GRAVITON2,
+            get_intrinsic("arm.neon.mla.int8.widened"),
+            instruction_overhead_factor=3.0,
+        )
+        cfg = CpuTuningConfig()
+        assert neon.conv2d_latency(layer, cfg).seconds > 3 * dot.conv2d_latency(layer, cfg).seconds
+
+    def test_dense_and_conv3d_paths(self):
+        model = _model()
+        cfg = CpuTuningConfig()
+        dense = model.dense_latency(DenseParams(batch=1, in_features=2048, out_features=1000), cfg)
+        assert dense.seconds > 0
+        conv3d = conv3d_from_conv2d(table1_layer(5), depth=8)
+        c3 = model.conv3d_latency(conv3d, cfg)
+        c2 = model.conv2d_latency(table1_layer(5), cfg)
+        assert c3.seconds > c2.seconds  # 8x the work
+
+    def test_breakdown_fields(self):
+        cost = _model().conv2d_latency(table1_layer(5), CpuTuningConfig())
+        assert cost.seconds >= max(cost.compute_seconds, cost.memory_seconds)
+        assert cost.detail["unroll_factor"] >= 1
+        assert cost.microseconds == pytest.approx(cost.seconds * 1e6)
+
+
+@given(
+    st.integers(16, 1024),
+    st.sampled_from([7, 14, 16, 28, 56]),
+    st.integers(16, 512),
+    st.sampled_from([1, 3]),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_latency_positive_and_monotone_in_macs(c, ihw, k, kernel):
+    """Latency is positive, and quadrupling the channels never makes it faster."""
+    if ihw <= kernel:
+        return
+    model = _model()
+    cfg = CpuTuningConfig()
+    small = Conv2DParams(in_channels=c, in_height=ihw, in_width=ihw, out_channels=k, kernel=kernel)
+    big = Conv2DParams(in_channels=4 * c, in_height=ihw, in_width=ihw, out_channels=k, kernel=kernel)
+    t_small = model.conv2d_latency(small, cfg).seconds
+    t_big = model.conv2d_latency(big, cfg).seconds
+    assert t_small > 0
+    assert t_big >= t_small

@@ -1,0 +1,108 @@
+"""Tests for the analytical GPU machine model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hwsim import V100, GpuKernelModel
+from repro.isa import get_intrinsic
+from repro.rewriter import GpuTuningConfig
+from repro.workloads import table1_layer
+
+
+def _model():
+    return GpuKernelModel(V100, get_intrinsic("nvvm.wmma.m16n16k16.mma.row.row.f32.f32"))
+
+
+class TestGemmModel:
+    def test_positive_and_bounded_by_peak(self):
+        model = _model()
+        cost = model.gemm_latency(1024, 1024, 1024, GpuTuningConfig())
+        assert cost.seconds > 0
+        flops = 2.0 * 1024**3
+        assert flops / cost.seconds < V100.tensor_fp16_tflops * 1e12
+
+    def test_outer_product_reuse_helps_large_gemm(self):
+        model = _model()
+        p1 = model.gemm_latency(2048, 2048, 2048, GpuTuningConfig(outer_product_p=1))
+        p2 = model.gemm_latency(2048, 2048, 2048, GpuTuningConfig(outer_product_p=2))
+        assert p2.seconds < p1.seconds
+
+    def test_excessive_p_hits_register_pressure(self):
+        """p > 2 overwhelms the register file (the paper's observation):
+        the sustained WMMA rate collapses once the accumulators spill."""
+        model = _model()
+        p2 = model.gemm_latency(4096, 4096, 512, GpuTuningConfig(outer_product_p=2))
+        p8 = model.gemm_latency(4096, 4096, 512, GpuTuningConfig(outer_product_p=8))
+        assert p8.detail["rate_wmma_per_cycle"] < 0.5 * p2.detail["rate_wmma_per_cycle"]
+        assert p8.compute_seconds > p2.compute_seconds
+
+    def test_split_k_helps_deep_reduction_small_output(self):
+        """Deep channels + small spatial outputs benefit from SplitK (Figure 11)."""
+        layer = table1_layer(3)  # C=1056, 7x7, K=192, 1x1
+        model = _model()
+        base = model.conv2d_latency(layer, GpuTuningConfig(outer_product_p=2))
+        split = model.conv2d_latency(
+            layer, GpuTuningConfig(outer_product_p=2, split_k=64)
+        )
+        assert split.seconds < base.seconds
+
+    def test_fusedim_helps_small_spatial(self):
+        layer = table1_layer(2)  # 9x9 input, 7x7 output
+        model = _model()
+        plain = model.conv2d_latency(layer, GpuTuningConfig(outer_product_p=2))
+        fused = model.conv2d_latency(
+            layer, GpuTuningConfig(outer_product_p=2, fuse_spatial=True)
+        )
+        assert fused.detail.get("m_eff", 0) <= plain.detail.get("m_eff", 1e18)
+
+    def test_strided_conv_is_penalised(self):
+        model = _model()
+        cfg = GpuTuningConfig(outer_product_p=2, fuse_spatial=True)
+        stride1 = table1_layer(5)
+        stride2 = table1_layer(15)
+        eff1 = stride1.macs / model.conv2d_latency(stride1, cfg).seconds
+        eff2 = stride2.macs / model.conv2d_latency(stride2, cfg).seconds
+        assert eff2 < eff1
+
+    def test_simd_paths(self):
+        model = _model()
+        fp32 = model.simd_gemm_latency(512, 512, 512, dtype="float32")
+        fp16 = model.simd_gemm_latency(512, 512, 512, dtype="float16", cast_overhead=0.8)
+        assert fp32.seconds > 0 and fp16.seconds > 0
+
+
+@given(st.integers(64, 2048), st.integers(64, 2048), st.integers(64, 2048))
+@settings(max_examples=30, deadline=None)
+def test_property_gemm_latency_monotone_in_k(m, n, k):
+    model = _model()
+    cfg = GpuTuningConfig()
+    t1 = model.gemm_latency(m, n, k, cfg).seconds
+    t2 = model.gemm_latency(m, n, 2 * k, cfg).seconds
+    assert t1 > 0 and t2 >= t1
+
+
+class TestMachines:
+    def test_lookup(self):
+        from repro.hwsim import machine_by_name
+
+        assert machine_by_name("cascade-lake").cores == 24
+        assert machine_by_name("graviton2").cores == 32
+        assert machine_by_name("v100").sms == 80
+        with pytest.raises(KeyError):
+            machine_by_name("tpu-v4")
+
+    def test_peak_helpers(self):
+        from repro.hwsim import CASCADE_LAKE
+
+        tops = CASCADE_LAKE.peak_int8_tops(macs_per_instr=64, throughput=2.0)
+        assert 5.0 < tops < 20.0
+
+    def test_geometric_mean(self):
+        from repro.hwsim import geometric_mean
+
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

@@ -1,0 +1,96 @@
+"""Tests for the DNN model zoo: structure and MAC counts against published values."""
+
+import pytest
+
+from repro.graph import DepthwiseConv2DNode
+from repro.models import EVALUATED_MODELS, all_models, get_model
+
+# Published multiply-accumulate counts (per image, batch 1), in GMACs
+# (e.g. the values reported by ptflops for the torchvision/GluonCV models).
+# Inception variants carry a wider tolerance: auxiliary heads are omitted and
+# the 1x7/7x1 factorised convolutions are approximated by square kernels.
+_EXPECTED_GMACS = {
+    "resnet-18": (1.82, 0.1),
+    "resnet-50": (4.1, 0.15),
+    "resnet-50_v1b": (4.1, 0.15),
+    "resnet-101": (7.85, 0.15),
+    "resnet-152": (11.58, 0.15),
+    "mobilenet-v1": (0.58, 0.15),
+    "mobilenet-v2": (0.32, 0.15),
+    "inception-bn": (2.0, 0.3),
+    "inception-v3": (5.75, 0.3),
+}
+
+_EXPECTED_CONV_COUNTS = {
+    "resnet-18": 20,
+    "resnet-50": 53,
+    "resnet-101": 104,
+    "resnet-152": 155,
+}
+
+
+class TestZoo:
+    def test_all_nine_models_build(self):
+        models = all_models(fresh=True)
+        assert set(models) == set(EVALUATED_MODELS)
+        assert len(models) == 9
+        for graph in models.values():
+            graph.infer_shapes()
+            assert len(graph.conv_nodes()) > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("vgg-16")
+
+    def test_cache_vs_fresh(self):
+        assert get_model("resnet-18") is get_model("resnet-18")
+        assert get_model("resnet-18", fresh=True) is not get_model("resnet-18")
+
+    @pytest.mark.parametrize("name", sorted(_EXPECTED_GMACS))
+    def test_mac_counts_match_published(self, name):
+        expected, tolerance = _EXPECTED_GMACS[name]
+        graph = get_model(name, fresh=True)
+        gmacs = graph.total_macs / 1e9
+        assert gmacs == pytest.approx(expected, rel=tolerance)
+
+    @pytest.mark.parametrize("name,count", sorted(_EXPECTED_CONV_COUNTS.items()))
+    def test_conv_counts(self, name, count):
+        graph = get_model(name, fresh=True)
+        assert len(graph.conv_nodes()) == count
+
+    def test_resnet_output_is_1000_classes(self):
+        graph = get_model("resnet-50", fresh=True)
+        last_dense = [n for n in graph.nodes if n.__class__.__name__ == "DenseNode"][-1]
+        assert last_dense.out_features == 1000
+
+    def test_mobilenets_contain_depthwise(self):
+        for name in ("mobilenet-v1", "mobilenet-v2"):
+            graph = get_model(name, fresh=True)
+            assert any(isinstance(n, DepthwiseConv2DNode) for n in graph.nodes)
+
+    def test_v1b_moves_stride_to_3x3(self):
+        """resnet-50 v1 strides on 1x1 convs; v1b strides on 3x3 convs."""
+        v1 = get_model("resnet-50", fresh=True)
+        v1b = get_model("resnet-50_v1b", fresh=True)
+        strided_3x3_v1 = [
+            n for n in v1.conv_nodes() if n.kernel == 3 and n.stride == 2
+        ]
+        strided_3x3_v1b = [
+            n for n in v1b.conv_nodes() if n.kernel == 3 and n.stride == 2
+        ]
+        assert len(strided_3x3_v1b) > len(strided_3x3_v1)
+
+    def test_inception_v3_input_is_299(self):
+        graph = get_model("inception-v3", fresh=True)
+        assert graph.nodes[0].shape.height == 299
+
+    def test_table1_shapes_exist_in_models(self):
+        """A sanity link between Table I and the models: the well-known
+        1024-channel 14x14 bottleneck shape appears in the ResNet family."""
+        graph = get_model("resnet-50", fresh=True)
+        graph.infer_shapes()
+        shapes = {
+            (n.conv_params().in_channels, n.conv_params().in_height, n.conv_params().kernel)
+            for n in graph.conv_nodes()
+        }
+        assert (1024, 14, 1) in shapes

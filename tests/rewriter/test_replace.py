@@ -1,0 +1,86 @@
+"""Tests for tensorized-instruction replacement and operand-generation bindings."""
+
+import numpy as np
+import pytest
+
+from repro.inspector import inspect_applicability
+from repro.isa import get_intrinsic
+from repro.rewriter import (
+    build_intrinsic_call,
+    has_tensorize_pragma,
+    replace_tensorize,
+    reorganize_loops,
+)
+from repro.tir import IntrinsicCall, collect, lower, verify
+from tests.conftest import small_conv_hwc, small_matmul_fp16
+
+
+def _conv_spec():
+    vnni = get_intrinsic("x86.avx512.vpdpbusd")
+    conv = small_conv_hwc()
+    return reorganize_loops(inspect_applicability(conv, vnni))
+
+
+class TestBuildCall:
+    def test_bindings_cover_all_operands(self):
+        spec = _conv_spec()
+        call = build_intrinsic_call(spec)
+        input_names = {b.intrin_tensor.name for b in call.inputs}
+        assert input_names == {"vnni_a", "vnni_b", "vnni_c"}
+        assert call.output.intrin_tensor.name == "vnni_d"
+        assert call.output.program_tensor.name == "conv"
+        assert call.reads_output
+
+    def test_program_indices_reference_intrinsic_axes(self):
+        from repro.dsl import free_vars
+
+        spec = _conv_spec()
+        call = build_intrinsic_call(spec)
+        intrin_vars = {ax.var for ax in call.axes}
+        found_intrin_var = False
+        for binding in call.inputs:
+            for idx in binding.program_indices:
+                if any(v in intrin_vars for v in free_vars(idx)):
+                    found_intrin_var = True
+        assert found_intrin_var
+
+    def test_wmma_accumulator_binding(self):
+        wmma = get_intrinsic("nvvm.wmma.m16n16k16.mma.row.row.f32.f32")
+        mm = small_matmul_fp16(32, 32, 32)
+        spec = reorganize_loops(inspect_applicability(mm, wmma))
+        call = build_intrinsic_call(spec)
+        # The accumulator register of the += instruction is its own output
+        # tile, gathered from the program's output buffer.
+        acc = [b for b in call.inputs if b.intrin_tensor.name == "wmma_c"]
+        assert acc and acc[0].program_tensor is mm
+
+
+class TestReplacePass:
+    def test_pragma_removed_and_call_inserted(self):
+        spec = _conv_spec()
+        func = lower(spec.schedule)
+        assert has_tensorize_pragma(func.body)
+        replaced = replace_tensorize(func, spec)
+        assert not has_tensorize_pragma(replaced.body)
+        calls = collect(replaced.body, lambda s: isinstance(s, IntrinsicCall))
+        assert len(calls) == 1
+        verify(replaced)
+
+    def test_replace_without_pragma_raises(self):
+        from repro.rewriter import TensorizeError
+
+        spec = _conv_spec()
+        plain = lower(spec.operation)  # default schedule, no pragma
+        with pytest.raises(TensorizeError):
+            replace_tensorize(plain, spec)
+
+    def test_replaced_function_is_numerically_exact(self, rng):
+        from repro.tir import alloc_buffers, run
+        from tests.conftest import conv2d_hwc_reference
+
+        spec = _conv_spec()
+        func = replace_tensorize(lower(spec.schedule), spec)
+        buffers = alloc_buffers(func, rng)
+        result = run(func, buffers)
+        data, weight = (buffers[t] for t in func.inputs)
+        assert np.array_equal(result, conv2d_hwc_reference(data, weight))

@@ -1,0 +1,103 @@
+"""Unit tests for lowering ComputeOp + Schedule to tensor IR."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Const, cast, compute, placeholder, reduce_axis, sum_reduce
+from repro.schedule import create_schedule
+from repro.tir import (
+    For,
+    ForKind,
+    IfThenElse,
+    Store,
+    collect,
+    count_nodes,
+    decompose_reduction,
+    func_to_str,
+    lower,
+)
+from tests.conftest import small_conv_hwc
+
+
+class TestDecomposeReduction:
+    def test_sum_with_explicit_accumulator(self):
+        a = placeholder((64,), "uint8", "a")
+        b = placeholder((64,), "int8", "b")
+        c = placeholder((16,), "int32", "c")
+        j = reduce_axis(0, 4, "j")
+        d = compute(
+            (16,),
+            lambda i: c[i]
+            + sum_reduce(cast("int32", a[i * 4 + j]) * cast("int32", b[i * 4 + j]), j),
+            name="d",
+        )
+        init, update = decompose_reduction(d.op)
+        assert init is not None  # the c[i] accumulator expression
+        from repro.dsl import TensorLoad
+
+        assert isinstance(init, TensorLoad) and init.tensor is c
+
+    def test_plain_sum_gets_zero_init(self):
+        conv = small_conv_hwc()
+        init, update = decompose_reduction(conv.op)
+        assert isinstance(init, Const) and init.value == 0
+
+    def test_accumulate_form_has_no_init(self):
+        a = placeholder((4, 4), "float16", "a")
+        b = placeholder((4, 4), "float16", "b")
+        k = reduce_axis(0, 4, "k")
+        c = compute(
+            (4, 4),
+            lambda i, j: sum_reduce(cast("float32", a[i, k]) * cast("float32", b[k, j]), k),
+            accumulate=True,
+            output_dtype="float32",
+            name="c",
+        )
+        init, update = decompose_reduction(c.op)
+        assert init is None
+
+    def test_elementwise_passthrough(self):
+        a = placeholder((4,), "float32", "a")
+        out = compute((4,), lambda i: a[i] * 2.0, name="x")
+        init, update = decompose_reduction(out.op)
+        assert init is None
+        assert update is out.op.body
+
+
+class TestLowering:
+    def test_loop_structure_default_schedule(self):
+        conv = small_conv_hwc()
+        func = lower(conv.op)
+        # init nest: 3 data-parallel loops; main nest: 6 loops.
+        assert count_nodes(func.body, For) == 9
+        assert len(collect(func.body, lambda s: isinstance(s, Store))) == 2
+        assert func.params[-1] is conv
+
+    def test_annotations_carried(self):
+        conv = small_conv_hwc()
+        sch = create_schedule(conv)
+        st = sch.stage
+        x, y, k = [st[ax] for ax in conv.op.axes]
+        st.parallel(x)
+        st.unroll(k)
+        func = lower(sch)
+        kinds = [f.kind for f in collect(func.body, lambda s: isinstance(s, For))]
+        assert ForKind.PARALLEL in kinds and ForKind.UNROLL in kinds
+
+    def test_imperfect_split_emits_likely_guard(self):
+        a = placeholder((10,), "int32", "a")
+        out = compute((10,), lambda i: a[i] + 1, name="inc")
+        sch = create_schedule(out)
+        sch.stage.split(sch.stage[out.op.axes[0]], 4)
+        func = lower(sch)
+        guards = collect(func.body, lambda s: isinstance(s, IfThenElse) and s.likely)
+        assert len(guards) == 1
+
+    def test_printer_output(self):
+        conv = small_conv_hwc()
+        text = func_to_str(lower(conv.op))
+        assert "for (" in text and "conv[" in text and "uint8" in text
+
+    def test_lower_accepts_tensor_and_op(self):
+        conv = small_conv_hwc()
+        assert lower(conv).name == lower(conv.op).name

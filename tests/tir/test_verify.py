@@ -1,0 +1,96 @@
+"""Unit tests for the tensor-IR structural verifier and visitors."""
+
+import pytest
+
+from repro.dsl import Const, Var, compute, placeholder
+from repro.tir import (
+    Allocate,
+    For,
+    PrimFunc,
+    SeqStmt,
+    Store,
+    StmtMutator,
+    VerificationError,
+    collect,
+    count_nodes,
+    lower,
+    seq,
+    verify,
+    walk,
+)
+from tests.conftest import small_conv_hwc
+
+
+class TestVerifier:
+    def test_lowered_functions_verify(self):
+        verify(lower(small_conv_hwc()))
+
+    def test_unbound_variable_rejected(self):
+        out_tensor = placeholder((4,), "int32", "out")
+        stray = Var("stray")
+        body = Store(out_tensor, [stray], Const(0, "int32"))
+        func = PrimFunc("bad", [out_tensor], body, op=None)
+        with pytest.raises(VerificationError):
+            verify(func)
+
+    def test_unknown_buffer_rejected(self):
+        out_tensor = placeholder((4,), "int32", "out")
+        other = placeholder((4,), "int32", "other")
+        i = Var("i")
+        body = For(i, 4, Store(other, [i], Const(0, "int32")))
+        func = PrimFunc("bad", [out_tensor], body, op=None)
+        with pytest.raises(VerificationError):
+            verify(func)
+
+    def test_allocate_makes_buffer_visible(self):
+        out_tensor = placeholder((4,), "int32", "out")
+        temp = placeholder((4,), "int32", "temp")
+        i = Var("i")
+        inner = seq(
+            Store(temp, [i], Const(1, "int32")),
+            Store(out_tensor, [i], temp[i]),
+        )
+        body = Allocate(temp, For(i, 4, inner))
+        verify(PrimFunc("ok", [out_tensor], body, op=None))
+
+    def test_shadowed_loop_variable_rejected(self):
+        out_tensor = placeholder((4, 4), "int32", "out")
+        i = Var("i")
+        body = For(i, 4, For(i, 4, Store(out_tensor, [i, i], Const(0, "int32"))))
+        with pytest.raises(VerificationError):
+            verify(PrimFunc("bad", [out_tensor], body, op=None))
+
+
+class TestVisitors:
+    def test_walk_and_collect(self):
+        func = lower(small_conv_hwc())
+        total = count_nodes(func.body)
+        fors = count_nodes(func.body, For)
+        assert total > fors > 0
+        stores = collect(func.body, lambda s: isinstance(s, Store))
+        assert len(stores) == 2
+
+    def test_mutator_identity_preserves_nodes(self):
+        func = lower(small_conv_hwc())
+        body = StmtMutator().mutate(func.body)
+        assert body is func.body
+
+    def test_mutator_replaces_stores(self):
+        func = lower(small_conv_hwc())
+
+        class ZeroStores(StmtMutator):
+            def mutate(self, stmt):
+                if isinstance(stmt, Store):
+                    return Store(stmt.tensor, stmt.indices, Const(0, stmt.tensor.dtype))
+                return super().mutate(stmt)
+
+        new_body = ZeroStores().mutate(func.body)
+        stores = collect(new_body, lambda s: isinstance(s, Store))
+        assert all(isinstance(s.value, Const) for s in stores)
+
+    def test_seq_flattening(self):
+        a = placeholder((1,), "int32", "a")
+        s1 = Store(a, [0], Const(1, "int32"))
+        s2 = Store(a, [0], Const(2, "int32"))
+        nested = SeqStmt([SeqStmt([s1]), s2])
+        assert len(nested.stmts) == 2

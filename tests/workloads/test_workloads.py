@@ -1,0 +1,105 @@
+"""Tests for the workload generators and Table I."""
+
+import pytest
+
+from repro.workloads import (
+    TABLE1_EXPECTED_OHW,
+    TABLE1_LAYERS,
+    Conv2DParams,
+    conv2d_gemm,
+    conv2d_hwc,
+    conv2d_nchwc,
+    conv3d_from_conv2d,
+    conv3d_ncdhwc,
+    dense_int8,
+    DenseParams,
+    matmul_fp16,
+    matmul_int8,
+    table1_as_rows,
+    table1_layer,
+)
+
+
+class TestConv2DParams:
+    def test_output_shape_and_macs(self):
+        p = Conv2DParams(in_channels=8, in_height=10, in_width=10, out_channels=16, kernel=3)
+        assert p.out_height == 8 and p.out_width == 8
+        assert p.macs == 8 * 8 * 16 * 8 * 9
+
+    def test_stride_and_padding(self):
+        p = Conv2DParams(
+            in_channels=8, in_height=14, in_width=14, out_channels=16, kernel=3, stride=2, padding=1
+        )
+        assert p.out_height == 7
+
+
+class TestTable1:
+    def test_sixteen_layers(self):
+        assert len(TABLE1_LAYERS) == 16
+
+    def test_output_sizes_match_paper(self):
+        """The OHW column of Table I must be reproduced by the shape formula."""
+        for index, expected_ohw in TABLE1_EXPECTED_OHW.items():
+            layer = table1_layer(index)
+            assert layer.out_height == expected_ohw, f"layer {index}"
+            assert layer.out_width == expected_ohw
+
+    def test_rows_export(self):
+        rows = table1_as_rows()
+        assert len(rows) == 16
+        assert rows[0]["C"] == 288 and rows[0]["stride"] == 2
+        assert all(row["MACs"] > 0 for row in rows)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(IndexError):
+            table1_layer(17)
+
+
+class TestGenerators:
+    def test_hwc_structure(self):
+        p = Conv2DParams(in_channels=8, in_height=8, in_width=8, out_channels=16, kernel=3)
+        t = conv2d_hwc(p)
+        assert t.shape == (6, 6, 16)
+        assert len(t.op.reduce_axes) == 3
+
+    def test_hwc_rejects_stride(self):
+        p = Conv2DParams(in_channels=8, in_height=8, in_width=8, out_channels=16, kernel=3, stride=2)
+        with pytest.raises(ValueError):
+            conv2d_hwc(p)
+
+    def test_nchwc_blocking_and_padding(self):
+        p = Conv2DParams(in_channels=30, in_height=9, in_width=9, out_channels=40, kernel=3)
+        t = conv2d_nchwc(p, lanes=16, reduction=4)
+        # output: (ceil(40/16), OH, OW, 16)
+        assert t.shape == (3, 7, 7, 16)
+        data, weight = t.op.input_tensors if t.op.input_tensors[0].name == "data" else t.op.input_tensors[::-1]
+        assert data.shape[0] == 8 and data.shape[-1] == 4  # 30 -> 32 channels
+
+    def test_nchwc_stride(self):
+        p = Conv2DParams(in_channels=16, in_height=15, in_width=15, out_channels=16, kernel=3, stride=2)
+        t = conv2d_nchwc(p)
+        assert t.shape[1] == p.out_height
+
+    def test_gemm_formulation_padded_to_tiles(self):
+        p = Conv2DParams(in_channels=80, in_height=9, in_width=9, out_channels=100, kernel=3)
+        t = conv2d_gemm(p, tile=16)
+        m, n = t.shape
+        assert m % 16 == 0 and n % 16 == 0
+        assert m >= p.out_height * p.out_width and n >= p.out_channels
+
+    def test_conv3d_conversion(self):
+        p = table1_layer(5)
+        c3 = conv3d_from_conv2d(p, depth=8)
+        assert c3.in_depth == 8
+        assert c3.macs > p.macs
+        t = conv3d_ncdhwc(c3)
+        assert t.shape[0] == -(-p.out_channels // 16)
+        assert len(t.op.reduce_axes) == 5
+
+    def test_dense_and_matmul(self):
+        d = dense_int8(DenseParams(batch=1, in_features=100, out_features=30))
+        assert d.shape == (1, 32)  # padded to lanes
+        mm = matmul_int8(4, 16, 8)
+        assert mm.dtype.name == "int32"
+        mf = matmul_fp16(16, 16, 16)
+        assert mf.dtype.name == "float32"
