@@ -1,0 +1,60 @@
+"""Cache-warmup benchmark: cold vs warm compile time through one TuningSession.
+
+Not a paper figure — this tracks the tuning-record subsystem itself: compiling
+a model with an empty cache pays for every schedule search, compiling it again
+through the same (or a reloaded) session should pay for none of them.  Run
+under pytest-benchmark like the figure benchmarks, or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cache_warmup.py
+"""
+
+import time
+
+from repro.core import compile_model
+from repro.models import get_model
+from repro.rewriter import TuningSession
+
+MODEL = "resnet-18"
+
+
+def _compile(session: TuningSession):
+    return compile_model(get_model(MODEL, fresh=True), target="x86", session=session)
+
+
+def test_cold_compile(benchmark):
+    result = benchmark(lambda: _compile(TuningSession()))
+    assert result.latency_ms > 0
+
+
+def test_warm_compile(benchmark):
+    session = TuningSession()
+    cold = _compile(session)  # warm the cache once, outside the measurement
+    trials_after_warmup = session.trials_run
+    result = benchmark(lambda: _compile(session))
+    assert result.latency_ms == cold.latency_ms
+    assert session.trials_run == trials_after_warmup  # warm runs tune nothing
+
+
+def main() -> None:
+    session = TuningSession()
+
+    start = time.perf_counter()
+    cold = _compile(session)
+    cold_s = time.perf_counter() - start
+    trials = session.trials_run
+
+    start = time.perf_counter()
+    warm = _compile(session)
+    warm_s = time.perf_counter() - start
+
+    print(f"\n=== Cache warmup ({MODEL}, x86) ===")
+    print(f"cold compile : {cold_s * 1e3:8.1f} ms  ({trials} tuning trials)")
+    print(f"warm compile : {warm_s * 1e3:8.1f} ms  ({session.trials_run - trials} tuning trials)")
+    print(f"speedup      : {cold_s / warm_s:8.1f}x")
+    print(session.summary())
+    assert warm.latency_ms == cold.latency_ms
+    assert session.trials_run == trials, "warm compile must perform zero trials"
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,27 @@ from .onednn import OneDnnModel
 __all__ = ["FrameworkOverheads", "MxnetOneDnnRunner", "TvmCudnnRunner"]
 
 
+def _memoized(session, kind: str, params, machine: str, space: str, compute):
+    """Route a library latency through a tuning session's cache, if present.
+
+    Library baselines have no schedule space to search, but caching their
+    per-operator costs next to the UNIT records lets one warm session drive a
+    whole figure (baseline bars included) without recomputation.
+    """
+    if session is None:
+        return compute()
+    from ..rewriter.records import TuningKey, params_fingerprint
+
+    key = TuningKey(
+        kind=kind,
+        params=params_fingerprint(params),
+        intrinsic="",
+        machine=machine,
+        space=space,
+    )
+    return session.memoize(key, compute)
+
+
 @dataclass(frozen=True)
 class FrameworkOverheads:
     """Per-operator overheads added by the host framework."""
@@ -38,16 +59,23 @@ class MxnetOneDnnRunner:
         overheads: FrameworkOverheads = FrameworkOverheads(
             per_op_dispatch_us=1.5, elementwise_op_us=2.0
         ),
+        session=None,
     ) -> None:
         self.onednn = onednn or OneDnnModel()
         self.overheads = overheads
+        self.session = session
+
+    def _library(self, kind: str, params, compute) -> CostBreakdown:
+        return _memoized(
+            self.session, kind, params, self.onednn.machine.name, "library:onednn", compute
+        )
 
     def conv2d_latency(self, params) -> CostBreakdown:
-        cost = self.onednn.conv2d_latency(params)
+        cost = self._library("conv2d", params, lambda: self.onednn.conv2d_latency(params))
         return _with_dispatch(cost, self.overheads.per_op_dispatch_us)
 
     def dense_latency(self, params) -> CostBreakdown:
-        cost = self.onednn.dense_latency(params)
+        cost = self._library("dense", params, lambda: self.onednn.dense_latency(params))
         return _with_dispatch(cost, self.overheads.per_op_dispatch_us)
 
     def elementwise_latency(self) -> CostBreakdown:
@@ -67,27 +95,41 @@ class TvmCudnnRunner:
         cudnn: Optional[CuDnnModel] = None,
         per_op_dispatch_us: float = 3.0,
         mode: str = "tensor_core",
+        session=None,
     ) -> None:
         self.cudnn = cudnn or CuDnnModel()
         self.per_op_dispatch_us = per_op_dispatch_us
         if mode not in ("tensor_core", "fp32", "fp16_no_tc"):
             raise ValueError(f"unknown cuDNN mode {mode!r}")
         self.mode = mode
+        self.session = session
+
+    def _library(self, kind: str, params, compute) -> CostBreakdown:
+        return _memoized(
+            self.session,
+            kind,
+            params,
+            self.cudnn.machine.name,
+            f"library:cudnn:{self.mode}",
+            compute,
+        )
 
     def conv2d_latency(self, params) -> CostBreakdown:
-        cost = {
+        compute = {
             "tensor_core": self.cudnn.conv2d_tensor_core,
             "fp32": self.cudnn.conv2d_fp32,
             "fp16_no_tc": self.cudnn.conv2d_fp16_no_tensor_core,
-        }[self.mode](params)
+        }[self.mode]
+        cost = self._library("conv2d", params, lambda: compute(params))
         return _with_dispatch(cost, self.per_op_dispatch_us)
 
     def dense_latency(self, params) -> CostBreakdown:
-        cost = {
+        compute = {
             "tensor_core": self.cudnn.dense_tensor_core,
             "fp32": self.cudnn.dense_fp32,
             "fp16_no_tc": self.cudnn.dense_fp16_no_tensor_core,
-        }[self.mode](params)
+        }[self.mode]
+        cost = self._library("dense", params, lambda: compute(params))
         return _with_dispatch(cost, self.per_op_dispatch_us)
 
     def elementwise_latency(self) -> CostBreakdown:

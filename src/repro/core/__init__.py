@@ -8,7 +8,13 @@ paper's evaluation.
 """
 
 from . import experiments
-from .pipeline import CompiledModel, UnitCpuRunner, UnitGpuRunner, compile_model
+from .pipeline import (
+    CompiledModel,
+    UnitCpuRunner,
+    UnitGpuRunner,
+    compile_model,
+    compile_model_batch,
+)
 from .unit import TensorizeResult, select_intrinsic, tensorize
 
 __all__ = [
@@ -19,5 +25,6 @@ __all__ = [
     "UnitGpuRunner",
     "CompiledModel",
     "compile_model",
+    "compile_model_batch",
     "experiments",
 ]

@@ -22,6 +22,7 @@ from ..hwsim.cost import geometric_mean
 from ..hwsim.machine import CASCADE_LAKE, GRAVITON2, V100
 from ..models.zoo import EVALUATED_MODELS, get_model
 from ..rewriter.cpu_tuner import CpuTuningConfig, cpu_tuning_candidates
+from ..rewriter.session import TuningSession
 from ..rewriter.tuner import exhaustive_search
 from ..workloads.conv2d import Conv2DParams
 from ..workloads.conv3d import conv3d_from_conv2d
@@ -59,8 +60,15 @@ def _e2e_latency(model_name: str, runner, dtype: str, fuse: bool) -> float:
     return estimate_graph_latency(g, runner).total_seconds
 
 
-def _add_geomean(rows: List[Dict], keys: List[str]) -> Dict:
-    geo = {"model": "geomean"}
+def _add_geomean(
+    rows: List[Dict], keys: List[str], label_key: str = "model", label: str = "geomean"
+) -> Dict:
+    """The summary row of a figure: the geomean of ``keys`` over ``rows``.
+
+    All geomean bars route through :func:`repro.hwsim.cost.geometric_mean`
+    (one definition of zero/empty handling for the whole suite).
+    """
+    geo: Dict = {label_key: label}
     for key in keys:
         geo[key] = geometric_mean(r[key] for r in rows)
     return geo
@@ -118,14 +126,24 @@ def figure1_fp16_without_tensor_core(models: Optional[List[str]] = None) -> List
 # Figure 8: quantized inference on Intel VNNI (CPU end to end)
 # ---------------------------------------------------------------------------
 
-def figure8_cpu_end_to_end(models: Optional[List[str]] = None) -> List[Dict]:
-    """MXNet+oneDNN vs hand-written TVM VNNI schedules vs UNIT (bs = 1)."""
+def figure8_cpu_end_to_end(
+    models: Optional[List[str]] = None, session: Optional[TuningSession] = None
+) -> List[Dict]:
+    """MXNet+oneDNN vs hand-written TVM VNNI schedules vs UNIT (bs = 1).
+
+    Pass a shared ``session`` to reuse tuning records across models, figures
+    and runs; repeating the figure through a warm session performs zero
+    tuning trials.
+    """
     models = models or EVALUATED_MODELS
-    mxnet = MxnetOneDnnRunner()
+    session = session if session is not None else TuningSession()
+    mxnet = MxnetOneDnnRunner(session=session)
     tvm_manual = TvmManualModel.for_x86()
     rows = []
     for name in models:
-        unit_runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning="full")
+        unit_runner = UnitCpuRunner(
+            CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning="full", session=session
+        )
         t_mxnet = _e2e_latency(name, mxnet, "int8", fuse=False)
         t_tvm = _e2e_latency(name, tvm_manual, "int8", fuse=True)
         t_unit = _e2e_latency(name, unit_runner, "int8", fuse=True)
@@ -149,13 +167,16 @@ def figure8_cpu_end_to_end(models: Optional[List[str]] = None) -> List[Dict]:
 # Figure 9: mixed-precision inference on Tensor Core (GPU end to end)
 # ---------------------------------------------------------------------------
 
-def figure9_gpu_end_to_end(models: Optional[List[str]] = None) -> List[Dict]:
+def figure9_gpu_end_to_end(
+    models: Optional[List[str]] = None, session: Optional[TuningSession] = None
+) -> List[Dict]:
     """cuDNN fp16 Tensor Core (via TVM offloading) vs UNIT (bs = 1)."""
     models = models or EVALUATED_MODELS
-    cudnn = TvmCudnnRunner(mode="tensor_core")
+    session = session if session is not None else TuningSession()
+    cudnn = TvmCudnnRunner(mode="tensor_core", session=session)
     rows = []
     for name in models:
-        unit_runner = UnitGpuRunner(V100, mode="tune")
+        unit_runner = UnitGpuRunner(V100, mode="tune", session=session)
         t_cudnn = _e2e_latency(name, cudnn, "float16", fuse=True)
         t_unit = _e2e_latency(name, unit_runner, "float16", fuse=True)
         rows.append(
@@ -175,16 +196,21 @@ def figure9_gpu_end_to_end(models: Optional[List[str]] = None) -> List[Dict]:
 # Figure 10: CPU ablation over the Table I layers
 # ---------------------------------------------------------------------------
 
-def figure10_cpu_ablation(layers: Optional[List[Conv2DParams]] = None) -> List[Dict]:
+def figure10_cpu_ablation(
+    layers: Optional[List[Conv2DParams]] = None, session: Optional[TuningSession] = None
+) -> List[Dict]:
     """oneDNN vs Parallel vs +Unroll vs +Tune, per Table I layer."""
     layers = layers or TABLE1_LAYERS
+    session = session if session is not None else TuningSession()
     onednn = OneDnnModel(CASCADE_LAKE)
     rows = []
     for index, params in enumerate(layers, start=1):
         t_onednn = onednn.conv2d_latency(params).seconds
         variants = {}
         for label, tuning in (("parallel", "parallel"), ("unroll", "first_pair"), ("tune", "full")):
-            runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning=tuning)
+            runner = UnitCpuRunner(
+                CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning=tuning, session=session
+            )
             variants[label] = runner.conv2d_latency(params).seconds
         rows.append(
             {
@@ -205,9 +231,12 @@ def figure10_cpu_ablation(layers: Optional[List[Conv2DParams]] = None) -> List[D
 # Figure 11: GPU ablation over the Table I layers
 # ---------------------------------------------------------------------------
 
-def figure11_gpu_ablation(layers: Optional[List[Conv2DParams]] = None) -> List[Dict]:
+def figure11_gpu_ablation(
+    layers: Optional[List[Conv2DParams]] = None, session: Optional[TuningSession] = None
+) -> List[Dict]:
     """cuDNN vs Generic vs +FuseDim vs +SplitK vs +Tune, per Table I layer."""
     layers = layers or TABLE1_LAYERS
+    session = session if session is not None else TuningSession()
     cudnn = CuDnnModel(V100)
     rows = []
     for index, params in enumerate(layers, start=1):
@@ -219,7 +248,7 @@ def figure11_gpu_ablation(layers: Optional[List[Conv2DParams]] = None) -> List[D
             ("splitk", "splitk"),
             ("tune", "tune"),
         ):
-            runner = UnitGpuRunner(V100, mode=mode)
+            runner = UnitGpuRunner(V100, mode=mode, session=session)
             variants[label] = runner.conv2d_latency(params).seconds
         rows.append(
             {
@@ -242,14 +271,17 @@ def figure11_gpu_ablation(layers: Optional[List[Conv2DParams]] = None) -> List[D
 # Figure 12: ARM end to end
 # ---------------------------------------------------------------------------
 
-def figure12_arm_end_to_end(models: Optional[List[str]] = None) -> List[Dict]:
+def figure12_arm_end_to_end(
+    models: Optional[List[str]] = None, session: Optional[TuningSession] = None
+) -> List[Dict]:
     """TVM-NEON vs TVM-Manual (hand-written DOT) vs UNIT on the Graviton2."""
     models = models or EVALUATED_MODELS
+    session = session if session is not None else TuningSession()
     neon = TvmNeonModel(GRAVITON2)
     manual = TvmManualModel.for_arm()
     rows = []
     for name in models:
-        unit_runner = UnitCpuRunner(GRAVITON2, "arm.neon.sdot", tuning="full")
+        unit_runner = UnitCpuRunner(GRAVITON2, "arm.neon.sdot", tuning="full", session=session)
         t_neon = _e2e_latency(name, neon, "int8", fuse=True)
         t_manual = _e2e_latency(name, manual, "int8", fuse=True)
         t_unit = _e2e_latency(name, unit_runner, "int8", fuse=True)
@@ -273,10 +305,10 @@ def figure12_arm_end_to_end(models: Optional[List[str]] = None) -> List[Dict]:
 # Figure 13: 3-D convolution extensibility
 # ---------------------------------------------------------------------------
 
-def figure13_conv3d(depth: int = 8) -> List[Dict]:
+def figure13_conv3d(depth: int = 8, session: Optional[TuningSession] = None) -> List[Dict]:
     """oneDNN vs UNIT on the 3-D versions of ResNet-18's convolutions."""
     onednn = OneDnnModel(CASCADE_LAKE)
-    runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning="full")
+    runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning="full", session=session)
     rows = []
     for index, conv2d in enumerate(resnet18_unique_convs()):
         params = conv3d_from_conv2d(conv2d, depth=depth)
@@ -290,8 +322,7 @@ def figure13_conv3d(depth: int = 8) -> List[Dict]:
                 "rel_unit": t_onednn / t_unit,
             }
         )
-    geo = {"layer": "gmean", "rel_unit": geometric_mean(r["rel_unit"] for r in rows)}
-    rows.append(geo)
+    rows.append(_add_geomean(rows, ["rel_unit"], label_key="layer", label="gmean"))
     return rows
 
 

@@ -6,12 +6,17 @@ the role of the tensorized kernels UNIT generates for each layer of a model.
 ``compile_model`` applies the graph-level passes (quantization, operator
 fusion, layout planning) and aggregates per-operator latencies into the
 end-to-end inference latency of Figures 8, 9 and 12.
+
+All runners tune through a :class:`~repro.rewriter.session.TuningSession`:
+pass one session to many runners (or to ``compile_model_batch``) and
+identical (workload, instruction, machine, search-space) problems are tuned
+exactly once, with results optionally persisted to disk between processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from ..baselines.frameworks import MxnetOneDnnRunner, TvmCudnnRunner
 from ..graph.executor import GraphLatencyReport, estimate_graph_latency
@@ -26,12 +31,20 @@ from ..hwsim.machine import CASCADE_LAKE, GRAVITON2, V100, CpuSpec, GpuSpec
 from ..isa.registry import get_intrinsic
 from ..rewriter.cpu_tuner import CpuTuningConfig, cpu_tuning_candidates
 from ..rewriter.gpu_tuner import GpuTuningConfig, gpu_tuning_candidates
-from ..rewriter.tuner import TuningResult, exhaustive_search
+from ..rewriter.records import TuningKey, params_fingerprint, space_fingerprint
+from ..rewriter.session import TuningSession
+from ..rewriter.tuner import TuningResult
 from ..workloads.conv2d import Conv2DParams
 from ..workloads.conv3d import Conv3DParams
 from ..workloads.dense import DenseParams
 
-__all__ = ["UnitCpuRunner", "UnitGpuRunner", "CompiledModel", "compile_model"]
+__all__ = [
+    "UnitCpuRunner",
+    "UnitGpuRunner",
+    "CompiledModel",
+    "compile_model",
+    "compile_model_batch",
+]
 
 
 @dataclass
@@ -49,13 +62,41 @@ class CompiledModel:
         return self.report.total_milliseconds
 
 
-class UnitCpuRunner:
+class _SessionTunedRunner:
+    """Shared tuning plumbing: key construction + session-backed search.
+
+    Subclasses provide ``session``, ``intrin``, ``machine``, ``_space``,
+    ``tuning_results`` and ``_configs()``.
+
+    ``tuning_results`` holds trial-level data only for searches performed
+    in-process; a record served from a cache loaded off disk carries no
+    trials (they are deliberately not persisted), so keys tuned entirely
+    from a warm cache are absent from it.
+    """
+
+    def _tuned(self, kind: str, params, evaluate) -> CostBreakdown:
+        key = TuningKey(
+            kind=kind,
+            params=params_fingerprint(params),
+            intrinsic=self.intrin.name,
+            machine=self.machine.name,
+            space=self._space,
+        )
+        record = self.session.tune(key, self._configs(), evaluate)
+        if record.result is not None:
+            self.tuning_results[(kind, params)] = record.result
+        return record.breakdown
+
+
+class UnitCpuRunner(_SessionTunedRunner):
     """UNIT-compiled operators on a CPU (x86 VNNI or ARM DOT).
 
     ``tuning`` selects how much of the schedule space is explored:
     ``"parallel"`` (only the fuse-and-parallelise step), ``"first_pair"``
     (parallel + unroll with the recommended pair), or ``"full"`` (search the
     tuning pairs, the paper's +Tune configuration).
+
+    ``session`` is the shared tuning session; omit it for a private one.
     """
 
     def __init__(
@@ -65,6 +106,7 @@ class UnitCpuRunner:
         tuning: str = "full",
         candidates: Optional[Sequence[CpuTuningConfig]] = None,
         max_candidates: int = 16,
+        session: Optional[TuningSession] = None,
     ) -> None:
         if tuning not in ("parallel", "first_pair", "full"):
             raise ValueError("tuning must be 'parallel', 'first_pair' or 'full'")
@@ -75,7 +117,8 @@ class UnitCpuRunner:
         self.candidates = list(candidates) if candidates is not None else cpu_tuning_candidates(
             max_pairs=max_candidates
         )
-        self._cache: Dict[object, CostBreakdown] = {}
+        self.session = session if session is not None else TuningSession()
+        self._space = space_fingerprint(tuning, self._configs())
         self.tuning_results: Dict[object, TuningResult] = {}
 
     # -- tuning ------------------------------------------------------------
@@ -86,27 +129,15 @@ class UnitCpuRunner:
             return [CpuTuningConfig()]
         return self.candidates
 
-    def _tuned(self, key, evaluate) -> CostBreakdown:
-        if key in self._cache:
-            return self._cache[key]
-        result = exhaustive_search(self._configs(), lambda cfg: evaluate(cfg).seconds)
-        best = evaluate(result.best_config)
-        self._cache[key] = best
-        self.tuning_results[key] = result
-        return best
-
     # -- operator latencies ---------------------------------------------------
     def conv2d_latency(self, params: Conv2DParams) -> CostBreakdown:
-        key = ("conv2d", params)
-        return self._tuned(key, lambda cfg: self.model.conv2d_latency(params, cfg))
+        return self._tuned("conv2d", params, lambda cfg: self.model.conv2d_latency(params, cfg))
 
     def conv3d_latency(self, params: Conv3DParams) -> CostBreakdown:
-        key = ("conv3d", params)
-        return self._tuned(key, lambda cfg: self.model.conv3d_latency(params, cfg))
+        return self._tuned("conv3d", params, lambda cfg: self.model.conv3d_latency(params, cfg))
 
     def dense_latency(self, params: DenseParams) -> CostBreakdown:
-        key = ("dense", params)
-        return self._tuned(key, lambda cfg: self.model.dense_latency(params, cfg))
+        return self._tuned("dense", params, lambda cfg: self.model.dense_latency(params, cfg))
 
     def depthwise_conv2d_latency(self, node: DepthwiseConv2DNode) -> CostBreakdown:
         # Depthwise convolutions have no channel reduction, so the tensorized
@@ -128,7 +159,7 @@ class UnitCpuRunner:
         return CostBreakdown(seconds=1.0e-6, overhead_seconds=1.0e-6)
 
 
-class UnitGpuRunner:
+class UnitGpuRunner(_SessionTunedRunner):
     """UNIT-compiled operators on the GPU (Tensor Core).
 
     ``mode`` mirrors the Figure 11 ablation: ``"generic"`` (p×p outer product
@@ -141,6 +172,7 @@ class UnitGpuRunner:
         machine: GpuSpec = V100,
         intrinsic_name: str = "nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
         mode: str = "tune",
+        session: Optional[TuningSession] = None,
     ) -> None:
         if mode not in ("generic", "fusedim", "splitk", "tune"):
             raise ValueError("mode must be 'generic', 'fusedim', 'splitk' or 'tune'")
@@ -148,7 +180,8 @@ class UnitGpuRunner:
         self.intrin = get_intrinsic(intrinsic_name)
         self.model = GpuKernelModel(machine, self.intrin)
         self.mode = mode
-        self._cache: Dict[object, CostBreakdown] = {}
+        self.session = session if session is not None else TuningSession()
+        self._space = space_fingerprint(mode, self._configs())
         self.tuning_results: Dict[object, TuningResult] = {}
 
     def _configs(self) -> List[GpuTuningConfig]:
@@ -160,23 +193,13 @@ class UnitGpuRunner:
             return [GpuTuningConfig(outer_product_p=2, fuse_spatial=True, split_k=64)]
         return gpu_tuning_candidates()
 
-    def _tuned(self, key, evaluate) -> CostBreakdown:
-        if key in self._cache:
-            return self._cache[key]
-        result = exhaustive_search(self._configs(), lambda cfg: evaluate(cfg).seconds)
-        best = evaluate(result.best_config)
-        self._cache[key] = best
-        self.tuning_results[key] = result
-        return best
-
     def conv2d_latency(self, params: Conv2DParams) -> CostBreakdown:
-        key = ("conv2d", params)
-        return self._tuned(key, lambda cfg: self.model.conv2d_latency(params, cfg))
+        return self._tuned("conv2d", params, lambda cfg: self.model.conv2d_latency(params, cfg))
 
     def dense_latency(self, params: DenseParams) -> CostBreakdown:
-        key = ("dense", params)
         return self._tuned(
-            key,
+            "dense",
+            params,
             lambda cfg: self.model.gemm_latency(
                 params.batch, params.out_features, params.in_features, cfg
             ),
@@ -197,12 +220,17 @@ def compile_model(
     runner=None,
     quantize: bool = True,
     fuse: bool = True,
+    session: Optional[TuningSession] = None,
 ) -> CompiledModel:
     """Compile a model end to end for ``target`` and estimate its latency.
 
     ``target`` is one of ``"x86"``, ``"arm"``, ``"cuda"``; ``runner`` may be
     supplied to estimate latency under a baseline library instead of UNIT
     (e.g. :class:`~repro.baselines.frameworks.MxnetOneDnnRunner`).
+
+    ``session`` is forwarded to the default UNIT runner so repeated
+    compilations share one tuning cache; it is ignored when an explicit
+    ``runner`` is supplied (construct that runner with the session instead).
     """
     if target not in ("x86", "arm", "cuda"):
         raise ValueError(f"unknown target {target!r}")
@@ -213,14 +241,49 @@ def compile_model(
         work = fuse_elementwise(work)
     if runner is None:
         if target == "x86":
-            runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd")
+            runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd", session=session)
         elif target == "arm":
-            runner = UnitCpuRunner(GRAVITON2, "arm.neon.sdot")
+            runner = UnitCpuRunner(GRAVITON2, "arm.neon.sdot", session=session)
         else:
-            runner = UnitGpuRunner(V100)
+            runner = UnitGpuRunner(V100, session=session)
     lanes = 4 if target == "arm" else 16
     layout = plan_layout(work, lanes=lanes, reduction=4) if target != "cuda" else {}
     report = estimate_graph_latency(work, runner)
     return CompiledModel(
         name=graph.name, target=target, graph=work, report=report, layout_decisions=layout
     )
+
+
+def compile_model_batch(
+    models: Iterable[Union[str, Graph]],
+    targets: Sequence[str] = ("x86",),
+    session: Optional[TuningSession] = None,
+    quantize: bool = True,
+    fuse: bool = True,
+) -> List[CompiledModel]:
+    """Compile many models for many targets through one shared tuning session.
+
+    ``models`` may mix model-zoo names and pre-built :class:`Graph` objects;
+    either way one graph is built per model and reused across targets (the
+    graph passes return target-specialised copies).  Layers repeated across
+    models and models repeated across calls hit the shared cache instead of
+    re-tuning, which is what makes sweeping the model zoo cheap.  Returns one
+    :class:`CompiledModel` per (model, target) pair, model-major.
+    """
+    session = session if session is not None else TuningSession()
+    from ..models.zoo import get_model
+
+    compiled: List[CompiledModel] = []
+    for model in models:
+        graph = get_model(model, fresh=True) if isinstance(model, str) else model
+        for target in targets:
+            compiled.append(
+                compile_model(
+                    graph,
+                    target=target,
+                    quantize=quantize,
+                    fuse=fuse,
+                    session=session,
+                )
+            )
+    return compiled

@@ -41,11 +41,18 @@ class CostBreakdown:
         )
 
     def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        # detail keys merge by summation, which is meaningful for counter-like
+        # entries (macs, instructions, traffic bytes); ratio-like entries
+        # (ipc, efficiency) are only interpretable on leaf-level breakdowns.
+        detail = dict(self.detail)
+        for key, value in other.detail.items():
+            detail[key] = detail.get(key, 0.0) + value
         return CostBreakdown(
             seconds=self.seconds + other.seconds,
             compute_seconds=self.compute_seconds + other.compute_seconds,
             memory_seconds=self.memory_seconds + other.memory_seconds,
             overhead_seconds=self.overhead_seconds + other.overhead_seconds,
+            detail=detail,
         )
 
 

@@ -6,6 +6,32 @@ replacement pass swaps that nest for an :class:`~repro.tir.stmt.IntrinsicCall`
 with explicit operand-generation bindings; the CPU and GPU tuners organise the
 remaining loops for parallelism, unrolling and data reuse, and the tuning
 driver profiles candidate configurations on the machine models.
+
+Tuning cache
+------------
+
+Tuning outcomes are memoised in a persistent record store so that identical
+(workload, instruction, machine, search-space) problems are searched once.
+Create one :class:`TuningSession` and hand it to every runner (or experiment
+driver) that should share records::
+
+    from repro.core import UnitCpuRunner, compile_model_batch
+    from repro.rewriter import TuningSession
+
+    session = TuningSession()                  # strategy="exhaustive" default
+    runner = UnitCpuRunner(session=session)    # tunes through the session
+    compile_model_batch(["resnet-18", "resnet-50"], session=session)
+
+    session.save("tuning.jsonl")               # persist the records...
+    warm = TuningSession()
+    warm.load("tuning.jsonl")                  # ...and reload them later:
+    # every lookup now hits; zero tuning trials are performed.
+
+``TuningSession(strategy="parallel")`` evaluates candidates on a thread pool
+(identical results, deterministic tie-breaking) and ``strategy="early_exit"``
+stops a search after ``early_exit_k`` non-improving candidates.  Hit/miss
+counters live on ``session.stats``; ``session.trials_run`` counts every
+profiled candidate, which is how tests assert that a warm cache does no work.
 """
 
 from .cpu_tuner import (
@@ -23,8 +49,24 @@ from .gpu_tuner import (
     gpu_tuning_candidates,
 )
 from .loop_reorg import TensorizeError, TensorizeSpec, reorganize_loops
+from .records import (
+    CacheStats,
+    TuningCache,
+    TuningKey,
+    TuningRecord,
+    params_fingerprint,
+    space_fingerprint,
+)
 from .replace import build_intrinsic_call, has_tensorize_pragma, replace_tensorize
-from .tuner import TuningResult, TuningTrial, exhaustive_search, first_k_search
+from .session import TuningSession
+from .tuner import (
+    TuningResult,
+    TuningTrial,
+    early_exit_search,
+    exhaustive_search,
+    first_k_search,
+    parallel_search,
+)
 
 __all__ = [
     "TensorizeError",
@@ -47,4 +89,13 @@ __all__ = [
     "TuningTrial",
     "exhaustive_search",
     "first_k_search",
+    "parallel_search",
+    "early_exit_search",
+    "TuningKey",
+    "TuningRecord",
+    "TuningCache",
+    "TuningSession",
+    "CacheStats",
+    "params_fingerprint",
+    "space_fingerprint",
 ]

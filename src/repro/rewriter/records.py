@@ -1,0 +1,268 @@
+"""Persistent tuning records: the Rewriter's experiment store.
+
+The paper's Rewriter profiles a small schedule space per tensorized operator.
+Re-running that search for every runner instance is wasted work — the best
+configuration for a (workload, instruction, machine, search-space) quadruple
+never changes between runs.  This module provides the storage layer that lets
+every runner, experiment and benchmark share one warm store:
+
+* :class:`TuningKey` — the identity of one tuning problem;
+* :class:`TuningRecord` — the outcome of solving it (best config, best cost,
+  the full cost breakdown, and how many candidates were profiled);
+* :class:`TuningCache` — an in-memory index with JSON-lines persistence and
+  hit/miss accounting.
+
+:class:`~repro.rewriter.session.TuningSession` builds the search driver on
+top of this store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..hwsim.cost import CostBreakdown
+from .cpu_tuner import CpuTuningConfig
+from .gpu_tuner import GpuTuningConfig
+from .tuner import TuningResult
+
+__all__ = [
+    "TuningKey",
+    "TuningRecord",
+    "TuningCache",
+    "CacheStats",
+    "params_fingerprint",
+    "space_fingerprint",
+]
+
+
+def params_fingerprint(params) -> Tuple[Tuple[str, object], ...]:
+    """A hashable, JSON-safe identity for a workload-parameter object.
+
+    The ``name`` field is excluded on purpose: two layers with identical
+    shapes tune identically regardless of what the model builder called them,
+    and sharing their record is the whole point of the cache.
+    """
+    if dataclasses.is_dataclass(params) and not isinstance(params, type):
+        items = sorted(dataclasses.asdict(params).items())
+        return tuple((k, v) for k, v in items if k != "name")
+    if isinstance(params, dict):
+        return tuple(sorted((str(k), v) for k, v in params.items() if k != "name"))
+    raise TypeError(f"cannot fingerprint workload params of type {type(params)!r}")
+
+
+def space_fingerprint(label: str, candidates: Iterable[object]) -> str:
+    """Identify a search space: a human-readable label plus a content digest.
+
+    Two runners share records only when they explore the *same* candidate
+    list; the digest guards against a custom candidate list colliding with
+    the default one under the same label.
+    """
+    blob = ";".join(repr(c) for c in candidates)
+    digest = hashlib.md5(blob.encode("utf-8")).hexdigest()[:8]
+    return f"{label}@{digest}"
+
+
+@dataclass(frozen=True)
+class TuningKey:
+    """The identity of one tuning problem."""
+
+    kind: str  # workload kind: "conv2d", "conv3d", "dense", ...
+    params: Tuple[Tuple[str, object], ...]  # params_fingerprint() of the workload
+    intrinsic: str  # tensorized-instruction name ("" for library baselines)
+    machine: str  # machine-spec name ("cascade-lake", "v100", ...)
+    space: str  # space_fingerprint() of the candidate list, or "library:<name>"
+
+    def to_json(self) -> Dict:
+        return {
+            "kind": self.kind,
+            "params": [[k, v] for k, v in self.params],
+            "intrinsic": self.intrinsic,
+            "machine": self.machine,
+            "space": self.space,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "TuningKey":
+        return cls(
+            kind=data["kind"],
+            params=tuple((k, v) for k, v in data["params"]),
+            intrinsic=data["intrinsic"],
+            machine=data["machine"],
+            space=data["space"],
+        )
+
+
+# -- config (de)serialisation -------------------------------------------------
+
+_CONFIG_TYPES = {"cpu": CpuTuningConfig, "gpu": GpuTuningConfig}
+
+
+def _encode_config(config) -> Optional[Dict]:
+    if config is None:
+        return None
+    for tag, cls in _CONFIG_TYPES.items():
+        if isinstance(config, cls):
+            return {"type": tag, **dataclasses.asdict(config)}
+    raise TypeError(f"cannot serialise tuning config of type {type(config)!r}")
+
+
+def _decode_config(data: Optional[Dict]):
+    if data is None:
+        return None
+    data = dict(data)
+    cls = _CONFIG_TYPES[data.pop("type")]
+    return cls(**data)
+
+
+def _encode_breakdown(cost: CostBreakdown) -> Dict:
+    return {
+        "seconds": cost.seconds,
+        "compute_seconds": cost.compute_seconds,
+        "memory_seconds": cost.memory_seconds,
+        "overhead_seconds": cost.overhead_seconds,
+        "detail": dict(cost.detail),
+    }
+
+
+def _decode_breakdown(data: Dict) -> CostBreakdown:
+    return CostBreakdown(
+        seconds=data["seconds"],
+        compute_seconds=data["compute_seconds"],
+        memory_seconds=data["memory_seconds"],
+        overhead_seconds=data["overhead_seconds"],
+        detail=dict(data.get("detail", {})),
+    )
+
+
+@dataclass
+class TuningRecord:
+    """The stored outcome of one tuning problem.
+
+    ``result`` holds the in-memory :class:`TuningResult` when this record was
+    produced by a live search in the current process; it is *not* persisted
+    (trial-by-trial data is cheap to regenerate and expensive to store).
+    """
+
+    key: TuningKey
+    best_config: object  # CpuTuningConfig | GpuTuningConfig | None (memoised)
+    best_cost: float  # seconds
+    num_trials: int
+    breakdown: CostBreakdown
+    result: Optional[TuningResult] = field(default=None, repr=False, compare=False)
+
+    def to_json(self) -> Dict:
+        return {
+            "key": self.key.to_json(),
+            "config": _encode_config(self.best_config),
+            "cost": self.best_cost,
+            "trials": self.num_trials,
+            "breakdown": _encode_breakdown(self.breakdown),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "TuningRecord":
+        return cls(
+            key=TuningKey.from_json(data["key"]),
+            best_config=_decode_config(data["config"]),
+            best_cost=data["cost"],
+            num_trials=data["trials"],
+            breakdown=_decode_breakdown(data["breakdown"]),
+        )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`TuningCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class TuningCache:
+    """An in-memory index of tuning records with JSON-lines persistence.
+
+    Lookups count hits and misses; repeated lookups of the same key return the
+    *same* record object, so downstream consumers keep the cheap identity
+    semantics the per-runner dicts used to provide.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[TuningKey, TuningRecord] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: TuningKey) -> bool:
+        return key in self._records
+
+    def lookup(self, key: TuningKey) -> Optional[TuningRecord]:
+        record = self._records.get(key)
+        if record is None:
+            self._misses += 1
+        else:
+            self._hits += 1
+        return record
+
+    def insert(self, record: TuningRecord) -> None:
+        self._records[record.key] = record
+
+    def records(self) -> List[TuningRecord]:
+        return list(self._records.values())
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._records))
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path) -> int:
+        """Write every record to ``path`` as JSON lines; returns the count."""
+        records = self.records()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        return len(records)
+
+    def load(self, path) -> int:
+        """Merge records from ``path`` into this cache; returns the count read.
+
+        Loaded records overwrite in-memory records with the same key, so a
+        cache file is authoritative over whatever was tuned before the load.
+        """
+        count = 0
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                self.insert(TuningRecord.from_json(json.loads(line)))
+                count += 1
+        return count
+
+    @classmethod
+    def from_file(cls, path) -> "TuningCache":
+        cache = cls()
+        cache.load(path)
+        return cache

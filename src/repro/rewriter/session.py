@@ -1,0 +1,146 @@
+"""The shared tuning session: one cache, one search policy, many runners.
+
+A :class:`TuningSession` is what the operator runners (``UnitCpuRunner``,
+``UnitGpuRunner``) and the baseline library runners share so that identical
+(workload, instruction, machine, search-space) problems are tuned exactly
+once per process — and, via :meth:`TuningSession.save` / :meth:`load`, once
+per *machine*.  The session also selects the search driver (exhaustive,
+thread-parallel or early-exit) and accounts for every profiling trial it
+performs, which is how the experiment suite verifies that a warm cache does
+zero tuning work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from ..hwsim.cost import CostBreakdown
+from .records import TuningCache, TuningKey, TuningRecord
+from .tuner import (
+    TuningResult,
+    early_exit_search,
+    exhaustive_search,
+    parallel_search,
+)
+
+__all__ = ["TuningSession", "SEARCH_STRATEGIES"]
+
+SEARCH_STRATEGIES = ("exhaustive", "parallel", "early_exit")
+
+# Strategies that may return a different (approximate) result than profiling
+# every candidate.  Their records must not be served to — or persisted for —
+# sessions expecting the exhaustive optimum, so they tune under their own key
+# namespace.  "parallel" is absent on purpose: it profiles every candidate
+# with deterministic tie-breaking and is result-identical to "exhaustive".
+_APPROXIMATE_STRATEGIES = ("early_exit",)
+
+
+class TuningSession:
+    """Shared tuning state: a record cache plus a search strategy.
+
+    ``strategy`` selects the driver used on a cache miss: ``"exhaustive"``
+    profiles every candidate, ``"parallel"`` profiles them on a thread pool
+    (same result, deterministic tie-breaking), ``"early_exit"`` stops after
+    ``early_exit_k`` consecutive candidates fail to improve the best cost.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[TuningCache] = None,
+        strategy: str = "exhaustive",
+        max_workers: Optional[int] = None,
+        early_exit_k: int = 8,
+    ) -> None:
+        if strategy not in SEARCH_STRATEGIES:
+            raise ValueError(f"strategy must be one of {SEARCH_STRATEGIES}")
+        self.cache = cache if cache is not None else TuningCache()
+        self.strategy = strategy
+        self.max_workers = max_workers
+        self.early_exit_k = early_exit_k
+        self.trials_run = 0
+        self.searches_run = 0
+
+    # -- search dispatch ------------------------------------------------------
+    def _record_key(self, key: TuningKey) -> TuningKey:
+        if self.strategy in _APPROXIMATE_STRATEGIES:
+            space = f"{key.space}!{self.strategy}:{self.early_exit_k}"
+            return dataclasses.replace(key, space=space)
+        return key
+
+    def _search(
+        self, candidates: Sequence, evaluate_cost: Callable[[object], float]
+    ) -> TuningResult:
+        if self.strategy == "parallel":
+            return parallel_search(candidates, evaluate_cost, max_workers=self.max_workers)
+        if self.strategy == "early_exit":
+            return early_exit_search(candidates, evaluate_cost, k=self.early_exit_k)
+        return exhaustive_search(candidates, evaluate_cost)
+
+    # -- the two entry points -------------------------------------------------
+    def tune(
+        self,
+        key: TuningKey,
+        candidates: Sequence,
+        evaluate: Callable[[object], CostBreakdown],
+    ) -> TuningRecord:
+        """Return the record for ``key``, searching ``candidates`` on a miss.
+
+        ``evaluate`` maps a candidate config to its :class:`CostBreakdown`;
+        the search minimises ``evaluate(cfg).seconds``.  On a hit no candidate
+        is evaluated at all.
+        """
+        key = self._record_key(key)
+        record = self.cache.lookup(key)
+        if record is not None:
+            return record
+        result = self._search(candidates, lambda cfg: evaluate(cfg).seconds)
+        best = evaluate(result.best_config)
+        record = TuningRecord(
+            key=key,
+            best_config=result.best_config,
+            best_cost=best.seconds,
+            num_trials=result.num_trials,
+            breakdown=best,
+            result=result,
+        )
+        self.cache.insert(record)
+        self.trials_run += result.num_trials
+        self.searches_run += 1
+        return record
+
+    def memoize(
+        self, key: TuningKey, compute: Callable[[], CostBreakdown]
+    ) -> CostBreakdown:
+        """Cache a single cost with no search (library-baseline latencies)."""
+        record = self.cache.lookup(key)
+        if record is None:
+            cost = compute()
+            record = TuningRecord(
+                key=key,
+                best_config=None,
+                best_cost=cost.seconds,
+                num_trials=0,
+                breakdown=cost,
+            )
+            self.cache.insert(record)
+        return record.breakdown
+
+    # -- persistence + accounting --------------------------------------------
+    def save(self, path) -> int:
+        return self.cache.save(path)
+
+    def load(self, path) -> int:
+        return self.cache.load(path)
+
+    @property
+    def stats(self):
+        return self.cache.stats
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"TuningSession[{self.strategy}]: {s.size} records, "
+            f"{s.hits} hits / {s.misses} misses ({s.hit_rate:.0%}), "
+            f"{self.trials_run} trials in {self.searches_run} searches"
+        )

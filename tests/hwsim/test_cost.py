@@ -1,0 +1,44 @@
+"""Tests for the shared cost-model datatypes."""
+
+import pytest
+
+from repro.hwsim import CostBreakdown
+
+
+class TestCostBreakdownAdd:
+    def test_add_sums_headline_fields(self):
+        a = CostBreakdown(seconds=1.0, compute_seconds=0.6, memory_seconds=0.3,
+                          overhead_seconds=0.1)
+        b = CostBreakdown(seconds=2.0, compute_seconds=1.0, memory_seconds=0.5,
+                          overhead_seconds=0.5)
+        total = a + b
+        assert total.seconds == pytest.approx(3.0)
+        assert total.compute_seconds == pytest.approx(1.6)
+        assert total.memory_seconds == pytest.approx(0.8)
+        assert total.overhead_seconds == pytest.approx(0.6)
+
+    def test_add_merges_detail_by_key_summation(self):
+        """Regression: __add__ used to drop the detail dict entirely."""
+        a = CostBreakdown(seconds=1.0, detail={"macs": 100.0, "bytes": 64.0})
+        b = CostBreakdown(seconds=2.0, detail={"macs": 50.0, "launches": 1.0})
+        total = a + b
+        assert total.detail == {"macs": 150.0, "bytes": 64.0, "launches": 1.0}
+
+    def test_add_does_not_mutate_operands(self):
+        a = CostBreakdown(seconds=1.0, detail={"macs": 1.0})
+        b = CostBreakdown(seconds=1.0, detail={"macs": 2.0})
+        _ = a + b
+        assert a.detail == {"macs": 1.0}
+        assert b.detail == {"macs": 2.0}
+
+    def test_scaled_preserves_detail(self):
+        a = CostBreakdown(seconds=1.0, detail={"macs": 100.0})
+        scaled = a.scaled(2.0)
+        assert scaled.seconds == pytest.approx(2.0)
+        assert scaled.detail == {"macs": 100.0}
+        assert scaled.detail is not a.detail
+
+    def test_unit_conversions(self):
+        cost = CostBreakdown(seconds=2.5e-3)
+        assert cost.milliseconds == pytest.approx(2.5)
+        assert cost.microseconds == pytest.approx(2500.0)

@@ -1,0 +1,274 @@
+"""Tests for the persistent tuning-record cache and the shared tuning session."""
+
+import pytest
+
+from repro.core import UnitCpuRunner, UnitGpuRunner, compile_model_batch, experiments
+from repro.hwsim import CostBreakdown
+from repro.rewriter import (
+    CpuTuningConfig,
+    GpuTuningConfig,
+    TuningCache,
+    TuningKey,
+    TuningRecord,
+    TuningSession,
+    params_fingerprint,
+    space_fingerprint,
+)
+from repro.workloads import Conv2DParams, DenseParams, table1_layer
+
+
+def _key(space="full@test", kind="conv2d", params=None):
+    params = params or table1_layer(5)
+    return TuningKey(
+        kind=kind,
+        params=params_fingerprint(params),
+        intrinsic="x86.avx512.vpdpbusd",
+        machine="cascade-lake",
+        space=space,
+    )
+
+
+class TestFingerprints:
+    def test_params_fingerprint_ignores_name(self):
+        a = Conv2DParams(64, 14, 14, 128, 3, name="stage1_conv")
+        b = Conv2DParams(64, 14, 14, 128, 3, name="stage4_conv")
+        assert params_fingerprint(a) == params_fingerprint(b)
+
+    def test_params_fingerprint_distinguishes_shapes(self):
+        a = Conv2DParams(64, 14, 14, 128, 3)
+        b = Conv2DParams(64, 14, 14, 128, 3, stride=2)
+        assert params_fingerprint(a) != params_fingerprint(b)
+
+    def test_space_fingerprint_depends_on_candidates(self):
+        full = space_fingerprint("full", [CpuTuningConfig()])
+        other = space_fingerprint("full", [CpuTuningConfig(unroll_limit=4)])
+        assert full != other
+        assert full.startswith("full@")
+
+
+class TestTuningCache:
+    def test_hit_miss_accounting(self):
+        cache = TuningCache()
+        key = _key()
+        assert cache.lookup(key) is None
+        cache.insert(
+            TuningRecord(
+                key=key,
+                best_config=CpuTuningConfig(),
+                best_cost=1e-5,
+                num_trials=3,
+                breakdown=CostBreakdown(seconds=1e-5),
+            )
+        )
+        assert cache.lookup(key) is not None
+        stats = cache.stats
+        assert stats.hits == 1 and stats.misses == 1 and stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_roundtrip_identical_configs_and_costs(self, tmp_path):
+        cache = TuningCache()
+        records = [
+            TuningRecord(
+                key=_key("full@aa"),
+                best_config=CpuTuningConfig(parallel_extent=1536, unroll_limit=4),
+                best_cost=2.5e-5,
+                num_trials=16,
+                breakdown=CostBreakdown(
+                    seconds=2.5e-5, compute_seconds=2e-5, detail={"macs": 1.0}
+                ),
+            ),
+            TuningRecord(
+                key=_key("tune@bb", kind="dense", params=DenseParams(1, 2048, 1000)),
+                best_config=GpuTuningConfig(outer_product_p=2, fuse_spatial=True, split_k=64),
+                best_cost=1.5e-6,
+                num_trials=24,
+                breakdown=CostBreakdown(seconds=1.5e-6, memory_seconds=1e-6),
+            ),
+            TuningRecord(  # a memoised library record: no config at all
+                key=_key("library:onednn"),
+                best_config=None,
+                best_cost=4e-5,
+                num_trials=0,
+                breakdown=CostBreakdown(seconds=4e-5),
+            ),
+        ]
+        for record in records:
+            cache.insert(record)
+        path = tmp_path / "tuning.jsonl"
+        assert cache.save(path) == 3
+
+        loaded = TuningCache.from_file(path)
+        assert len(loaded) == 3
+        for record in records:
+            got = loaded.lookup(record.key)
+            assert got is not None
+            assert got.best_config == record.best_config
+            assert got.best_cost == record.best_cost
+            assert got.num_trials == record.num_trials
+            assert got.breakdown == record.breakdown
+
+    def test_load_merges_and_overwrites(self, tmp_path):
+        key = _key()
+        stale = TuningRecord(
+            key=key,
+            best_config=CpuTuningConfig(),
+            best_cost=9.0,
+            num_trials=1,
+            breakdown=CostBreakdown(seconds=9.0),
+        )
+        fresh = TuningRecord(
+            key=key,
+            best_config=CpuTuningConfig(unroll_limit=4),
+            best_cost=1.0,
+            num_trials=16,
+            breakdown=CostBreakdown(seconds=1.0),
+        )
+        on_disk = TuningCache()
+        on_disk.insert(fresh)
+        path = tmp_path / "cache.jsonl"
+        on_disk.save(path)
+
+        cache = TuningCache()
+        cache.insert(stale)
+        assert cache.load(path) == 1
+        assert cache.lookup(key).best_cost == 1.0
+
+
+class TestTuningSession:
+    def test_cache_hit_bypasses_evaluate(self):
+        session = TuningSession()
+        calls = []
+
+        def evaluate(cfg):
+            calls.append(cfg)
+            return CostBreakdown(seconds=1.0 / (1 + cfg.unroll_limit))
+
+        candidates = [CpuTuningConfig(unroll_limit=u) for u in (2, 4, 8)]
+        key = _key()
+        first = session.tune(key, candidates, evaluate)
+        # len(candidates) search evaluations + 1 final evaluation of the best.
+        assert len(calls) == 4
+        second = session.tune(key, candidates, evaluate)
+        assert len(calls) == 4  # untouched: the hit did no evaluation
+        assert second.breakdown is first.breakdown
+        assert session.trials_run == 3
+        assert session.stats.hits == 1
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            TuningSession(strategy="annealing")
+
+    def test_runners_share_one_session(self):
+        session = TuningSession()
+        layer = table1_layer(5)
+        a = UnitCpuRunner(tuning="full", session=session)
+        b = UnitCpuRunner(tuning="full", session=session)
+        first = a.conv2d_latency(layer)
+        trials = session.trials_run
+        second = b.conv2d_latency(layer)
+        assert second is first
+        assert session.trials_run == trials  # runner b tuned nothing
+
+    def test_modes_do_not_share_records(self):
+        session = TuningSession()
+        layer = table1_layer(5)
+        t_parallel = UnitCpuRunner(tuning="parallel", session=session).conv2d_latency(layer)
+        t_full = UnitCpuRunner(tuning="full", session=session).conv2d_latency(layer)
+        assert t_full.seconds <= t_parallel.seconds
+        assert len(session.cache) == 2
+
+    def test_parallel_strategy_matches_exhaustive(self):
+        layer = table1_layer(3)
+        serial = UnitCpuRunner(tuning="full", session=TuningSession())
+        threaded = UnitCpuRunner(
+            tuning="full", session=TuningSession(strategy="parallel", max_workers=4)
+        )
+        assert serial.conv2d_latency(layer).seconds == threaded.conv2d_latency(layer).seconds
+        key = ("conv2d", layer)
+        assert serial.tuning_results[key].best_config == threaded.tuning_results[key].best_config
+
+    def test_early_exit_records_do_not_leak_into_exhaustive(self, tmp_path):
+        """Approximate-strategy records must not be served as exhaustive ones."""
+        costs = {2: 5.0, 4: 1.0, 8: 2.0, 12: 3.0, 16: 0.5}
+        candidates = [CpuTuningConfig(unroll_limit=u) for u in (2, 4, 8, 12, 16)]
+
+        def evaluate(cfg):
+            return CostBreakdown(seconds=costs[cfg.unroll_limit])
+
+        key = _key()
+        approx = TuningSession(strategy="early_exit", early_exit_k=2)
+        best_approx = approx.tune(key, candidates, evaluate)
+        assert best_approx.best_cost == 1.0  # stopped before reaching 0.5
+
+        path = tmp_path / "approx.jsonl"
+        approx.save(path)
+        exact = TuningSession()
+        exact.load(path)
+        best_exact = exact.tune(key, candidates, evaluate)
+        assert best_exact.best_cost == 0.5  # re-tuned: the approximate record
+        assert exact.trials_run == 5  # was not served under the exhaustive key
+
+    def test_parallel_and_exhaustive_share_records(self):
+        session = TuningSession(strategy="parallel")
+        layer = table1_layer(5)
+        UnitCpuRunner(tuning="full", session=session).conv2d_latency(layer)
+        trials = session.trials_run
+        # Same cache handed to an exhaustive session: result-identical
+        # strategies share records, so nothing re-tunes.
+        serial = TuningSession(cache=session.cache)
+        UnitCpuRunner(tuning="full", session=serial).conv2d_latency(layer)
+        assert serial.trials_run == 0
+        assert session.trials_run == trials
+
+    def test_session_save_load_roundtrip(self, tmp_path):
+        session = TuningSession()
+        runner = UnitGpuRunner(mode="tune", session=session)
+        layer = table1_layer(8)
+        cold = runner.conv2d_latency(layer)
+        path = tmp_path / "gpu.jsonl"
+        session.save(path)
+
+        warm_session = TuningSession()
+        warm_session.load(path)
+        warm_runner = UnitGpuRunner(mode="tune", session=warm_session)
+        warm = warm_runner.conv2d_latency(layer)
+        assert warm_session.trials_run == 0
+        assert warm.seconds == cold.seconds
+        assert warm == cold
+
+
+class TestExperimentSessionSharing:
+    def test_figure8_second_run_does_zero_trials(self):
+        session = TuningSession()
+        models = ["resnet-18", "mobilenet-v2"]
+        rows = experiments.figure8_cpu_end_to_end(models, session=session)
+        trials_after_first = session.trials_run
+        assert trials_after_first > 0
+        rows_again = experiments.figure8_cpu_end_to_end(models, session=session)
+        assert session.trials_run == trials_after_first
+        for before, after in zip(rows, rows_again):
+            assert before == after
+
+    def test_saved_cache_reproduces_figure8(self, tmp_path):
+        session = TuningSession()
+        rows = experiments.figure8_cpu_end_to_end(["resnet-18"], session=session)
+        path = tmp_path / "fig8.jsonl"
+        session.save(path)
+
+        warm = TuningSession()
+        warm.load(path)
+        warm_rows = experiments.figure8_cpu_end_to_end(["resnet-18"], session=warm)
+        assert warm.trials_run == 0
+        for before, after in zip(rows, warm_rows):
+            assert before == after
+
+    def test_compile_model_batch_shares_cache(self):
+        session = TuningSession()
+        batch = compile_model_batch(
+            ["resnet-18", "resnet-50"], targets=("x86",), session=session
+        )
+        assert [c.name for c in batch] == ["resnet-18", "resnet-50"]
+        assert all(c.latency_ms > 0 for c in batch)
+        # The two ResNets share layer shapes: the second compile must be
+        # partly (not necessarily entirely) cache hits.
+        assert session.stats.hits > 0

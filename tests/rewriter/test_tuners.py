@@ -8,12 +8,15 @@ from repro.isa import get_intrinsic
 from repro.rewriter import (
     CpuTuningConfig,
     GpuTuningConfig,
+    TuningResult,
     apply_cpu_schedule,
     apply_gpu_schedule,
     cpu_tuning_candidates,
+    early_exit_search,
     exhaustive_search,
     first_k_search,
     gpu_tuning_candidates,
+    parallel_search,
     reorganize_loops,
 )
 from repro.schedule import Annotation
@@ -131,3 +134,43 @@ class TestTuningDriver:
     def test_empty_candidates_rejected(self):
         with pytest.raises(ValueError):
             exhaustive_search([], lambda c: 1.0)
+        with pytest.raises(ValueError):
+            parallel_search([], lambda c: 1.0)
+        with pytest.raises(ValueError):
+            early_exit_search([], lambda c: 1.0)
+
+    def test_best_rank_rejects_empty_trials(self):
+        """Regression: an empty result used to silently claim rank 1."""
+        result = TuningResult(best_config=None, best_cost=0.0, trials=[])
+        with pytest.raises(ValueError):
+            result.best_rank()
+
+    def test_parallel_search_matches_exhaustive(self):
+        costs = [5.0, 2.0, 7.0, 1.0, 3.0]
+        serial = exhaustive_search(list(range(5)), lambda i: costs[i])
+        threaded = parallel_search(list(range(5)), lambda i: costs[i], max_workers=3)
+        assert threaded.best_config == serial.best_config
+        assert threaded.best_cost == serial.best_cost
+        assert threaded.num_trials == serial.num_trials
+        assert [t.cost for t in threaded.trials] == [t.cost for t in serial.trials]
+        assert [t.index for t in threaded.trials] == list(range(5))
+
+    def test_parallel_search_ties_prefer_first_candidate(self):
+        result = parallel_search(["x", "y", "z"], lambda c: 1.0, max_workers=3)
+        assert result.best_config == "x"
+        assert result.best_rank() == 1
+
+    def test_early_exit_stops_after_k_non_improving(self):
+        costs = [5.0, 1.0, 2.0, 3.0, 4.0, 0.5]
+        result = early_exit_search(list(range(6)), lambda i: costs[i], k=3)
+        # Improvement at index 1, then three non-improving trials → stop at 4,
+        # never reaching the 0.5 at index 5.
+        assert result.num_trials == 5
+        assert result.best_config == 1
+        assert result.best_cost == 1.0
+
+    def test_early_exit_runs_to_completion_when_improving(self):
+        costs = [5.0, 4.0, 3.0, 2.0, 1.0]
+        result = early_exit_search(list(range(5)), lambda i: costs[i], k=2)
+        assert result.num_trials == 5
+        assert result.best_config == 4
