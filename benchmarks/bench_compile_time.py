@@ -1,24 +1,202 @@
-"""Compilation-cost benchmark: how long UNIT's own pipeline takes per operator.
+"""Compilation + validation cost benchmark for the reproduction's own pipeline.
 
-Not a paper figure, but useful for tracking the reproduction itself: the
-Inspector + Rewriter + lowering + instruction injection for a realistic
-convolution should stay in the milliseconds range.
+Not a paper figure, but the repository's perf trajectory: it measures
+
+* **compile**: how long UNIT's Inspector + Rewriter + lowering + instruction
+  injection takes for a realistic convolution, cold (first call, no memo
+  caches) and warm (expression interning and simplify/extract_linear memos
+  populated);
+* **validation**: how long numerically validating the tensorized kernel
+  takes through the scalar reference interpreter vs the vectorized execution
+  engine (the hot path of schedule verification and tuning-trial
+  validation), asserting the engine is bit-identical and recording the
+  speedup;
+* **table1**: engine-only execution of full-size Table I layers (the scalar
+  interpreter would need minutes each);
+* **expr_cache**: hit rates of the expression-level memo caches
+  (``simplify`` / ``extract_linear`` / ``structural_equal``).
+
+Run standalone to write ``BENCH_compile_time.json`` (the CI smoke job
+uploads it as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_compile_time.py [--quick] [-o OUT]
+
+or under pytest-benchmark along with the figure benchmarks::
+
+    pytest benchmarks/bench_compile_time.py --benchmark-only
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
 from repro.core import tensorize
+from repro.dsl.expr import expr_cache_stats, reset_expr_cache_stats
 from repro.rewriter import CpuTuningConfig
+from repro.tir import Interpreter, VectorizedEngine, alloc_buffers
 from repro.workloads import Conv2DParams, conv2d_nchwc
+from repro.workloads.table1 import TABLE1_LAYERS
+
+# The compile-phase workload (realistic mid-network layer).
+COMPILE_PARAMS = Conv2DParams(
+    in_channels=64, in_height=14, in_width=14, out_channels=128, kernel=3, name="bench"
+)
+# The validation-phase workload is smaller: it is executed through the
+# *scalar* interpreter too, whose cost grows with every MAC.
+VALIDATE_PARAMS = Conv2DParams(
+    in_channels=16, in_height=10, in_width=10, out_channels=32, kernel=3, name="val"
+)
 
 
-def _compile_once():
-    params = Conv2DParams(
-        in_channels=64, in_height=14, in_width=14, out_channels=128, kernel=3, name="bench"
-    )
+def _compile_once(params: Conv2DParams = COMPILE_PARAMS):
     conv = conv2d_nchwc(params)
     return tensorize(conv, "x86.avx512.vpdpbusd", config=CpuTuningConfig())
+
+
+def bench_compile() -> dict:
+    reset_expr_cache_stats()
+    t0 = time.perf_counter()
+    _compile_once()
+    cold = time.perf_counter() - t0
+    warm_times = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        _compile_once()
+        warm_times.append(time.perf_counter() - t0)
+    warm = min(warm_times)
+    return {
+        "workload": COMPILE_PARAMS.describe(),
+        "cold_s": cold,
+        "warm_s": warm,
+        "warm_speedup": cold / warm if warm else float("inf"),
+    }
+
+
+def bench_validation() -> dict:
+    result = _compile_once(VALIDATE_PARAMS)
+    buffers = alloc_buffers(result.func, np.random.default_rng(0))
+
+    t0 = time.perf_counter()
+    ref = Interpreter(result.func).run({t: a.copy() for t, a in buffers.items()})
+    scalar_s = time.perf_counter() - t0
+
+    # Warm-up pass (numpy internal caches), then a timed pass on a fresh
+    # engine so the reported stats cover exactly one execution.
+    VectorizedEngine(result.func).run({t: a.copy() for t, a in buffers.items()})
+    engine = VectorizedEngine(result.func)
+    t0 = time.perf_counter()
+    got = engine.run({t: a.copy() for t, a in buffers.items()})
+    vector_s = time.perf_counter() - t0
+
+    return {
+        "workload": VALIDATE_PARAMS.describe(),
+        "scalar_s": scalar_s,
+        "vector_s": vector_s,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+        "bit_identical": bool(np.array_equal(ref, got)),
+        "engine": {
+            "vector_nests": engine.stats.vector_nests,
+            "fallback_nests": engine.stats.fallback_nests,
+            "intrinsic_rounds": engine.stats.intrinsic_rounds,
+            "intrinsic_points": engine.stats.intrinsic_points,
+        },
+    }
+
+
+def bench_table1_engine(limit: int) -> list:
+    """Engine-only execution of full-size Table I layers."""
+    rows = []
+    for index, params in enumerate(TABLE1_LAYERS[:limit], start=1):
+        result = _compile_once(params)
+        buffers = alloc_buffers(result.func, np.random.default_rng(index))
+        engine = VectorizedEngine(result.func)
+        t0 = time.perf_counter()
+        engine.run(buffers)
+        rows.append(
+            {
+                "layer": index,
+                "params": params.describe(),
+                "macs": params.macs,
+                "vector_s": time.perf_counter() - t0,
+                "fallback_nests": engine.stats.fallback_nests,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="skip the Table I sweep")
+    parser.add_argument("-o", "--output", default="BENCH_compile_time.json")
+    parser.add_argument(
+        "--table1-layers", type=int, default=4, help="how many Table I layers to run"
+    )
+    args = parser.parse_args(argv)
+
+    report = {
+        "benchmark": "compile_time",
+        "compile": bench_compile(),
+        "validation": bench_validation(),
+    }
+    if not args.quick:
+        report["table1"] = bench_table1_engine(args.table1_layers)
+    report["expr_cache"] = expr_cache_stats().as_dict()
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    comp, val = report["compile"], report["validation"]
+    print(f"compile   cold {comp['cold_s'] * 1e3:8.1f} ms")
+    print(
+        f"compile   warm {comp['warm_s'] * 1e3:8.1f} ms"
+        f"   ({comp['warm_speedup']:.1f}x)"
+    )
+    print(f"validate scalar {val['scalar_s'] * 1e3:7.1f} ms")
+    print(
+        f"validate vector {val['vector_s'] * 1e3:7.1f} ms"
+        f"   ({val['speedup']:.1f}x, bit_identical={val['bit_identical']})"
+    )
+    for row in report.get("table1", []):
+        print(
+            f"table1 layer{row['layer']:<2} {row['macs'] / 1e6:8.1f} MMACs "
+            f"engine {row['vector_s'] * 1e3:7.1f} ms"
+        )
+    cache = report["expr_cache"]
+    print(
+        f"expr caches: simplify {cache['simplify_hit_rate']:.0%} hits, "
+        f"linear {cache['linear_hit_rate']:.0%} hits, "
+        f"equal fast-path {cache['equal_fast_path_rate']:.0%}"
+    )
+    assert val["bit_identical"], "engine output diverged from the interpreter"
+    assert val["speedup"] >= 5.0, (
+        f"validation speedup {val['speedup']:.1f}x below the 5x floor"
+    )
+    print(f"wrote {args.output}")
+    return report
 
 
 def test_tensorize_compile_time(benchmark):
     result = benchmark(_compile_once)
     assert result.func is not None
     assert result.intrinsic.name == "x86.avx512.vpdpbusd"
+
+
+def test_validation_engine_speed(benchmark):
+    compiled = _compile_once(VALIDATE_PARAMS)
+    buffers = alloc_buffers(compiled.func, np.random.default_rng(0))
+
+    def _validate():
+        return VectorizedEngine(compiled.func).run(
+            {t: a.copy() for t, a in buffers.items()}
+        )
+
+    out = benchmark(_validate)
+    assert out.shape == compiled.func.output.shape
+
+
+if __name__ == "__main__":
+    main()

@@ -15,10 +15,11 @@ from .pipeline import (
     compile_model,
     compile_model_batch,
 )
-from .unit import TensorizeResult, select_intrinsic, tensorize
+from .unit import TensorizeResult, select_intrinsic, tensorize, validate_tensorize
 
 __all__ = [
     "tensorize",
+    "validate_tensorize",
     "select_intrinsic",
     "TensorizeResult",
     "UnitCpuRunner",

@@ -66,13 +66,38 @@ class _SessionTunedRunner:
     """Shared tuning plumbing: key construction + session-backed search.
 
     Subclasses provide ``session``, ``intrin``, ``machine``, ``_space``,
-    ``tuning_results`` and ``_configs()``.
+    ``tuning_results``, ``_configs()`` and (for functional validation)
+    ``_validation_op(kind, params)``.
 
     ``tuning_results`` holds trial-level data only for searches performed
     in-process; a record served from a cache loaded off disk carries no
     trials (they are deliberately not persisted), so keys tuned entirely
     from a warm cache are absent from it.
+
+    When ``validate`` is enabled, every fresh search's winning configuration
+    is functionally validated before its record enters the cache: the
+    workload is tensorized with that configuration and executed through the
+    vectorized engine, which must reproduce the reference lowering —
+    bit-identically for integer kernels, within a tight tolerance for float
+    kernels (:func:`repro.core.unit.validate_tensorize`).
     """
+
+    validate: bool = False
+
+    def _validation_op(self, kind: str, params):
+        raise NotImplementedError
+
+    def _validator(self, kind: str, params):
+        if not self.validate:
+            return None
+
+        def check(config) -> None:
+            from .unit import tensorize
+
+            op = self._validation_op(kind, params)
+            tensorize(op, self.intrin, config=config, validate=True)
+
+        return check
 
     def _tuned(self, kind: str, params, evaluate) -> CostBreakdown:
         key = TuningKey(
@@ -82,7 +107,9 @@ class _SessionTunedRunner:
             machine=self.machine.name,
             space=self._space,
         )
-        record = self.session.tune(key, self._configs(), evaluate)
+        record = self.session.tune(
+            key, self._configs(), evaluate, validate=self._validator(kind, params)
+        )
         if record.result is not None:
             self.tuning_results[(kind, params)] = record.result
         return record.breakdown
@@ -97,6 +124,11 @@ class UnitCpuRunner(_SessionTunedRunner):
     tuning pairs, the paper's +Tune configuration).
 
     ``session`` is the shared tuning session; omit it for a private one.
+
+    ``validate`` turns on functional trial validation: the winning
+    configuration of every fresh search is tensorized and checked
+    bit-identical against the reference lowering through the vectorized
+    engine before its record is cached.
     """
 
     def __init__(
@@ -107,6 +139,7 @@ class UnitCpuRunner(_SessionTunedRunner):
         candidates: Optional[Sequence[CpuTuningConfig]] = None,
         max_candidates: int = 16,
         session: Optional[TuningSession] = None,
+        validate: bool = False,
     ) -> None:
         if tuning not in ("parallel", "first_pair", "full"):
             raise ValueError("tuning must be 'parallel', 'first_pair' or 'full'")
@@ -118,8 +151,42 @@ class UnitCpuRunner(_SessionTunedRunner):
             max_pairs=max_candidates
         )
         self.session = session if session is not None else TuningSession()
+        self.validate = bool(validate)
         self._space = space_fingerprint(tuning, self._configs())
         self.tuning_results: Dict[object, TuningResult] = {}
+
+    # -- functional validation ---------------------------------------------
+    def _validation_op(self, kind: str, params):
+        from ..workloads.conv2d import conv2d_nchwc
+        from ..workloads.conv3d import conv3d_ncdhwc
+        from ..workloads.dense import dense_int8
+
+        lanes = self.intrin.output_lanes
+        reduction = self.intrin.reduction_width
+        # The narrow (non-accumulator) register dtypes, in operand order:
+        # (data, weight) for the dot-product instructions.
+        narrow = [
+            d.name
+            for d in self.intrin.operand_dtypes
+            if d.bits < self.intrin.output_dtype.bits
+        ]
+        in_dt, w_dt = (narrow[0], narrow[1]) if len(narrow) >= 2 else ("uint8", "int8")
+        if kind == "conv2d":
+            return conv2d_nchwc(
+                params, lanes=lanes, reduction=reduction,
+                in_dtype=in_dt, weight_dtype=w_dt,
+            )
+        if kind == "conv3d":
+            return conv3d_ncdhwc(
+                params, lanes=lanes, reduction=reduction,
+                in_dtype=in_dt, weight_dtype=w_dt,
+            )
+        if kind == "dense":
+            return dense_int8(
+                params, lanes=lanes, reduction=reduction,
+                in_dtype=in_dt, weight_dtype=w_dt,
+            )
+        raise ValueError(f"no validation workload for kind {kind!r}")
 
     # -- tuning ------------------------------------------------------------
     def _configs(self) -> List[CpuTuningConfig]:
@@ -173,6 +240,7 @@ class UnitGpuRunner(_SessionTunedRunner):
         intrinsic_name: str = "nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
         mode: str = "tune",
         session: Optional[TuningSession] = None,
+        validate: bool = False,
     ) -> None:
         if mode not in ("generic", "fusedim", "splitk", "tune"):
             raise ValueError("mode must be 'generic', 'fusedim', 'splitk' or 'tune'")
@@ -181,8 +249,28 @@ class UnitGpuRunner(_SessionTunedRunner):
         self.model = GpuKernelModel(machine, self.intrin)
         self.mode = mode
         self.session = session if session is not None else TuningSession()
+        self.validate = bool(validate)
         self._space = space_fingerprint(mode, self._configs())
         self.tuning_results: Dict[object, TuningResult] = {}
+
+    def _validation_op(self, kind: str, params):
+        from ..workloads.conv2d import conv2d_gemm
+        from ..workloads.dense import matmul_fp16
+
+        if kind == "conv2d":
+            return conv2d_gemm(params)
+        if kind == "dense":
+            # Pad to the WMMA tile like the graph-level layout pass does.
+            def pad16(n: int) -> int:
+                return ((max(n, 1) + 15) // 16) * 16
+
+            return matmul_fp16(
+                pad16(params.batch),
+                pad16(params.out_features),
+                pad16(params.in_features),
+                name=params.name,
+            )
+        raise ValueError(f"no validation workload for kind {kind!r}")
 
     def _configs(self) -> List[GpuTuningConfig]:
         if self.mode == "generic":

@@ -34,9 +34,9 @@ from ..rewriter import (
     replace_tensorize,
     reorganize_loops,
 )
-from ..tir import PrimFunc, lower, run, verify
+from ..tir import PrimFunc, alloc_buffers, execute, lower, verify
 
-__all__ = ["TensorizeResult", "tensorize", "select_intrinsic"]
+__all__ = ["TensorizeResult", "tensorize", "select_intrinsic", "validate_tensorize"]
 
 
 @dataclass
@@ -51,9 +51,15 @@ class TensorizeResult:
     config: Union[CpuTuningConfig, GpuTuningConfig, None]
     schedule_report: Union[CpuScheduleReport, GpuScheduleReport, None]
 
-    def execute(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
-        """Run the tensorized program on numpy buffers (correctness check)."""
-        return run(self.func, buffers)
+    def execute(
+        self, buffers: Dict[Tensor, np.ndarray], engine: str = "vector"
+    ) -> np.ndarray:
+        """Run the tensorized program on numpy buffers (correctness check).
+
+        Executes through the vectorized engine by default; pass
+        ``engine="scalar"`` for the reference interpreter.
+        """
+        return execute(self.func, buffers, engine=engine)
 
     @property
     def num_feasible_mappings(self) -> int:
@@ -82,6 +88,43 @@ def select_intrinsic(operation_or_tensor, target: str) -> InspectionResult:
     return results[0]
 
 
+def validate_tensorize(
+    result: TensorizeResult,
+    rng: Optional[np.random.Generator] = None,
+    engine: str = "vector",
+) -> None:
+    """Numerically validate a tensorized function against its operation.
+
+    Executes ``result.func`` and the plain (default-schedule) lowering of the
+    original operation over identical random buffers through the selected
+    engine.  Integer outputs must be *bit-identical*; floating-point outputs
+    are compared with a tight ``allclose`` tolerance, because tensorized
+    instructions legitimately reassociate the reduction (e.g. the WMMA
+    hardware model accumulates a 16-wide K slab per call).  Raises
+    :class:`TensorizeError` on any mismatch.  This is the functional oracle
+    the schedule verification and tuning paths share; with the vectorized
+    engine it is cheap enough to run per tuned workload.
+    """
+    rng = rng or np.random.default_rng(0)
+    reference = lower(result.operation, name=f"{result.operation.name}_ref")
+    buffers = alloc_buffers(result.func, rng)
+    got = execute(result.func, {t: a.copy() for t, a in buffers.items()}, engine=engine)
+    expected = execute(
+        reference, {t: a.copy() for t, a in buffers.items()}, engine=engine
+    )
+    if result.func.output.dtype.is_integer:
+        ok = np.array_equal(got, expected)
+    else:
+        ok = np.allclose(got, expected, rtol=1e-4, atol=1e-5)
+    if not ok:
+        mismatch = int(np.sum(got != expected))
+        raise TensorizeError(
+            f"tensorized {result.operation.name!r} via {result.intrinsic.name} "
+            f"does not reproduce the reference ({mismatch} of "
+            f"{expected.size} elements differ)"
+        )
+
+
 def tensorize(
     operation_or_tensor,
     intrinsic: Union[str, TensorIntrinsic, None] = None,
@@ -89,6 +132,7 @@ def tensorize(
     config: Union[CpuTuningConfig, GpuTuningConfig, None] = None,
     mapping_index: int = 0,
     verify_ir: bool = True,
+    validate: bool = False,
 ) -> TensorizeResult:
     """Tensorize one operation with a given instruction (or the target's best).
 
@@ -105,6 +149,11 @@ def tensorize(
     mapping_index:
         Which feasible loop mapping to use (0 = the greedy innermost choice);
         alternative mappings are a dimension of the tuning space.
+    validate:
+        Also run :func:`validate_tensorize` — execute the tensorized function
+        through the vectorized engine against the operation's plain lowering:
+        bit-identical for integer kernels, tight tolerance for floats (whose
+        reductions the instruction may legitimately reassociate).
     """
     op = getattr(operation_or_tensor, "op", operation_or_tensor)
 
@@ -142,7 +191,7 @@ def tensorize(
     func = replace_tensorize(func, spec)
     if verify_ir:
         verify(func)
-    return TensorizeResult(
+    result = TensorizeResult(
         operation=op,
         intrinsic=intrin,
         inspection=inspection,
@@ -151,3 +200,6 @@ def tensorize(
         config=config,
         schedule_report=report,
     )
+    if validate:
+        validate_tensorize(result)
+    return result

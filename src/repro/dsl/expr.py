@@ -11,6 +11,8 @@ All nodes are immutable; construct new nodes instead of mutating.
 
 from __future__ import annotations
 
+import weakref
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .dtype import DType, bool_, common_type, float32, from_string, int32
@@ -45,10 +47,15 @@ __all__ = [
     "post_order",
     "free_vars",
     "tensors_referenced",
+    "structural_hash",
+    "arith_signature",
     "structural_equal",
     "substitute",
     "simplify",
     "extract_linear",
+    "ExprCacheStats",
+    "expr_cache_stats",
+    "reset_expr_cache_stats",
 ]
 
 ExprLike = Union["Expr", int, float, bool]
@@ -399,17 +406,196 @@ def _as_axis_list(axes) -> List:
 
 
 # ---------------------------------------------------------------------------
+# Interning: cached structural hashes and memoized traversals
+#
+# Expression trees are immutable, so every derived quantity — the post-order
+# node list, the structural hash, the simplified form, the affine
+# decomposition — can be computed once and attached to the node.  The hot
+# paths of the repository (the Inspector's isomorphism matching, the
+# Rewriter's candidate generation, the vectorized execution engine's affine
+# analysis) re-visit the same subtrees thousands of times; these memos turn
+# those re-walks into dictionary lookups.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExprCacheStats:
+    """Hit/miss counters for the expression-level memo caches."""
+
+    simplify_hits: int = 0
+    simplify_misses: int = 0
+    linear_hits: int = 0
+    linear_misses: int = 0
+    equal_fast_paths: int = 0
+    equal_full_walks: int = 0
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def simplify_hit_rate(self) -> float:
+        return self._rate(self.simplify_hits, self.simplify_misses)
+
+    @property
+    def linear_hit_rate(self) -> float:
+        return self._rate(self.linear_hits, self.linear_misses)
+
+    @property
+    def equal_fast_path_rate(self) -> float:
+        return self._rate(self.equal_fast_paths, self.equal_full_walks)
+
+    def as_dict(self) -> dict:
+        return {
+            "simplify_hits": self.simplify_hits,
+            "simplify_misses": self.simplify_misses,
+            "simplify_hit_rate": self.simplify_hit_rate,
+            "linear_hits": self.linear_hits,
+            "linear_misses": self.linear_misses,
+            "linear_hit_rate": self.linear_hit_rate,
+            "equal_fast_paths": self.equal_fast_paths,
+            "equal_full_walks": self.equal_full_walks,
+            "equal_fast_path_rate": self.equal_fast_path_rate,
+        }
+
+
+_CACHE_STATS = ExprCacheStats()
+
+# Per-node memos are bounded so a long-lived node cannot accumulate entries
+# for arbitrarily many peers / variable sets (LRU-by-reset: clear when full).
+_MEMO_CAP = 64
+
+
+def expr_cache_stats() -> ExprCacheStats:
+    """The live hit/miss counters of the expression memo caches."""
+    return _CACHE_STATS
+
+
+def reset_expr_cache_stats() -> None:
+    """Zero the counters (the per-node memos themselves stay valid)."""
+    global _CACHE_STATS
+    for f in (
+        "simplify_hits",
+        "simplify_misses",
+        "linear_hits",
+        "linear_misses",
+        "equal_fast_paths",
+        "equal_full_walks",
+    ):
+        setattr(_CACHE_STATS, f, 0)
+
+
+def structural_hash(expr: Expr) -> int:
+    """A hash consistent with :func:`structural_equal`.
+
+    ``structural_equal(a, b, var_map)`` (for *any* variable mapping) implies
+    ``structural_hash(a) == structural_hash(b)``; the converse need not hold.
+    Variables therefore hash uniformly — the hash captures tree topology,
+    opcodes, constants and tensor identities, which is what makes it a sound
+    O(1) reject fast-path.  Cached on the node (trees are immutable).
+    """
+    cached = expr.__dict__.get("_shash")
+    if cached is not None:
+        return cached
+    h = _structural_hash_impl(expr)
+    expr._shash = h
+    return h
+
+
+def _structural_hash_impl(e: Expr) -> int:
+    if isinstance(e, Var):
+        return hash(("var",))
+    if isinstance(e, Const):
+        return hash(("const", e.dtype.name, e.value))
+    if isinstance(e, Cast):
+        return hash(("cast", e.dtype.name, structural_hash(e.value)))
+    if isinstance(e, BinaryOp):
+        return hash(
+            ("bin", e.opcode, structural_hash(e.a), structural_hash(e.b))
+        )
+    if isinstance(e, Compare):
+        return hash(("cmp", e.op, structural_hash(e.a), structural_hash(e.b)))
+    if isinstance(e, Select):
+        return hash(("select",) + tuple(structural_hash(c) for c in e.children))
+    if isinstance(e, TensorLoad):
+        return hash(
+            ("load", id(e.tensor)) + tuple(structural_hash(i) for i in e.indices)
+        )
+    if isinstance(e, Reduce):
+        return hash(("reduce", e.combiner, len(e.axes), structural_hash(e.source)))
+    if isinstance(e, Ramp):
+        return hash(("ramp", e.stride, e.lanes, structural_hash(e.base)))
+    if isinstance(e, Broadcast):
+        return hash(("bcast", e.lanes, structural_hash(e.value)))
+    if isinstance(e, Shuffle):
+        return hash(("shuffle",) + tuple(structural_hash(v) for v in e.vectors))
+    if isinstance(e, Call):
+        return hash(
+            ("call", e.name, e.dtype.name) + tuple(structural_hash(a) for a in e.args)
+        )
+    raise TypeError(f"unhandled node type {type(e).__name__}")
+
+
+def arith_signature(expr: Expr) -> int:
+    """A topology/dtype/opcode signature for arithmetic-isomorphism matching.
+
+    Two expressions whose signatures differ can never be arithmetically
+    isomorphic in the sense of the Inspector's Algorithm 1: the signature
+    folds exactly the properties the recursive match requires at every node
+    (data type, leaf-vs-interior topology, cast targets and binary opcodes)
+    while abstracting everything register binding is allowed to vary (which
+    tensor a leaf loads, its index expressions, constant values).  Cached on
+    the node.
+    """
+    cached = expr.__dict__.get("_asig")
+    if cached is not None:
+        return cached
+    if isinstance(expr, (TensorLoad, Const)):
+        sig = hash(("leaf", expr.dtype.name))
+    elif isinstance(expr, Cast):
+        sig = hash(("cast", expr.dtype.name, arith_signature(expr.value)))
+    elif isinstance(expr, BinaryOp):
+        sig = hash(
+            (
+                "bin",
+                expr.opcode,
+                expr.dtype.name,
+                arith_signature(expr.a),
+                arith_signature(expr.b),
+            )
+        )
+    else:
+        sig = hash(
+            (type(expr).__name__, expr.dtype.name)
+            + tuple(arith_signature(c) for c in expr.children)
+        )
+    expr._asig = sig
+    return sig
+
+
+# ---------------------------------------------------------------------------
 # Traversal and analysis
 # ---------------------------------------------------------------------------
 
 
 def post_order(expr: Expr) -> Iterator[Expr]:
-    """Yield every node of the tree in post-order (children first)."""
+    """Yield every node of the tree in post-order (children first).
+
+    The node list is computed once per root and cached on it, so repeated
+    analyses over the same tree (``free_vars``, ``tensors_referenced``, the
+    engine's affine checks) do not re-walk it.
+    """
+    cached = expr.__dict__.get("_post_cache")
+    if cached is None:
+        cached = tuple(_post_order_walk(expr))
+        expr._post_cache = cached
+    return iter(cached)
+
+
+def _post_order_walk(expr: Expr) -> Iterator[Expr]:
     for child in expr.children:
-        yield from post_order(child)
-    if isinstance(expr, Reduce):
-        # Reduce's source is already covered by children.
-        pass
+        yield from _post_order_walk(child)
     yield expr
 
 
@@ -436,9 +622,40 @@ def structural_equal(a: Expr, b: Expr, var_map: Optional[dict] = None) -> bool:
 
     ``var_map`` optionally maps variables of ``a`` onto variables of ``b``;
     when omitted variables must be identical objects.
+
+    Identity-mode comparisons (no variable mapping in effect) are memoized:
+    object identity and the cached structural hash short-circuit most calls,
+    and full-walk verdicts are remembered per node pair, so the Inspector's
+    repeated matching of the same subtrees costs O(1) after the first walk.
     """
-    if var_map is None:
-        var_map = {}
+    if not var_map:
+        if a is b:
+            _CACHE_STATS.equal_fast_paths += 1
+            return True
+        if structural_hash(a) != structural_hash(b):
+            _CACHE_STATS.equal_fast_paths += 1
+            return False
+        memo = a.__dict__.get("_eq_memo")
+        if memo is not None:
+            entry = memo.get(id(b))
+            if entry is not None and entry[0]() is b:
+                _CACHE_STATS.equal_fast_paths += 1
+                return entry[1]
+        _CACHE_STATS.equal_full_walks += 1
+        result = _structural_equal_impl(a, b, {})
+        if memo is None:
+            memo = a._eq_memo = {}
+        elif len(memo) >= _MEMO_CAP:
+            memo.clear()
+        try:
+            memo[id(b)] = (weakref.ref(b), result)
+        except TypeError:  # pragma: no cover - non-weakrefable peer
+            pass
+        return result
+    return _structural_equal_impl(a, b, var_map)
+
+
+def _structural_equal_impl(a: Expr, b: Expr, var_map: dict) -> bool:
     if type(a) is not type(b):
         return False
     if isinstance(a, Var):
@@ -537,9 +754,25 @@ def simplify(expr: Expr) -> Expr:
     This is not a general simplifier; it covers what the lowering pipeline and
     the access analysis need: ``x+0``, ``x*1``, ``x*0``, constant folding of
     integer arithmetic, and nested cast collapsing.
+
+    Results are memoized on the node (trees are immutable), keyed by node
+    identity — an LRU whose entries live exactly as long as the subtree they
+    describe.  Hit rates are tracked in :func:`expr_cache_stats`.
     """
     if isinstance(expr, (Var, Const)):
         return expr
+    cached = expr.__dict__.get("_simplify_cache")
+    if cached is not None:
+        _CACHE_STATS.simplify_hits += 1
+        return cached
+    _CACHE_STATS.simplify_misses += 1
+    result = _simplify_impl(expr)
+    expr._simplify_cache = result
+    result._simplify_cache = result  # simplify is idempotent
+    return result
+
+
+def _simplify_impl(expr: Expr) -> Expr:
     if isinstance(expr, Cast):
         inner = simplify(expr.value)
         return cast(expr.dtype, inner)
@@ -641,8 +874,19 @@ def extract_linear(expr: Expr, variables: Iterable[Var]) -> Optional[Tuple[dict,
     affine in the given variables (e.g. contains ``v * w`` or a non-linear
     function).  Variables not listed are treated as symbolic *parameters* only
     when they never appear — any unknown variable makes the result ``None``.
+
+    Decompositions are memoized per node and per variable set (a bounded
+    per-node cache); the returned coefficient dict is always a fresh copy, so
+    callers may mutate it freely.
     """
     variables = list(variables)
+    cache_key = tuple(variables)
+    cache = expr.__dict__.get("_linear_cache")
+    if cache is not None and cache_key in cache:
+        _CACHE_STATS.linear_hits += 1
+        hit = cache[cache_key]
+        return None if hit is None else (dict(hit[0]), hit[1])
+    _CACHE_STATS.linear_misses += 1
 
     def walk(node: Expr) -> Optional[Tuple[dict, int]]:
         if isinstance(node, Const):
@@ -691,4 +935,10 @@ def extract_linear(expr: Expr, variables: Iterable[Var]) -> Optional[Tuple[dict,
         coeffs = {v: c for v, c in coeffs.items() if c != 0}
         return coeffs, lk + sign * rk
 
-    return walk(simplify(expr))
+    result = walk(simplify(expr))
+    if cache is None:
+        cache = expr._linear_cache = {}
+    elif len(cache) >= _MEMO_CAP:
+        cache.clear()
+    cache[cache_key] = None if result is None else (dict(result[0]), result[1])
+    return result

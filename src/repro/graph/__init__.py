@@ -5,7 +5,7 @@ fusion passes prepare it for tensorization, and the executor aggregates
 per-operator latencies into the end-to-end inference latency.
 """
 
-from .executor import GraphLatencyReport, estimate_graph_latency
+from .executor import GraphLatencyReport, estimate_graph_latency, execute_graph
 from .fuse import FUSABLE_KINDS, fuse_elementwise
 from .ir import (
     ConcatNode,
@@ -46,5 +46,6 @@ __all__ = [
     "fuse_elementwise",
     "FUSABLE_KINDS",
     "estimate_graph_latency",
+    "execute_graph",
     "GraphLatencyReport",
 ]

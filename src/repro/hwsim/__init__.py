@@ -7,13 +7,14 @@ structure (parallelism, unrolling, reuse, residue guards) the paper's tuner
 manipulates.
 """
 
-from .cost import CostBreakdown, geometric_mean
+from .cost import CostBreakdown, RATIO_DETAIL_KEYS, geometric_mean
 from .cpu import CpuKernelModel, ParallelPlan, UnrollPlan, plan_parallel, plan_unroll
 from .gpu import GpuKernelModel
 from .machine import CASCADE_LAKE, GRAVITON2, V100, CpuSpec, GpuSpec, machine_by_name
 
 __all__ = [
     "CostBreakdown",
+    "RATIO_DETAIL_KEYS",
     "geometric_mean",
     "CpuKernelModel",
     "UnrollPlan",

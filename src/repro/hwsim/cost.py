@@ -5,7 +5,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-__all__ = ["CostBreakdown", "geometric_mean"]
+__all__ = ["CostBreakdown", "RATIO_DETAIL_KEYS", "geometric_mean"]
+
+# ``detail`` entries that are ratios/rates rather than counters: they do not
+# scale with the amount of work and are preserved as-is by ``scaled``.
+# Counter-like entries (macs, instructions, traffic bytes, launches) scale
+# with the factor, mirroring how ``__add__`` merges them by summation.
+RATIO_DETAIL_KEYS = frozenset(
+    {"ipc", "efficiency", "utilization", "occupancy", "hit_rate"}
+)
 
 
 @dataclass
@@ -32,21 +40,36 @@ class CostBreakdown:
         return self.seconds * 1e3
 
     def scaled(self, factor: float) -> "CostBreakdown":
+        """This cost repeated ``factor`` times (e.g. grouped convolutions).
+
+        Counter-like ``detail`` entries scale with the factor so that
+        ``cost.scaled(n)`` and ``cost + ... + cost`` (n times) agree; ratio
+        entries (:data:`RATIO_DETAIL_KEYS`) are work-independent and are
+        preserved unchanged.
+        """
         return CostBreakdown(
             seconds=self.seconds * factor,
             compute_seconds=self.compute_seconds * factor,
             memory_seconds=self.memory_seconds * factor,
             overhead_seconds=self.overhead_seconds * factor,
-            detail=dict(self.detail),
+            detail={
+                key: value if key in RATIO_DETAIL_KEYS else value * factor
+                for key, value in self.detail.items()
+            },
         )
 
     def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
-        # detail keys merge by summation, which is meaningful for counter-like
-        # entries (macs, instructions, traffic bytes); ratio-like entries
-        # (ipc, efficiency) are only interpretable on leaf-level breakdowns.
+        # Counter-like detail entries (macs, instructions, traffic bytes)
+        # merge by summation, mirroring ``scaled``.  Ratio entries
+        # (:data:`RATIO_DETAIL_KEYS`) are only interpretable on leaf-level
+        # breakdowns, so the left operand's value is kept rather than
+        # producing a meaningless sum.
         detail = dict(self.detail)
         for key, value in other.detail.items():
-            detail[key] = detail.get(key, 0.0) + value
+            if key in RATIO_DETAIL_KEYS:
+                detail.setdefault(key, value)
+            else:
+                detail[key] = detail.get(key, 0.0) + value
         return CostBreakdown(
             seconds=self.seconds + other.seconds,
             compute_seconds=self.compute_seconds + other.compute_seconds,

@@ -28,6 +28,7 @@ from ..dsl.expr import (
     Min,
     Reduce,
     TensorLoad,
+    arith_signature,
 )
 from ..dsl.tensor import Tensor
 
@@ -121,6 +122,16 @@ def match_isomorphism(instr_op: ComputeOp, prog_op: ComputeOp) -> IsomorphismRes
             f"{instr.store.dtype.name}, operation in {prog.store.dtype.name}"
         )
         return result
+    # O(1) reject fast-path: the cached arithmetic signature folds exactly
+    # the topology/dtype/opcode properties the recursive match requires, so
+    # differing signatures can never match.  This is what lets the Inspector
+    # scan a whole instruction registry without re-walking the program tree.
+    if arith_signature(instr.value) != arith_signature(prog.value):
+        result.reason = (
+            "arithmetic signature mismatch (tree topology, dtype or opcode)"
+        )
+        return result
+
     bindings: Dict[Tensor, object] = {}
     load_pairs: List[Tuple[TensorLoad, TensorLoad]] = []
     _bind_leaf(instr.store, prog.store, bindings, load_pairs)

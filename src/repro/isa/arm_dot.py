@@ -21,11 +21,13 @@ DOT_REDUCTION = 4
 
 
 def _dot_hw(prefix: str):
+    # Rank-polymorphic (leading batch axes pass through) so the vectorized
+    # engine can execute whole rounds of calls at once.
     def impl(operands: Dict[str, np.ndarray]) -> np.ndarray:
         a = operands[f"{prefix}_a"].astype(np.int32)
         b = operands[f"{prefix}_b"].astype(np.int32)
         c = operands[f"{prefix}_c"].astype(np.int32)
-        prod = (a * b).reshape(DOT_LANES, DOT_REDUCTION).sum(axis=1)
+        prod = (a * b).reshape(a.shape[:-1] + (DOT_LANES, DOT_REDUCTION)).sum(axis=-1)
         return (c + prod).astype(np.int32)
 
     return impl
@@ -54,6 +56,7 @@ def _make_dot(name: str, prefix: str, a_dtype: str, b_dtype: str, llvm: str) -> 
         perf=IntrinsicPerf(latency_cycles=3.0, throughput_per_cycle=2.0, issue_ports=2),
         hardware_impl=_dot_hw(prefix),
         description=f"{a_dtype} x {b_dtype} dot-product into int32, 4 lanes, width 4",
+        batchable=True,
     )
 
 

@@ -24,7 +24,7 @@ from ..dsl.axis import IterAxis
 from ..dsl.compute import ComputeOp
 from ..dsl.dtype import DType
 from ..dsl.tensor import Tensor
-from ..tir import lower, run
+from ..tir import execute, lower
 
 __all__ = ["TensorIntrinsic", "IntrinsicPerf"]
 
@@ -62,6 +62,7 @@ class TensorIntrinsic:
         perf: Optional[IntrinsicPerf] = None,
         hardware_impl: Optional[Callable[[Dict[str, np.ndarray]], np.ndarray]] = None,
         description: str = "",
+        batchable: bool = False,
     ) -> None:
         self.name = name
         self.op = op
@@ -70,6 +71,11 @@ class TensorIntrinsic:
         self.perf = perf or IntrinsicPerf()
         self.hardware_impl = hardware_impl
         self.description = description
+        # Whether ``hardware_impl`` is batch-polymorphic: given operands with
+        # one extra leading batch axis it returns the batched result.  Set by
+        # the instruction descriptions whose models are written rank-
+        # polymorphically; the vectorized engine exploits it.
+        self.batchable = batchable
 
     # -- structural views --------------------------------------------------
     @property
@@ -145,6 +151,28 @@ class TensorIntrinsic:
             return self.hardware_impl(operands)
         return self.reference(operands)
 
+    def execute_batch(self, operands: Dict[str, np.ndarray], batch: int) -> np.ndarray:
+        """Execute the instruction over a whole batch of register sets.
+
+        ``operands`` maps operand names to arrays of shape ``(batch, *reg)``.
+        Batch-polymorphic hardware models run in one call; others fall back
+        to a per-point loop, which still spares the caller all per-lane
+        Python evaluation.  Returns ``(batch, *out_reg)``.
+        """
+        out_shape = (batch,) + self.output.shape
+        if self.hardware_impl is not None and self.batchable:
+            result = np.asarray(self.hardware_impl(operands))
+            if result.shape != out_shape:  # pragma: no cover - model bug guard
+                raise ValueError(
+                    f"{self.name}: batched hardware model returned shape "
+                    f"{result.shape}, expected {out_shape}"
+                )
+            return result
+        result = np.empty(out_shape, dtype=self.output.dtype.np_dtype)
+        for i in range(batch):
+            result[i] = self.execute({k: v[i] for k, v in operands.items()})
+        return result
+
     def reference(self, operands: Dict[str, np.ndarray]) -> np.ndarray:
         """Execute the instruction by interpreting its DSL description."""
         self._check_operands(operands)
@@ -162,7 +190,7 @@ class TensorIntrinsic:
             buffers[out] = np.array(init, dtype=out.dtype.np_dtype, copy=True)
         else:
             buffers[out] = np.zeros(out.shape, dtype=out.dtype.np_dtype)
-        return run(func, buffers)
+        return execute(func, buffers)
 
     def _check_operands(self, operands: Dict[str, np.ndarray]) -> None:
         for tensor in self.input_tensors:

@@ -21,6 +21,7 @@ __all__ = ["make_avx512_fma_fp32", "make_avx512_fma_int8_via_widen", "make_neon_
 
 
 def _fma_hw(prefix: str, acc_np):
+    # Elementwise, hence naturally batch-polymorphic (leading batch axes).
     def impl(operands: Dict[str, np.ndarray]) -> np.ndarray:
         a = operands[f"{prefix}_a"].astype(acc_np)
         b = operands[f"{prefix}_b"].astype(acc_np)
@@ -59,6 +60,7 @@ def _make_fma(
         perf=perf,
         hardware_impl=_fma_hw(prefix, acc_np),
         description=description,
+        batchable=True,
     )
 
 

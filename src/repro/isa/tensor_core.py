@@ -28,7 +28,9 @@ def _wmma_hw(operands: Dict[str, np.ndarray]) -> np.ndarray:
     """Exact model: fp16 operands, fp32 multiply-accumulate.
 
     Real Tensor Cores multiply fp16 values exactly (fp16→fp32 conversion is
-    lossless) and add in fp32, which is what this model does.
+    lossless) and add in fp32, which is what this model does.  ``@`` performs
+    a stacked matmul when the operands carry leading batch axes, so the model
+    is batch-polymorphic for the vectorized engine.
     """
     a = operands["wmma_a"].astype(np.float32)
     b = operands["wmma_b"].astype(np.float32)
@@ -57,4 +59,5 @@ def make_wmma_16x16x16() -> TensorIntrinsic:
         perf=IntrinsicPerf(latency_cycles=8.0, throughput_per_cycle=1.0, issue_ports=2),
         hardware_impl=_wmma_hw,
         description="16x16x16 fp16 matrix multiply-accumulate into fp32",
+        batchable=True,
     )

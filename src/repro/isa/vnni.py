@@ -26,11 +26,16 @@ VNNI_REDUCTION = 4
 
 
 def _vpdpbusd_hw(operands: Dict[str, np.ndarray]) -> np.ndarray:
-    """Exact lane-by-lane model of ``vpdpbusd`` (u8 × s8 → s32, width 4)."""
+    """Exact lane-by-lane model of ``vpdpbusd`` (u8 × s8 → s32, width 4).
+
+    Rank-polymorphic: leading batch axes on every operand are carried
+    through, so the vectorized engine can execute whole rounds of calls in
+    one invocation.
+    """
     a = operands["vnni_a"].astype(np.int32)
     b = operands["vnni_b"].astype(np.int32)
     c = operands["vnni_c"].astype(np.int32)
-    prod = (a * b).reshape(VNNI_LANES, VNNI_REDUCTION).sum(axis=1)
+    prod = (a * b).reshape(a.shape[:-1] + (VNNI_LANES, VNNI_REDUCTION)).sum(axis=-1)
     return (c + prod).astype(np.int32)
 
 
@@ -58,6 +63,7 @@ def make_vpdpbusd() -> TensorIntrinsic:
         perf=IntrinsicPerf(latency_cycles=5.0, throughput_per_cycle=1.0, issue_ports=2),
         hardware_impl=_vpdpbusd_hw,
         description="u8 x s8 dot-product into s32, 16 lanes, reduction width 4",
+        batchable=True,
     )
 
 
@@ -66,7 +72,7 @@ def _vpdpwssd_hw(operands: Dict[str, np.ndarray]) -> np.ndarray:
     a = operands["vnni16_a"].astype(np.int32)
     b = operands["vnni16_b"].astype(np.int32)
     c = operands["vnni16_c"].astype(np.int32)
-    prod = (a * b).reshape(VNNI_LANES, 2).sum(axis=1)
+    prod = (a * b).reshape(a.shape[:-1] + (VNNI_LANES, 2)).sum(axis=-1)
     return (c + prod).astype(np.int32)
 
 
@@ -91,4 +97,5 @@ def make_vpdpwssd() -> TensorIntrinsic:
         perf=IntrinsicPerf(latency_cycles=5.0, throughput_per_cycle=1.0, issue_ports=2),
         hardware_impl=_vpdpwssd_hw,
         description="s16 x s16 dot-product into s32, 16 lanes, reduction width 2",
+        batchable=True,
     )

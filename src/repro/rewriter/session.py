@@ -83,18 +83,30 @@ class TuningSession:
         key: TuningKey,
         candidates: Sequence,
         evaluate: Callable[[object], CostBreakdown],
+        validate: Optional[Callable[[object], None]] = None,
     ) -> TuningRecord:
         """Return the record for ``key``, searching ``candidates`` on a miss.
 
         ``evaluate`` maps a candidate config to its :class:`CostBreakdown`;
         the search minimises ``evaluate(cfg).seconds``.  On a hit no candidate
         is evaluated at all.
+
+        ``validate`` is the trial-validation oracle: it is invoked with the
+        winning configuration of a fresh search (never on a cache hit — a
+        cached record was validated when it was created) and must raise to
+        reject it.  The operator runners pass a functional check that
+        tensorizes the workload with the winning config and compares the
+        vectorized engine's output against the reference lowering
+        (bit-identical for integer kernels, tight tolerance for float), so a
+        record never enters the cache unvalidated.
         """
         key = self._record_key(key)
         record = self.cache.lookup(key)
         if record is not None:
             return record
         result = self._search(candidates, lambda cfg: evaluate(cfg).seconds)
+        if validate is not None:
+            validate(result.best_config)
         best = evaluate(result.best_config)
         record = TuningRecord(
             key=key,

@@ -1,12 +1,16 @@
 """``repro.tir`` — the imperative tensor IR.
 
 Lowering (:func:`lower`) turns a ComputeOp plus a schedule into a
-:class:`PrimFunc` whose body is a canonical loop nest.  The interpreter
-executes PrimFuncs over numpy buffers (the correctness oracle), the verifier
-checks structural invariants, and the printer renders C-like listings.
+:class:`PrimFunc` whose body is a canonical loop nest.  Two execution paths
+share one contract: the vectorized engine (:func:`execute`, the default
+correctness oracle — batched numpy operations with automatic scalar
+fallback) and the scalar :class:`Interpreter` (the reference the engine is
+tested against).  The verifier checks structural invariants, and the printer
+renders C-like listings.
 """
 
 from .lower import PrimFunc, decompose_reduction, lower
+from .engine import EngineStats, Unvectorizable, VectorizedEngine, execute, vector_run
 from .interpreter import Interpreter, alloc_buffers, random_array, run
 from .printer import func_to_str, stmt_to_str
 from .stmt import (
@@ -34,6 +38,11 @@ __all__ = [
     "run",
     "alloc_buffers",
     "random_array",
+    "VectorizedEngine",
+    "EngineStats",
+    "Unvectorizable",
+    "execute",
+    "vector_run",
     "func_to_str",
     "stmt_to_str",
     "ForKind",

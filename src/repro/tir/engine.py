@@ -1,0 +1,833 @@
+"""Vectorized execution engine for tensor IR.
+
+The scalar :class:`~repro.tir.interpreter.Interpreter` executes loop nests one
+element at a time in Python — exact, but the single hottest path in the
+repository once every schedule transformation and tuning trial is validated
+through it.  This module compiles the same :class:`PrimFunc` loop nests into
+*batched numpy operations*:
+
+* affine ``TensorLoad``/``Store`` indices are evaluated as integer index
+  grids over the full loop-iteration space and become fancy-indexed
+  gathers/scatters;
+* reduction updates (``out[...] = out[...] + src`` and the ``max``/``min``
+  forms) are folded over the reduction axes with exact dtype semantics —
+  order-free ufunc reductions where modular/ordering arguments prove bit
+  equality (integer sums, integer/float max/min), and a sequential
+  vectorized left-fold where evaluation order is observable (float sums);
+* ``likely`` residue guards from imperfect splits become boolean masks
+  (loads are clamped, stores are mask-selected, accumulations fold the
+  guarded iterations as combiner identities);
+* ``Select``, ``Reduce`` and the vector expressions ``Ramp`` / ``Broadcast``
+  / ``Shuffle`` evaluate on whole index blocks;
+* ``IntrinsicCall`` regions execute in rounds: outer loops the destination
+  tile does *not* depend on (reduction revisits) run sequentially, while all
+  tiles of one round — provably disjoint — are gathered, executed through the
+  instruction's (batch-polymorphic) hardware model, and scattered in bulk.
+
+Any statement the engine cannot prove vectorizable falls back, whole nest at
+a time, to the scalar interpreter over the same buffers, so the engine is
+*always* exact: vectorization is an optimization, never a semantics change.
+``EngineStats`` records how much of a run was vectorized and why fallbacks
+happened.
+
+The engine is the default validation oracle of the repository (see
+``repro.tir.execute``); the scalar interpreter remains the reference it is
+continuously tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..dsl import expr as E
+from ..dsl.tensor import Tensor
+from .interpreter import Interpreter
+from .lower import PrimFunc
+from .stmt import (
+    Allocate,
+    AttrStmt,
+    Evaluate,
+    For,
+    IfThenElse,
+    IntrinsicCall,
+    SeqStmt,
+    Stmt,
+    Store,
+)
+
+__all__ = ["VectorizedEngine", "EngineStats", "Unvectorizable", "execute", "vector_run"]
+
+
+class Unvectorizable(Exception):
+    """A statement could not be proven safe to vectorize.
+
+    Raised internally (and surfaced only in ``strict`` mode); the engine's
+    normal response is to execute the offending nest through the scalar
+    interpreter instead.
+    """
+
+
+@dataclass
+class EngineStats:
+    """What the engine did during one or more ``run`` calls."""
+
+    vector_nests: int = 0
+    fallback_nests: int = 0
+    vector_stores: int = 0
+    intrinsic_rounds: int = 0
+    intrinsic_points: int = 0
+    fallback_reasons: List[str] = field(default_factory=list)
+
+    @property
+    def vectorized_fraction(self) -> float:
+        total = self.vector_nests + self.fallback_nests
+        return self.vector_nests / total if total else 1.0
+
+
+class _Frame:
+    __slots__ = ("buffers",)
+
+    def __init__(self, buffers: Dict[Tensor, np.ndarray]) -> None:
+        self.buffers = buffers
+
+
+class _Ctx:
+    """Grid-evaluation context: loop variables bound to index arrays.
+
+    ``rank`` is the number of grid axes; every bound array has exactly
+    ``rank`` dimensions (size-1 where it does not vary), so results broadcast
+    positionally.  Vector expressions add one trailing *lane* axis (rank+1).
+    ``clip`` clamps gather indices into range — enabled when a mask is active,
+    because masked-out grid points may carry out-of-range addresses that the
+    scalar loop would never have touched.
+    """
+
+    __slots__ = ("rank", "vars", "buffers", "clip")
+
+    def __init__(self, rank, vars, buffers, clip=False):
+        self.rank = rank
+        self.vars = vars
+        self.buffers = buffers
+        self.clip = clip
+
+
+def _axis_array(pos: int, extent: int, rank: int) -> np.ndarray:
+    shape = [1] * rank
+    shape[pos] = extent
+    return np.arange(extent, dtype=np.int64).reshape(shape)
+
+
+def _align(values: Sequence, rank: int) -> List:
+    """Insert a trailing lane axis on grid-rank arrays when mixed with
+    lane-rank (rank+1) arrays, so numpy broadcasting lines up positionally."""
+    target = max((np.ndim(v) for v in values), default=0)
+    if target <= rank:
+        return list(values)
+    out = []
+    for v in values:
+        nd = np.ndim(v)
+        if 0 < nd < target:
+            out.append(np.asarray(v)[..., None])
+        else:
+            out.append(v)
+    return out
+
+
+class VectorizedEngine:
+    """Execute a :class:`PrimFunc` over numpy buffers by batched array ops."""
+
+    def __init__(self, func: PrimFunc, strict: bool = False) -> None:
+        self.func = func
+        self.strict = strict
+        self.stats = EngineStats()
+        self._interp = Interpreter(func)
+
+    # -- public API -------------------------------------------------------
+    def run(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
+        """Execute the function; same contract as ``Interpreter.run``."""
+        frame = _Frame(self._interp.bind_params(buffers))
+        self._exec(self.func.body, frame)
+        return frame.buffers[self.func.output]
+
+    # -- statement dispatch ------------------------------------------------
+    def _exec(self, stmt: Stmt, frame: _Frame) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self._exec(s, frame)
+        elif isinstance(stmt, AttrStmt):
+            self._exec(stmt.body, frame)
+        elif isinstance(stmt, Allocate):
+            frame.buffers[stmt.tensor] = np.zeros(
+                stmt.tensor.shape, dtype=stmt.tensor.dtype.np_dtype
+            )
+            self._exec(stmt.body, frame)
+        elif isinstance(stmt, (For, Store, IfThenElse, IntrinsicCall)):
+            self._dispatch_nest(stmt, frame)
+        elif isinstance(stmt, Evaluate):
+            self._fallback(stmt, frame)
+        else:
+            raise TypeError(f"cannot execute statement {type(stmt).__name__}")
+
+    def _dispatch_nest(self, stmt: Stmt, frame: _Frame) -> None:
+        try:
+            self._vector_nest(stmt, frame)
+            self.stats.vector_nests += 1
+        except Unvectorizable as exc:
+            if self.strict:
+                raise
+            self.stats.fallback_nests += 1
+            if len(self.stats.fallback_reasons) < 32:
+                self.stats.fallback_reasons.append(str(exc))
+            self._fallback(stmt, frame)
+
+    def _fallback(self, stmt: Stmt, frame: _Frame) -> None:
+        self._interp.run_stmt(stmt, frame.buffers)
+
+    # -- nest vectorization -------------------------------------------------
+    def _vector_nest(self, stmt: Stmt, frame: _Frame) -> None:
+        axes: List[Tuple[E.Var, int]] = []
+        guards: List[E.Expr] = []
+        while True:
+            if isinstance(stmt, For):
+                axes.append((stmt.var, stmt.extent))
+                stmt = stmt.body
+            elif isinstance(stmt, IfThenElse) and stmt.else_case is None:
+                guards.append(stmt.condition)
+                stmt = stmt.then_case
+            elif isinstance(stmt, AttrStmt):
+                stmt = stmt.body
+            else:
+                break
+        if isinstance(stmt, Store):
+            self._vector_store(axes, guards, stmt, frame)
+        elif isinstance(stmt, IntrinsicCall):
+            self._vector_intrinsic(axes, guards, stmt, frame)
+        else:
+            raise Unvectorizable(
+                f"loop body is a {type(stmt).__name__}, not a store or intrinsic call"
+            )
+
+    def _make_ctx(self, axes, frame, clip):
+        rank = len(axes)
+        vars = {
+            var: _axis_array(i, extent, rank)
+            for i, (var, extent) in enumerate(axes)
+        }
+        return _Ctx(rank, vars, frame.buffers, clip)
+
+    def _eval_mask(self, guards, ctx):
+        """Combine guard conditions into one boolean mask (or None)."""
+        mask = None
+        for g in guards:
+            m = self._veval(g, ctx)
+            if mask is None:
+                mask = m
+            else:
+                a, b = _align([mask, m], ctx.rank)
+                mask = np.logical_and(a, b)
+        if mask is not None and np.ndim(mask) == 0:
+            if not bool(mask):
+                return False  # statically dead nest
+            mask = None
+        return mask
+
+    # -- vectorized Store ---------------------------------------------------
+    def _vector_store(self, axes, guards, store: Store, frame: _Frame) -> None:
+        rank = len(axes)
+        grid = tuple(extent for _, extent in axes)
+        ctx = self._make_ctx(axes, frame, clip=bool(guards))
+        buf = self._buffer(frame, store.tensor)
+        out_np = store.tensor.dtype.np_dtype
+
+        mask = self._eval_mask(guards, ctx)
+        if mask is False:
+            return
+
+        acc = self._match_accumulation(store)
+        idx = [self._veval(i, ctx) for i in store.indices]
+        if mask is not None:
+            idx = [
+                np.clip(np.asarray(i), 0, d - 1) if np.ndim(i) else min(max(int(i), 0), d - 1)
+                for i, d in zip(idx, buf.shape)
+            ]
+
+        if acc is None:
+            self._plain_store(buf, out_np, idx, store, ctx, mask, rank)
+        else:
+            rest_expr, combiner = acc
+            self._accumulate_store(
+                buf, out_np, idx, rest_expr, combiner, store, ctx, mask, axes, grid
+            )
+        self.stats.vector_stores += 1
+
+    def _plain_store(self, buf, out_np, idx, store, ctx, mask, rank):
+        value = self._veval(store.value, ctx)
+        arrs = _align(list(idx) + [value], rank)
+        *idx_a, val = arrs
+        shapes = [np.shape(a) for a in arrs]
+        if mask is not None:
+            shapes.append(np.shape(mask))
+        bshape = np.broadcast_shapes(*shapes)
+        val = np.broadcast_to(np.asarray(val).astype(out_np), bshape)
+        idx_b = tuple(np.broadcast_to(np.asarray(a), bshape) for a in idx_a)
+        if mask is None:
+            # Duplicate target indices (loop axes the store does not depend
+            # on) resolve in C order = loop order: the last write wins,
+            # matching the scalar loop.
+            buf[idx_b] = val
+        else:
+            sel = np.broadcast_to(np.asarray(mask), bshape)
+            buf[tuple(a[sel] for a in idx_b)] = val[sel]
+
+    def _accumulate_store(
+        self, buf, out_np, idx, rest_expr, combiner, store, ctx, mask, axes, grid
+    ):
+        rank = len(axes)
+        dep: set = set()
+        for i_expr in store.indices:
+            dep.update(E.free_vars(i_expr))
+        red_pos = [k for k, (v, _) in enumerate(axes) if v not in dep]
+        dp_pos = [k for k in range(rank) if k not in red_pos]
+        dp_shape = tuple(grid[k] for k in dp_pos)
+
+        vals = self._veval(rest_expr, ctx)
+        if np.ndim(vals) > rank or any(np.ndim(i) > rank for i in idx):
+            raise Unvectorizable("accumulating store over vector lanes")
+
+        def to_dp(a):
+            """Reduce a grid-broadcastable array to data-parallel shape."""
+            a = np.broadcast_to(np.asarray(a), grid)
+            a = np.transpose(a, dp_pos + red_pos)
+            return a[(Ellipsis,) + (0,) * len(red_pos)]
+
+        def to_folded(a):
+            """Reshape a grid-broadcastable array to (dp..., K) in loop order."""
+            a = np.broadcast_to(np.asarray(a), grid)
+            a = np.transpose(a, dp_pos + red_pos)
+            return a.reshape(dp_shape + (-1,))
+
+        idx_dp = tuple(to_dp(i) for i in idx)
+        vals_m = to_folded(vals)
+        mask_m = to_folded(mask) if mask is not None else None
+        acc0 = buf[idx_dp]  # data-parallel gather of the current accumulator
+
+        vals_dt = vals_m.dtype
+        out_bits = store.tensor.dtype.bits
+        fast = False
+        if combiner == "sum":
+            # Integer sums are exact under any order: truncation to the store
+            # dtype is a ring homomorphism, so reducing in (at least) the
+            # wider of the two integer widths matches the per-step
+            # read-modify-write of the scalar loop bit for bit.
+            if store.tensor.dtype.is_integer and vals_dt.kind in "iu":
+                fast = True
+                red_dt = out_np if out_bits >= vals_dt.itemsize * 8 else vals_dt
+        elif vals_dt == out_np and vals_dt.kind in "iuf":
+            # max/min never round and per-step casts are no-ops when the
+            # value dtype equals the store dtype, so the order-free ufunc
+            # reduction is exact.
+            fast = True
+
+        if fast:
+            vm = vals_m
+            if mask_m is not None:
+                # A guarded-out iteration leaves the accumulator untouched,
+                # which is exactly folding the combiner identity.
+                if combiner == "sum":
+                    identity = vals_dt.type(0)
+                elif combiner == "max":
+                    identity = (
+                        np.iinfo(vals_dt).min
+                        if vals_dt.kind in "iu"
+                        else vals_dt.type(-np.inf)
+                    )
+                else:
+                    identity = (
+                        np.iinfo(vals_dt).max
+                        if vals_dt.kind in "iu"
+                        else vals_dt.type(np.inf)
+                    )
+                vm = np.where(mask_m, vm, identity)
+            if combiner == "sum":
+                total = (acc0 + np.add.reduce(vm, axis=-1, dtype=red_dt)).astype(out_np)
+            elif combiner == "max":
+                total = np.maximum(acc0, np.maximum.reduce(vm, axis=-1)).astype(out_np)
+            else:
+                total = np.minimum(acc0, np.minimum.reduce(vm, axis=-1)).astype(out_np)
+        else:
+            # Sequential left-fold over the reduction domain, vectorized over
+            # the data-parallel grid: reproduces the scalar loop's evaluation
+            # order (and its per-step store cast) exactly — required for
+            # float sums, where summation order is observable.
+            op = {"sum": np.add, "max": np.maximum, "min": np.minimum}[combiner]
+            acc = acc0
+            for k in range(vals_m.shape[-1]):
+                upd = np.asarray(op(acc, vals_m[..., k])).astype(out_np)
+                acc = np.where(mask_m[..., k], upd, acc) if mask_m is not None else upd
+            total = np.asarray(acc)
+
+        if mask_m is None:
+            buf[idx_dp] = np.broadcast_to(np.asarray(total).astype(out_np), dp_shape)
+        else:
+            # A data-parallel point is stored iff at least one of its
+            # reduction iterations passed the guard.
+            sel = mask_m.any(axis=-1)
+            buf[tuple(a[sel] for a in idx_dp)] = np.broadcast_to(
+                np.asarray(total).astype(out_np), dp_shape
+            )[sel]
+
+    def _match_accumulation(self, store: Store):
+        """Recognise ``t[i] = combine(t[i], rest)`` read-modify-write stores.
+
+        Returns ``(rest, combiner)`` when the store value combines the stored
+        element itself with an expression that does not otherwise read the
+        target tensor; ``None`` for plain stores.  Any other self-reference
+        is a loop-carried dependence the engine cannot reorder.
+        """
+        v = store.value
+        for cls, comb in ((E.Add, "sum"), (E.Max, "max"), (E.Min, "min")):
+            if type(v) is cls:
+                for load, rest in ((v.a, v.b), (v.b, v.a)):
+                    if (
+                        isinstance(load, E.TensorLoad)
+                        and load.tensor is store.tensor
+                        and len(load.indices) == len(store.indices)
+                        and all(
+                            E.structural_equal(x, y)
+                            for x, y in zip(load.indices, store.indices)
+                        )
+                    ):
+                        if any(
+                            isinstance(n, E.TensorLoad) and n.tensor is store.tensor
+                            for n in E.post_order(rest)
+                        ):
+                            raise Unvectorizable(
+                                "store reads its target tensor beyond the accumulator"
+                            )
+                        return rest, comb
+                break
+        if any(
+            isinstance(n, E.TensorLoad) and n.tensor is store.tensor
+            for n in E.post_order(store.value)
+        ):
+            raise Unvectorizable("store value reads its target tensor (not an accumulation)")
+        return None
+
+    # -- vectorized IntrinsicCall -------------------------------------------
+    def _vector_intrinsic(self, axes, guards, call: IntrinsicCall, frame: _Frame) -> None:
+        rank = len(axes)
+        grid = tuple(extent for _, extent in axes)
+        outer_vars = {var for var, _ in axes}
+        ctx = self._make_ctx(axes, frame, clip=False)
+
+        for g in guards:
+            if not set(E.free_vars(g)) <= outer_vars:
+                raise Unvectorizable("intrinsic guard uses non-loop variables")
+        mask = self._eval_mask(guards, ctx)
+        if mask is False:
+            return
+
+        intrin = call.intrin
+        iaxes = call.axes
+        m = len(iaxes)
+        iext = tuple(ax.extent for ax in iaxes)
+        full_rank = rank + m
+        fvars = {
+            v: a.reshape(a.shape + (1,) * m) for v, a in ctx.vars.items()
+        }
+        for j, ax in enumerate(iaxes):
+            fvars[ax.var] = _axis_array(rank + j, ax.extent, full_rank)
+        fctx = _Ctx(full_rank, fvars, frame.buffers, clip=False)
+        ictx = _Ctx(
+            m,
+            {ax.var: _axis_array(j, ax.extent, m) for j, ax in enumerate(iaxes)},
+            frame.buffers,
+            clip=False,
+        )
+
+        out_b = call.output
+        out_buf = self._buffer(frame, out_b.program_tensor)
+        bindings = list(call.inputs) + [out_b]
+        prog_idx: Dict[int, list] = {}
+        reg_idx: Dict[int, list] = {}
+        for bi, b in enumerate(bindings):
+            pidx = [self._veval(i, fctx) for i in b.program_indices]
+            ridx = [self._veval(i, ictx) for i in b.intrin_indices]
+            if any(np.ndim(p) > full_rank for p in pidx) or any(
+                np.ndim(r) > m for r in ridx
+            ):
+                raise Unvectorizable("vector lanes in intrinsic operand indices")
+            prog_idx[bi] = pidx
+            reg_idx[bi] = ridx
+
+        # Operands reading the destination tensor must address exactly the
+        # element the call writes (the accumulator pattern) — otherwise a
+        # batched round could observe writes out of order.
+        for bi, b in enumerate(bindings[:-1]):
+            if b.program_tensor is out_b.program_tensor:
+                if len(b.program_indices) != len(out_b.program_indices) or not all(
+                    E.structural_equal(x, y)
+                    for x, y in zip(b.program_indices, out_b.program_indices)
+                ):
+                    raise Unvectorizable(
+                        "intrinsic reads the output tensor at a different address"
+                    )
+
+        # Outer axes the destination tile depends on are batchable (tiles are
+        # disjoint across them); the rest revisit tiles and run as sequential
+        # rounds, preserving the accumulation order.
+        out_dep: set = set()
+        for i_expr in out_b.program_indices:
+            out_dep.update(E.free_vars(i_expr))
+        batch_pos = [k for k, (v, _) in enumerate(axes) if v in out_dep]
+        seq_pos = [k for k in range(rank) if k not in batch_pos]
+        batch_ext = [grid[k] for k in batch_pos]
+        seq_ext = [grid[k] for k in seq_pos]
+        bn_total = int(np.prod(batch_ext)) if batch_ext else 1
+
+        batch_part = tuple(grid[k] if k in batch_pos else 1 for k in range(rank))
+        out_np = out_b.program_tensor.dtype.np_dtype
+        out_i = len(bindings) - 1
+        seq_vars = {axes[k][0] for k in seq_pos}
+
+        # Per binding: the register-index views (broadcastable over the
+        # intrinsic grid), their broadcast shape ``eff`` (1 along intrinsic
+        # axes the register ignores), and whether the register fill is the
+        # identity layout (a plain reshape instead of a fancy scatter).
+        bview: Dict[int, tuple] = {}
+        eff: Dict[int, tuple] = {}
+        identity_fill: Dict[int, bool] = {}
+        for bi, b in enumerate(bindings):
+            views = []
+            for r in reg_idx[bi]:
+                a = np.asarray(r)
+                views.append(a.reshape((1,) * m) if a.ndim == 0 else a)
+            shape = np.broadcast_shapes(*(v.shape for v in views)) if views else ()
+            eff[bi] = (1,) * (m - len(shape)) + tuple(shape)
+            bview[bi] = tuple(views)
+            reg_shape = b.intrin_tensor.shape
+            if views and eff[bi] == iext:
+                flat = np.ravel_multi_index(
+                    tuple(np.broadcast_to(v, iext) for v in views), reg_shape
+                ).reshape(-1)
+                identity_fill[bi] = flat.size == int(
+                    np.prod(reg_shape)
+                ) and np.array_equal(flat, np.arange(flat.size))
+            else:
+                identity_fill[bi] = False
+
+        def eff_sliced(pidx, bi):
+            """Drop intrinsic-axis iterations whose register writes are
+            overwritten anyway: where the register index ignores an axis,
+            only that axis's last iteration survives in the scalar loop."""
+            out = []
+            for a in pidx:
+                a = np.asarray(a)
+                if a.ndim == 0:
+                    out.append(a)
+                    continue
+                index = [slice(None)] * a.ndim
+                for j in range(m):
+                    if eff[bi][j] == 1 and a.shape[rank + j] > 1:
+                        index[rank + j] = slice(a.shape[rank + j] - 1, None)
+                out.append(a[tuple(index)])
+            return out
+
+        # Pre-slice (and, under a mask, pre-clamp) the input index views once:
+        # both transforms are round-independent on the small broadcastable
+        # views.  Masked-out batch rows then gather in-range garbage that the
+        # guarded scatter discards — far cheaper than materialising selected
+        # index rows every round.
+        gather_idx: Dict[int, list] = {}
+        for bi, b in enumerate(call.inputs):
+            src = self._buffer(frame, b.program_tensor)
+            pidx = eff_sliced(prog_idx[bi], bi)
+            if mask is not None:
+                pidx = [
+                    np.clip(np.asarray(i), 0, d - 1)
+                    for i, d in zip(pidx, src.shape)
+                ]
+            gather_idx[bi] = pidx
+
+        def round_slice(arr, spt):
+            """Slice the sequential axes at ``spt``, keeping rank (views only).
+
+            The result stays *broadcastable* (size-1 dims preserved): numpy's
+            fancy indexing broadcasts index arrays internally, so gathers and
+            scatters never materialise full integer index grids."""
+            a = np.asarray(arr)
+            if a.ndim == 0:
+                return a
+            index = [slice(None)] * a.ndim
+            for k, s in zip(seq_pos, spt):
+                index[k] = slice(s, s + 1) if a.shape[k] > 1 else slice(0, 1)
+            return a[tuple(index)]
+
+        # Scatter plan for the output.  The output's program indices never
+        # depend on the sequential axes (those are, by definition, the axes
+        # the destination tile ignores), so the index rows are
+        # round-invariant; the guard mask is too unless a guard mentions a
+        # sequential variable.
+        pidx_o = prog_idx[out_i]
+        scat_ext = tuple(
+            np.broadcast_shapes(
+                *(
+                    (np.shape(i)[rank + j],)
+                    for i in pidx_o
+                    if np.ndim(i)
+                ),
+                (eff[out_i][j],),
+            )[0]
+            for j in range(m)
+        )
+        sel = None
+        sel_rows = None
+        mask_invariant = mask is None or not any(
+            seq_vars & set(E.free_vars(g)) for g in guards
+        )
+
+        def select_rows(sel_local):
+            return [
+                np.broadcast_to(i, batch_part + scat_ext).reshape(
+                    (bn_total,) + scat_ext
+                )[sel_local]
+                for i in pidx_o
+            ]
+
+        if mask is not None and mask_invariant:
+            mflat = np.broadcast_to(np.asarray(mask), batch_part[:rank]).reshape(-1)
+            sel = np.nonzero(mflat)[0]
+            if sel.size == 0:
+                return
+            sel_rows = select_rows(sel)
+
+        for spt in np.ndindex(*seq_ext):
+            if mask is not None and not mask_invariant:
+                mflat = np.broadcast_to(
+                    round_slice(mask, spt), batch_part[:rank]
+                ).reshape(-1)
+                sel = np.nonzero(mflat)[0]
+                if sel.size == 0:
+                    continue
+                sel_rows = select_rows(sel)
+
+            operands: Dict[str, np.ndarray] = {}
+            for bi, b in enumerate(call.inputs):
+                src = self._buffer(frame, b.program_tensor)
+                pidx = [round_slice(i, spt) for i in gather_idx[bi]]
+                vals = np.broadcast_to(
+                    src[tuple(pidx)], batch_part + eff[bi]
+                ).reshape((bn_total,) + eff[bi])
+                reg_np = b.intrin_tensor.dtype.np_dtype
+                if identity_fill[bi]:
+                    reg = vals.reshape((bn_total,) + b.intrin_tensor.shape)
+                    if reg.dtype != reg_np:
+                        reg = reg.astype(reg_np)
+                else:
+                    reg = np.zeros(
+                        (bn_total,) + b.intrin_tensor.shape, dtype=reg_np
+                    )
+                    reg[(slice(None),) + bview[bi]] = vals
+                operands[b.intrin_tensor.name] = reg
+
+            result = intrin.execute_batch(operands, bn_total)
+            if identity_fill[out_i]:
+                out_vals = result.reshape((bn_total,) + iext).astype(out_np)
+            else:
+                out_vals = result[(slice(None),) + bview[out_i]].astype(out_np)
+            val = out_vals.reshape(batch_part + eff[out_i])
+
+            if sel is None:
+                po = [round_slice(i, spt) for i in pidx_o]
+                # Where the target indices ignore an axis the value varies
+                # over, only the last write survives — slice the value to its
+                # last iteration there; elsewhere broadcasting repeats it.
+                bshape = np.broadcast_shapes(*(np.shape(i) for i in po))
+                bfull = (1,) * (len(val.shape) - len(bshape)) + tuple(bshape)
+                slicer = tuple(
+                    slice(d - 1, None) if t == 1 and d != 1 else slice(None)
+                    for t, d in zip(bfull, val.shape)
+                )
+                out_buf[tuple(po)] = val[slicer]
+            else:
+                out_buf[tuple(sel_rows)] = np.broadcast_to(
+                    val, batch_part + scat_ext
+                ).reshape((bn_total,) + scat_ext)[sel]
+            self.stats.intrinsic_rounds += 1
+            self.stats.intrinsic_points += bn_total
+
+    # -- expression evaluation over grids -----------------------------------
+    def _veval(self, expr: E.Expr, ctx: _Ctx):
+        if isinstance(expr, E.Const):
+            return expr.value
+        if isinstance(expr, E.Var):
+            try:
+                return ctx.vars[expr]
+            except KeyError:
+                raise Unvectorizable(f"unbound variable {expr.name!r}")
+        if isinstance(expr, E.Cast):
+            v = self._veval(expr.value, ctx)
+            np_dtype = expr.dtype.np_dtype
+            if isinstance(v, np.ndarray):
+                return v.astype(np_dtype)
+            return np_dtype.type(v)
+        if isinstance(expr, E.TensorLoad):
+            buf = self._buffer_ctx(ctx, expr.tensor)
+            idx = _align([self._veval(i, ctx) for i in expr.indices], ctx.rank)
+            if all(np.ndim(i) == 0 for i in idx):
+                return buf[tuple(int(i) for i in idx)]
+            arrays = []
+            for i, d in zip(idx, buf.shape):
+                a = np.asarray(i)
+                if ctx.clip:
+                    a = np.clip(a, 0, d - 1)
+                arrays.append(a)
+            return buf[tuple(arrays)]
+        if isinstance(expr, E.BinaryOp):
+            a = self._veval(expr.a, ctx)
+            b = self._veval(expr.b, ctx)
+            a, b = _align([a, b], ctx.rank)
+            if isinstance(expr, E.Add):
+                return a + b
+            if isinstance(expr, E.Sub):
+                return a - b
+            if isinstance(expr, E.Mul):
+                return a * b
+            if isinstance(expr, E.FloorDiv):
+                return a // b
+            if isinstance(expr, E.Mod):
+                return a % b
+            if isinstance(expr, E.Min):
+                if np.ndim(a) == 0 and np.ndim(b) == 0:
+                    return min(a, b)
+                return np.minimum(a, b)
+            if np.ndim(a) == 0 and np.ndim(b) == 0:
+                return max(a, b)
+            return np.maximum(a, b)
+        if isinstance(expr, E.Compare):
+            a = self._veval(expr.a, ctx)
+            b = self._veval(expr.b, ctx)
+            a, b = _align([a, b], ctx.rank)
+            return {
+                "==": lambda: a == b,
+                "!=": lambda: a != b,
+                "<": lambda: a < b,
+                "<=": lambda: a <= b,
+                ">": lambda: a > b,
+                ">=": lambda: a >= b,
+            }[expr.op]()
+        if isinstance(expr, E.Select):
+            cond = self._veval(expr.cond, ctx)
+            if np.ndim(cond) == 0:
+                branch = expr.true_value if bool(cond) else expr.false_value
+                return self._veval(branch, ctx)
+            t = self._veval(expr.true_value, ctx)
+            f = self._veval(expr.false_value, ctx)
+            cond, t, f = _align([cond, t, f], ctx.rank)
+            return np.where(cond, t, f)
+        if isinstance(expr, E.Reduce):
+            return self._veval_reduce(expr, ctx)
+        if isinstance(expr, E.Ramp):
+            base = self._veval(expr.base, ctx)
+            if np.ndim(base) > ctx.rank:
+                raise Unvectorizable("nested vector lanes (Ramp of a vector)")
+            barr = np.broadcast_to(
+                np.asarray(base), (1,) * (ctx.rank - np.ndim(base)) + np.shape(base)
+            )
+            return barr[..., None] + np.arange(expr.lanes, dtype=np.int64) * expr.stride
+        if isinstance(expr, E.Broadcast):
+            v = self._veval(expr.value, ctx)
+            if np.ndim(v) > ctx.rank:
+                raise Unvectorizable("nested vector lanes (Broadcast of a vector)")
+            varr = np.broadcast_to(
+                np.asarray(v), (1,) * (ctx.rank - np.ndim(v)) + np.shape(v)
+            )
+            return np.broadcast_to(varr[..., None], varr.shape + (expr.lanes,))
+        if isinstance(expr, E.Shuffle):
+            parts = []
+            for v in expr.vectors:
+                p = self._veval(v, ctx)
+                if np.ndim(p) <= ctx.rank:
+                    p = np.broadcast_to(
+                        np.asarray(p), (1,) * (ctx.rank - np.ndim(p)) + np.shape(p)
+                    )[..., None]
+                parts.append(np.asarray(p))
+            lead = np.broadcast_shapes(*(p.shape[:-1] for p in parts))
+            parts = [np.broadcast_to(p, lead + (p.shape[-1],)) for p in parts]
+            return np.concatenate(parts, axis=-1)
+        raise Unvectorizable(f"cannot vectorize expression {type(expr).__name__}")
+
+    def _veval_reduce(self, expr: E.Reduce, ctx: _Ctx):
+        k = len(expr.axes)
+        sub_rank = ctx.rank + k
+        sub_vars = {}
+        for v, a in ctx.vars.items():
+            sub_vars[v] = (
+                np.asarray(a).reshape(np.shape(a) + (1,) * k) if np.ndim(a) else a
+            )
+        extents = tuple(ax.extent for ax in expr.axes)
+        for j, ax in enumerate(expr.axes):
+            sub_vars[ax.var] = _axis_array(ctx.rank + j, ax.extent, sub_rank)
+        sub = _Ctx(sub_rank, sub_vars, ctx.buffers, ctx.clip)
+        src = self._veval(expr.source, sub)
+        if np.ndim(src) > sub_rank:
+            raise Unvectorizable("vector lanes inside a reduction")
+        src = np.broadcast_to(
+            np.asarray(src), (1,) * (sub_rank - np.ndim(src)) + np.shape(src)
+        )
+        flat = src.reshape(src.shape[: ctx.rank] + (-1,))
+        if expr.combiner == "max":
+            return np.maximum.reduce(flat, axis=-1)
+        if expr.combiner == "min":
+            return np.minimum.reduce(flat, axis=-1)
+        if flat.dtype.kind in "iub":
+            return np.add.reduce(flat, axis=-1, dtype=flat.dtype)
+        # Float sums fold sequentially to mirror the interpreter's order.
+        acc = flat[..., 0]
+        for j in range(1, flat.shape[-1]):
+            acc = acc + flat[..., j]
+        return acc
+
+    # -- buffers ------------------------------------------------------------
+    def _buffer(self, frame: _Frame, tensor: Tensor) -> np.ndarray:
+        try:
+            return frame.buffers[tensor]
+        except KeyError as exc:
+            raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
+
+    def _buffer_ctx(self, ctx: _Ctx, tensor: Tensor) -> np.ndarray:
+        try:
+            return ctx.buffers[tensor]
+        except KeyError as exc:
+            raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
+
+
+def vector_run(
+    func: PrimFunc, buffers: Dict[Tensor, np.ndarray], strict: bool = False
+) -> np.ndarray:
+    """Execute ``func`` through the vectorized engine."""
+    return VectorizedEngine(func, strict=strict).run(buffers)
+
+
+def execute(
+    func: PrimFunc,
+    buffers: Dict[Tensor, np.ndarray],
+    engine: str = "vector",
+    strict: bool = False,
+) -> np.ndarray:
+    """Execute ``func`` over ``buffers`` with the selected engine.
+
+    ``engine`` is ``"vector"`` (the default oracle — batched numpy execution
+    with automatic scalar fallback) or ``"scalar"`` (the reference
+    interpreter).  ``strict`` makes the vector engine raise
+    :class:`Unvectorizable` instead of falling back — useful in tests that
+    assert full vectorization.
+    """
+    if engine == "scalar":
+        return Interpreter(func).run(buffers)
+    if engine == "vector":
+        return vector_run(func, buffers, strict=strict)
+    raise ValueError(f"unknown engine {engine!r} (expected 'vector' or 'scalar')")

@@ -1,13 +1,24 @@
-"""A numpy-backed interpreter for tensor IR.
+"""A numpy-backed scalar interpreter for tensor IR.
 
-The interpreter is the correctness oracle of the whole repository: every
+The interpreter is the *reference* correctness oracle of the repository: every
 schedule transformation, every tensorize rewrite, and every intrinsic
-replacement is validated by executing the resulting tensor IR and comparing
-against a straightforward numpy reference.  Tensorized-instruction calls are
-executed through the instruction's *hardware model* (its exact lane-by-lane
-semantics), so a successful comparison demonstrates that UNIT produced operand
-bindings that feed the instruction correctly — the property the paper's
-Inspector is responsible for.
+replacement can be validated by executing the resulting tensor IR and
+comparing against a straightforward numpy reference.  Tensorized-instruction
+calls are executed through the instruction's *hardware model* (its exact
+lane-by-lane semantics), so a successful comparison demonstrates that UNIT
+produced operand bindings that feed the instruction correctly — the property
+the paper's Inspector is responsible for.
+
+Day-to-day validation goes through the vectorized execution engine
+(:mod:`repro.tir.engine`), which compiles the same loop nests to batched
+numpy operations and falls back to this interpreter statement-by-statement;
+the scalar path here stays deliberately simple so it can serve as the ground
+truth the engine is tested against.
+
+The interpreter is reentrant: all execution state (buffer bindings, the loop
+variable environment) lives in a per-call :class:`_Frame`, so one
+``Interpreter`` instance may be shared across threads (e.g. the tuning
+drivers' ``parallel_search``) and may be invoked recursively.
 """
 
 from __future__ import annotations
@@ -33,11 +44,25 @@ from .stmt import (
     Store,
 )
 
-__all__ = ["Interpreter", "run", "alloc_buffers"]
+__all__ = ["Interpreter", "run", "alloc_buffers", "random_array"]
+
+
+class _Frame:
+    """Execution state of one ``run`` invocation."""
+
+    __slots__ = ("buffers", "env")
+
+    def __init__(
+        self,
+        buffers: Dict[Tensor, np.ndarray],
+        env: Optional[Dict[E.Var, int]] = None,
+    ) -> None:
+        self.buffers = buffers
+        self.env = {} if env is None else env
 
 
 class Interpreter:
-    """Execute a :class:`PrimFunc` over numpy buffers."""
+    """Execute a :class:`PrimFunc` over numpy buffers, one element at a time."""
 
     def __init__(self, func: PrimFunc) -> None:
         self.func = func
@@ -46,7 +71,28 @@ class Interpreter:
     def run(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
         """Execute the function.  ``buffers`` maps every parameter tensor to a
         numpy array of matching shape/dtype.  Returns the output buffer."""
-        self._buffers: Dict[Tensor, np.ndarray] = {}
+        frame = _Frame(self.bind_params(buffers))
+        self._exec(self.func.body, frame)
+        return frame.buffers[self.func.output]
+
+    def run_stmt(
+        self,
+        stmt: Stmt,
+        buffers: Dict[Tensor, np.ndarray],
+        env: Optional[Dict[E.Var, int]] = None,
+    ) -> None:
+        """Execute one statement subtree over caller-owned state.
+
+        This is the fallback entry point used by the vectorized engine: the
+        caller's ``buffers`` dict is mutated in place (including buffers added
+        by ``Allocate``), and ``env`` provides bindings for loop variables of
+        enclosing, already-executed loops.
+        """
+        self._exec(stmt, _Frame(buffers, dict(env) if env else {}))
+
+    def bind_params(self, buffers: Dict[Tensor, np.ndarray]) -> Dict[Tensor, np.ndarray]:
+        """Validate parameter buffers and return a fresh binding dict."""
+        bound: Dict[Tensor, np.ndarray] = {}
         for tensor in self.func.params:
             if tensor not in buffers:
                 raise KeyError(f"missing buffer for parameter {tensor.name!r}")
@@ -56,47 +102,59 @@ class Interpreter:
                     f"buffer for {tensor.name!r} has shape {array.shape}, "
                     f"expected {tensor.shape}"
                 )
-            self._buffers[tensor] = array
-        self._env: Dict[E.Var, int] = {}
-        self._exec(self.func.body)
-        return self._buffers[self.func.output]
+            bound[tensor] = array
+        return bound
 
     # -- statement execution ----------------------------------------------
-    def _exec(self, stmt: Stmt) -> None:
+    def _exec(self, stmt: Stmt, frame: _Frame) -> None:
         if isinstance(stmt, SeqStmt):
             for s in stmt.stmts:
-                self._exec(s)
+                self._exec(s, frame)
         elif isinstance(stmt, For):
             var = stmt.var
             for i in range(stmt.extent):
-                self._env[var] = i
-                self._exec(stmt.body)
-            self._env.pop(var, None)
+                frame.env[var] = i
+                self._exec(stmt.body, frame)
+            frame.env.pop(var, None)
         elif isinstance(stmt, Store):
-            buf = self._get_buffer(stmt.tensor)
-            idx = tuple(int(self._eval(i)) for i in stmt.indices)
-            value = self._eval(stmt.value)
-            buf[idx] = _cast_scalar(value, stmt.tensor.dtype)
+            buf = self._get_buffer(frame, stmt.tensor)
+            idx = [self._eval(i, frame) for i in stmt.indices]
+            value = self._eval(stmt.value, frame)
+            if any(isinstance(i, np.ndarray) for i in idx) or isinstance(
+                value, np.ndarray
+            ):
+                # Vectorized store (Ramp/Broadcast/Shuffle indices or value):
+                # scatter the whole lane group at once.
+                arrays = np.broadcast_arrays(
+                    *(np.asarray(i) for i in idx), np.asarray(value)
+                )
+                buf[tuple(arrays[:-1])] = arrays[-1].astype(
+                    stmt.tensor.dtype.np_dtype
+                )
+            else:
+                buf[tuple(int(i) for i in idx)] = _cast_scalar(
+                    value, stmt.tensor.dtype
+                )
         elif isinstance(stmt, IfThenElse):
-            if self._eval(stmt.condition):
-                self._exec(stmt.then_case)
+            if self._eval(stmt.condition, frame):
+                self._exec(stmt.then_case, frame)
             elif stmt.else_case is not None:
-                self._exec(stmt.else_case)
+                self._exec(stmt.else_case, frame)
         elif isinstance(stmt, AttrStmt):
-            self._exec(stmt.body)
+            self._exec(stmt.body, frame)
         elif isinstance(stmt, Allocate):
-            self._buffers[stmt.tensor] = np.zeros(
+            frame.buffers[stmt.tensor] = np.zeros(
                 stmt.tensor.shape, dtype=stmt.tensor.dtype.np_dtype
             )
-            self._exec(stmt.body)
+            self._exec(stmt.body, frame)
         elif isinstance(stmt, Evaluate):
-            self._eval(stmt.expr)
+            self._eval(stmt.expr, frame)
         elif isinstance(stmt, IntrinsicCall):
-            self._exec_intrinsic(stmt)
+            self._exec_intrinsic(stmt, frame)
         else:
             raise TypeError(f"cannot interpret statement {type(stmt).__name__}")
 
-    def _exec_intrinsic(self, call: IntrinsicCall) -> None:
+    def _exec_intrinsic(self, call: IntrinsicCall, frame: _Frame) -> None:
         """Execute a tensorized-instruction call through its hardware model."""
         intrin = call.intrin
         axes = call.axes
@@ -111,59 +169,73 @@ class Interpreter:
             )
         for point in itertools.product(*(range(e) for e in extents)):
             for var, value in zip(axis_vars, point):
-                self._env[var] = value
+                frame.env[var] = value
             for binding in call.inputs:
                 reg = operands[binding.intrin_tensor.name]
-                reg_idx = tuple(int(self._eval(i)) for i in binding.intrin_indices)
-                prog_idx = tuple(int(self._eval(i)) for i in binding.program_indices)
-                reg[reg_idx] = self._get_buffer(binding.program_tensor)[prog_idx]
+                reg_idx = tuple(int(self._eval(i, frame)) for i in binding.intrin_indices)
+                prog_idx = tuple(
+                    int(self._eval(i, frame)) for i in binding.program_indices
+                )
+                reg[reg_idx] = self._get_buffer(frame, binding.program_tensor)[prog_idx]
 
         # Execute the instruction's hardware semantics on the registers.
         result = intrin.execute(operands)
 
         # Scatter: write the destination register back to program memory.
         out = call.output
-        out_buf = self._get_buffer(out.program_tensor)
+        out_buf = self._get_buffer(frame, out.program_tensor)
         for point in itertools.product(*(range(e) for e in extents)):
             for var, value in zip(axis_vars, point):
-                self._env[var] = value
-            reg_idx = tuple(int(self._eval(i)) for i in out.intrin_indices)
-            prog_idx = tuple(int(self._eval(i)) for i in out.program_indices)
+                frame.env[var] = value
+            reg_idx = tuple(int(self._eval(i, frame)) for i in out.intrin_indices)
+            prog_idx = tuple(int(self._eval(i, frame)) for i in out.program_indices)
             out_buf[prog_idx] = _cast_scalar(result[reg_idx], out.program_tensor.dtype)
         for var in axis_vars:
-            self._env.pop(var, None)
+            frame.env.pop(var, None)
 
     # -- expression evaluation ---------------------------------------------
-    def _eval(self, expr: E.Expr):
+    def _eval(self, expr: E.Expr, frame: _Frame):
         if isinstance(expr, E.Const):
             return expr.value
         if isinstance(expr, E.Var):
             try:
-                return self._env[expr]
+                return frame.env[expr]
             except KeyError as exc:
                 raise KeyError(f"unbound variable {expr.name!r}") from exc
         if isinstance(expr, E.Cast):
-            return _cast_scalar(self._eval(expr.value), expr.dtype)
+            value = self._eval(expr.value, frame)
+            if isinstance(value, np.ndarray):
+                return value.astype(expr.dtype.np_dtype)
+            return _cast_scalar(value, expr.dtype)
         if isinstance(expr, E.TensorLoad):
-            buf = self._get_buffer(expr.tensor)
-            idx = tuple(int(self._eval(i)) for i in expr.indices)
-            return buf[idx]
+            buf = self._get_buffer(frame, expr.tensor)
+            idx = [self._eval(i, frame) for i in expr.indices]
+            if any(isinstance(i, np.ndarray) for i in idx):
+                # Vectorized gather: Ramp/Broadcast/Shuffle lane indices.
+                return buf[tuple(np.broadcast_arrays(*(np.asarray(i) for i in idx)))]
+            return buf[tuple(int(i) for i in idx)]
         if isinstance(expr, E.Add):
-            return self._eval(expr.a) + self._eval(expr.b)
+            return self._eval(expr.a, frame) + self._eval(expr.b, frame)
         if isinstance(expr, E.Sub):
-            return self._eval(expr.a) - self._eval(expr.b)
+            return self._eval(expr.a, frame) - self._eval(expr.b, frame)
         if isinstance(expr, E.Mul):
-            return self._eval(expr.a) * self._eval(expr.b)
+            return self._eval(expr.a, frame) * self._eval(expr.b, frame)
         if isinstance(expr, E.FloorDiv):
-            return self._eval(expr.a) // self._eval(expr.b)
+            return self._eval(expr.a, frame) // self._eval(expr.b, frame)
         if isinstance(expr, E.Mod):
-            return self._eval(expr.a) % self._eval(expr.b)
+            return self._eval(expr.a, frame) % self._eval(expr.b, frame)
         if isinstance(expr, E.Min):
-            return min(self._eval(expr.a), self._eval(expr.b))
+            a, b = self._eval(expr.a, frame), self._eval(expr.b, frame)
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                return np.minimum(a, b)
+            return min(a, b)
         if isinstance(expr, E.Max):
-            return max(self._eval(expr.a), self._eval(expr.b))
+            a, b = self._eval(expr.a, frame), self._eval(expr.b, frame)
+            if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+                return np.maximum(a, b)
+            return max(a, b)
         if isinstance(expr, E.Compare):
-            a, b = self._eval(expr.a), self._eval(expr.b)
+            a, b = self._eval(expr.a, frame), self._eval(expr.b, frame)
             return {
                 "==": a == b,
                 "!=": a != b,
@@ -173,34 +245,55 @@ class Interpreter:
                 ">=": a >= b,
             }[expr.op]
         if isinstance(expr, E.Select):
+            cond = self._eval(expr.cond, frame)
+            if isinstance(cond, np.ndarray):
+                return np.where(
+                    cond,
+                    self._eval(expr.true_value, frame),
+                    self._eval(expr.false_value, frame),
+                )
             return (
-                self._eval(expr.true_value)
-                if self._eval(expr.cond)
-                else self._eval(expr.false_value)
+                self._eval(expr.true_value, frame)
+                if cond
+                else self._eval(expr.false_value, frame)
             )
         if isinstance(expr, E.Reduce):
-            return self._eval_reduce(expr)
+            return self._eval_reduce(expr, frame)
+        if isinstance(expr, E.Ramp):
+            base = self._eval(expr.base, frame)
+            return np.asarray(base) + np.arange(expr.lanes, dtype=np.int64) * expr.stride
+        if isinstance(expr, E.Broadcast):
+            value = self._eval(expr.value, frame)
+            if np.ndim(value) == 0:
+                return np.full(expr.lanes, value)
+            arr = np.asarray(value)
+            return np.broadcast_to(arr[..., None], arr.shape + (expr.lanes,))
+        if isinstance(expr, E.Shuffle):
+            parts = [
+                np.atleast_1d(np.asarray(self._eval(v, frame))) for v in expr.vectors
+            ]
+            return np.concatenate(parts, axis=-1)
         raise TypeError(f"cannot evaluate expression {type(expr).__name__}")
 
-    def _eval_reduce(self, expr: E.Reduce):
+    def _eval_reduce(self, expr: E.Reduce, frame: _Frame):
         values = []
         extents = [ax.extent for ax in expr.axes]
         axis_vars = [ax.var for ax in expr.axes]
         for point in itertools.product(*(range(e) for e in extents)):
             for var, value in zip(axis_vars, point):
-                self._env[var] = value
-            values.append(self._eval(expr.source))
+                frame.env[var] = value
+            values.append(self._eval(expr.source, frame))
         for var in axis_vars:
-            self._env.pop(var, None)
+            frame.env.pop(var, None)
         if expr.combiner == "sum":
             return sum(values)
         if expr.combiner == "max":
             return max(values)
         return min(values)
 
-    def _get_buffer(self, tensor: Tensor) -> np.ndarray:
+    def _get_buffer(self, frame: _Frame, tensor: Tensor) -> np.ndarray:
         try:
-            return self._buffers[tensor]
+            return frame.buffers[tensor]
         except KeyError as exc:
             raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
 

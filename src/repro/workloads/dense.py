@@ -30,13 +30,21 @@ class DenseParams:
 
 
 def dense_int8(
-    params: DenseParams, lanes: int = 16, reduction: int = 4
+    params: DenseParams,
+    lanes: int = 16,
+    reduction: int = 4,
+    in_dtype: str = "uint8",
+    weight_dtype: str = "int8",
 ) -> Tensor:
-    """Quantized dense layer in the blocked layout (output channels padded)."""
+    """Quantized dense layer in the blocked layout (output channels padded).
+
+    ``in_dtype``/``weight_dtype`` default to the VNNI operand types; the ARM
+    DOT instructions take int8×int8 (``sdot``) or uint8×uint8 (``udot``).
+    """
     n = _round_up(params.out_features, lanes)
     k = _round_up(params.in_features, reduction)
-    data = placeholder((params.batch, k), "uint8", "data")
-    weight = placeholder((n, k), "int8", "weight")
+    data = placeholder((params.batch, k), in_dtype, "data")
+    weight = placeholder((n, k), weight_dtype, "weight")
     rk = reduce_axis(0, k, "rk")
     return compute(
         (params.batch, n),

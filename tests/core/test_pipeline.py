@@ -91,3 +91,71 @@ class TestCompileModel:
             _toy_model(), target="x86", runner=MxnetOneDnnRunner(), fuse=False
         )
         assert baseline.latency_ms > unit.latency_ms
+
+
+class TestTrialValidation:
+    """Functional trial validation: the engine as the tuning oracle."""
+
+    def test_cpu_runner_validates_fresh_searches(self):
+        from repro.core.pipeline import UnitCpuRunner
+        from repro.workloads import Conv2DParams
+
+        runner = UnitCpuRunner(tuning="first_pair", validate=True)
+        params = Conv2DParams(
+            in_channels=8, in_height=6, in_width=6, out_channels=16, kernel=3, name="v"
+        )
+        cost = runner.conv2d_latency(params)
+        assert cost.seconds > 0
+        # A cache hit must not re-validate (validation only guards fresh
+        # records); this just exercises the hit path.
+        again = runner.conv2d_latency(params)
+        assert again.seconds == cost.seconds
+
+    def test_validation_failure_rejects_record(self):
+        from repro.core.pipeline import UnitCpuRunner
+        from repro.rewriter.loop_reorg import TensorizeError
+        from repro.workloads import Conv2DParams
+
+        import pytest as _pytest
+
+        class BrokenValidation(UnitCpuRunner):
+            def _validator(self, kind, params):
+                def check(config):
+                    raise TensorizeError("injected validation failure")
+
+                return check
+
+        runner = BrokenValidation(tuning="first_pair", validate=True)
+        params = Conv2DParams(
+            in_channels=8, in_height=6, in_width=6, out_channels=16, kernel=3, name="b"
+        )
+        with _pytest.raises(TensorizeError):
+            runner.conv2d_latency(params)
+        # The rejected record must not have entered the cache.
+        assert runner.session.cache.stats.size == 0
+
+    def test_gpu_runner_validates(self):
+        from repro.core.pipeline import UnitGpuRunner
+        from repro.workloads import DenseParams
+
+        runner = UnitGpuRunner(mode="generic", validate=True)
+        cost = runner.dense_latency(
+            DenseParams(batch=1, in_features=32, out_features=32, name="gd")
+        )
+        assert cost.seconds > 0
+
+
+    def test_arm_runner_validates_dense(self):
+        """Regression: dense validation must use the intrinsic's operand
+        dtypes (sdot is int8 x int8, not the VNNI uint8 x int8 default)."""
+        from repro.core.pipeline import UnitCpuRunner
+        from repro.hwsim.machine import GRAVITON2
+        from repro.workloads import DenseParams
+
+        runner = UnitCpuRunner(
+            GRAVITON2, "arm.neon.sdot", tuning="first_pair", validate=True
+        )
+        cost = runner.dense_latency(
+            DenseParams(batch=1, in_features=32, out_features=8, name="ad")
+        )
+        assert cost.seconds > 0

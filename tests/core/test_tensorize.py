@@ -11,7 +11,7 @@ import pytest
 
 from repro.core import tensorize
 from repro.rewriter import CpuTuningConfig, GpuTuningConfig, TensorizeError
-from repro.tir import IntrinsicCall, alloc_buffers, collect, run
+from repro.tir import IntrinsicCall, alloc_buffers, collect, execute
 from repro.workloads import (
     Conv2DParams,
     conv2d_hwc,
@@ -27,8 +27,11 @@ from tests.conftest import conv2d_hwc_reference, matmul_reference
 
 
 def _run_and_count_calls(result, rng):
+    # Execute through the vectorized engine — the default validation oracle.
+    # tests/tir/test_engine.py asserts the engine is bit-identical to the
+    # scalar interpreter on these same workload shapes.
     buffers = alloc_buffers(result.func, rng)
-    out = run(result.func, buffers)
+    out = execute(result.func, buffers)
     calls = collect(result.func.body, lambda s: isinstance(s, IntrinsicCall))
     return out, buffers, calls
 

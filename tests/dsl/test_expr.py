@@ -147,3 +147,98 @@ class TestExtractLinear:
         i = Var("i")
         coeffs, const = extract_linear(cast("int32", i * 2), [i])
         assert coeffs == {i: 2} and const == 0
+
+
+class TestInterning:
+    """Hash-consing / memoization layer: cached hashes, memoized traversals."""
+
+    def test_structural_hash_consistent_with_equality(self):
+        from repro.dsl import structural_hash
+
+        a = placeholder((8,), "int32", "a")
+        i, j = Var("i"), Var("j")
+        e1 = a[i] * 2 + 1
+        e2 = a[i] * 2 + 1
+        assert structural_equal(e1, e2)
+        assert structural_hash(e1) == structural_hash(e2)
+        # Variable identity is abstracted (soundness under var_map):
+        e3 = a[j] * 2 + 1
+        assert structural_hash(e1) == structural_hash(e3)
+        # Differing structure must (here) differ in hash:
+        assert structural_hash(e1) != structural_hash(a[i] * 3 + 1)
+
+    def test_structural_hash_cached_on_node(self):
+        from repro.dsl import structural_hash
+
+        a = placeholder((8,), "int32", "a")
+        e = a[Var("i")] + 5
+        h1 = structural_hash(e)
+        assert e._shash == h1
+        assert structural_hash(e) == h1
+
+    def test_structural_equal_memoized(self):
+        from repro.dsl import expr_cache_stats, reset_expr_cache_stats
+
+        a = placeholder((8,), "int32", "a")
+        i = Var("i")
+        e1 = a[i] * 2 + 1
+        e2 = a[i] * 2 + 1
+        reset_expr_cache_stats()
+        assert structural_equal(e1, e2)
+        first_walks = expr_cache_stats().equal_full_walks
+        assert structural_equal(e1, e2)  # second call served from the memo
+        assert expr_cache_stats().equal_full_walks == first_walks
+        assert expr_cache_stats().equal_fast_paths >= 1
+
+    def test_structural_equal_var_map_still_exact(self):
+        a = placeholder((8,), "int32", "a")
+        i, j = Var("i"), Var("j")
+        assert not structural_equal(a[i], a[j])
+        assert structural_equal(a[i], a[j], {i: j})
+
+    def test_simplify_memoized_and_idempotent(self):
+        from repro.dsl import expr_cache_stats, reset_expr_cache_stats
+
+        i = Var("i")
+        e = i * 1 + 0
+        reset_expr_cache_stats()
+        s1 = simplify(e)
+        s2 = simplify(e)
+        assert s1 is s2
+        assert simplify(s1) is s1
+        stats = expr_cache_stats()
+        assert stats.simplify_hits >= 1
+
+    def test_extract_linear_memoized_returns_fresh_dicts(self):
+        from repro.dsl import expr_cache_stats, reset_expr_cache_stats
+
+        i, j = Var("i"), Var("j")
+        e = i * 4 + j
+        reset_expr_cache_stats()
+        coeffs1, const1 = extract_linear(e, [i, j])
+        coeffs2, const2 = extract_linear(e, [i, j])
+        assert coeffs1 == coeffs2 and const1 == const2
+        assert coeffs1 is not coeffs2  # callers may mutate their copy
+        coeffs1[i] = 999
+        coeffs3, _ = extract_linear(e, [i, j])
+        assert coeffs3[i] == 4
+        assert expr_cache_stats().linear_hits >= 2
+        # A different variable set is a different cache entry:
+        assert extract_linear(e, [i]) is None
+
+    def test_arith_signature_matches_isomorphic_shapes(self):
+        from repro.dsl import arith_signature
+
+        a = placeholder((64,), "uint8", "a")
+        b = placeholder((64,), "int8", "b")
+        c = placeholder((16, 4), "uint8", "c")
+        d = placeholder((16, 4), "int8", "d")
+        i, p, q = Var("i"), Var("p"), Var("q")
+        e1 = cast("int32", a[i * 4 + 1]) * cast("int32", b[i])
+        e2 = cast("int32", c[p, q]) * cast("int32", d[q, p])
+        # Same topology/dtypes/opcodes -> same signature, despite different
+        # tensors and index expressions (what register binding may vary).
+        assert arith_signature(e1) == arith_signature(e2)
+        # Operand dtype flip changes the signature:
+        e3 = cast("int32", b[i]) * cast("int32", a[i])
+        assert arith_signature(e1) != arith_signature(e3)

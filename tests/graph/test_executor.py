@@ -74,3 +74,88 @@ class TestExecutor:
         runner = _CountingRunner()
         report = estimate_graph_latency(_toy_graph(), runner)
         assert report.per_node["data"].seconds == 0.0
+
+
+class TestFunctionalExecution:
+    """execute_graph: the vectorized engine as the graph-level oracle."""
+
+    def _graph(self):
+        import numpy as np
+
+        from repro.graph import (
+            Conv2DNode,
+            DenseNode,
+            ElementwiseNode,
+            FlattenNode,
+            GlobalPoolNode,
+            Graph,
+            InputNode,
+            PoolNode,
+            SoftmaxNode,
+        )
+
+        g = Graph("tiny")
+        g.add(InputNode(name="in", shape=TensorShape(3, 12, 12)))
+        g.add(Conv2DNode(name="c1", inputs=["in"], out_channels=8, kernel=3, padding=1))
+        g.add(ElementwiseNode(name="r1", inputs=["c1"], kind="relu"))
+        g.add(PoolNode(name="p1", inputs=["r1"], kind="max", kernel=2, stride=2))
+        g.add(GlobalPoolNode(name="gp", inputs=["p1"]))
+        g.add(FlattenNode(name="fl", inputs=["gp"]))
+        g.add(DenseNode(name="fc", inputs=["fl"], out_features=5))
+        g.add(SoftmaxNode(name="sm", inputs=["fc"]))
+        return g
+
+    def test_engine_matches_scalar_interpreter(self):
+        import numpy as np
+
+        from repro.graph import execute_graph
+
+        g = self._graph()
+        x = np.random.default_rng(0).standard_normal((3, 12, 12)).astype(np.float32)
+        outs_v = execute_graph(g, {"in": x}, rng=np.random.default_rng(7), engine="vector")
+        outs_s = execute_graph(g, {"in": x}, rng=np.random.default_rng(7), engine="scalar")
+        assert set(outs_v) == {n.name for n in g.nodes}
+        for name in outs_v:
+            assert np.array_equal(outs_v[name], outs_s[name]), name
+
+    def test_conv_matches_einsum_reference(self):
+        import numpy as np
+
+        from repro.graph import execute_graph
+
+        g = self._graph()
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 12, 12)).astype(np.float32)
+        w = rng.standard_normal((8, 3, 3, 3)).astype(np.float32)
+        outs = execute_graph(g, {"in": x}, weights={"c1": w}, rng=np.random.default_rng(2))
+        xp = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((8, 12, 12), dtype=np.float32)
+        for y in range(12):
+            for c in range(12):
+                patch = xp[:, y : y + 3, c : c + 3].astype(np.float64)
+                ref[:, y, c] = np.einsum("crs,kcrs->k", patch, w.astype(np.float64))
+        assert np.allclose(outs["c1"], ref, rtol=1e-4, atol=1e-5)
+        assert np.allclose(outs["sm"].sum(), 1.0, rtol=1e-5)
+
+    def test_softmax_and_pool_semantics(self):
+        import numpy as np
+
+        from repro.graph import execute_graph
+
+        g = self._graph()
+        x = np.random.default_rng(3).standard_normal((3, 12, 12)).astype(np.float32)
+        outs = execute_graph(g, {"in": x}, rng=np.random.default_rng(4))
+        relu = outs["r1"]
+        assert (relu >= 0).all()
+        pooled = outs["p1"]
+        assert pooled.shape == (8, 6, 6)
+        # max pooling dominates every window element
+        assert (pooled >= relu[:, ::2, ::2]).all()
+
+    def test_missing_input_raises(self):
+        import pytest as _pytest
+
+        from repro.graph import execute_graph
+
+        with _pytest.raises(KeyError):
+            execute_graph(self._graph(), {})

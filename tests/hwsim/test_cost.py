@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hwsim import CostBreakdown
+from repro.hwsim import CostBreakdown, RATIO_DETAIL_KEYS
 
 
 class TestCostBreakdownAdd:
@@ -31,12 +31,39 @@ class TestCostBreakdownAdd:
         assert a.detail == {"macs": 1.0}
         assert b.detail == {"macs": 2.0}
 
-    def test_scaled_preserves_detail(self):
-        a = CostBreakdown(seconds=1.0, detail={"macs": 100.0})
+    def test_scaled_scales_counter_details(self):
+        """Regression: ``scaled`` used to leave counter-like detail entries
+        (macs, traffic bytes) unscaled while ``__add__`` sums them, so
+        ``cost.scaled(2)`` and ``cost + cost`` disagreed."""
+        a = CostBreakdown(seconds=1.0, detail={"macs": 100.0, "bytes": 64.0})
         scaled = a.scaled(2.0)
         assert scaled.seconds == pytest.approx(2.0)
-        assert scaled.detail == {"macs": 100.0}
+        assert scaled.detail == {"macs": 200.0, "bytes": 128.0}
         assert scaled.detail is not a.detail
+        assert a.detail == {"macs": 100.0, "bytes": 64.0}
+
+    def test_scaled_matches_repeated_addition(self):
+        a = CostBreakdown(seconds=0.5, compute_seconds=0.25, detail={"macs": 10.0})
+        tripled = a.scaled(3)
+        summed = a + a + a
+        assert tripled.seconds == pytest.approx(summed.seconds)
+        assert tripled.compute_seconds == pytest.approx(summed.compute_seconds)
+        assert tripled.detail == pytest.approx(summed.detail)
+
+    def test_add_preserves_ratio_details(self):
+        """Summing ratio entries is meaningless; addition keeps the left
+        operand's value, consistent with ``scaled``."""
+        a = CostBreakdown(seconds=1.0, detail={"ipc": 2.5, "macs": 4.0})
+        b = CostBreakdown(seconds=1.0, detail={"ipc": 3.5, "macs": 6.0})
+        total = a + b
+        assert total.detail == {"ipc": 2.5, "macs": 10.0}
+
+    def test_scaled_preserves_ratio_details(self):
+        """Ratio-like entries are work-independent and must not scale."""
+        assert "ipc" in RATIO_DETAIL_KEYS
+        a = CostBreakdown(seconds=1.0, detail={"ipc": 2.5, "efficiency": 0.8, "macs": 4.0})
+        scaled = a.scaled(4.0)
+        assert scaled.detail == {"ipc": 2.5, "efficiency": 0.8, "macs": 16.0}
 
     def test_unit_conversions(self):
         cost = CostBreakdown(seconds=2.5e-3)

@@ -57,14 +57,15 @@ class TestCpuSchedule:
 
     def test_correctness_after_cpu_schedule(self, rng):
         from repro.rewriter import replace_tensorize
-        from repro.tir import alloc_buffers, lower, run
+        from repro.tir import alloc_buffers, execute, lower
+
         from tests.conftest import conv2d_hwc_reference
 
         spec = _conv_spec()
         apply_cpu_schedule(spec, CpuTuningConfig(parallel_extent=100, unroll_limit=4))
         func = replace_tensorize(lower(spec.schedule), spec)
         buffers = alloc_buffers(func, rng)
-        result = run(func, buffers)
+        result = execute(func, buffers)
         data, weight = (buffers[t] for t in func.inputs)
         assert np.array_equal(result, conv2d_hwc_reference(data, weight))
 

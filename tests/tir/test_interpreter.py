@@ -112,3 +112,84 @@ def test_property_matmul_random_shapes(m, n, k):
     result = run(func, buffers)
     a, b = (buffers[t] for t in func.inputs)
     assert np.array_equal(result, matmul_reference(a, b, transpose_b=True))
+
+
+class TestVectorExprs:
+    """Ramp / Broadcast / Shuffle evaluate as whole lane groups."""
+
+    def test_ramp_gather_store(self, rng):
+        from repro.dsl.expr import Const, Ramp, Var
+        from repro.dsl.tensor import Tensor
+        from repro.tir import For, PrimFunc, Store
+
+        a = placeholder((2, 6), "int32", "a")
+        out_t = Tensor((2, 6), "int32", "out")
+        i = Var("i")
+        lanes = Ramp(Const(0), 1, 6)
+        func = PrimFunc(
+            "ramped", [a, out_t], For(i, 2, Store(out_t, [i, lanes], a[i, lanes] * 2)), op=None
+        )
+        buffers = alloc_buffers(func, rng)
+        result = run(func, buffers)
+        assert np.array_equal(result, buffers[a] * 2)
+
+    def test_broadcast_and_shuffle(self, rng):
+        from repro.dsl.expr import Broadcast, Const, Ramp, Shuffle, Var
+        from repro.dsl.tensor import Tensor
+        from repro.tir import For, PrimFunc, Store
+
+        a = placeholder((8,), "int32", "a")
+        out_t = Tensor((8,), "int32", "out")
+        value = Shuffle([a[Ramp(Const(4), 1, 4)], a[Ramp(Const(0), 1, 4)]])
+        value = value + Broadcast(Const(10), 8)
+        func = PrimFunc(
+            "shuffled", [a, out_t], Store(out_t, [Ramp(Const(0), 1, 8)], value), op=None
+        )
+        buffers = alloc_buffers(func, rng)
+        result = run(func, buffers)
+        expected = np.concatenate([buffers[a][4:], buffers[a][:4]]) + 10
+        assert np.array_equal(result, expected)
+
+
+class TestEdgeCaseStatements:
+    def test_if_then_else_guard_skips_stores(self, rng):
+        from repro.dsl.expr import Compare, Const, Var
+        from repro.dsl.tensor import Tensor
+        from repro.tir import For, IfThenElse, PrimFunc, Store
+
+        a = placeholder((6,), "int32", "a")
+        out_t = Tensor((6,), "int32", "out")
+        i = Var("i")
+        body = For(
+            i, 6, IfThenElse(Compare("<", i, Const(4)), Store(out_t, [i], a[i] + 1))
+        )
+        func = PrimFunc("guarded", [a, out_t], body, op=None)
+        buffers = alloc_buffers(func, rng)
+        result = run(func, buffers)
+        assert np.array_equal(result[:4], buffers[a][:4] + 1)
+        assert np.array_equal(result[4:], np.zeros(2, dtype=np.int32))
+
+    def test_allocate_scratch_is_zero_initialised(self, rng):
+        from repro.dsl.expr import Var
+        from repro.dsl.tensor import Tensor
+        from repro.tir import Allocate, For, PrimFunc, Store, seq
+
+        a = placeholder((4,), "int32", "a")
+        out_t = Tensor((4,), "int32", "out")
+        scratch = Tensor((4,), "int32", "scratch")
+        i, j = Var("i"), Var("j")
+        # Only even scratch slots are written; odd slots must read as zero.
+        body = Allocate(
+            scratch,
+            seq(
+                For(i, 2, Store(scratch, [i * 2], a[i * 2])),
+                For(j, 4, Store(out_t, [j], scratch[j] + 1)),
+            ),
+        )
+        func = PrimFunc("alloc", [a, out_t], body, op=None)
+        buffers = alloc_buffers(func, rng)
+        result = run(func, buffers)
+        expected = np.array(
+            [buffers[a][0] + 1, 1, buffers[a][2] + 1, 1], dtype=np.int32
+        )
+        assert np.array_equal(result, expected)
