@@ -1,0 +1,252 @@
+"""Distributed-tuning benchmark: worker scaling, store contention, zero loss.
+
+Not a paper figure — this tracks the sharded concurrent tuning store and the
+distributed worker pool themselves.  Three sections:
+
+* **single_process** — the reference: one ``TuningSession`` tunes the Table I
+  layer set serially; its best configs/costs are the ground truth every
+  distributed run must reproduce bit-identically;
+* **runs** — 1/2/4/8-worker ``DistributedTuner`` sweeps over the same layer
+  set, each into a fresh ``ShardedTuningStore``; per run the elapsed time,
+  speedup over one worker, store contention stats (lock waits, contended
+  acquisitions) and the record-integrity checks (no lost, corrupt or stale
+  records; configs identical to the reference);
+* **stress** — raw concurrent-append hammering: N processes blind-append M
+  records each into one store (no tuning, maximum lock pressure), then the
+  store is reloaded and every record must be present and intact.
+
+Run standalone to write ``BENCH_distributed_tuning.json`` (the CI
+``tuning-stress`` job uploads it as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_distributed_tuning.py [--smoke] \
+        [--workers N] [--layers K] [-o OUT]
+
+``--smoke`` runs a single worker count (default 4) plus the stress section
+and asserts the integrity invariants — the CI gate.  Every integrity check is
+asserted in full mode too; ``--smoke`` only trims the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+
+from repro.core import UnitCpuRunner
+from repro.hwsim import CostBreakdown
+from repro.rewriter import (
+    DistributedTuner,
+    ShardedTuningStore,
+    TuningKey,
+    TuningRecord,
+    TuningSession,
+    tasks_from_layers,
+)
+from repro.workloads.table1 import TABLE1_LAYERS
+
+STRESS_PROCESSES = 4
+STRESS_RECORDS_EACH = 25
+
+
+def bench_single_process(layers) -> dict:
+    """The serial reference run: ground-truth configs, costs and trials."""
+    session = TuningSession()
+    runner = UnitCpuRunner(session=session)
+    t0 = time.perf_counter()
+    for params in layers:
+        runner.conv2d_latency(params)
+    elapsed = time.perf_counter() - t0
+    return {
+        "layers": len(layers),
+        "elapsed_s": elapsed,
+        "trials": session.trials_run,
+        "records": len(session.cache),
+        "_session": session,  # stripped before serialisation
+    }
+
+
+def bench_workers(layers, workers: int, reference: TuningSession, root: str) -> dict:
+    """One distributed sweep; asserts integrity against the reference."""
+    store = ShardedTuningStore(os.path.join(root, f"store-w{workers}"), shards=8)
+    tuner = DistributedTuner(store, workers=workers)
+    report = tuner.run(tasks_from_layers(layers))
+
+    reloaded = store.load()
+    stats = store.stats  # this handle read every shard during load()
+    reference_records = reference.cache.records()
+    lost = sum(1 for record in reference_records if reloaded.lookup(record.key) is None)
+    mismatched = 0
+    for record in reference_records:
+        got = reloaded.lookup(record.key)
+        if got is None:
+            continue
+        if got.best_config != record.best_config or got.best_cost != record.best_cost:
+            mismatched += 1
+    contention = report.store_stats()
+    row = {
+        "workers": workers,
+        "elapsed_s": report.elapsed_s,
+        "trials": report.trials,
+        "searches": report.searches,
+        "tasks_per_worker": [w.tasks_done for w in report.workers],
+        "records": len(reloaded),
+        "lost_records": lost,
+        "mismatched_records": mismatched,
+        "corrupt_lines": stats.corrupt_lines,
+        "stale_records": stats.stale_records,
+        "contention": {
+            "appends": contention.appends,
+            "lock_acquisitions": contention.lock_acquisitions,
+            "lock_contentions": contention.lock_contentions,
+            "lock_wait_ms": contention.lock_wait_seconds * 1e3,
+        },
+    }
+    assert report.complete, "lease coverage incomplete or overlapping"
+    assert lost == 0, f"{lost} records lost under {workers} concurrent writers"
+    assert mismatched == 0, (
+        f"{mismatched} records diverged from the single-process reference"
+    )
+    assert stats.corrupt_lines == 0, f"{stats.corrupt_lines} corrupt lines on reload"
+    assert stats.stale_records == 0, f"{stats.stale_records} stale records on reload"
+    return row
+
+
+def _stress_appender(root: str, worker: int, count: int) -> None:
+    """Blind-append ``count`` distinct records into the shared store."""
+    store = ShardedTuningStore(root)
+    for index in range(count):
+        key = TuningKey(
+            kind="stress",
+            params=(("worker", worker), ("index", index)),
+            intrinsic="none",
+            machine="stress-rig",
+            space="stress@00",
+        )
+        store.put(
+            TuningRecord(
+                key=key,
+                best_config=None,
+                best_cost=float(worker * count + index),
+                num_trials=1,
+                breakdown=CostBreakdown(seconds=float(index) + 1.0),
+            )
+        )
+
+
+def bench_stress(root: str, processes: int, records_each: int) -> dict:
+    """Concurrent blind appends: every record must survive, byte-intact."""
+    store_root = os.path.join(root, "store-stress")
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(target=_stress_appender, args=(store_root, worker, records_each))
+        for worker in range(processes)
+    ]
+    t0 = time.perf_counter()
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+    elapsed = time.perf_counter() - t0
+    failed = [p.exitcode for p in procs if p.exitcode != 0]
+    assert not failed, f"stress appender exit codes: {failed}"
+
+    store = ShardedTuningStore(store_root)
+    reloaded = store.load()
+    stats = store.stats
+    expected = processes * records_each
+    row = {
+        "processes": processes,
+        "records_each": records_each,
+        "elapsed_s": elapsed,
+        "records_expected": expected,
+        "records_found": len(reloaded),
+        "corrupt_lines": stats.corrupt_lines,
+        "stale_records": stats.stale_records,
+    }
+    assert len(reloaded) == expected, (
+        f"lost records under concurrent append: {len(reloaded)}/{expected}"
+    )
+    assert stats.corrupt_lines == 0 and stats.stale_records == 0
+    # Spot-check payload integrity, not just key presence.
+    probe = TuningKey(
+        kind="stress",
+        params=(("worker", 0), ("index", 0)),
+        intrinsic="none",
+        machine="stress-rig",
+        space="stress@00",
+    )
+    assert reloaded.lookup(probe).best_cost == 0.0
+    return row
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single worker count + stress section only (the CI gate)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="smoke-mode worker count (full mode sweeps 1/2/4/8)",
+    )
+    parser.add_argument(
+        "--layers", type=int, default=len(TABLE1_LAYERS), help="Table I layers to tune"
+    )
+    parser.add_argument("-o", "--output", default="BENCH_distributed_tuning.json")
+    args = parser.parse_args(argv)
+
+    layers = TABLE1_LAYERS[: args.layers]
+    worker_counts = [args.workers or 4] if args.smoke else [1, 2, 4, 8]
+
+    single = bench_single_process(layers)
+    reference = single.pop("_session")
+    print(
+        f"single process : {single['elapsed_s'] * 1e3:8.1f} ms  "
+        f"({single['trials']} trials, {single['records']} records)"
+    )
+
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="bench_distributed_tuning.") as root:
+        for workers in worker_counts:
+            row = bench_workers(layers, workers, reference, root)
+            runs.append(row)
+            print(
+                f"{workers} worker(s)    : {row['elapsed_s'] * 1e3:8.1f} ms  "
+                f"lost={row['lost_records']} corrupt={row['corrupt_lines']} "
+                f"contentions={row['contention']['lock_contentions']} "
+                f"(waited {row['contention']['lock_wait_ms']:.1f} ms)"
+            )
+        base = runs[0]["elapsed_s"]
+        for row in runs:
+            row["speedup_vs_1_worker"] = base / row["elapsed_s"] if row["elapsed_s"] else 0.0
+
+        stress = bench_stress(root, STRESS_PROCESSES, STRESS_RECORDS_EACH)
+        print(
+            f"stress         : {stress['processes']} procs x "
+            f"{stress['records_each']} appends -> "
+            f"{stress['records_found']}/{stress['records_expected']} records, "
+            f"{stress['corrupt_lines']} corrupt"
+        )
+
+    report = {
+        "benchmark": "distributed_tuning",
+        "smoke": bool(args.smoke),
+        "single_process": single,
+        "runs": runs,
+        "stress": stress,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main() else 1)

@@ -1,0 +1,131 @@
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+The CI ``bench-smoke`` job runs the compile-time benchmark and then gates the
+pipeline on this script: timings may drift with runner hardware, but a
+multiple-of-baseline blowup is a real regression.  Tolerances are therefore
+generous (default 3x) and only *meaningful* metrics are compared:
+
+* keys ending in ``_s`` or ``_ms`` are wall-clock timings — **worse when
+  larger**; fail when ``fresh > baseline * tolerance``.  Timings below the
+  floor (default 5 ms) are noise-dominated and skipped;
+* keys containing ``speedup`` are **better when larger**; fail when
+  ``fresh < baseline / tolerance``;
+* everything else (counters, flags, labels) is informational and ignored.
+
+Keys present on only one side are reported as warnings, not failures, so the
+benchmark schema can grow without breaking the gate.
+
+Usage::
+
+    python benchmarks/check_regression.py FRESH.json BASELINE.json \
+        [--tolerance 3.0] [--floor-ms 5.0]
+
+Exit status 0 when no metric regressed, 1 otherwise (with a per-metric
+report either way).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterator, List, Tuple
+
+
+def _numeric_leaves(data, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Flatten nested dicts/lists into dotted-path -> numeric-leaf pairs."""
+    if isinstance(data, dict):
+        for key, value in data.items():
+            yield from _numeric_leaves(value, f"{prefix}.{key}" if prefix else str(key))
+    elif isinstance(data, list):
+        for index, value in enumerate(data):
+            yield from _numeric_leaves(value, f"{prefix}[{index}]")
+    elif isinstance(data, bool):
+        return  # bools are ints to isinstance(); they are flags, not metrics
+    elif isinstance(data, (int, float)):
+        yield prefix, float(data)
+
+
+def _metric_kind(path: str) -> str:
+    leaf = path.rsplit(".", 1)[-1].split("[")[0]
+    if "speedup" in leaf:
+        return "higher_is_better"
+    if leaf.endswith("_s") or leaf.endswith("_ms"):
+        return "lower_is_better"
+    return "ignored"
+
+
+def _in_seconds(path: str, value: float) -> float:
+    return value / 1e3 if path.rsplit(".", 1)[-1].split("[")[0].endswith("_ms") else value
+
+
+def compare(fresh: dict, base: dict, tolerance: float, floor_s: float):
+    """Returns (failures, checks, warnings) as lists of report lines."""
+    fresh_leaves = dict(_numeric_leaves(fresh))
+    base_leaves = dict(_numeric_leaves(base))
+    failures: List[str] = []
+    checks: List[str] = []
+    warnings: List[str] = []
+    for path, base_value in sorted(base_leaves.items()):
+        kind = _metric_kind(path)
+        if kind == "ignored":
+            continue
+        if path not in fresh_leaves:
+            warnings.append(f"missing from fresh results: {path}")
+            continue
+        fresh_value = fresh_leaves[path]
+        if kind == "lower_is_better":
+            if _in_seconds(path, base_value) < floor_s:
+                continue  # noise-dominated
+            limit = base_value * tolerance
+            ok = fresh_value <= limit
+            line = f"{path}: {fresh_value:.4g} vs baseline {base_value:.4g} (limit {limit:.4g})"
+        else:
+            limit = base_value / tolerance
+            ok = fresh_value >= limit
+            line = f"{path}: {fresh_value:.4g} vs baseline {base_value:.4g} (floor {limit:.4g})"
+        (checks if ok else failures).append(("PASS " if ok else "FAIL ") + line)
+    for path in sorted(set(fresh_leaves) - set(base_leaves)):
+        if _metric_kind(path) != "ignored":
+            warnings.append(f"not in baseline (uncompared): {path}")
+    return failures, checks, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly produced benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--tolerance", type=float, default=3.0, help="allowed multiple of baseline"
+    )
+    parser.add_argument(
+        "--floor-ms",
+        type=float,
+        default=5.0,
+        help="skip timings whose baseline is below this (noise)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    with open(args.baseline) as handle:
+        base = json.load(handle)
+
+    failures, checks, warnings = compare(
+        fresh, base, args.tolerance, args.floor_ms / 1e3
+    )
+    for line in checks:
+        print(line)
+    for line in warnings:
+        print("WARN", line)
+    for line in failures:
+        print(line)
+    print(
+        f"{len(checks)} ok, {len(failures)} regressed, {len(warnings)} warnings "
+        f"(tolerance {args.tolerance}x, floor {args.floor_ms} ms)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

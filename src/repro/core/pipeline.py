@@ -33,6 +33,7 @@ from ..rewriter.cpu_tuner import CpuTuningConfig, cpu_tuning_candidates
 from ..rewriter.gpu_tuner import GpuTuningConfig, gpu_tuning_candidates
 from ..rewriter.records import TuningKey, params_fingerprint, space_fingerprint
 from ..rewriter.session import TuningSession
+from ..rewriter.store import ShardedTuningStore
 from ..rewriter.tuner import TuningResult
 from ..workloads.conv2d import Conv2DParams
 from ..workloads.conv3d import Conv3DParams
@@ -309,6 +310,7 @@ def compile_model(
     quantize: bool = True,
     fuse: bool = True,
     session: Optional[TuningSession] = None,
+    store=None,
 ) -> CompiledModel:
     """Compile a model end to end for ``target`` and estimate its latency.
 
@@ -319,9 +321,20 @@ def compile_model(
     ``session`` is forwarded to the default UNIT runner so repeated
     compilations share one tuning cache; it is ignored when an explicit
     ``runner`` is supplied (construct that runner with the session instead).
+
+    ``store`` backs the default session with a
+    :class:`~repro.rewriter.store.ShardedTuningStore`, so this compile reads
+    records other processes published (e.g. a distributed pre-tuning pass)
+    and publishes its own fresh searches for them.
     """
     if target not in ("x86", "arm", "cuda"):
         raise ValueError(f"unknown target {target!r}")
+    if runner is not None and store is not None:
+        raise ValueError(
+            "store= only applies to the default UNIT runner; construct the "
+            "explicit runner with a store-backed session instead"
+        )
+    session = _resolve_session(session, store)
     work = graph
     if quantize:
         work = quantize_graph(work, "float16" if target == "cuda" else "int8")
@@ -342,12 +355,37 @@ def compile_model(
     )
 
 
+def _resolve_session(
+    session: Optional[TuningSession], store
+) -> Optional[TuningSession]:
+    """Combine the ``session=`` and ``store=`` conveniences coherently.
+
+    ``store`` may be a :class:`ShardedTuningStore` or a path to one (the same
+    coercion :class:`~repro.rewriter.workers.DistributedTuner` applies), so
+    the mistake surfaces at the API boundary rather than mid-compile.
+    """
+    if store is not None and not isinstance(store, ShardedTuningStore):
+        store = ShardedTuningStore(store)
+    if session is not None:
+        if store is not None and session.store is not store:
+            raise ValueError(
+                "pass either store= or a session constructed with that store, "
+                "not a session bound elsewhere"
+            )
+        return session
+    if store is not None:
+        return TuningSession(store=store)
+    return None
+
+
 def compile_model_batch(
     models: Iterable[Union[str, Graph]],
     targets: Sequence[str] = ("x86",),
     session: Optional[TuningSession] = None,
     quantize: bool = True,
     fuse: bool = True,
+    store=None,
+    workers: Optional[int] = None,
 ) -> List[CompiledModel]:
     """Compile many models for many targets through one shared tuning session.
 
@@ -357,13 +395,65 @@ def compile_model_batch(
     models and models repeated across calls hit the shared cache instead of
     re-tuning, which is what makes sweeping the model zoo cheap.  Returns one
     :class:`CompiledModel` per (model, target) pair, model-major.
+
+    ``store`` backs the batch's session with a sharded on-disk store, and
+    ``workers > 1`` additionally *pre-tunes* through it in parallel: every
+    distinct tunable operator across the whole (model x target) sweep is
+    collected, fanned out over that many worker processes
+    (:class:`~repro.rewriter.workers.DistributedTuner`), and published into
+    the store; the subsequent per-model compiles then run entirely against
+    warm records.  Results are bit-identical to the single-process path —
+    workers search with the result-deterministic parallel driver.
     """
-    session = session if session is not None else TuningSession()
+    session = _resolve_session(session, store)
+    if session is None:
+        session = TuningSession()
     from ..models.zoo import get_model
 
+    graphs = [
+        get_model(model, fresh=True) if isinstance(model, str) else model
+        for model in models
+    ]
+    if workers is not None and workers > 1:
+        if session.store is None:
+            raise ValueError(
+                "workers > 1 requires a sharded store (pass store= or a "
+                "store-backed session) so worker processes can share records"
+            )
+        from ..rewriter.records import params_fingerprint
+        from ..rewriter.workers import DistributedTuner, tasks_from_graph
+
+        tasks, seen = [], set()
+        for graph in graphs:
+            for target in targets:
+                for task in tasks_from_graph(
+                    graph, target=target, quantize=quantize, fuse=fuse
+                ):
+                    identity = (
+                        task.kind,
+                        params_fingerprint(task.params),
+                        task.runner,
+                        task.machine,
+                        task.intrinsic,
+                        task.tuning,
+                    )
+                    if identity not in seen:
+                        seen.add(identity)
+                        tasks.append(task)
+        if tasks:
+            # The workers must search exactly as this session would: a
+            # strategy mismatch would publish records under keys the
+            # session's lookups (see TuningSession._record_key) never hit.
+            DistributedTuner(
+                session.store,
+                workers=workers,
+                strategy=session.strategy,
+                max_workers=session.max_workers,
+                early_exit_k=session.early_exit_k,
+            ).run(tasks)
+
     compiled: List[CompiledModel] = []
-    for model in models:
-        graph = get_model(model, fresh=True) if isinstance(model, str) else model
+    for graph in graphs:
         for target in targets:
             compiled.append(
                 compile_model(

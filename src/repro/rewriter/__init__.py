@@ -32,6 +32,25 @@ driver) that should share records::
 stops a search after ``early_exit_k`` non-improving candidates.  Hit/miss
 counters live on ``session.stats``; ``session.trials_run`` counts every
 profiled candidate, which is how tests assert that a warm cache does no work.
+
+Sharded store and distributed workers
+-------------------------------------
+
+For *concurrent* writers — several processes tuning into one cache — back the
+session with a :class:`ShardedTuningStore` (records partitioned across
+lock-protected append-only JSONL shards, versioned by schema and cost-model
+fingerprint) and optionally fan the tuning problems out across worker
+processes with :class:`DistributedTuner`::
+
+    from repro.rewriter import DistributedTuner, ShardedTuningStore, TuningSession
+    from repro.rewriter.workers import tasks_from_layers
+    from repro.workloads.table1 import TABLE1_LAYERS
+
+    store = ShardedTuningStore("tuning_store", shards=8)
+    DistributedTuner(store, workers=4).run(tasks_from_layers(TABLE1_LAYERS))
+
+    session = TuningSession(store=store)   # reads through: memory -> shard
+    # ... every Table-1 record now hits without a single tuning trial.
 """
 
 from .cpu_tuner import (
@@ -50,15 +69,29 @@ from .gpu_tuner import (
 )
 from .loop_reorg import TensorizeError, TensorizeSpec, reorganize_loops
 from .records import (
+    SCHEMA_VERSION,
     CacheStats,
     TuningCache,
     TuningKey,
     TuningRecord,
+    cost_model_fingerprint,
+    decode_record_line,
     params_fingerprint,
+    record_staleness,
     space_fingerprint,
 )
 from .replace import build_intrinsic_call, has_tensorize_pragma, replace_tensorize
 from .session import TuningSession
+from .store import FileLock, LockTimeout, ShardedTuningStore, StoreStats
+from .workers import (
+    DistributedReport,
+    DistributedTuner,
+    LeaseFile,
+    TuningTask,
+    WorkerReport,
+    tasks_from_graph,
+    tasks_from_layers,
+)
 from .tuner import (
     TuningResult,
     TuningTrial,
@@ -98,4 +131,19 @@ __all__ = [
     "CacheStats",
     "params_fingerprint",
     "space_fingerprint",
+    "SCHEMA_VERSION",
+    "cost_model_fingerprint",
+    "record_staleness",
+    "decode_record_line",
+    "FileLock",
+    "LockTimeout",
+    "ShardedTuningStore",
+    "StoreStats",
+    "DistributedTuner",
+    "DistributedReport",
+    "LeaseFile",
+    "TuningTask",
+    "WorkerReport",
+    "tasks_from_graph",
+    "tasks_from_layers",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -36,7 +37,81 @@ __all__ = [
     "CacheStats",
     "params_fingerprint",
     "space_fingerprint",
+    "SCHEMA_VERSION",
+    "cost_model_fingerprint",
+    "record_staleness",
+    "decode_record_line",
 ]
+
+# Version of the persisted record format.  Bump on any change to the JSON
+# envelope so old stores are invalidated wholesale instead of misread.
+SCHEMA_VERSION = 2
+
+# The modules whose behaviour determines every stored cost: a record tuned
+# under one cost model must not be served once the model changes.
+_COST_MODEL_MODULES = ("cost", "cpu", "gpu", "machine")
+
+_cost_model_fingerprint: Optional[str] = None
+
+
+def cost_model_fingerprint(refresh: bool = False) -> str:
+    """A digest of the ``hwsim`` cost-model sources, baked into every
+    persisted record.
+
+    Tuning records are only as good as the analytical machine models that
+    produced them: editing ``hwsim/cost.py`` (or the CPU/GPU kernel models)
+    silently changes every stored ``best_cost`` and possibly every winner.
+    Loaders compare this fingerprint and drop records tuned under a
+    different model instead of serving stale winners.
+    """
+    global _cost_model_fingerprint
+    if _cost_model_fingerprint is None or refresh:
+        from .. import hwsim
+
+        digest = hashlib.md5()
+        root = os.path.dirname(os.path.abspath(hwsim.__file__))
+        for module in _COST_MODEL_MODULES:
+            with open(os.path.join(root, module + ".py"), "rb") as handle:
+                digest.update(handle.read())
+        _cost_model_fingerprint = digest.hexdigest()[:12]
+    return _cost_model_fingerprint
+
+
+def record_staleness(data: Dict) -> Optional[str]:
+    """Why a decoded record line must not be served, or ``None`` if current.
+
+    A line is stale when it predates record versioning entirely, was written
+    under a different schema version, or was tuned under a different cost
+    model.  The reason string feeds the loader's :class:`CacheStats`
+    accounting and error messages.
+    """
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        return f"schema version {schema!r} != {SCHEMA_VERSION}"
+    fingerprint = data.get("cost_model")
+    if fingerprint != cost_model_fingerprint():
+        return f"cost model {fingerprint!r} != {cost_model_fingerprint()!r}"
+    return None
+
+
+def decode_record_line(line: str):
+    """Decode one persisted JSONL line: ``(record, None)`` on success,
+    ``(None, "corrupt")`` for undecodable bytes (torn tails, interleaved
+    writes, JSON-valid non-objects), ``(None, "stale")`` for well-formed
+    records from another schema version or cost model.
+
+    The single definition of "valid line" shared by :meth:`TuningCache.load`
+    and the sharded store, so both loaders always agree on what is servable.
+    """
+    try:
+        data = json.loads(line)
+        if not isinstance(data, dict):
+            return None, "corrupt"
+        if record_staleness(data) is not None:
+            return None, "stale"
+        return TuningRecord.from_json(data), None
+    except (ValueError, KeyError, TypeError):
+        return None, "corrupt"
 
 
 def params_fingerprint(params) -> Tuple[Tuple[str, object], ...]:
@@ -156,6 +231,8 @@ class TuningRecord:
 
     def to_json(self) -> Dict:
         return {
+            "schema": SCHEMA_VERSION,
+            "cost_model": cost_model_fingerprint(),
             "key": self.key.to_json(),
             "config": _encode_config(self.best_config),
             "cost": self.best_cost,
@@ -176,11 +253,18 @@ class TuningRecord:
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting for one :class:`TuningCache`."""
+    """Hit/miss accounting for one :class:`TuningCache`.
+
+    ``corrupt`` counts persisted lines that could not be decoded at all
+    (truncated tails, interleaved writes); ``stale`` counts well-formed lines
+    dropped by version/cost-model checks (:func:`record_staleness`).
+    """
 
     hits: int = 0
     misses: int = 0
     size: int = 0
+    corrupt: int = 0
+    stale: int = 0
 
     @property
     def lookups(self) -> int:
@@ -203,6 +287,8 @@ class TuningCache:
         self._records: Dict[TuningKey, TuningRecord] = {}
         self._hits = 0
         self._misses = 0
+        self._corrupt = 0
+        self._stale = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -231,10 +317,18 @@ class TuningCache:
     def reset_stats(self) -> None:
         self._hits = 0
         self._misses = 0
+        self._corrupt = 0
+        self._stale = 0
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self._hits, misses=self._misses, size=len(self._records))
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._records),
+            corrupt=self._corrupt,
+            stale=self._stale,
+        )
 
     # -- persistence ----------------------------------------------------------
     def save(self, path) -> int:
@@ -245,11 +339,19 @@ class TuningCache:
                 handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
         return len(records)
 
-    def load(self, path) -> int:
+    def load(self, path, strict: bool = False) -> int:
         """Merge records from ``path`` into this cache; returns the count read.
 
         Loaded records overwrite in-memory records with the same key, so a
         cache file is authoritative over whatever was tuned before the load.
+
+        A reader may race a writer that has appended only part of a line, or
+        inherit a file truncated by a crash; such undecodable lines are
+        skipped and counted (``stats.corrupt``) rather than raised, so the
+        valid prefix of the file is always usable.  Well-formed records
+        written under a different schema version or cost-model fingerprint
+        are likewise skipped and counted (``stats.stale``).  Pass
+        ``strict=True`` to raise on the first corrupt line instead.
         """
         count = 0
         with open(path, "r", encoding="utf-8") as handle:
@@ -257,7 +359,16 @@ class TuningCache:
                 line = line.strip()
                 if not line:
                     continue
-                self.insert(TuningRecord.from_json(json.loads(line)))
+                record, problem = decode_record_line(line)
+                if record is None:
+                    if problem == "stale":
+                        self._stale += 1
+                    elif strict:
+                        raise ValueError(f"corrupt tuning-record line: {line[:80]!r}")
+                    else:
+                        self._corrupt += 1
+                    continue
+                self.insert(record)
                 count += 1
         return count
 

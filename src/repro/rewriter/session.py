@@ -43,6 +43,13 @@ class TuningSession:
     profiles every candidate, ``"parallel"`` profiles them on a thread pool
     (same result, deterministic tie-breaking), ``"early_exit"`` stops after
     ``early_exit_k`` consecutive candidates fail to improve the best cost.
+
+    ``store`` optionally backs the session with a
+    :class:`~repro.rewriter.store.ShardedTuningStore`: lookups read through
+    (memory -> shard -> miss) and every fresh search's record is written
+    through to the store, so concurrent sessions in other processes — e.g.
+    :class:`~repro.rewriter.workers.DistributedTuner` workers — see each
+    other's winners.
     """
 
     def __init__(
@@ -51,6 +58,7 @@ class TuningSession:
         strategy: str = "exhaustive",
         max_workers: Optional[int] = None,
         early_exit_k: int = 8,
+        store=None,
     ) -> None:
         if strategy not in SEARCH_STRATEGIES:
             raise ValueError(f"strategy must be one of {SEARCH_STRATEGIES}")
@@ -58,6 +66,8 @@ class TuningSession:
         self.strategy = strategy
         self.max_workers = max_workers
         self.early_exit_k = early_exit_k
+        self.store = store
+        self.store_hits = 0
         self.trials_run = 0
         self.searches_run = 0
 
@@ -101,7 +111,7 @@ class TuningSession:
         record never enters the cache unvalidated.
         """
         key = self._record_key(key)
-        record = self.cache.lookup(key)
+        record = self._lookup(key)
         if record is not None:
             return record
         result = self._search(candidates, lambda cfg: evaluate(cfg).seconds)
@@ -116,7 +126,7 @@ class TuningSession:
             breakdown=best,
             result=result,
         )
-        self.cache.insert(record)
+        self._publish(record)
         self.trials_run += result.num_trials
         self.searches_run += 1
         return record
@@ -125,7 +135,7 @@ class TuningSession:
         self, key: TuningKey, compute: Callable[[], CostBreakdown]
     ) -> CostBreakdown:
         """Cache a single cost with no search (library-baseline latencies)."""
-        record = self.cache.lookup(key)
+        record = self._lookup(key)
         if record is None:
             cost = compute()
             record = TuningRecord(
@@ -135,8 +145,26 @@ class TuningSession:
                 num_trials=0,
                 breakdown=cost,
             )
-            self.cache.insert(record)
+            self._publish(record)
         return record.breakdown
+
+    # -- the store tier -------------------------------------------------------
+    def _lookup(self, key: TuningKey) -> Optional[TuningRecord]:
+        """Memory -> shard -> miss.  A shard hit is promoted into memory so
+        subsequent lookups keep the cheap identity semantics (and stop paying
+        the store read)."""
+        record = self.cache.lookup(key)
+        if record is None and self.store is not None:
+            record = self.store.get(key)
+            if record is not None:
+                self.store_hits += 1
+                self.cache.insert(record)
+        return record
+
+    def _publish(self, record: TuningRecord) -> None:
+        self.cache.insert(record)
+        if self.store is not None:
+            self.store.put(record)
 
     # -- persistence + accounting --------------------------------------------
     def save(self, path) -> int:
@@ -151,8 +179,9 @@ class TuningSession:
 
     def summary(self) -> str:
         s = self.stats
+        store = f", {self.store_hits} store hits" if self.store is not None else ""
         return (
             f"TuningSession[{self.strategy}]: {s.size} records, "
-            f"{s.hits} hits / {s.misses} misses ({s.hit_rate:.0%}), "
+            f"{s.hits} hits / {s.misses} misses ({s.hit_rate:.0%}){store}, "
             f"{self.trials_run} trials in {self.searches_run} searches"
         )

@@ -1,0 +1,499 @@
+"""Distributed tuning workers: many processes, one sharded record store.
+
+The paper's tuning loop is embarrassingly parallel across *tuning problems*
+(one per distinct workload x instruction x machine x space), and PR 1 already
+parallelised the candidate evaluations of a single problem across threads.
+This module adds the missing axis: a pool of **processes** that split the
+problem space and publish their winners into one
+:class:`~repro.rewriter.store.ShardedTuningStore`.
+
+* a :class:`TuningTask` names one tuning problem in picklable, process-
+  portable terms (workload params + runner/machine/intrinsic/space names);
+* a :class:`LeaseFile` hands out disjoint slices of the task list: every
+  claim appends one line under a cross-process lock, so no two workers ever
+  tune the same slice and no slice is skipped;
+* :class:`DistributedTuner` spawns N worker processes; each builds its own
+  runner and a :class:`~repro.rewriter.session.TuningSession` backed by the
+  shared store, claims slices until the lease is exhausted, and runs the
+  in-process search (``parallel_search`` / ``early_exit_search`` — the
+  session's strategy) for each claimed task.
+
+Because every task is searched whole by exactly one worker with a
+result-deterministic strategy, reloading the store afterwards yields
+bit-identical best configs to a single-process
+:meth:`TuningSession.tune <repro.rewriter.session.TuningSession.tune>` sweep
+— asserted by the test suite and the CI ``tuning-stress`` job.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .session import TuningSession
+from .store import FileLock, ShardedTuningStore, StoreStats
+
+__all__ = [
+    "TuningTask",
+    "LeaseFile",
+    "DistributedTuner",
+    "WorkerReport",
+    "DistributedReport",
+    "run_task",
+    "tasks_from_layers",
+    "tasks_from_graph",
+]
+
+_TASK_METHODS = {
+    "conv2d": "conv2d_latency",
+    "conv3d": "conv3d_latency",
+    "dense": "dense_latency",
+}
+
+# Per-target runner construction defaults, mirroring ``compile_model``.
+_TARGET_RUNNERS = {
+    "x86": ("cpu", "cascade-lake", "x86.avx512.vpdpbusd", "full"),
+    "arm": ("cpu", "graviton2", "arm.neon.sdot", "full"),
+    "cuda": ("gpu", "v100", "nvvm.wmma.m16n16k16.mma.row.row.f32.f32", "tune"),
+}
+
+
+@dataclass(frozen=True)
+class TuningTask:
+    """One tuning problem, described portably enough to ship to a worker.
+
+    ``params`` is the workload-parameter dataclass (picklable); the rest are
+    names resolved inside the worker (``machine`` via
+    :func:`repro.hwsim.machine_by_name`).  ``tuning`` is the CPU runner's
+    ``tuning=`` mode or the GPU runner's ``mode=``.
+    """
+
+    kind: str  # "conv2d" | "conv3d" | "dense"
+    params: object
+    runner: str = "cpu"  # "cpu" | "gpu"
+    machine: str = "cascade-lake"
+    intrinsic: str = "x86.avx512.vpdpbusd"
+    tuning: str = "full"
+
+    def describe(self) -> str:
+        name = getattr(self.params, "describe", lambda: repr(self.params))()
+        return f"{self.kind}[{name}] on {self.machine}/{self.intrinsic} ({self.tuning})"
+
+
+def build_runner(task: TuningTask, session: TuningSession):
+    """Construct the operator runner a task tunes through."""
+    from ..core.pipeline import UnitCpuRunner, UnitGpuRunner
+    from ..hwsim.machine import machine_by_name
+
+    machine = machine_by_name(task.machine)
+    if task.runner == "cpu":
+        return UnitCpuRunner(machine, task.intrinsic, tuning=task.tuning, session=session)
+    if task.runner == "gpu":
+        return UnitGpuRunner(machine, task.intrinsic, mode=task.tuning, session=session)
+    raise ValueError(f"unknown runner kind {task.runner!r}")
+
+
+def run_task(task: TuningTask, session: TuningSession):
+    """Tune one task through ``session``; returns its best CostBreakdown.
+
+    When the session is store-backed this both *reads* any record another
+    worker already published and *publishes* a fresh search's winner.
+    """
+    if task.kind not in _TASK_METHODS:
+        raise ValueError(f"unknown task kind {task.kind!r}")
+    runner = build_runner(task, session)
+    return getattr(runner, _TASK_METHODS[task.kind])(task.params)
+
+
+def tasks_from_layers(
+    layers: Sequence,
+    kind: str = "conv2d",
+    runner: str = "cpu",
+    machine: str = "cascade-lake",
+    intrinsic: str = "x86.avx512.vpdpbusd",
+    tuning: str = "full",
+) -> List[TuningTask]:
+    """One task per workload-parameter object (e.g. the Table I layer set)."""
+    return [
+        TuningTask(
+            kind=kind,
+            params=params,
+            runner=runner,
+            machine=machine,
+            intrinsic=intrinsic,
+            tuning=tuning,
+        )
+        for params in layers
+    ]
+
+
+def tasks_from_graph(
+    graph, target: str = "x86", quantize: bool = True, fuse: bool = True
+) -> List[TuningTask]:
+    """The tuning problems ``compile_model(graph, target)`` would hit.
+
+    Applies the same graph passes as ``compile_model`` and collects one task
+    per *distinct* tunable operator (convolutions and dense layers — the
+    nodes the default UNIT runners search a schedule space for), so a
+    distributed pre-tuning pass warms exactly the records the subsequent
+    compile will look up.
+    """
+    if target not in _TARGET_RUNNERS:
+        raise ValueError(f"unknown target {target!r}")
+    from ..graph.fuse import fuse_elementwise
+    from ..graph.ir import Conv2DNode, DenseNode
+    from ..graph.quantize import quantize_graph
+    from .records import params_fingerprint
+
+    runner, machine, intrinsic, tuning = _TARGET_RUNNERS[target]
+    work = graph
+    if quantize:
+        work = quantize_graph(work, "float16" if target == "cuda" else "int8")
+    if fuse:
+        work = fuse_elementwise(work)
+    work.infer_shapes()
+    tasks: List[TuningTask] = []
+    seen = set()
+    for node in work.nodes:
+        if isinstance(node, Conv2DNode):
+            kind, params = "conv2d", node.conv_params()
+        elif isinstance(node, DenseNode):
+            kind, params = "dense", node.dense_params()
+        else:
+            continue
+        identity = (kind, params_fingerprint(params))
+        if identity in seen:
+            continue
+        seen.add(identity)
+        tasks.append(
+            TuningTask(
+                kind=kind,
+                params=params,
+                runner=runner,
+                machine=machine,
+                intrinsic=intrinsic,
+                tuning=tuning,
+            )
+        )
+    return tasks
+
+
+class LeaseFile:
+    """Disjoint work claiming across processes, one JSONL line per claim.
+
+    Workers call :meth:`claim` with the total task count; under a
+    cross-process lock the claimer reads every existing claim, takes the
+    lowest ``batch`` unclaimed indices, and appends its own claim line
+    (fsynced before the lock is released).  Claims are therefore disjoint by
+    construction and — since a worker keeps claiming until it gets an empty
+    slice — jointly exhaustive once all workers finish, which is what makes
+    the pool self-balancing: a worker stuck on a slow task simply claims
+    fewer slices.
+    """
+
+    def __init__(self, path, timeout: float = 30.0) -> None:
+        self.path = os.fspath(path)
+        self._lock = FileLock(self.path + ".lock", timeout=timeout)
+
+    def claims(self) -> Dict[int, str]:
+        """Every claimed index -> claimer id (undecodable lines ignored)."""
+        claimed: Dict[int, str] = {}
+        if not os.path.exists(self.path):
+            return claimed
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    for index in data["indices"]:
+                        claimed[int(index)] = str(data.get("worker", "?"))
+                except (ValueError, KeyError, TypeError):
+                    continue
+        return claimed
+
+    def claim(self, worker: str, total: int, batch: int = 1) -> List[int]:
+        """Atomically claim up to ``batch`` unclaimed indices below ``total``."""
+        with self._lock:
+            claimed = self.claims()
+            free = [i for i in range(total) if i not in claimed][: max(1, batch)]
+            if free:
+                entry = {"worker": worker, "pid": os.getpid(), "indices": free}
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            return free
+
+
+@dataclass
+class WorkerReport:
+    """What one worker process did, shipped back over the result queue."""
+
+    worker: str
+    task_indices: List[int]
+    trials: int
+    searches: int
+    store_hits: int
+    seconds: float
+    store: StoreStats
+
+    @property
+    def tasks_done(self) -> int:
+        return len(self.task_indices)
+
+
+@dataclass
+class DistributedReport:
+    """The outcome of one :meth:`DistributedTuner.run`."""
+
+    tasks: int
+    elapsed_s: float
+    workers: List[WorkerReport] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return sum(w.trials for w in self.workers)
+
+    @property
+    def searches(self) -> int:
+        return sum(w.searches for w in self.workers)
+
+    def claimed_indices(self) -> List[int]:
+        return sorted(i for w in self.workers for i in w.task_indices)
+
+    @property
+    def complete(self) -> bool:
+        """Every task claimed exactly once (disjoint and exhaustive)."""
+        return self.claimed_indices() == list(range(self.tasks))
+
+    def store_stats(self) -> StoreStats:
+        total = StoreStats()
+        for report in self.workers:
+            for key, value in report.store.as_dict().items():
+                setattr(total, key, getattr(total, key) + value)
+        return total
+
+    def summary(self) -> str:
+        stats = self.store_stats()
+        return (
+            f"DistributedTuner: {self.tasks} tasks over {len(self.workers)} workers "
+            f"in {self.elapsed_s:.2f}s — {self.trials} trials, "
+            f"{self.searches} searches, {stats.appends} store appends, "
+            f"{stats.lock_contentions} lock contentions "
+            f"({stats.lock_wait_seconds * 1e3:.1f} ms waiting)"
+        )
+
+
+def _worker_main(
+    worker_id: str,
+    store_root: str,
+    shards: int,
+    tasks: Sequence[TuningTask],
+    lease_path: str,
+    strategy: str,
+    max_workers: Optional[int],
+    early_exit_k: int,
+    batch: int,
+    lock_timeout: float,
+    queue,
+) -> None:
+    """Worker entry point (module-level so ``spawn`` contexts can pickle it)."""
+    start = time.perf_counter()
+    store = ShardedTuningStore(store_root, shards=shards, lock_timeout=lock_timeout)
+    session = TuningSession(
+        store=store,
+        strategy=strategy,
+        max_workers=max_workers,
+        early_exit_k=early_exit_k,
+    )
+    lease = LeaseFile(lease_path, timeout=lock_timeout)
+    done: List[int] = []
+    while True:
+        indices = lease.claim(worker_id, len(tasks), batch=batch)
+        if not indices:
+            break
+        for index in indices:
+            run_task(tasks[index], session)
+            done.append(index)
+    queue.put(
+        WorkerReport(
+            worker=worker_id,
+            task_indices=done,
+            trials=session.trials_run,
+            searches=session.searches_run,
+            store_hits=session.store_hits,
+            seconds=time.perf_counter() - start,
+            store=store.stats,
+        )
+    )
+
+
+class DistributedTuner:
+    """A pool of tuning worker processes feeding one sharded store.
+
+    ``strategy``/``max_workers``/``early_exit_k`` configure each worker's
+    in-process search (see :class:`TuningSession`); the default ``"parallel"``
+    strategy is result-identical to exhaustive search, preserving the
+    bit-identical-to-single-process guarantee.  ``batch`` is how many tasks a
+    worker leases at a time: 1 maximises balance, larger batches reduce lease
+    traffic.
+
+    ``start_method`` picks the :mod:`multiprocessing` context (``"fork"`` on
+    POSIX by default, ``"spawn"`` elsewhere — both are supported since the
+    worker entry point is a module-level function fed picklable arguments).
+    """
+
+    def __init__(
+        self,
+        store: ShardedTuningStore,
+        workers: int = 4,
+        strategy: str = "parallel",
+        max_workers: Optional[int] = None,
+        early_exit_k: int = 8,
+        batch: int = 1,
+        start_method: Optional[str] = None,
+        join_timeout: float = 300.0,
+    ) -> None:
+        if not isinstance(store, ShardedTuningStore):
+            store = ShardedTuningStore(store)
+        if workers < 1:
+            raise ValueError("DistributedTuner needs at least one worker")
+        self.store = store
+        self.workers = workers
+        self.strategy = strategy
+        self.max_workers = max_workers
+        self.early_exit_k = early_exit_k
+        self.batch = batch
+        self.start_method = start_method
+        self.join_timeout = join_timeout
+        self._runs = 0
+
+    def _fresh_lease_path(self) -> str:
+        """A lease path no previous run could have claimed into.
+
+        A recycled PID (or a rerun after a crash) must not collide with a
+        stale lease file lingering in a long-lived store directory — its
+        claims would make every task look already taken.  Successful runs
+        delete their lease; this probes past any crashed run's leftovers.
+        """
+        suffix = 0
+        while True:
+            name = f"leases-{os.getpid()}-{self._runs}"
+            if suffix:
+                name += f"-{suffix}"
+            path = os.path.join(self.store.root, name + ".jsonl")
+            if not os.path.exists(path) and not os.path.exists(path + ".lock"):
+                return path
+            suffix += 1
+
+    def run(self, tasks: Sequence[TuningTask]) -> DistributedReport:
+        """Tune every task across the worker pool; blocks until done.
+
+        Raises :class:`RuntimeError` if a worker dies without reporting (its
+        claimed-but-unfinished tasks would otherwise be silently lost); a
+        worker's abnormal exit is detected as soon as it happens, not after
+        the join timeout.  The lease file is removed after a successful run
+        and kept for inspection after a failed one.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("distributed tuning requires at least one task")
+        self._runs += 1
+        lease_path = self._fresh_lease_path()
+        ctx = multiprocessing.get_context(self.start_method)
+        queue = ctx.Queue()
+        processes = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    f"worker-{index}",
+                    self.store.root,
+                    self.store.num_shards,
+                    tasks,
+                    lease_path,
+                    self.strategy,
+                    self.max_workers,
+                    self.early_exit_k,
+                    self.batch,
+                    self.store.lock_timeout,
+                    queue,
+                ),
+            )
+            for index in range(self.workers)
+        ]
+        start = time.perf_counter()
+        for process in processes:
+            process.start()
+        reports = self._collect_reports(processes, queue)
+        report = DistributedReport(
+            tasks=len(tasks),
+            elapsed_s=time.perf_counter() - start,
+            workers=sorted(reports, key=lambda r: r.worker),
+        )
+        if not report.complete:
+            raise RuntimeError(
+                "lease coverage is incomplete or overlapping: "
+                f"claimed {report.claimed_indices()} of {len(tasks)} tasks"
+            )
+        for leftover in (lease_path, lease_path + ".lock"):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+        return report
+
+    def _collect_reports(self, processes, queue) -> List[WorkerReport]:
+        """One report per worker, failing fast on abnormal worker exits.
+
+        Polls the result queue in short slices and checks process liveness
+        between them, so a worker that crashes (bad task, import failure,
+        OOM-kill) raises within a poll interval instead of blocking the whole
+        ``join_timeout`` in ``queue.get``.
+        """
+        import queue as queue_module
+
+        deadline = time.monotonic() + self.join_timeout
+        reports: List[WorkerReport] = []
+        try:
+            while len(reports) < len(processes):
+                try:
+                    reports.append(queue.get(timeout=0.2))
+                    continue
+                except queue_module.Empty:
+                    pass
+                # The queue stayed empty for a slice: anything a dead worker
+                # put is drained by now, so a worker that exited abnormally
+                # *without* its report having arrived will never deliver one.
+                reported = {report.worker for report in reports}
+                lost = [
+                    (f"worker-{index}", process.exitcode)
+                    for index, process in enumerate(processes)
+                    if process.exitcode not in (0, None)
+                    and f"worker-{index}" not in reported
+                ]
+                if lost:
+                    raise RuntimeError(
+                        f"tuning worker(s) exited abnormally without "
+                        f"reporting: {lost} ({len(reports)}/"
+                        f"{len(processes)} reports received)"
+                    )
+                if time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"tuning workers produced {len(reports)}/"
+                        f"{len(processes)} reports within {self.join_timeout}s"
+                    )
+        except RuntimeError:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            raise
+        finally:
+            for process in processes:
+                process.join(timeout=self.join_timeout)
+        return reports

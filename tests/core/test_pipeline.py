@@ -159,3 +159,75 @@ class TestTrialValidation:
             DenseParams(batch=1, in_features=32, out_features=8, name="ad")
         )
         assert cost.seconds > 0
+
+
+class TestStoreBackedCompilation:
+    def test_compile_model_store_kwarg_publishes_and_rereads(self, tmp_path):
+        from repro.rewriter import ShardedTuningStore, TuningSession
+
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        cold = compile_model(_toy_model(), target="x86", store=store)
+        assert len(store.load()) > 0  # fresh searches were published
+
+        warm_session = TuningSession(store=store)
+        warm = compile_model(_toy_model(), target="x86", session=warm_session)
+        assert warm_session.trials_run == 0
+        assert warm.latency_ms == cold.latency_ms
+
+    def test_compile_model_rejects_conflicting_session_and_store(self, tmp_path):
+        from repro.rewriter import ShardedTuningStore, TuningSession
+
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        other = TuningSession()  # bound to no store
+        with pytest.raises(ValueError):
+            compile_model(_toy_model(), target="x86", session=other, store=store)
+        # A session constructed with the store passes through untouched.
+        bound = TuningSession(store=store)
+        compiled = compile_model(_toy_model(), target="x86", session=bound, store=store)
+        assert compiled.latency_ms > 0
+
+    def test_compile_model_batch_workers_matches_serial(self, tmp_path):
+        from repro.core import compile_model_batch
+        from repro.rewriter import ShardedTuningStore
+
+        store = ShardedTuningStore(tmp_path / "s", shards=8)
+        distributed = compile_model_batch(
+            [_toy_model()], targets=("x86",), store=store, workers=2
+        )
+        serial = compile_model_batch([_toy_model()], targets=("x86",))
+        assert [c.latency_ms for c in distributed] == [c.latency_ms for c in serial]
+
+    def test_compile_model_batch_workers_requires_store(self):
+        from repro.core import compile_model_batch
+
+        with pytest.raises(ValueError):
+            compile_model_batch([_toy_model()], targets=("x86",), workers=2)
+
+
+class TestStoreConveniences:
+    def test_store_accepts_a_path(self, tmp_path):
+        """A path coerces to a ShardedTuningStore at the API boundary."""
+        root = str(tmp_path / "s")
+        cold = compile_model(_toy_model(), target="x86", store=root)
+        from repro.rewriter import ShardedTuningStore
+
+        assert len(ShardedTuningStore(root).load()) > 0
+        warm = compile_model(_toy_model(), target="x86", store=root)
+        assert warm.latency_ms == cold.latency_ms
+
+    def test_store_with_explicit_runner_rejected(self, tmp_path):
+        runner = UnitCpuRunner(tuning="full")
+        with pytest.raises(ValueError):
+            compile_model(_toy_model(), target="x86", runner=runner, store=str(tmp_path / "s"))
+
+    def test_batch_pretune_matches_session_strategy(self, tmp_path):
+        """Workers must publish under the keys the session will look up —
+        including an approximate strategy's namespaced keys."""
+        from repro.core import compile_model_batch
+        from repro.rewriter import ShardedTuningStore, TuningSession
+
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        session = TuningSession(store=store, strategy="early_exit", early_exit_k=4)
+        compile_model_batch([_toy_model()], targets=("x86",), session=session, workers=2)
+        assert session.trials_run == 0  # every compile lookup hit the store
+        assert session.store_hits > 0

@@ -2,16 +2,21 @@
 
 import pytest
 
+import json
+
 from repro.core import UnitCpuRunner, UnitGpuRunner, compile_model_batch, experiments
 from repro.hwsim import CostBreakdown
 from repro.rewriter import (
+    SCHEMA_VERSION,
     CpuTuningConfig,
     GpuTuningConfig,
     TuningCache,
     TuningKey,
     TuningRecord,
     TuningSession,
+    cost_model_fingerprint,
     params_fingerprint,
+    record_staleness,
     space_fingerprint,
 )
 from repro.workloads import Conv2DParams, DenseParams, table1_layer
@@ -132,6 +137,109 @@ class TestTuningCache:
         cache.insert(stale)
         assert cache.load(path) == 1
         assert cache.lookup(key).best_cost == 1.0
+
+
+class TestCorruptAndStaleLines:
+    def _saved_cache(self, tmp_path, count=2):
+        cache = TuningCache()
+        for index in range(count):
+            cache.insert(
+                TuningRecord(
+                    key=_key(f"full@{index:02d}"),
+                    best_config=CpuTuningConfig(),
+                    best_cost=1e-5 * (index + 1),
+                    num_trials=4,
+                    breakdown=CostBreakdown(seconds=1e-5 * (index + 1)),
+                )
+            )
+        path = tmp_path / "cache.jsonl"
+        cache.save(path)
+        return path
+
+    def test_truncated_tail_skipped_and_counted(self, tmp_path):
+        """A reader must tolerate a concurrent writer's partial last line."""
+        path = self._saved_cache(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "key": {"kind": "conv2')
+        cache = TuningCache()
+        assert cache.load(path) == 2
+        assert cache.stats.corrupt == 1
+        assert cache.stats.stale == 0
+
+    def test_garbage_line_mid_file_skipped(self, tmp_path):
+        path = self._saved_cache(tmp_path)
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines.insert(1, "@@@ not json @@@")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        cache = TuningCache()
+        assert cache.load(path) == 2
+        assert cache.stats.corrupt == 1
+
+    def test_strict_load_raises_on_corruption(self, tmp_path):
+        path = self._saved_cache(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(ValueError):
+            TuningCache().load(path, strict=True)
+
+    def test_stale_schema_version_skipped(self, tmp_path):
+        path = self._saved_cache(tmp_path, count=1)
+        data = TuningRecord(
+            key=_key("full@ff"),
+            best_config=None,
+            best_cost=1.0,
+            num_trials=0,
+            breakdown=CostBreakdown(seconds=1.0),
+        ).to_json()
+        data["schema"] = SCHEMA_VERSION - 1
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(data) + "\n")
+        cache = TuningCache()
+        assert cache.load(path) == 1
+        assert cache.stats.stale == 1
+        assert cache.lookup(_key("full@ff")) is None
+
+    def test_unversioned_legacy_line_is_stale(self, tmp_path):
+        """Pre-versioning records carry no fingerprint: never serve them."""
+        path = self._saved_cache(tmp_path, count=1)
+        data = TuningRecord(
+            key=_key("full@ff"),
+            best_config=None,
+            best_cost=1.0,
+            num_trials=0,
+            breakdown=CostBreakdown(seconds=1.0),
+        ).to_json()
+        del data["schema"]
+        del data["cost_model"]
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(data) + "\n")
+        cache = TuningCache()
+        assert cache.load(path) == 1
+        assert cache.stats.stale == 1
+
+    def test_record_staleness_reasons(self):
+        record = TuningRecord(
+            key=_key(),
+            best_config=None,
+            best_cost=1.0,
+            num_trials=0,
+            breakdown=CostBreakdown(seconds=1.0),
+        )
+        data = record.to_json()
+        assert record_staleness(data) is None
+        assert "schema" in record_staleness({**data, "schema": 0})
+        assert "cost model" in record_staleness({**data, "cost_model": "x" * 12})
+
+    def test_fingerprint_is_stable_within_process(self):
+        assert cost_model_fingerprint() == cost_model_fingerprint()
+        assert len(cost_model_fingerprint()) == 12
+
+    def test_persisted_lines_carry_version(self, tmp_path):
+        path = self._saved_cache(tmp_path, count=1)
+        data = json.loads(open(path, encoding="utf-8").readline())
+        assert data["schema"] == SCHEMA_VERSION
+        assert data["cost_model"] == cost_model_fingerprint()
 
 
 class TestTuningSession:
@@ -272,3 +380,43 @@ class TestExperimentSessionSharing:
         # The two ResNets share layer shapes: the second compile must be
         # partly (not necessarily entirely) cache hits.
         assert session.stats.hits > 0
+
+
+class TestNonObjectLines:
+    def test_json_valid_non_object_lines_counted_corrupt(self, tmp_path):
+        """'null' / numbers / arrays are decodable JSON but not records; the
+        tolerant loader must count them corrupt, not crash."""
+        cache = TuningCache()
+        cache.insert(
+            TuningRecord(
+                key=_key(),
+                best_config=CpuTuningConfig(),
+                best_cost=1e-5,
+                num_trials=4,
+                breakdown=CostBreakdown(seconds=1e-5),
+            )
+        )
+        path = tmp_path / "cache.jsonl"
+        cache.save(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('null\n"a string"\n[]\n')
+        loaded = TuningCache()
+        assert loaded.load(path) == 1
+        assert loaded.stats.corrupt == 3
+
+    def test_decode_record_line_triage(self):
+        from repro.rewriter import decode_record_line
+
+        record = TuningRecord(
+            key=_key(),
+            best_config=None,
+            best_cost=1.0,
+            num_trials=0,
+            breakdown=CostBreakdown(seconds=1.0),
+        )
+        good, problem = decode_record_line(json.dumps(record.to_json()))
+        assert good is not None and problem is None
+        assert decode_record_line("{torn")[1] == "corrupt"
+        assert decode_record_line("null")[1] == "corrupt"
+        stale = dict(record.to_json(), schema=0)
+        assert decode_record_line(json.dumps(stale))[1] == "stale"

@@ -1,0 +1,390 @@
+"""Tests for the sharded concurrent tuning store and its file locks."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.hwsim import CostBreakdown
+from repro.rewriter import (
+    SCHEMA_VERSION,
+    CpuTuningConfig,
+    FileLock,
+    LockTimeout,
+    ShardedTuningStore,
+    TuningCache,
+    TuningKey,
+    TuningRecord,
+    cost_model_fingerprint,
+    params_fingerprint,
+)
+from repro.workloads import table1_layer
+
+
+def _key(index: int, kind: str = "conv2d") -> TuningKey:
+    return TuningKey(
+        kind=kind,
+        params=(("index", index),),
+        intrinsic="x86.avx512.vpdpbusd",
+        machine="cascade-lake",
+        space="full@test",
+    )
+
+
+def _record(index: int, cost: float = 1e-5, trials: int = 3) -> TuningRecord:
+    return TuningRecord(
+        key=_key(index),
+        best_config=CpuTuningConfig(unroll_limit=4),
+        best_cost=cost,
+        num_trials=trials,
+        breakdown=CostBreakdown(seconds=cost, compute_seconds=cost),
+    )
+
+
+class TestSharding:
+    def test_shard_of_is_stable_and_in_range(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=8)
+        for index in range(50):
+            shard = store.shard_of(_key(index))
+            assert 0 <= shard < 8
+            assert shard == store.shard_of(_key(index))  # deterministic
+
+    def test_records_spread_across_shards(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=8)
+        for index in range(64):
+            store.put(_record(index))
+        used = sum(
+            1 for i in range(store.num_shards) if os.path.exists(store.shard_path(i))
+        )
+        assert used > 1  # a hash that maps everything to one shard is broken
+
+    def test_shard_count_fixed_by_creator(self, tmp_path):
+        first = ShardedTuningStore(tmp_path / "s", shards=4)
+        first.put(_record(0))
+        # A later opener asking for a different count adopts the stored one:
+        # otherwise it would look for keys in the wrong shard files.
+        second = ShardedTuningStore(tmp_path / "s", shards=16)
+        assert second.num_shards == 4
+        assert second.get(_key(0)) is not None
+
+    def test_rejects_zero_shards(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedTuningStore(tmp_path / "s", shards=0)
+
+
+class TestPutGet:
+    def test_roundtrip(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        record = _record(1)
+        store.put(record)
+        got = store.get(_key(1))
+        assert got is not None
+        assert got.best_config == record.best_config
+        assert got.best_cost == record.best_cost
+        assert got.breakdown == record.breakdown
+        assert store.get(_key(2)) is None
+        stats = store.stats
+        assert stats.appends == 1 and stats.hits == 1 and stats.misses == 1
+
+    def test_duplicate_appends_last_wins(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        store.put(_record(1, cost=9.0))
+        store.put(_record(1, cost=1.0))
+        assert store.get(_key(1)).best_cost == 1.0
+        assert len(store.load()) == 1  # one key, despite two lines
+
+    def test_load_merges_all_shards(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        for index in range(12):
+            store.put(_record(index))
+        cache = store.load()
+        assert len(cache) == 12
+        for index in range(12):
+            assert cache.lookup(_key(index)) is not None
+
+    def test_real_layer_keys_roundtrip(self, tmp_path):
+        # Keys built from live workload dataclasses must land in the same
+        # shard as their JSON-roundtripped twins, or cross-process lookups
+        # would miss.
+        store = ShardedTuningStore(tmp_path / "s", shards=8)
+        layer = table1_layer(5)
+        key = TuningKey(
+            kind="conv2d",
+            params=params_fingerprint(layer),
+            intrinsic="x86.avx512.vpdpbusd",
+            machine="cascade-lake",
+            space="full@aa",
+        )
+        store.put(
+            TuningRecord(
+                key=key,
+                best_config=CpuTuningConfig(),
+                best_cost=2e-5,
+                num_trials=16,
+                breakdown=CostBreakdown(seconds=2e-5),
+            )
+        )
+        reloaded_key = store.load().records()[0].key
+        assert reloaded_key == key
+        assert store.shard_of(reloaded_key) == store.shard_of(key)
+
+
+class TestCorruptionAndVersioning:
+    def test_truncated_tail_tolerated_and_counted(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "cost_model": "tru')  # crash mid-append
+        assert store.get(_key(1)) is not None
+        assert store.stats.corrupt_lines == 1
+
+    def test_stale_schema_invalidated(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        data = _record(2).to_json()
+        data["schema"] = SCHEMA_VERSION - 1
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(data) + "\n")
+        cache = store.load()
+        assert len(cache) == 1
+        assert cache.lookup(_key(2)) is None
+        assert store.stats.stale_records == 1
+
+    def test_stale_cost_model_invalidated(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        data = _record(1).to_json()
+        data["cost_model"] = "0" * 12  # tuned under some other cost model
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(data) + "\n")
+        assert store.get(_key(1)) is None
+        assert store.stats.stale_records == 1
+
+    def test_current_fingerprint_accepted(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        raw = open(store.shard_path(0), encoding="utf-8").read()
+        assert json.loads(raw)["cost_model"] == cost_model_fingerprint()
+        assert store.get(_key(1)) is not None
+        assert store.stats.stale_records == 0
+
+
+class TestCompaction:
+    def test_compact_folds_duplicates(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        for _ in range(5):
+            store.put(_record(1, cost=9.0))
+        store.put(_record(1, cost=1.0))
+        store.put(_record(2))
+        report = store.compact()
+        assert report == {"kept": 2, "dropped": 5}
+        # Logical content is unchanged; last-wins survived.
+        assert store.get(_key(1)).best_cost == 1.0
+        assert store.get(_key(2)) is not None
+        # Physically one line per key now.
+        lines = sum(
+            len(open(store.shard_path(i), encoding="utf-8").readlines())
+            for i in range(store.num_shards)
+            if os.path.exists(store.shard_path(i))
+        )
+        assert lines == 2
+
+    def test_compact_drops_corrupt_and_stale_lines(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        stale = _record(2).to_json()
+        stale["schema"] = SCHEMA_VERSION + 1
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stale) + "\n")
+            handle.write("not json at all\n")
+        store.compact()
+        fresh = ShardedTuningStore(tmp_path / "s")
+        assert len(fresh.load()) == 1
+        assert fresh.stats.corrupt_lines == 0 and fresh.stats.stale_records == 0
+
+    def test_compact_leaves_no_temp_files(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        for index in range(8):
+            store.put(_record(index))
+        store.compact()
+        leftovers = [n for n in os.listdir(store.root) if ".tmp." in n]
+        assert leftovers == []
+
+    def test_clear(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        store.put(_record(1))
+        store.clear()
+        assert len(store.load()) == 0
+
+
+class TestFileLock:
+    def test_mutual_exclusion_within_process(self, tmp_path):
+        path = tmp_path / "x.lock"
+        outer = FileLock(path, timeout=0.2, poll_interval=0.01)
+        inner = FileLock(path, timeout=0.2, poll_interval=0.01)
+        with outer:
+            with pytest.raises(LockTimeout):
+                inner.acquire()
+        assert inner.contentions == 1
+        inner.acquire()  # released now
+        inner.release()
+
+    def test_not_reentrant(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            with pytest.raises(RuntimeError):
+                lock.acquire()
+        with pytest.raises(RuntimeError):
+            lock.release()
+
+    def test_wait_accounting(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            pass
+        assert lock.acquisitions == 1
+        assert lock.wait_seconds >= 0.0
+
+
+def _append_worker(root: str, worker: int, count: int) -> None:
+    store = ShardedTuningStore(root)
+    for index in range(count):
+        key = TuningKey(
+            kind="mp",
+            params=(("worker", worker), ("index", index)),
+            intrinsic="none",
+            machine="test-rig",
+            space="mp@00",
+        )
+        store.put(
+            TuningRecord(
+                key=key,
+                best_config=None,
+                best_cost=float(index),
+                num_trials=1,
+                breakdown=CostBreakdown(seconds=float(index) + 1.0),
+            )
+        )
+
+
+def _counter_worker(path: str, lock_path: str, increments: int) -> None:
+    lock = FileLock(lock_path)
+    for _ in range(increments):
+        with lock:
+            value = int(open(path, encoding="utf-8").read())
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(str(value + 1))
+
+
+class TestMultiprocess:
+    def test_concurrent_appends_lose_nothing(self, tmp_path):
+        """The acceptance invariant: N writers, zero lost or corrupt records."""
+        root = str(tmp_path / "s")
+        ShardedTuningStore(root, shards=4)  # fix the layout first
+        workers, each = 3, 15
+        procs = [
+            multiprocessing.Process(target=_append_worker, args=(root, w, each))
+            for w in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in procs)
+        store = ShardedTuningStore(root)
+        cache = store.load()
+        assert len(cache) == workers * each
+        assert store.stats.corrupt_lines == 0
+        assert store.stats.stale_records == 0
+
+    def test_lock_serialises_read_modify_write(self, tmp_path):
+        """Classic lost-update check on a shared counter file."""
+        path = str(tmp_path / "counter")
+        lock_path = str(tmp_path / "counter.lock")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("0")
+        workers, increments = 3, 20
+        procs = [
+            multiprocessing.Process(
+                target=_counter_worker, args=(path, lock_path, increments)
+            )
+            for _ in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+        assert all(proc.exitcode == 0 for proc in procs)
+        assert int(open(path, encoding="utf-8").read()) == workers * increments
+
+
+class TestCacheIntegration:
+    def test_load_into_existing_cache_merges(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        store.put(_record(1))
+        cache = TuningCache()
+        cache.insert(_record(2))
+        assert store.load_into(cache) == 2
+        assert cache.lookup(_key(1)) is not None
+        assert cache.lookup(_key(2)) is not None
+
+
+class TestIncrementalScan:
+    def test_append_after_torn_tail_is_recovered(self, tmp_path):
+        """A crashed writer's torn tail must not swallow the next append."""
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        assert store.get(_key(1)) is not None  # view now past record 1
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "cost_model": "tru')  # crash mid-append
+        assert store.get(_key(2)) is None  # consumes + counts the torn tail
+        assert store.stats.corrupt_lines == 1
+        store.put(_record(2))  # a live writer appends after the torn bytes
+        assert store.get(_key(2)) is not None
+        assert store.stats.corrupt_lines == 1  # tail counted exactly once
+
+    def test_view_resets_after_external_compaction(self, tmp_path):
+        reader = ShardedTuningStore(tmp_path / "s", shards=1)
+        writer = ShardedTuningStore(tmp_path / "s")
+        for _ in range(4):
+            writer.put(_record(1, cost=9.0))
+        writer.put(_record(1, cost=1.0))
+        assert reader.get(_key(1)).best_cost == 1.0  # reader's view is warm
+        writer.compact()  # another process rewrites the shard
+        writer.put(_record(2))
+        assert reader.get(_key(2)) is not None  # shrunken file reset the view
+        assert reader.get(_key(1)).best_cost == 1.0
+
+    def test_repeated_gets_do_not_rescan(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        for index in range(10):
+            store.put(_record(index))
+        store.get(_key(0))
+        scanned = store.stats.records_scanned
+        assert scanned == 10
+        for index in range(10):
+            store.get(_key(index))
+        assert store.stats.records_scanned == scanned  # no new bytes, no rescan
+
+
+class TestTornTailRepair:
+    def test_fresh_handle_reads_record_appended_after_torn_tail(self, tmp_path):
+        """put() must newline-terminate a crashed writer's torn tail so the
+        new record stays readable to readers that scan the whole file."""
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "cost_model": "tru')  # crash mid-append
+        store.put(_record(2))  # a healthy writer appends next
+        fresh = ShardedTuningStore(tmp_path / "s")  # knows nothing of the above
+        assert fresh.get(_key(2)) is not None
+        assert fresh.get(_key(1)) is not None
+        assert fresh.stats.corrupt_lines == 1  # exactly the torn fragment
+
+    def test_json_valid_non_object_line_is_corrupt(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write("null\n[1, 2]\n42\n")
+        assert store.get(_key(1)) is not None
+        assert store.stats.corrupt_lines == 3
+        assert store.stats.stale_records == 0
