@@ -12,7 +12,12 @@ Not a paper figure, but the repository's perf trajectory: it measures
   validation), asserting the engine is bit-identical and recording the
   speedup;
 * **table1**: engine-only execution of full-size Table I layers (the scalar
-  interpreter would need minutes each);
+  interpreter would need minutes each), split into plan-compile cost and
+  warm-plan run cost (cross-round batched intrinsic dispatch);
+* **plan_cache**: the compile-once story — cold plan compile+run vs
+  warm-plan execution of a structurally identical layer, recompile cost with
+  warm expression memos, and the plan-cache hit rate over a repeated-layer
+  model executed end to end (``run_model``);
 * **expr_cache**: hit rates of the expression-level memo caches
   (``simplify`` / ``extract_linear`` / ``structural_equal``).
 
@@ -21,7 +26,11 @@ uploads it as an artifact)::
 
     PYTHONPATH=src python benchmarks/bench_compile_time.py [--quick] [-o OUT]
 
-or under pytest-benchmark along with the figure benchmarks::
+``--plan-smoke`` runs the CI plan-cache gate instead: warm-plan execution
+must be ≥5x faster than cold on the repeated-layer workload and every
+Table I layer must compile to a fully vectorized plan (zero fallbacks).
+
+Or run under pytest-benchmark along with the figure benchmarks::
 
     pytest benchmarks/bench_compile_time.py --benchmark-only
 """
@@ -36,8 +45,17 @@ import numpy as np
 
 from repro.core import tensorize
 from repro.dsl.expr import expr_cache_stats, reset_expr_cache_stats
+from repro.graph import Conv2DNode, Graph, InputNode, TensorShape, run_model
 from repro.rewriter import CpuTuningConfig
-from repro.tir import Interpreter, VectorizedEngine, alloc_buffers
+from repro.tir import (
+    EngineStats,
+    Interpreter,
+    VectorizedEngine,
+    alloc_buffers,
+    compile_plan,
+    execute,
+    plan_cache,
+)
 from repro.workloads import Conv2DParams, conv2d_nchwc
 from repro.workloads.table1 import TABLE1_LAYERS
 
@@ -108,24 +126,160 @@ def bench_validation() -> dict:
 
 
 def bench_table1_engine(limit: int) -> list:
-    """Engine-only execution of full-size Table I layers."""
+    """Full-size Table I layers: plan compile cost + warm-plan execution."""
     rows = []
     for index, params in enumerate(TABLE1_LAYERS[:limit], start=1):
         result = _compile_once(params)
-        buffers = alloc_buffers(result.func, np.random.default_rng(index))
-        engine = VectorizedEngine(result.func)
         t0 = time.perf_counter()
-        engine.run(buffers)
+        plan = compile_plan(result.func)
+        plan_compile_s = time.perf_counter() - t0
+        buffers = alloc_buffers(result.func, np.random.default_rng(index))
+        stats = EngineStats()
+        t0 = time.perf_counter()
+        plan.run(buffers, stats=stats)
         rows.append(
             {
                 "layer": index,
                 "params": params.describe(),
                 "macs": params.macs,
+                "plan_compile_s": plan_compile_s,
                 "vector_s": time.perf_counter() - t0,
-                "fallback_nests": engine.stats.fallback_nests,
+                "fallback_nests": plan.fallback_nests,
+                "intrinsic_round_batches": stats.intrinsic_round_batches,
             }
         )
     return rows
+
+
+# The plan-cache workload: small enough that analysis dominates execution,
+# so the cold/warm ratio isolates what the cache actually saves.  The
+# strided shape adds residue guards, whose mask/selection precompute is part
+# of the analysis a warm plan skips.
+PLAN_PARAMS = Conv2DParams(
+    in_channels=4, in_height=7, in_width=7, out_channels=16, kernel=3, stride=2,
+    name="plan",
+)
+
+
+def _repeated_layer_model(depth: int = 6) -> Graph:
+    """A model whose conv layers are structurally identical — the
+    best case the plan cache is designed for (and the common case in
+    real networks)."""
+    graph = Graph("repeated")
+    graph.add(InputNode(name="in", shape=TensorShape(8, 12, 12)))
+    prev = "in"
+    for i in range(depth):
+        prev = graph.add(
+            Conv2DNode(
+                name=f"conv{i}", inputs=[prev], out_channels=8, kernel=3, padding=1
+            )
+        )
+    return graph
+
+
+def bench_plan_cache() -> dict:
+    """Cold vs warm executable plans, plus the repeated-layer-model hit rate."""
+    cache = plan_cache()
+    cache.clear()
+    # Six structurally identical compilations of the same layer — distinct
+    # functions, distinct (fresh) expression trees, one program.
+    funcs = [
+        tensorize(conv2d_nchwc(PLAN_PARAMS), "x86.avx512.vpdpbusd",
+                  config=CpuTuningConfig()).func
+        for _ in range(6)
+    ]
+    hits0, misses0 = cache.stats.hits, cache.stats.misses
+
+    # Cold: plan compile + insert + run, on a never-seen function (fresh
+    # expression trees, empty cache) — the no-cache cost of every call.
+    cold_times = []
+    for func in funcs[:3]:
+        cache.clear()
+        buffers = alloc_buffers(func, np.random.default_rng(0))
+        t0 = time.perf_counter()
+        execute(func, buffers)
+        cold_times.append(time.perf_counter() - t0)
+    cold_s = min(cold_times)
+
+    # Warm: re-executing a compiled layer — identity hit, zero analysis.
+    warm_times = []
+    for _ in range(5):
+        buffers = alloc_buffers(funcs[2], np.random.default_rng(0))
+        t0 = time.perf_counter()
+        execute(funcs[2], buffers)
+        warm_times.append(time.perf_counter() - t0)
+    warm_s = min(warm_times)
+
+    # Twin: a *different* function object, same program — the repeated-layer
+    # case; pays one canonical hash + equality walk, still no analysis.
+    twin_times = []
+    for func in funcs[3:]:
+        buffers = alloc_buffers(func, np.random.default_rng(0))
+        t0 = time.perf_counter()
+        execute(func, buffers)
+        twin_times.append(time.perf_counter() - t0)
+    twin_s = min(twin_times)
+    hits, misses = cache.stats.hits - hits0, cache.stats.misses - misses0
+
+    # Recompiling the same function object after a cache clear exercises the
+    # per-node expression memos (extract_linear and friends stay warm).
+    cache.clear()
+    t0 = time.perf_counter()
+    compile_plan(funcs[0])
+    recompile_s = time.perf_counter() - t0
+
+    # Whole-model execution: one compile, depth-1 hits, then an all-warm run.
+    model = _repeated_layer_model()
+    x = np.random.default_rng(1).standard_normal((8, 12, 12)).astype(np.float32)
+    run_cold = run_model(model, {"in": x}, rng=np.random.default_rng(2))
+    run_warm = run_model(model, {"in": x}, rng=np.random.default_rng(2))
+    return {
+        "workload": PLAN_PARAMS.describe(),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "twin_s": twin_s,
+        "warm_speedup": cold_s / warm_s if warm_s else float("inf"),
+        "twin_speedup": cold_s / twin_s if twin_s else float("inf"),
+        "recompile_s": recompile_s,
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "model_cold_hit_rate": run_cold.plan_hit_rate,
+        "model_warm_hit_rate": run_warm.plan_hit_rate,
+        "model_memory_reuse": run_cold.memory.reuse_ratio,
+    }
+
+
+def plan_smoke() -> None:
+    """The CI plan-cache gate (``--plan-smoke``).
+
+    Asserts warm-plan execution is ≥5x faster than cold on the
+    repeated-layer workload and that every full-size Table I layer compiles
+    to a fully vectorized plan (``fallback_nests == 0``) — plan compilation
+    makes the latter checkable without executing a single layer.
+    """
+    report = bench_plan_cache()
+    print(
+        f"plan cold {report['cold_s'] * 1e3:6.1f} ms  warm "
+        f"{report['warm_s'] * 1e3:6.1f} ms  ({report['warm_speedup']:.1f}x, "
+        f"hit rate {report['hit_rate']:.0%}, model warm "
+        f"{report['model_warm_hit_rate']:.0%})"
+    )
+    assert report["warm_speedup"] >= 5.0, (
+        f"warm-plan execution only {report['warm_speedup']:.1f}x faster than "
+        "cold (floor: 5x)"
+    )
+    assert report["model_warm_hit_rate"] == 1.0, "warm model run missed the plan cache"
+    for index, params in enumerate(TABLE1_LAYERS, start=1):
+        plan = compile_plan(_compile_once(params).func)
+        assert plan.fallback_nests == 0, (
+            f"table1 layer {index} plan has {plan.fallback_nests} fallback nest(s): "
+            f"{plan.stats.fallback_reasons}"
+        )
+        print(f"table1 layer{index:<2} plan ok (fully vectorized)")
+    stats = expr_cache_stats()
+    assert stats.linear_hits > 0, "extract_linear memoization never hit"
+    print(f"plan-cache smoke ok (linear hits: {stats.linear_hits})")
 
 
 def main(argv=None) -> dict:
@@ -135,7 +289,18 @@ def main(argv=None) -> dict:
     parser.add_argument(
         "--table1-layers", type=int, default=4, help="how many Table I layers to run"
     )
+    parser.add_argument(
+        "--plan-smoke",
+        action="store_true",
+        help="run the CI plan-cache gate (5x warm floor + zero Table I "
+        "fallbacks) and exit without writing the report",
+    )
     args = parser.parse_args(argv)
+
+    if args.plan_smoke:
+        reset_expr_cache_stats()
+        plan_smoke()
+        return {}
 
     report = {
         "benchmark": "compile_time",
@@ -144,6 +309,7 @@ def main(argv=None) -> dict:
     }
     if not args.quick:
         report["table1"] = bench_table1_engine(args.table1_layers)
+    report["plan_cache"] = bench_plan_cache()
     report["expr_cache"] = expr_cache_stats().as_dict()
 
     with open(args.output, "w") as handle:
@@ -163,8 +329,17 @@ def main(argv=None) -> dict:
     for row in report.get("table1", []):
         print(
             f"table1 layer{row['layer']:<2} {row['macs'] / 1e6:8.1f} MMACs "
-            f"engine {row['vector_s'] * 1e3:7.1f} ms"
+            f"plan {row['plan_compile_s'] * 1e3:6.1f} ms "
+            f"run {row['vector_s'] * 1e3:7.1f} ms "
+            f"({row['intrinsic_round_batches']} round batch(es))"
         )
+    plan = report["plan_cache"]
+    print(
+        f"plan cache: cold {plan['cold_s'] * 1e3:6.1f} ms, warm "
+        f"{plan['warm_s'] * 1e3:6.1f} ms ({plan['warm_speedup']:.1f}x), "
+        f"model warm hit rate {plan['model_warm_hit_rate']:.0%}, "
+        f"memory reuse {plan['model_memory_reuse']:.2f}x"
+    )
     cache = report["expr_cache"]
     print(
         f"expr caches: simplify {cache['simplify_hit_rate']:.0%} hits, "
@@ -174,6 +349,16 @@ def main(argv=None) -> dict:
     assert val["bit_identical"], "engine output diverged from the interpreter"
     assert val["speedup"] >= 5.0, (
         f"validation speedup {val['speedup']:.1f}x below the 5x floor"
+    )
+    assert plan["warm_speedup"] >= 5.0, (
+        f"warm-plan speedup {plan['warm_speedup']:.1f}x below the 5x floor"
+    )
+    assert cache["linear_hits"] > 0, (
+        "extract_linear memoization never hit — the engine's affine analysis "
+        "is no longer routed through the memoized path"
+    )
+    assert all(row["fallback_nests"] == 0 for row in report.get("table1", [])), (
+        "a Table I layer fell back to the scalar interpreter"
     )
     print(f"wrote {args.output}")
     return report

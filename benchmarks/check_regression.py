@@ -8,8 +8,8 @@ generous (default 3x) and only *meaningful* metrics are compared:
 * keys ending in ``_s`` or ``_ms`` are wall-clock timings — **worse when
   larger**; fail when ``fresh > baseline * tolerance``.  Timings below the
   floor (default 5 ms) are noise-dominated and skipped;
-* keys containing ``speedup`` are **better when larger**; fail when
-  ``fresh < baseline / tolerance``;
+* keys containing ``speedup``, ``hit_rate`` or ``memory_reuse`` are
+  **better when larger**; fail when ``fresh < baseline / tolerance``;
 * everything else (counters, flags, labels) is informational and ignored.
 
 Keys present on only one side are reported as warnings, not failures, so the
@@ -48,7 +48,7 @@ def _numeric_leaves(data, prefix: str = "") -> Iterator[Tuple[str, float]]:
 
 def _metric_kind(path: str) -> str:
     leaf = path.rsplit(".", 1)[-1].split("[")[0]
-    if "speedup" in leaf:
+    if "speedup" in leaf or "hit_rate" in leaf or "memory_reuse" in leaf:
         return "higher_is_better"
     if leaf.endswith("_s") or leaf.endswith("_ms"):
         return "lower_is_better"

@@ -62,6 +62,20 @@ class CompiledModel:
     def latency_ms(self) -> float:
         return self.report.total_milliseconds
 
+    def run(self, inputs, weights=None, rng=None, keep=()):
+        """Execute the compiled graph numerically, end to end.
+
+        Runs the (quantized, fused) graph through the memory-planned,
+        plan-cached whole-model executor
+        (:func:`repro.graph.executor.run_model`): activations share one
+        liveness-planned arena and every operator executes through the
+        process-wide executable-plan cache, so repeated layer shapes compile
+        once.  Returns a :class:`~repro.graph.executor.ModelRun`.
+        """
+        from ..graph.executor import run_model
+
+        return run_model(self.graph, inputs, weights=weights, rng=rng, keep=keep)
+
 
 class _SessionTunedRunner:
     """Shared tuning plumbing: key construction + session-backed search.

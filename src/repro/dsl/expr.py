@@ -48,6 +48,7 @@ __all__ = [
     "free_vars",
     "tensors_referenced",
     "structural_hash",
+    "canonical_hash",
     "arith_signature",
     "structural_equal",
     "substitute",
@@ -56,6 +57,8 @@ __all__ = [
     "ExprCacheStats",
     "expr_cache_stats",
     "reset_expr_cache_stats",
+    "expr_cache_epoch",
+    "clear_expr_caches",
 ]
 
 ExprLike = Union["Expr", int, float, bool]
@@ -486,6 +489,32 @@ def reset_expr_cache_stats() -> None:
         setattr(_CACHE_STATS, f, 0)
 
 
+# The expression-cache *epoch* lets downstream derived caches (most notably
+# the executable-plan cache in ``repro.tir.plan``) invalidate themselves when
+# the interning layer is cleared: a cached plan bakes in analyses derived
+# from interned expressions, so it must not outlive them.
+_CACHE_EPOCH = 0
+
+
+def expr_cache_epoch() -> int:
+    """Monotonic counter bumped by :func:`clear_expr_caches`."""
+    return _CACHE_EPOCH
+
+
+def clear_expr_caches() -> None:
+    """Invalidate the expression-cache layer.
+
+    Per-node memos live on the (immutable) nodes themselves and stay
+    individually correct, so they are left in place; what this call does is
+    zero the hit/miss counters and bump the cache *epoch*, which tells every
+    derived cache keyed on interned expression state — e.g. the process-wide
+    :class:`repro.tir.plan.PlanCache` — to drop its entries.
+    """
+    global _CACHE_EPOCH
+    _CACHE_EPOCH += 1
+    reset_expr_cache_stats()
+
+
 def structural_hash(expr: Expr) -> int:
     """A hash consistent with :func:`structural_equal`.
 
@@ -535,6 +564,93 @@ def _structural_hash_impl(e: Expr) -> int:
             ("call", e.name, e.dtype.name) + tuple(structural_hash(a) for a in e.args)
         )
     raise TypeError(f"unhandled node type {type(e).__name__}")
+
+
+def canonical_hash(expr: Expr, var_ids: dict, tensor_ids: dict) -> int:
+    """A structural hash that is stable *across* expression trees.
+
+    :func:`structural_hash` keys tensors by object identity, which is exactly
+    right inside one function but useless for recognising that two separately
+    lowered functions are the same program.  ``canonical_hash`` instead maps
+    variables and tensors through caller-provided id dictionaries (typically
+    binding order for variables and parameter position for tensors), so two
+    structurally identical functions — different ``Var``/``Tensor`` objects,
+    same program — hash identically.  This is the key of the executable-plan
+    cache (:mod:`repro.tir.plan`).
+
+    Variables or tensors absent from the dictionaries hash to a fixed bucket;
+    the plan cache always confirms a hash hit with a full structural-equality
+    walk, so collisions cost time, never correctness.
+    """
+    if isinstance(expr, Var):
+        return hash(("cvar", var_ids.get(expr, -1)))
+    if isinstance(expr, Const):
+        return hash(("cconst", expr.dtype.name, expr.value))
+    if isinstance(expr, Cast):
+        return hash(("ccast", expr.dtype.name, canonical_hash(expr.value, var_ids, tensor_ids)))
+    if isinstance(expr, BinaryOp):
+        return hash(
+            (
+                "cbin",
+                expr.opcode,
+                canonical_hash(expr.a, var_ids, tensor_ids),
+                canonical_hash(expr.b, var_ids, tensor_ids),
+            )
+        )
+    if isinstance(expr, Compare):
+        return hash(
+            (
+                "ccmp",
+                expr.op,
+                canonical_hash(expr.a, var_ids, tensor_ids),
+                canonical_hash(expr.b, var_ids, tensor_ids),
+            )
+        )
+    if isinstance(expr, Select):
+        return hash(
+            ("cselect",)
+            + tuple(canonical_hash(c, var_ids, tensor_ids) for c in expr.children)
+        )
+    if isinstance(expr, TensorLoad):
+        t = expr.tensor
+        tkey = tensor_ids.get(t)
+        if tkey is None:
+            # Unregistered tensors (e.g. intrinsic register descriptions,
+            # which are process-wide singletons) key by their metadata.
+            tkey = ("ext", t.name, t.shape, t.dtype.name)
+        return hash(
+            ("cload", tkey)
+            + tuple(canonical_hash(i, var_ids, tensor_ids) for i in expr.indices)
+        )
+    if isinstance(expr, Reduce):
+        inner = dict(var_ids)
+        for ax in expr.axes:
+            inner[ax.var] = len(inner)
+        return hash(
+            (
+                "creduce",
+                expr.combiner,
+                tuple(ax.extent for ax in expr.axes),
+                canonical_hash(expr.source, inner, tensor_ids),
+            )
+        )
+    if isinstance(expr, Ramp):
+        return hash(
+            ("cramp", expr.stride, expr.lanes, canonical_hash(expr.base, var_ids, tensor_ids))
+        )
+    if isinstance(expr, Broadcast):
+        return hash(("cbcast", expr.lanes, canonical_hash(expr.value, var_ids, tensor_ids)))
+    if isinstance(expr, Shuffle):
+        return hash(
+            ("cshuffle",)
+            + tuple(canonical_hash(v, var_ids, tensor_ids) for v in expr.vectors)
+        )
+    if isinstance(expr, Call):
+        return hash(
+            ("ccall", expr.name, expr.dtype.name)
+            + tuple(canonical_hash(a, var_ids, tensor_ids) for a in expr.args)
+        )
+    raise TypeError(f"unhandled node type {type(expr).__name__}")
 
 
 def arith_signature(expr: Expr) -> int:

@@ -5,7 +5,15 @@ fusion passes prepare it for tensorization, and the executor aggregates
 per-operator latencies into the end-to-end inference latency.
 """
 
-from .executor import GraphLatencyReport, estimate_graph_latency, execute_graph
+from .executor import (
+    GraphLatencyReport,
+    MemoryPlan,
+    ModelRun,
+    estimate_graph_latency,
+    execute_graph,
+    plan_memory,
+    run_model,
+)
 from .fuse import FUSABLE_KINDS, fuse_elementwise
 from .ir import (
     ConcatNode,
@@ -21,6 +29,7 @@ from .ir import (
     PoolNode,
     SoftmaxNode,
     TensorShape,
+    rescale_input,
 )
 from .layout import LayoutDecision, padding_waste, plan_layout
 from .quantize import quantize_graph
@@ -48,4 +57,9 @@ __all__ = [
     "estimate_graph_latency",
     "execute_graph",
     "GraphLatencyReport",
+    "MemoryPlan",
+    "plan_memory",
+    "ModelRun",
+    "run_model",
+    "rescale_input",
 ]

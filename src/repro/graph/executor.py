@@ -12,12 +12,21 @@ expressed in the tensor DSL, lowered, and executed through the vectorized
 execution engine (``repro.tir.execute``) — the repository's validation
 oracle — while structural operators (pooling, concat, softmax, elementwise)
 use direct numpy semantics.
+
+:func:`run_model` is the *memory-planned* whole-model path: a liveness
+analysis (:func:`plan_memory`) assigns every activation a slot in one shared
+arena — a node's output buffer is reused as soon as its last consumer has
+run, instead of every operator allocating fresh storage — and every
+compute-intensive node executes through the process-wide executable-plan
+cache (:mod:`repro.tir.plan`), so a model's many structurally identical
+layers compile once and run warm.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -37,7 +46,15 @@ from .ir import (
     SoftmaxNode,
 )
 
-__all__ = ["GraphLatencyReport", "estimate_graph_latency", "execute_graph"]
+__all__ = [
+    "GraphLatencyReport",
+    "estimate_graph_latency",
+    "execute_graph",
+    "MemoryPlan",
+    "plan_memory",
+    "ModelRun",
+    "run_model",
+]
 
 # Fallback sustained MAC rate for operators no runner specialises (depthwise
 # convolutions, pooling): a vectorised but non-tensorized loop.
@@ -151,19 +168,30 @@ def execute_graph(
     return outputs
 
 
-def _execute_node(node, ins, inputs, weights, rng, engine) -> np.ndarray:
+def _execute_node(node, ins, inputs, weights, rng, engine, out_buf=None) -> np.ndarray:
+    """Execute one node; when ``out_buf`` is given, compute-intensive
+    operators write straight into it (an arena slot view under
+    :func:`run_model`) and it is returned."""
     from ..dsl import compute, placeholder, reduce_axis, sum_reduce
     from ..tir import execute as tir_execute
     from ..tir import lower
 
-    def dsl_run(out_tensor, bindings):
+    def dsl_run(out_tensor, bindings, out_array=None):
         func = lower(out_tensor)
         buffers = {}
         for param, array in bindings.items():
             buffers[param] = np.ascontiguousarray(array, dtype=np.float32)
-        buffers[func.output] = np.zeros(
-            func.output.shape, dtype=func.output.dtype.np_dtype
-        )
+        if out_array is not None:
+            # Execute straight into the caller's (arena) storage: both
+            # engines scatter into the bound output buffer in place, so no
+            # per-op output allocation happens.
+            out_array = out_array.reshape(func.output.shape)
+            out_array[...] = 0.0
+            buffers[func.output] = out_array
+        else:
+            buffers[func.output] = np.zeros(
+                func.output.shape, dtype=func.output.dtype.np_dtype
+            )
         return tir_execute(func, buffers, engine=engine)
 
     if isinstance(node, InputNode):
@@ -187,7 +215,7 @@ def _execute_node(node, ins, inputs, weights, rng, engine) -> np.ndarray:
         if node.padding:
             x = np.pad(x, ((0, 0), (node.padding,) * 2, (node.padding,) * 2))
         if node.groups == 1:
-            return _conv2d_dsl(dsl_run, x, w, node.stride, node.name)
+            return _conv2d_dsl(dsl_run, x, w, node.stride, node.name, out_buf)
         group_c = c_in // node.groups
         group_k = node.out_channels // node.groups
         parts = [
@@ -197,9 +225,12 @@ def _execute_node(node, ins, inputs, weights, rng, engine) -> np.ndarray:
                 w[g * group_k : (g + 1) * group_k],
                 node.stride,
                 f"{node.name}_g{g}",
+                None if out_buf is None else out_buf[g * group_k : (g + 1) * group_k],
             )
             for g in range(node.groups)
         ]
+        if out_buf is not None:
+            return out_buf
         return np.concatenate(parts, axis=0)
 
     if isinstance(node, DepthwiseConv2DNode):
@@ -223,7 +254,7 @@ def _execute_node(node, ins, inputs, weights, rng, engine) -> np.ndarray:
             ),
             name=node.name,
         )
-        return dsl_run(out, {data: x, wt: w})
+        return dsl_run(out, {data: x, wt: w}, out_buf)
 
     if isinstance(node, DenseNode):
         x = ins[0].reshape(-1)
@@ -236,7 +267,7 @@ def _execute_node(node, ins, inputs, weights, rng, engine) -> np.ndarray:
             lambda j: sum_reduce(data[rk] * wt[j, rk], rk),
             name=node.name,
         )
-        return dsl_run(out, {data: x, wt: w}).reshape(node.out_features, 1, 1)
+        return dsl_run(out, {data: x, wt: w}, out_buf).reshape(node.out_features, 1, 1)
 
     if isinstance(node, PoolNode):
         x = ins[0]
@@ -282,7 +313,7 @@ def _execute_node(node, ins, inputs, weights, rng, engine) -> np.ndarray:
     raise TypeError(f"cannot execute graph node type {type(node).__name__}")
 
 
-def _conv2d_dsl(dsl_run, x, w, stride, name):
+def _conv2d_dsl(dsl_run, x, w, stride, name, out_buf=None):
     from ..dsl import compute, placeholder, reduce_axis, sum_reduce
 
     c_in, h, wd = x.shape
@@ -302,7 +333,7 @@ def _conv2d_dsl(dsl_run, x, w, stride, name):
         ),
         name=name,
     )
-    return dsl_run(out, {data: x, wt: w})
+    return dsl_run(out, {data: x, wt: w}, out_buf)
 
 
 def _param(weights: Dict[str, np.ndarray], name: str, shape, rng) -> np.ndarray:
@@ -333,3 +364,199 @@ def _apply_elementwise(kind: str, ins) -> np.ndarray:
     # batch_norm and friends are latency stand-ins with no parameters here;
     # they pass activations through unchanged.
     return ins[0]
+
+
+# ---------------------------------------------------------------------------
+# Memory-planned whole-model execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MemoryPlan:
+    """Liveness-based activation storage assignment for one graph.
+
+    Every non-input node's output lives in a *slot* of one shared arena; a
+    slot is recycled as soon as the node's last consumer has executed.
+    ``naive_elements`` is what per-op fresh allocation would use (the sum of
+    every activation), the denominator of the reuse ratio reported by the
+    benchmarks.
+    """
+
+    graph_name: str
+    slot_of: Dict[str, int]
+    slot_elements: List[int]
+    naive_elements: int
+
+    @property
+    def arena_elements(self) -> int:
+        return sum(self.slot_elements)
+
+    @property
+    def arena_bytes(self) -> int:
+        return self.arena_elements * 4  # float32 activations
+
+    @property
+    def naive_bytes(self) -> int:
+        return self.naive_elements * 4
+
+    @property
+    def reuse_ratio(self) -> float:
+        """How many times smaller the arena is than naive allocation."""
+        return self.naive_elements / self.arena_elements if self.arena_elements else 1.0
+
+
+def plan_memory(graph: Graph, keep: Sequence[str] = ()) -> MemoryPlan:
+    """Assign every activation an arena slot via liveness analysis.
+
+    Nodes in ``keep`` (plus the graph output — the last node) are pinned:
+    their slots are never recycled, so their contents survive the whole run.
+    Slot assignment is greedy best-fit: a released slot is reused by the next
+    node it can hold (growing the smallest-fitting slot when none is large
+    enough), which keeps the arena close to the live-set peak.
+    """
+    graph.infer_shapes()
+    pinned = set(keep)
+    if graph.nodes:
+        pinned.add(graph.nodes[-1].name)
+    last_use: Dict[str, int] = {}
+    for index, node in enumerate(graph.nodes):
+        for name in node.inputs:
+            last_use[name] = index
+
+    slot_of: Dict[str, int] = {}
+    slot_elements: List[int] = []
+    free: List[int] = []
+    naive = 0
+    for index, node in enumerate(graph.nodes):
+        if not isinstance(node, InputNode):
+            need = graph.output_shape(node.name).elements
+            naive += need
+            fitting = [s for s in free if slot_elements[s] >= need]
+            if fitting:
+                slot = min(fitting, key=lambda s: slot_elements[s])
+                free.remove(slot)
+            elif free:
+                slot = max(free, key=lambda s: slot_elements[s])
+                free.remove(slot)
+                slot_elements[slot] = need
+            else:
+                slot = len(slot_elements)
+                slot_elements.append(need)
+            slot_of[node.name] = slot
+        # Inputs whose last consumer just ran release their slots — after the
+        # current node's output slot is assigned, so a node never computes
+        # into a buffer it is still reading.  Deduplicated: a node listing
+        # the same input twice must release its slot exactly once.
+        for name in dict.fromkeys(node.inputs):
+            if (
+                last_use.get(name) == index
+                and name in slot_of
+                and name not in pinned
+            ):
+                free.append(slot_of[name])
+    return MemoryPlan(
+        graph_name=graph.name,
+        slot_of=slot_of,
+        slot_elements=slot_elements,
+        naive_elements=naive,
+    )
+
+
+@dataclass
+class ModelRun:
+    """The result of one memory-planned, plan-cached model execution."""
+
+    graph_name: str
+    output: np.ndarray
+    outputs: Dict[str, np.ndarray]
+    memory: MemoryPlan
+    plan_hits: int
+    plan_misses: int
+    seconds: float
+
+    @property
+    def plan_hit_rate(self) -> float:
+        total = self.plan_hits + self.plan_misses
+        return self.plan_hits / total if total else 0.0
+
+
+def run_model(
+    graph: Graph,
+    inputs: Dict[str, np.ndarray],
+    weights: Optional[Dict[str, np.ndarray]] = None,
+    rng: Optional[np.random.Generator] = None,
+    engine: str = "vector",
+    keep: Sequence[str] = (),
+) -> ModelRun:
+    """Execute a whole model through cached plans and one activation arena.
+
+    The engine-backed counterpart of :func:`execute_graph` for end-to-end
+    runs: numerically identical (same DSL lowerings, same engines, same
+    parameter generation), but activations live in arena slots assigned by
+    :func:`plan_memory` — recycled buffer space instead of one fresh array
+    per operator — and every lowered operator executes through the
+    process-wide :class:`~repro.tir.plan.PlanCache`, so a model's repeated
+    layer shapes pay the loop-nest analysis once.
+
+    Returns a :class:`ModelRun` with the graph output (the last node), the
+    outputs of ``keep`` nodes, the memory plan, and the plan-cache hit/miss
+    delta of this call.  Buffers of nodes not in ``keep`` are reused during
+    the run and must not be read afterwards.
+    """
+    from ..tir.plan import plan_cache
+
+    graph.infer_shapes()
+    memory = plan_memory(graph, keep=keep)
+    weights = dict(weights or {})
+    rng = rng or np.random.default_rng(0)
+
+    cache_stats = plan_cache().stats
+    hits0, misses0 = cache_stats.hits, cache_stats.misses
+    started = time.perf_counter()
+
+    arena = np.empty(memory.arena_elements, dtype=np.float32)
+    offsets: List[int] = []
+    cursor = 0
+    for elements in memory.slot_elements:
+        offsets.append(cursor)
+        cursor += elements
+
+    def slot_view(name: str) -> np.ndarray:
+        shape = graph.output_shape(name)
+        start = offsets[memory.slot_of[name]]
+        return arena[start : start + shape.elements].reshape(
+            shape.channels, shape.height, shape.width
+        )
+
+    outputs: Dict[str, np.ndarray] = {}
+    for node in graph.nodes:
+        ins = [outputs[name] for name in node.inputs]
+        if isinstance(node, InputNode):
+            outputs[node.name] = np.ascontiguousarray(
+                _execute_node(node, ins, inputs, weights, rng, engine),
+                dtype=np.float32,
+            )
+            continue
+        view = slot_view(node.name)
+        result = _execute_node(node, ins, inputs, weights, rng, engine, out_buf=view)
+        for activation in node.fused_activations:
+            result = _apply_elementwise(activation, [result])
+        result = np.asarray(result, dtype=np.float32).reshape(view.shape)
+        # ``result`` is either a reshape of ``view`` itself (the in-place DSL
+        # paths — same memory, same layout, so the copy is a safe no-op) or a
+        # fresh array from a structural operator / fused activation.
+        np.copyto(view, result)
+        outputs[node.name] = view
+
+    final = graph.nodes[-1].name
+    kept = {name: outputs[name].copy() for name in keep}
+    kept[final] = outputs[final].copy()
+    return ModelRun(
+        graph_name=graph.name,
+        output=kept[final],
+        outputs=kept,
+        memory=memory,
+        plan_hits=cache_stats.hits - hits0,
+        plan_misses=cache_stats.misses - misses0,
+        seconds=time.perf_counter() - started,
+    )

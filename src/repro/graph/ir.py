@@ -29,6 +29,7 @@ __all__ = [
     "FlattenNode",
     "SoftmaxNode",
     "Graph",
+    "rescale_input",
 ]
 
 
@@ -293,3 +294,25 @@ class Graph:
     def __repr__(self) -> str:
         convs = len(self.conv_nodes())
         return f"Graph({self.name}, {len(self.nodes)} nodes, {convs} convolutions)"
+
+
+def rescale_input(graph: Graph, height: int, width: Optional[int] = None) -> Graph:
+    """A copy of ``graph`` with its input activations resized to H×W.
+
+    Channel counts (and therefore every layer's parameter shapes) are
+    unchanged; only the spatial extents shrink or grow through the network.
+    Useful for running whole models functionally at tractable sizes — the
+    engine-backed :func:`repro.graph.executor.run_model` path — while keeping
+    every layer structurally identical to the full-size model.  Nodes are
+    shallow-copied, so the original graph's inferred shapes are untouched.
+    """
+    width = width if width is not None else height
+    nodes: List[GraphNode] = []
+    for node in graph.nodes:
+        node = replace(node)
+        if isinstance(node, InputNode):
+            node = replace(
+                node, shape=TensorShape(node.shape.channels, height, width)
+            )
+        nodes.append(node)
+    return graph.rebuild(nodes)

@@ -12,7 +12,7 @@ from typing import Dict
 import numpy as np
 
 from ..dsl import cast, compute, placeholder, reduce_axis, sum_reduce
-from .intrinsic import IntrinsicPerf, TensorIntrinsic
+from .intrinsic import IntrinsicPerf, TensorIntrinsic, dot_product_grid
 
 __all__ = ["make_sdot", "make_udot", "DOT_LANES", "DOT_REDUCTION"]
 
@@ -22,12 +22,20 @@ DOT_REDUCTION = 4
 
 def _dot_hw(prefix: str):
     # Rank-polymorphic (leading batch axes pass through) so the vectorized
-    # engine can execute whole rounds of calls at once.
+    # engine can execute whole rounds of calls at once.  The dot products
+    # accumulate in int32 via ``einsum`` (exact: every 8-bit product and
+    # 4-wide sum fits int32, signed or unsigned), skipping the widened
+    # product temporaries of the naive formulation.
     def impl(operands: Dict[str, np.ndarray]) -> np.ndarray:
-        a = operands[f"{prefix}_a"].astype(np.int32)
-        b = operands[f"{prefix}_b"].astype(np.int32)
+        a = operands[f"{prefix}_a"]
+        b = operands[f"{prefix}_b"]
         c = operands[f"{prefix}_c"].astype(np.int32)
-        prod = (a * b).reshape(a.shape[:-1] + (DOT_LANES, DOT_REDUCTION)).sum(axis=-1)
+        prod = np.einsum(
+            "...ij,...ij->...i",
+            a.reshape(a.shape[:-1] + (DOT_LANES, DOT_REDUCTION)),
+            b.reshape(b.shape[:-1] + (DOT_LANES, DOT_REDUCTION)),
+            dtype=np.int32,
+        )
         return (c + prod).astype(np.int32)
 
     return impl
@@ -55,6 +63,7 @@ def _make_dot(name: str, prefix: str, a_dtype: str, b_dtype: str, llvm: str) -> 
         llvm_intrinsic=llvm,
         perf=IntrinsicPerf(latency_cycles=3.0, throughput_per_cycle=2.0, issue_ports=2),
         hardware_impl=_dot_hw(prefix),
+        grid_impl=dot_product_grid(f"{prefix}_a", f"{prefix}_b"),
         description=f"{a_dtype} x {b_dtype} dot-product into int32, 4 lanes, width 4",
         batchable=True,
     )

@@ -26,7 +26,33 @@ from ..dsl.dtype import DType
 from ..dsl.tensor import Tensor
 from ..tir import execute, lower
 
-__all__ = ["TensorIntrinsic", "IntrinsicPerf"]
+__all__ = ["TensorIntrinsic", "IntrinsicPerf", "dot_product_grid"]
+
+
+def dot_product_grid(a_name: str, b_name: str):
+    """A grid-form *contribution* model for accumulator dot products.
+
+    Implements the :attr:`TensorIntrinsic.grid_impl` contract for every
+    instruction of the family ``d[i] = c[i] + sum_j a[f(i,j)] * b[g(i,j)]``:
+    given the ``a``/``b`` operands evaluated pointwise on ``lead + iteration
+    axes`` grids (possibly zero-stride broadcast views — they are consumed
+    without materialisation), it returns the accumulator *contribution*
+    ``sum_j a*b`` with the requested leading axes folded into the same exact
+    int32 accumulation.  Every 8/16-bit product and reduction-width sum fits
+    int32, so the fused ``einsum`` is bit-identical to the per-call hardware
+    model under wraparound integer addition.
+    """
+
+    def impl(operands: Dict[str, np.ndarray], reduce_axes=()) -> np.ndarray:
+        a = operands[a_name]
+        b = operands[b_name]
+        nd = a.ndim
+        reduced = set(reduce_axes)
+        subs = list(range(nd))
+        keep = [d for d in range(nd - 2) if d not in reduced]
+        return np.einsum(a, subs, b, subs, keep + [nd - 2], dtype=np.int32)
+
+    return impl
 
 
 @dataclass(frozen=True)
@@ -63,6 +89,7 @@ class TensorIntrinsic:
         hardware_impl: Optional[Callable[[Dict[str, np.ndarray]], np.ndarray]] = None,
         description: str = "",
         batchable: bool = False,
+        grid_impl: Optional[Callable] = None,
     ) -> None:
         self.name = name
         self.op = op
@@ -76,6 +103,18 @@ class TensorIntrinsic:
         # the instruction descriptions whose models are written rank-
         # polymorphically; the vectorized engine exploits it.
         self.batchable = batchable
+        # Optional *grid-form contribution* model, the fast path of the
+        # engine's cross-round batched dispatch.  Contract:
+        # ``grid_impl(operands, reduce_axes)`` receives every non-accumulator
+        # operand evaluated pointwise on a ``lead + iteration-axes`` grid
+        # (arrays may be zero-stride broadcast views; implementations must
+        # consume them without materialising, e.g. through ``einsum``), and
+        # returns the accumulator *contribution* — the instruction's output
+        # with a zeroed accumulator — summed over the leading ``reduce_axes``
+        # (which are dropped from the result) in the output register layout.
+        # Only sound for instructions whose accumulation is exact under
+        # reordering (integer wraparound); see ``dot_product_grid``.
+        self.grid_impl = grid_impl
 
     # -- structural views --------------------------------------------------
     @property

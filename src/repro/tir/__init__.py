@@ -10,8 +10,26 @@ renders C-like listings.
 """
 
 from .lower import PrimFunc, decompose_reduction, lower
-from .engine import EngineStats, Unvectorizable, VectorizedEngine, execute, vector_run
-from .interpreter import Interpreter, alloc_buffers, random_array, run
+from .engine import (
+    EngineStats,
+    ExecutablePlan,
+    PlanStats,
+    Unvectorizable,
+    VectorizedEngine,
+    compile_plan,
+    execute,
+    vector_run,
+)
+from .interpreter import Frame, Interpreter, alloc_buffers, random_array, run
+from .plan import (
+    PlanCache,
+    PlanCacheStats,
+    cached_execute,
+    func_signature,
+    func_structural_equal,
+    func_structural_hash,
+    plan_cache,
+)
 from .printer import func_to_str, stmt_to_str
 from .stmt import (
     Allocate,
@@ -43,6 +61,17 @@ __all__ = [
     "Unvectorizable",
     "execute",
     "vector_run",
+    "ExecutablePlan",
+    "PlanStats",
+    "compile_plan",
+    "PlanCache",
+    "PlanCacheStats",
+    "plan_cache",
+    "cached_execute",
+    "func_signature",
+    "func_structural_hash",
+    "func_structural_equal",
+    "Frame",
     "func_to_str",
     "stmt_to_str",
     "ForKind",

@@ -1,44 +1,53 @@
-"""Vectorized execution engine for tensor IR.
+"""Vectorized execution engine for tensor IR: compile once, run many times.
 
 The scalar :class:`~repro.tir.interpreter.Interpreter` executes loop nests one
 element at a time in Python — exact, but the single hottest path in the
 repository once every schedule transformation and tuning trial is validated
-through it.  This module compiles the same :class:`PrimFunc` loop nests into
-*batched numpy operations*:
+through it.  This module *compiles* a :class:`PrimFunc` into an
+:class:`ExecutablePlan` of batched numpy operations and then executes the
+plan with **zero re-analysis**:
 
-* affine ``TensorLoad``/``Store`` indices are evaluated as integer index
-  grids over the full loop-iteration space and become fancy-indexed
-  gathers/scatters;
-* reduction updates (``out[...] = out[...] + src`` and the ``max``/``min``
-  forms) are folded over the reduction axes with exact dtype semantics —
-  order-free ufunc reductions where modular/ordering arguments prove bit
-  equality (integer sums, integer/float max/min), and a sequential
-  vectorized left-fold where evaluation order is observable (float sums);
-* ``likely`` residue guards from imperfect splits become boolean masks
-  (loads are clamped, stores are mask-selected, accumulations fold the
-  guarded iterations as combiner identities);
-* ``Select``, ``Reduce`` and the vector expressions ``Ramp`` / ``Broadcast``
-  / ``Shuffle`` evaluate on whole index blocks;
-* ``IntrinsicCall`` regions execute in rounds: outer loops the destination
-  tile does *not* depend on (reduction revisits) run sequentially, while all
-  tiles of one round — provably disjoint — are gathered, executed through the
-  instruction's (batch-polymorphic) hardware model, and scattered in bulk.
+* **compile phase** (:func:`compile_plan`) — one walk over the loop nests
+  derives everything that does not depend on buffer contents: iteration
+  grids, strided (affine) gather/scatter index arrays via the memoized
+  :func:`repro.dsl.expr.extract_linear` decomposition, residue masks from
+  ``likely`` guards, reduction fold orders, and a flattened intrinsic-round
+  schedule.  Expressions that do read buffers are compiled into closures
+  over those precomputed index grids;
+* **run phase** (:meth:`ExecutablePlan.run`) — pure numpy execution over the
+  caller's buffers: fancy-indexed gathers, exact-dtype reduction folds
+  (order-free ufunc reductions where bit equality is provable, sequential
+  vectorized left-folds where evaluation order is observable, e.g. float
+  sums), masked scatters, and bulk intrinsic dispatch.
 
-Any statement the engine cannot prove vectorizable falls back, whole nest at
-a time, to the scalar interpreter over the same buffers, so the engine is
-*always* exact: vectorization is an optimization, never a semantics change.
-``EngineStats`` records how much of a run was vectorized and why fallbacks
-happened.
+``IntrinsicCall`` regions execute in rounds: outer loops the destination
+tile does *not* depend on (reduction revisits) are, by default, sequential
+rounds.  When every operand address is **affine in those sequential loop
+variables** — successive rounds differ only by constant input offsets — and
+the instruction is an integer accumulator-style dot product, the plan
+*stacks* rounds: operands for whole slabs of rounds are gathered at once,
+pushed through the (rank-polymorphic) hardware model in one call with a zero
+accumulator, and the per-round contributions are folded with exact wraparound
+integer addition before a single accumulate-and-scatter.  This turns the
+36–648 Python round-trips of a convolution's reduction loops into a handful
+of ``execute`` calls.
 
-The engine is the default validation oracle of the repository (see
-``repro.tir.execute``); the scalar interpreter remains the reference it is
-continuously tested against.
+Plans are cached process-wide (:mod:`repro.tir.plan`) keyed by the canonical
+structural hash of the function plus its dtype/shape signature, so the many
+structurally identical layers of a model compile once and run warm.
+
+Any statement the compiler cannot prove vectorizable becomes a *fallback
+step* that executes through the scalar interpreter over the same buffers, so
+the engine is always exact: vectorization is an optimization, never a
+semantics change.  :class:`EngineStats` records how much of a run was
+vectorized and why fallbacks happened; :class:`VectorizedEngine` keeps its
+historical one-object interface on top of the plan machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,16 +67,39 @@ from .stmt import (
     Store,
 )
 
-__all__ = ["VectorizedEngine", "EngineStats", "Unvectorizable", "execute", "vector_run"]
+__all__ = [
+    "VectorizedEngine",
+    "EngineStats",
+    "PlanStats",
+    "ExecutablePlan",
+    "Unvectorizable",
+    "compile_plan",
+    "execute",
+    "vector_run",
+]
+
+# Element budget for one stacked intrinsic-round slab: bounds the transient
+# operand arrays of the register-form batched dispatch (elements, not bytes).
+# Kept small enough that a slab's widened temporaries stay cache-resident.
+_ROUND_BATCH_BUDGET = 1 << 22
+
+# Element budget for the materialised gathers of the grid-form dispatch (its
+# broadcast operand views cost nothing; only the raw gathers allocate).
+_GRID_GATHER_BUDGET = 1 << 27
 
 
 class Unvectorizable(Exception):
     """A statement could not be proven safe to vectorize.
 
-    Raised internally (and surfaced only in ``strict`` mode); the engine's
-    normal response is to execute the offending nest through the scalar
-    interpreter instead.
+    Raised at compile time for structural reasons (and surfaced only in
+    ``strict`` mode) and — rarely — at run time for value-shape reasons
+    (vector lanes appearing where the plan proved none); the engine's normal
+    response is to execute the offending nest through the scalar interpreter.
     """
+
+
+class _Dynamic(Exception):
+    """Static evaluation hit a buffer read (internal control flow)."""
 
 
 @dataclass
@@ -79,6 +111,7 @@ class EngineStats:
     vector_stores: int = 0
     intrinsic_rounds: int = 0
     intrinsic_points: int = 0
+    intrinsic_round_batches: int = 0
     fallback_reasons: List[str] = field(default_factory=list)
 
     @property
@@ -87,31 +120,18 @@ class EngineStats:
         return self.vector_nests / total if total else 1.0
 
 
-class _Frame:
-    __slots__ = ("buffers",)
+@dataclass
+class PlanStats:
+    """Compile-time facts about one :class:`ExecutablePlan`."""
 
-    def __init__(self, buffers: Dict[Tensor, np.ndarray]) -> None:
-        self.buffers = buffers
+    vector_nests: int = 0
+    fallback_nests: int = 0
+    fallback_reasons: List[str] = field(default_factory=list)
 
-
-class _Ctx:
-    """Grid-evaluation context: loop variables bound to index arrays.
-
-    ``rank`` is the number of grid axes; every bound array has exactly
-    ``rank`` dimensions (size-1 where it does not vary), so results broadcast
-    positionally.  Vector expressions add one trailing *lane* axis (rank+1).
-    ``clip`` clamps gather indices into range — enabled when a mask is active,
-    because masked-out grid points may carry out-of-range addresses that the
-    scalar loop would never have touched.
-    """
-
-    __slots__ = ("rank", "vars", "buffers", "clip")
-
-    def __init__(self, rank, vars, buffers, clip=False):
-        self.rank = rank
-        self.vars = vars
-        self.buffers = buffers
-        self.clip = clip
+    @property
+    def vectorized_fraction(self) -> float:
+        total = self.vector_nests + self.fallback_nests
+        return self.vector_nests / total if total else 1.0
 
 
 def _axis_array(pos: int, extent: int, rank: int) -> np.ndarray:
@@ -136,195 +156,194 @@ def _align(values: Sequence, rank: int) -> List:
     return out
 
 
-class VectorizedEngine:
-    """Execute a :class:`PrimFunc` over numpy buffers by batched array ops."""
+def _affine_in(expr: E.Expr, variables: set) -> bool:
+    """Whether ``expr`` is affine in ``variables`` (other vars are symbolic
+    parameters): no member may sit under a div/mod/min/max or multiply
+    another variable-carrying term."""
+    if not any(v in variables for v in E.free_vars(expr)):
+        return True  # constant with respect to the slicing variables
+    if isinstance(expr, E.Var):
+        return True
+    if isinstance(expr, E.Cast):
+        return _affine_in(expr.value, variables)
+    if isinstance(expr, (E.Add, E.Sub)):
+        return _affine_in(expr.a, variables) and _affine_in(expr.b, variables)
+    if isinstance(expr, E.Mul):
+        for scale, term in ((expr.a, expr.b), (expr.b, expr.a)):
+            if not any(v in variables for v in E.free_vars(scale)):
+                return _affine_in(term, variables)
+        return False
+    return False
 
-    def __init__(self, func: PrimFunc, strict: bool = False) -> None:
-        self.func = func
-        self.strict = strict
-        self.stats = EngineStats()
-        self._interp = Interpreter(func)
 
-    # -- public API -------------------------------------------------------
-    def run(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
-        """Execute the function; same contract as ``Interpreter.run``."""
-        frame = _Frame(self._interp.bind_params(buffers))
-        self._exec(self.func.body, frame)
-        return frame.buffers[self.func.output]
+def _get_buf(bufs: Dict[Tensor, np.ndarray], tensor: Tensor) -> np.ndarray:
+    try:
+        return bufs[tensor]
+    except KeyError as exc:
+        raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
 
-    # -- statement dispatch ------------------------------------------------
-    def _exec(self, stmt: Stmt, frame: _Frame) -> None:
-        if isinstance(stmt, SeqStmt):
-            for s in stmt.stmts:
-                self._exec(s, frame)
-        elif isinstance(stmt, AttrStmt):
-            self._exec(stmt.body, frame)
-        elif isinstance(stmt, Allocate):
-            frame.buffers[stmt.tensor] = np.zeros(
-                stmt.tensor.shape, dtype=stmt.tensor.dtype.np_dtype
-            )
-            self._exec(stmt.body, frame)
-        elif isinstance(stmt, (For, Store, IfThenElse, IntrinsicCall)):
-            self._dispatch_nest(stmt, frame)
-        elif isinstance(stmt, Evaluate):
-            self._fallback(stmt, frame)
-        else:
-            raise TypeError(f"cannot execute statement {type(stmt).__name__}")
 
-    def _dispatch_nest(self, stmt: Stmt, frame: _Frame) -> None:
-        try:
-            self._vector_nest(stmt, frame)
-            self.stats.vector_nests += 1
-        except Unvectorizable as exc:
-            if self.strict:
-                raise
-            self.stats.fallback_nests += 1
-            if len(self.stats.fallback_reasons) < 32:
-                self.stats.fallback_reasons.append(str(exc))
-            self._fallback(stmt, frame)
+class _CompileCtx:
+    """Grid-analysis context: loop variables bound to index arrays.
 
-    def _fallback(self, stmt: Stmt, frame: _Frame) -> None:
-        self._interp.run_stmt(stmt, frame.buffers)
+    ``rank`` is the number of grid axes; every bound array has exactly
+    ``rank`` dimensions (size-1 where it does not vary), so results broadcast
+    positionally.  Vector expressions add one trailing *lane* axis (rank+1).
+    ``order`` is the binding order of the variables — the memo key for the
+    affine decomposition.  ``clip`` clamps gather indices into range —
+    enabled when a mask is active, because masked-out grid points may carry
+    out-of-range addresses the scalar loop would never have touched.
+    """
 
-    # -- nest vectorization -------------------------------------------------
-    def _vector_nest(self, stmt: Stmt, frame: _Frame) -> None:
-        axes: List[Tuple[E.Var, int]] = []
-        guards: List[E.Expr] = []
-        while True:
-            if isinstance(stmt, For):
-                axes.append((stmt.var, stmt.extent))
-                stmt = stmt.body
-            elif isinstance(stmt, IfThenElse) and stmt.else_case is None:
-                guards.append(stmt.condition)
-                stmt = stmt.then_case
-            elif isinstance(stmt, AttrStmt):
-                stmt = stmt.body
-            else:
-                break
-        if isinstance(stmt, Store):
-            self._vector_store(axes, guards, stmt, frame)
-        elif isinstance(stmt, IntrinsicCall):
-            self._vector_intrinsic(axes, guards, stmt, frame)
-        else:
-            raise Unvectorizable(
-                f"loop body is a {type(stmt).__name__}, not a store or intrinsic call"
-            )
+    __slots__ = ("rank", "vars", "order", "clip")
 
-    def _make_ctx(self, axes, frame, clip):
-        rank = len(axes)
-        vars = {
-            var: _axis_array(i, extent, rank)
-            for i, (var, extent) in enumerate(axes)
-        }
-        return _Ctx(rank, vars, frame.buffers, clip)
+    def __init__(self, rank, vars, order, clip=False):
+        self.rank = rank
+        self.vars = vars
+        self.order = order
+        self.clip = clip
 
-    def _eval_mask(self, guards, ctx):
-        """Combine guard conditions into one boolean mask (or None)."""
-        mask = None
-        for g in guards:
-            m = self._veval(g, ctx)
-            if mask is None:
-                mask = m
-            else:
-                a, b = _align([mask, m], ctx.rank)
-                mask = np.logical_and(a, b)
-        if mask is not None and np.ndim(mask) == 0:
-            if not bool(mask):
-                return False  # statically dead nest
-            mask = None
-        return mask
 
-    # -- vectorized Store ---------------------------------------------------
-    def _vector_store(self, axes, guards, store: Store, frame: _Frame) -> None:
-        rank = len(axes)
-        grid = tuple(extent for _, extent in axes)
-        ctx = self._make_ctx(axes, frame, clip=bool(guards))
-        buf = self._buffer(frame, store.tensor)
-        out_np = store.tensor.dtype.np_dtype
+# ---------------------------------------------------------------------------
+# Plan steps — the run-phase objects.  Every step is immutable after compile
+# and threads all mutable state through the caller's buffer dict, so one plan
+# may be shared across threads and cached process-wide.
+# ---------------------------------------------------------------------------
 
-        mask = self._eval_mask(guards, ctx)
-        if mask is False:
-            return
 
-        acc = self._match_accumulation(store)
-        idx = [self._veval(i, ctx) for i in store.indices]
-        if mask is not None:
-            idx = [
-                np.clip(np.asarray(i), 0, d - 1) if np.ndim(i) else min(max(int(i), 0), d - 1)
-                for i, d in zip(idx, buf.shape)
-            ]
+class _AllocStep:
+    __slots__ = ("tensor",)
 
-        if acc is None:
-            self._plain_store(buf, out_np, idx, store, ctx, mask, rank)
-        else:
-            rest_expr, combiner = acc
-            self._accumulate_store(
-                buf, out_np, idx, rest_expr, combiner, store, ctx, mask, axes, grid
-            )
-        self.stats.vector_stores += 1
+    def __init__(self, tensor: Tensor) -> None:
+        self.tensor = tensor
 
-    def _plain_store(self, buf, out_np, idx, store, ctx, mask, rank):
-        value = self._veval(store.value, ctx)
-        arrs = _align(list(idx) + [value], rank)
+    def run(self, bufs, stats) -> None:
+        bufs[self.tensor] = np.zeros(self.tensor.shape, dtype=self.tensor.dtype.np_dtype)
+
+
+class _DeadStep:
+    """A statically dead nest (guards fold to False): nothing to execute."""
+
+    __slots__ = ("stmt",)
+
+    def __init__(self, stmt: Stmt) -> None:
+        self.stmt = stmt
+
+    def run(self, bufs, stats) -> None:
+        pass
+
+
+class _FallbackStep:
+    __slots__ = ("stmt", "reason", "counted")
+
+    def __init__(self, stmt: Stmt, reason: str, counted: bool = True) -> None:
+        self.stmt = stmt
+        self.reason = reason
+        self.counted = counted
+
+
+class _PlainStoreStep:
+    __slots__ = ("stmt", "tensor", "idx", "value_fn", "mask", "rank", "out_np")
+
+    def __init__(self, stmt, tensor, idx, value_fn, mask, rank, out_np) -> None:
+        self.stmt = stmt
+        self.tensor = tensor
+        self.idx = idx
+        self.value_fn = value_fn
+        self.mask = mask
+        self.rank = rank
+        self.out_np = out_np
+
+    def run(self, bufs, stats) -> None:
+        buf = _get_buf(bufs, self.tensor)
+        value = self.value_fn(bufs)
+        arrs = _align(list(self.idx) + [value], self.rank)
         *idx_a, val = arrs
         shapes = [np.shape(a) for a in arrs]
-        if mask is not None:
-            shapes.append(np.shape(mask))
+        if self.mask is not None:
+            shapes.append(np.shape(self.mask))
         bshape = np.broadcast_shapes(*shapes)
-        val = np.broadcast_to(np.asarray(val).astype(out_np), bshape)
+        val = np.broadcast_to(np.asarray(val).astype(self.out_np), bshape)
         idx_b = tuple(np.broadcast_to(np.asarray(a), bshape) for a in idx_a)
-        if mask is None:
+        if self.mask is None:
             # Duplicate target indices (loop axes the store does not depend
             # on) resolve in C order = loop order: the last write wins,
             # matching the scalar loop.
             buf[idx_b] = val
         else:
-            sel = np.broadcast_to(np.asarray(mask), bshape)
+            sel = np.broadcast_to(np.asarray(self.mask), bshape)
             buf[tuple(a[sel] for a in idx_b)] = val[sel]
+        if stats:
+            stats.vector_stores += 1
 
-    def _accumulate_store(
-        self, buf, out_np, idx, rest_expr, combiner, store, ctx, mask, axes, grid
-    ):
-        rank = len(axes)
-        dep: set = set()
-        for i_expr in store.indices:
-            dep.update(E.free_vars(i_expr))
-        red_pos = [k for k, (v, _) in enumerate(axes) if v not in dep]
-        dp_pos = [k for k in range(rank) if k not in red_pos]
-        dp_shape = tuple(grid[k] for k in dp_pos)
 
-        vals = self._veval(rest_expr, ctx)
-        if np.ndim(vals) > rank or any(np.ndim(i) > rank for i in idx):
+class _AccumStoreStep:
+    """``t[i] = combine(t[i], rest)`` folded over the reduction axes."""
+
+    __slots__ = (
+        "stmt",
+        "tensor",
+        "value_fn",
+        "combiner",
+        "idx_dp",
+        "grid",
+        "perm",
+        "dp_shape",
+        "mask_m",
+        "sel",
+        "rank",
+        "out_np",
+        "out_bits",
+        "is_int_out",
+    )
+
+    def __init__(
+        self, stmt, tensor, value_fn, combiner, idx_dp, grid, perm, dp_shape,
+        mask_m, sel, rank, out_np, out_bits, is_int_out,
+    ) -> None:
+        self.stmt = stmt
+        self.tensor = tensor
+        self.value_fn = value_fn
+        self.combiner = combiner
+        self.idx_dp = idx_dp
+        self.grid = grid
+        self.perm = perm
+        self.dp_shape = dp_shape
+        self.mask_m = mask_m
+        self.sel = sel
+        self.rank = rank
+        self.out_np = out_np
+        self.out_bits = out_bits
+        self.is_int_out = is_int_out
+
+    def _to_folded(self, a):
+        """Reshape a grid-broadcastable array to (dp..., K) in loop order."""
+        a = np.broadcast_to(np.asarray(a), self.grid)
+        a = np.transpose(a, self.perm)
+        return a.reshape(self.dp_shape + (-1,))
+
+    def run(self, bufs, stats) -> None:
+        buf = _get_buf(bufs, self.tensor)
+        vals = self.value_fn(bufs)
+        if np.ndim(vals) > self.rank:
             raise Unvectorizable("accumulating store over vector lanes")
+        vals_m = self._to_folded(vals)
+        mask_m = self.mask_m
+        acc0 = buf[self.idx_dp]  # data-parallel gather of the current accumulator
 
-        def to_dp(a):
-            """Reduce a grid-broadcastable array to data-parallel shape."""
-            a = np.broadcast_to(np.asarray(a), grid)
-            a = np.transpose(a, dp_pos + red_pos)
-            return a[(Ellipsis,) + (0,) * len(red_pos)]
-
-        def to_folded(a):
-            """Reshape a grid-broadcastable array to (dp..., K) in loop order."""
-            a = np.broadcast_to(np.asarray(a), grid)
-            a = np.transpose(a, dp_pos + red_pos)
-            return a.reshape(dp_shape + (-1,))
-
-        idx_dp = tuple(to_dp(i) for i in idx)
-        vals_m = to_folded(vals)
-        mask_m = to_folded(mask) if mask is not None else None
-        acc0 = buf[idx_dp]  # data-parallel gather of the current accumulator
-
+        combiner = self.combiner
+        out_np = self.out_np
         vals_dt = vals_m.dtype
-        out_bits = store.tensor.dtype.bits
         fast = False
+        red_dt = vals_dt
         if combiner == "sum":
             # Integer sums are exact under any order: truncation to the store
             # dtype is a ring homomorphism, so reducing in (at least) the
             # wider of the two integer widths matches the per-step
             # read-modify-write of the scalar loop bit for bit.
-            if store.tensor.dtype.is_integer and vals_dt.kind in "iu":
+            if self.is_int_out and vals_dt.kind in "iu":
                 fast = True
-                red_dt = out_np if out_bits >= vals_dt.itemsize * 8 else vals_dt
+                red_dt = out_np if self.out_bits >= vals_dt.itemsize * 8 else vals_dt
         elif vals_dt == out_np and vals_dt.kind in "iuf":
             # max/min never round and per-step casts are no-ops when the
             # value dtype equals the store dtype, so the order-free ufunc
@@ -369,15 +388,883 @@ class VectorizedEngine:
                 acc = np.where(mask_m[..., k], upd, acc) if mask_m is not None else upd
             total = np.asarray(acc)
 
-        if mask_m is None:
-            buf[idx_dp] = np.broadcast_to(np.asarray(total).astype(out_np), dp_shape)
+        if self.sel is None:
+            buf[self.idx_dp] = np.broadcast_to(
+                np.asarray(total).astype(out_np), self.dp_shape
+            )
         else:
             # A data-parallel point is stored iff at least one of its
             # reduction iterations passed the guard.
+            buf[tuple(a[self.sel] for a in self.idx_dp)] = np.broadcast_to(
+                np.asarray(total).astype(out_np), self.dp_shape
+            )[self.sel]
+        if stats:
+            stats.vector_stores += 1
+
+
+class _IntrinsicRound:
+    """One sequential round of an intrinsic nest: pre-sliced index views."""
+
+    __slots__ = ("input_idx", "sel", "sel_rows")
+
+    def __init__(self, input_idx, sel, sel_rows) -> None:
+        self.input_idx = input_idx
+        self.sel = sel
+        self.sel_rows = sel_rows
+
+
+class _IntrinsicStep:
+    """An IntrinsicCall nest executed round by round (the general path)."""
+
+    __slots__ = (
+        "stmt",
+        "call",
+        "rounds",
+        "inputs",
+        "out_tensor",
+        "out_np",
+        "bn_total",
+        "batch_part",
+        "eff",
+        "bview",
+        "identity_fill",
+        "out_i",
+        "pidx_o",
+        "scat_ext",
+        "out_slicer",
+    )
+
+    def __init__(self, **kw) -> None:
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+    def run(self, bufs, stats) -> None:
+        call = self.call
+        intrin = call.intrin
+        out_buf = _get_buf(bufs, self.out_tensor)
+        bn_total = self.bn_total
+        batch_part = self.batch_part
+        for rnd in self.rounds:
+            operands: Dict[str, np.ndarray] = {}
+            for bi, b in enumerate(self.inputs):
+                src = _get_buf(bufs, b.program_tensor)
+                vals = np.broadcast_to(
+                    src[rnd.input_idx[bi]], batch_part + self.eff[bi]
+                ).reshape((bn_total,) + self.eff[bi])
+                reg_np = b.intrin_tensor.dtype.np_dtype
+                if self.identity_fill[bi]:
+                    reg = vals.reshape((bn_total,) + b.intrin_tensor.shape)
+                    if reg.dtype != reg_np:
+                        reg = reg.astype(reg_np)
+                else:
+                    reg = np.zeros((bn_total,) + b.intrin_tensor.shape, dtype=reg_np)
+                    reg[(slice(None),) + self.bview[bi]] = vals
+                operands[b.intrin_tensor.name] = reg
+
+            result = intrin.execute_batch(operands, bn_total)
+            if self.identity_fill[self.out_i]:
+                out_vals = result.reshape((bn_total,) + self.eff[self.out_i]).astype(
+                    self.out_np
+                )
+            else:
+                out_vals = result[(slice(None),) + self.bview[self.out_i]].astype(
+                    self.out_np
+                )
+            val = out_vals.reshape(batch_part + self.eff[self.out_i])
+
+            if rnd.sel is None:
+                out_buf[tuple(self.pidx_o)] = val[self.out_slicer]
+            else:
+                out_buf[tuple(rnd.sel_rows)] = np.broadcast_to(
+                    val, batch_part + self.scat_ext
+                ).reshape((bn_total,) + self.scat_ext)[rnd.sel]
+            if stats:
+                stats.intrinsic_rounds += 1
+                stats.intrinsic_points += bn_total
+
+
+class _BatchedIntrinsicStep:
+    """Rounds stacked into slabs via affine-offset round slicing.
+
+    Applies when every input address is affine in the sequential loop
+    variables and the instruction is an integer accumulator dot product
+    (``d = c + sum(...)`` with wraparound accumulation): contributions are
+    computed for whole slabs of rounds with a zero accumulator, folded with
+    exact modular integer addition, and accumulated + scattered once.
+    """
+
+    __slots__ = (
+        "stmt",
+        "call",
+        "inputs",
+        "acc_bi",
+        "zero_acc",
+        "acc_name",
+        "out_tensor",
+        "out_np",
+        "rank",
+        "bn_total",
+        "n_rounds",
+        "batch_part",
+        "slabs",
+        "sum_axes",
+        "eff",
+        "bview",
+        "identity_fill",
+        "out_i",
+        "out_reg_shape",
+        "acc_idx",
+        "eff_acc",
+        "pidx_o",
+        "scat_ext",
+        "out_slicer",
+        "sel",
+        "sel_rows",
+    )
+
+    def __init__(self, **kw) -> None:
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+    def run(self, bufs, stats) -> None:
+        call = self.call
+        intrin = call.intrin
+        out_buf = _get_buf(bufs, self.out_tensor)
+        rank = self.rank
+        lead_slices = (slice(None),) * rank
+
+        total = None
+        for slab_shape, slab_idx in self.slabs:
+            slab_n = int(np.prod(slab_shape))
+            operands: Dict[str, np.ndarray] = {}
+            for bi, b in enumerate(self.inputs):
+                if bi == self.acc_bi:
+                    continue
+                src = _get_buf(bufs, b.program_tensor)
+                vals = np.broadcast_to(src[slab_idx[bi]], slab_shape + self.eff[bi])
+                reg_np = b.intrin_tensor.dtype.np_dtype
+                if self.identity_fill[bi]:
+                    reg = vals.reshape(slab_shape + b.intrin_tensor.shape)
+                    if reg.dtype != reg_np:
+                        reg = reg.astype(reg_np)
+                else:
+                    reg = np.zeros(slab_shape + b.intrin_tensor.shape, dtype=reg_np)
+                    reg[lead_slices + self.bview[bi]] = vals
+                # The register arrays are contiguous; flattening the leading
+                # grid axes is free and keeps the hardware model on dense 2-D
+                # iteration (numpy slows down markedly on high-rank arrays).
+                operands[b.intrin_tensor.name] = np.ascontiguousarray(reg).reshape(
+                    (slab_n,) + b.intrin_tensor.shape
+                )
+            # The accumulator register is fed zeros, so the model returns the
+            # pure per-round contribution (broadcast over the leading axes).
+            operands[self.acc_name] = self.zero_acc
+
+            result = np.asarray(intrin.hardware_impl(operands))
+            if result.shape != (slab_n,) + self.out_reg_shape:
+                raise Unvectorizable(
+                    "batched hardware model returned shape "
+                    f"{result.shape}, expected {(slab_n,) + self.out_reg_shape}"
+                )
+            result = result.reshape(slab_shape + self.out_reg_shape)
+            if self.identity_fill[self.out_i]:
+                out_vals = result.reshape(slab_shape + self.eff[self.out_i])
+            else:
+                out_vals = result[lead_slices + self.bview[self.out_i]].reshape(
+                    slab_shape + self.eff[self.out_i]
+                )
+            # Fold this slab's rounds: wraparound integer addition is
+            # associative/commutative mod 2^n, bit-identical to the scalar
+            # loop's per-round read-modify-write.
+            partial = np.add.reduce(
+                out_vals, axis=self.sum_axes, keepdims=True, dtype=out_vals.dtype
+            )
+            total = partial if total is None else total + partial
+
+        # One accumulate + one scatter for the whole nest.
+        acc_src = _get_buf(bufs, self.out_tensor)
+        acc_vals = np.broadcast_to(
+            acc_src[tuple(self.acc_idx)], self.batch_part + self.eff_acc
+        )
+        val = (acc_vals + total).astype(self.out_np)
+        if self.sel is None:
+            out_buf[tuple(self.pidx_o)] = val[self.out_slicer]
+        else:
+            out_buf[tuple(self.sel_rows)] = np.broadcast_to(
+                val, self.batch_part + self.scat_ext
+            ).reshape((self.bn_total,) + self.scat_ext)[self.sel]
+        if stats:
+            stats.intrinsic_rounds += self.n_rounds
+            stats.intrinsic_points += self.n_rounds * self.bn_total
+            stats.intrinsic_round_batches += len(self.slabs)
+
+
+class _GridIntrinsicStep:
+    """All rounds of an accumulator intrinsic in one grid-form dispatch.
+
+    The fastest stacked path: non-accumulator operands are handed to the
+    instruction's :attr:`~repro.isa.intrinsic.TensorIntrinsic.grid_impl` as
+    zero-stride broadcast *views* over the full ``grid + intrinsic-axes``
+    iteration space — nothing is materialised — and the model folds the
+    sequential (reduction-revisit) axes into its own exact int32
+    accumulation.  One gather per operand, one model call, one
+    accumulate-and-scatter for the whole nest.
+    """
+
+    __slots__ = (
+        "stmt",
+        "call",
+        "inputs",
+        "acc_bi",
+        "out_tensor",
+        "out_np",
+        "rank",
+        "bn_total",
+        "n_rounds",
+        "grid",
+        "iext",
+        "seq_axes",
+        "batch_part",
+        "gather_idx",
+        "eff",
+        "bview",
+        "identity_fill",
+        "out_i",
+        "out_reg_shape",
+        "acc_idx",
+        "eff_acc",
+        "pidx_o",
+        "scat_ext",
+        "out_slicer",
+        "sel",
+        "sel_rows",
+    )
+
+    def __init__(self, **kw) -> None:
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+    def run(self, bufs, stats) -> None:
+        intrin = self.call.intrin
+        out_buf = _get_buf(bufs, self.out_tensor)
+        full = self.grid + self.iext
+        operands: Dict[str, np.ndarray] = {}
+        for bi, b in enumerate(self.inputs):
+            if bi == self.acc_bi:
+                continue
+            src = _get_buf(bufs, b.program_tensor)
+            operands[b.intrin_tensor.name] = np.broadcast_to(
+                src[self.gather_idx[bi]], full
+            )
+        result = np.asarray(intrin.grid_impl(operands, self.seq_axes))
+        expected = self.bn_total * int(np.prod(self.out_reg_shape))
+        if result.size != expected:
+            raise Unvectorizable(
+                f"grid-form model returned {result.size} elements, expected {expected}"
+            )
+        result = result.reshape(self.batch_part + self.out_reg_shape)
+        out_vals = result[
+            (slice(None),) * self.rank + self.bview[self.out_i]
+        ].reshape(self.batch_part + self.eff[self.out_i])
+        acc_vals = np.broadcast_to(
+            out_buf[tuple(self.acc_idx)], self.batch_part + self.eff_acc
+        )
+        val = (acc_vals + out_vals).astype(self.out_np)
+        if self.sel is None:
+            out_buf[tuple(self.pidx_o)] = val[self.out_slicer]
+        else:
+            out_buf[tuple(self.sel_rows)] = np.broadcast_to(
+                val, self.batch_part + self.scat_ext
+            ).reshape((self.bn_total,) + self.scat_ext)[self.sel]
+        if stats:
+            stats.intrinsic_rounds += self.n_rounds
+            stats.intrinsic_points += self.n_rounds * self.bn_total
+            stats.intrinsic_round_batches += 1
+
+
+_VECTOR_STEPS = (
+    _DeadStep,
+    _PlainStoreStep,
+    _AccumStoreStep,
+    _IntrinsicStep,
+    _BatchedIntrinsicStep,
+    _GridIntrinsicStep,
+)
+
+
+# ---------------------------------------------------------------------------
+# The executable plan
+# ---------------------------------------------------------------------------
+
+
+class ExecutablePlan:
+    """A compiled :class:`PrimFunc`: precomputed analysis + a step list.
+
+    ``run(buffers)`` executes with zero re-analysis.  Plans are immutable
+    after compilation and thread all mutable state through the caller's
+    buffers, so one plan may be shared across threads and cached process-wide
+    (:mod:`repro.tir.plan`).  Structurally identical functions may share one
+    plan: pass the caller's ``func`` to :meth:`run` and its parameter buffers
+    are rebound positionally.
+    """
+
+    def __init__(self, func: PrimFunc, steps, stats: PlanStats, strict: bool) -> None:
+        self.func = func
+        self.steps = steps
+        self.stats = stats
+        self.strict = strict
+        self._interp = Interpreter(func)
+
+    @property
+    def fallback_nests(self) -> int:
+        """Compile-time fallback count (0 = fully vectorized)."""
+        return self.stats.fallback_nests
+
+    def run(
+        self,
+        buffers: Dict[Tensor, np.ndarray],
+        stats: Optional[EngineStats] = None,
+        func: Optional[PrimFunc] = None,
+    ) -> np.ndarray:
+        """Execute the plan; same contract as ``Interpreter.run``.
+
+        ``func`` identifies the caller's function when the plan was served
+        from the cache for a structurally identical one: buffers keyed by the
+        caller's parameter tensors are rebound to the plan's by position.
+        """
+        if func is not None and func is not self.func:
+            remapped: Dict[Tensor, np.ndarray] = {}
+            for mine, theirs in zip(self.func.params, func.params):
+                if theirs in buffers:
+                    remapped[mine] = buffers[theirs]
+            buffers = remapped
+        bufs = self._interp.bind_params(buffers)
+        for step in self.steps:
+            if isinstance(step, _FallbackStep):
+                self._interp.run_stmt(step.stmt, bufs)
+                if stats and step.counted:
+                    stats.fallback_nests += 1
+                    if len(stats.fallback_reasons) < 32:
+                        stats.fallback_reasons.append(step.reason)
+            elif isinstance(step, _AllocStep):
+                step.run(bufs, stats)
+            else:
+                try:
+                    step.run(bufs, stats)
+                except Unvectorizable as exc:
+                    if self.strict:
+                        raise
+                    self._interp.run_stmt(step.stmt, bufs)
+                    if stats:
+                        stats.fallback_nests += 1
+                        if len(stats.fallback_reasons) < 32:
+                            stats.fallback_reasons.append(str(exc))
+                    continue
+                if stats and isinstance(step, _VECTOR_STEPS):
+                    stats.vector_nests += 1
+        return bufs[self.func.output]
+
+
+# ---------------------------------------------------------------------------
+# The plan compiler — the analysis phase
+# ---------------------------------------------------------------------------
+
+
+class _PlanCompiler:
+    def __init__(self, func: PrimFunc, strict: bool = False) -> None:
+        self.func = func
+        self.strict = strict
+        self.steps: list = []
+        self.stats = PlanStats()
+
+    def compile(self) -> ExecutablePlan:
+        self._walk(self.func.body)
+        return ExecutablePlan(self.func, self.steps, self.stats, self.strict)
+
+    # -- statement walk -----------------------------------------------------
+    def _walk(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self._walk(s)
+        elif isinstance(stmt, AttrStmt):
+            self._walk(stmt.body)
+        elif isinstance(stmt, Allocate):
+            self.steps.append(_AllocStep(stmt.tensor))
+            self._walk(stmt.body)
+        elif isinstance(stmt, (For, Store, IfThenElse, IntrinsicCall)):
+            self._nest(stmt)
+        elif isinstance(stmt, Evaluate):
+            self.steps.append(_FallbackStep(stmt, "Evaluate statement", counted=False))
+        else:
+            raise TypeError(f"cannot compile statement {type(stmt).__name__}")
+
+    def _nest(self, stmt: Stmt) -> None:
+        try:
+            step = self._compile_nest(stmt)
+        except Unvectorizable as exc:
+            if self.strict:
+                raise
+            self.stats.fallback_nests += 1
+            if len(self.stats.fallback_reasons) < 32:
+                self.stats.fallback_reasons.append(str(exc))
+            self.steps.append(_FallbackStep(stmt, str(exc)))
+            return
+        self.stats.vector_nests += 1
+        self.steps.append(step)
+
+    def _compile_nest(self, nest: Stmt):
+        stmt = nest
+        axes: List[Tuple[E.Var, int]] = []
+        guards: List[E.Expr] = []
+        while True:
+            if isinstance(stmt, For):
+                axes.append((stmt.var, stmt.extent))
+                stmt = stmt.body
+            elif isinstance(stmt, IfThenElse) and stmt.else_case is None:
+                guards.append(stmt.condition)
+                stmt = stmt.then_case
+            elif isinstance(stmt, AttrStmt):
+                stmt = stmt.body
+            else:
+                break
+        if isinstance(stmt, Store):
+            return self._compile_store(nest, axes, guards, stmt)
+        if isinstance(stmt, IntrinsicCall):
+            return self._compile_intrinsic(nest, axes, guards, stmt)
+        raise Unvectorizable(
+            f"loop body is a {type(stmt).__name__}, not a store or intrinsic call"
+        )
+
+    def _make_ctx(self, axes, clip) -> _CompileCtx:
+        rank = len(axes)
+        vars = {
+            var: _axis_array(i, extent, rank) for i, (var, extent) in enumerate(axes)
+        }
+        return _CompileCtx(rank, vars, tuple(var for var, _ in axes), clip)
+
+    # -- static (buffer-independent) evaluation -----------------------------
+    def _static_index(self, expr: E.Expr, ctx: _CompileCtx):
+        """Evaluate an index expression over the grid at compile time.
+
+        Affine expressions go through the memoized
+        :func:`~repro.dsl.expr.extract_linear` decomposition — the grid is
+        assembled as ``constant + sum(coeff * axis_array)`` from the cached
+        coefficients — and everything else falls back to the generic static
+        evaluator.  Raises :class:`_Dynamic` when the expression reads
+        buffer contents.
+        """
+        if isinstance(expr, (E.Add, E.Sub, E.Mul, E.Cast, E.Var, E.Const)):
+            lin = E.extract_linear(expr, ctx.order)
+            if lin is not None:
+                coeffs, const = lin
+                total = const
+                for v, c in coeffs.items():
+                    a = ctx.vars[v]
+                    total = total + (a if c == 1 else a * c)
+                return total
+        return self._seval(expr, ctx)
+
+    def _seval(self, expr: E.Expr, ctx: _CompileCtx):
+        """Static grid evaluation — the compile-time twin of the old
+        ``_veval``, with buffer reads surfacing as :class:`_Dynamic`."""
+        if isinstance(expr, E.Const):
+            return expr.value
+        if isinstance(expr, E.Var):
+            try:
+                return ctx.vars[expr]
+            except KeyError:
+                raise Unvectorizable(f"unbound variable {expr.name!r}")
+        if isinstance(expr, E.Cast):
+            v = self._seval(expr.value, ctx)
+            np_dtype = expr.dtype.np_dtype
+            if isinstance(v, np.ndarray):
+                return v.astype(np_dtype)
+            return np_dtype.type(v)
+        if isinstance(expr, E.TensorLoad):
+            raise _Dynamic(expr.tensor.name)
+        if isinstance(expr, E.BinaryOp):
+            a = self._static_index(expr.a, ctx)
+            b = self._static_index(expr.b, ctx)
+            a, b = _align([a, b], ctx.rank)
+            if isinstance(expr, E.Add):
+                return a + b
+            if isinstance(expr, E.Sub):
+                return a - b
+            if isinstance(expr, E.Mul):
+                return a * b
+            if isinstance(expr, E.FloorDiv):
+                return a // b
+            if isinstance(expr, E.Mod):
+                return a % b
+            if isinstance(expr, E.Min):
+                if np.ndim(a) == 0 and np.ndim(b) == 0:
+                    return min(a, b)
+                return np.minimum(a, b)
+            if np.ndim(a) == 0 and np.ndim(b) == 0:
+                return max(a, b)
+            return np.maximum(a, b)
+        if isinstance(expr, E.Compare):
+            a = self._static_index(expr.a, ctx)
+            b = self._static_index(expr.b, ctx)
+            a, b = _align([a, b], ctx.rank)
+            return {
+                "==": lambda: a == b,
+                "!=": lambda: a != b,
+                "<": lambda: a < b,
+                "<=": lambda: a <= b,
+                ">": lambda: a > b,
+                ">=": lambda: a >= b,
+            }[expr.op]()
+        if isinstance(expr, E.Select):
+            cond = self._seval(expr.cond, ctx)
+            if np.ndim(cond) == 0:
+                branch = expr.true_value if bool(cond) else expr.false_value
+                return self._seval(branch, ctx)
+            t = self._seval(expr.true_value, ctx)
+            f = self._seval(expr.false_value, ctx)
+            cond, t, f = _align([cond, t, f], ctx.rank)
+            return np.where(cond, t, f)
+        if isinstance(expr, E.Ramp):
+            base = self._seval(expr.base, ctx)
+            if np.ndim(base) > ctx.rank:
+                raise Unvectorizable("nested vector lanes (Ramp of a vector)")
+            barr = np.broadcast_to(
+                np.asarray(base), (1,) * (ctx.rank - np.ndim(base)) + np.shape(base)
+            )
+            return barr[..., None] + np.arange(expr.lanes, dtype=np.int64) * expr.stride
+        if isinstance(expr, E.Broadcast):
+            v = self._seval(expr.value, ctx)
+            if np.ndim(v) > ctx.rank:
+                raise Unvectorizable("nested vector lanes (Broadcast of a vector)")
+            varr = np.broadcast_to(
+                np.asarray(v), (1,) * (ctx.rank - np.ndim(v)) + np.shape(v)
+            )
+            return np.broadcast_to(varr[..., None], varr.shape + (expr.lanes,))
+        if isinstance(expr, E.Shuffle):
+            parts = []
+            for v in expr.vectors:
+                p = self._seval(v, ctx)
+                if np.ndim(p) <= ctx.rank:
+                    p = np.broadcast_to(
+                        np.asarray(p), (1,) * (ctx.rank - np.ndim(p)) + np.shape(p)
+                    )[..., None]
+                parts.append(np.asarray(p))
+            lead = np.broadcast_shapes(*(p.shape[:-1] for p in parts))
+            parts = [np.broadcast_to(p, lead + (p.shape[-1],)) for p in parts]
+            return np.concatenate(parts, axis=-1)
+        if isinstance(expr, E.Reduce):
+            return self._seval_reduce(expr, ctx)
+        raise Unvectorizable(f"cannot vectorize expression {type(expr).__name__}")
+
+    def _seval_reduce(self, expr: E.Reduce, ctx: _CompileCtx):
+        sub = self._reduce_ctx(expr, ctx)
+        src = self._seval(expr.source, sub)
+        return self._fold_reduce(expr, src, ctx.rank, sub.rank)
+
+    def _reduce_ctx(self, expr: E.Reduce, ctx: _CompileCtx) -> _CompileCtx:
+        k = len(expr.axes)
+        sub_rank = ctx.rank + k
+        sub_vars = {}
+        for v, a in ctx.vars.items():
+            sub_vars[v] = (
+                np.asarray(a).reshape(np.shape(a) + (1,) * k) if np.ndim(a) else a
+            )
+        for j, ax in enumerate(expr.axes):
+            sub_vars[ax.var] = _axis_array(ctx.rank + j, ax.extent, sub_rank)
+        order = ctx.order + tuple(ax.var for ax in expr.axes)
+        return _CompileCtx(sub_rank, sub_vars, order, ctx.clip)
+
+    @staticmethod
+    def _fold_reduce(expr: E.Reduce, src, rank: int, sub_rank: int):
+        if np.ndim(src) > sub_rank:
+            raise Unvectorizable("vector lanes inside a reduction")
+        src = np.broadcast_to(
+            np.asarray(src), (1,) * (sub_rank - np.ndim(src)) + np.shape(src)
+        )
+        flat = src.reshape(src.shape[:rank] + (-1,))
+        if expr.combiner == "max":
+            return np.maximum.reduce(flat, axis=-1)
+        if expr.combiner == "min":
+            return np.minimum.reduce(flat, axis=-1)
+        if flat.dtype.kind in "iub":
+            return np.add.reduce(flat, axis=-1, dtype=flat.dtype)
+        # Float sums fold sequentially to mirror the interpreter's order.
+        acc = flat[..., 0]
+        for j in range(1, flat.shape[-1]):
+            acc = acc + flat[..., j]
+        return acc
+
+    def _static_mask(self, guards, ctx):
+        """Combine guard conditions into one boolean mask (or None/False)."""
+        mask = None
+        for g in guards:
+            try:
+                m = self._seval(g, ctx)
+            except _Dynamic:
+                raise Unvectorizable("guard condition reads tensor contents")
+            if mask is None:
+                mask = m
+            else:
+                a, b = _align([mask, m], ctx.rank)
+                mask = np.logical_and(a, b)
+        if mask is not None and np.ndim(mask) == 0:
+            if not bool(mask):
+                return False  # statically dead nest
+            mask = None
+        return mask
+
+    # -- value compilation (buffer-dependent expressions → closures) --------
+    def _compile_value(self, expr: E.Expr, ctx: _CompileCtx) -> Callable:
+        """Compile ``expr`` into ``fn(bufs) -> value``.
+
+        Buffer-independent subtrees are evaluated once, here, at compile
+        time; loads gather through precomputed index grids; everything else
+        becomes a closure combining its children's closures.
+        """
+        if not any(isinstance(n, E.TensorLoad) for n in E.post_order(expr)):
+            v = self._seval(expr, ctx)
+            return lambda bufs: v
+        if isinstance(expr, E.TensorLoad):
+            return self._compile_load(expr, ctx)
+        if isinstance(expr, E.Cast):
+            inner = self._compile_value(expr.value, ctx)
+            np_dtype = expr.dtype.np_dtype
+
+            def fn_cast(bufs):
+                v = inner(bufs)
+                if isinstance(v, np.ndarray):
+                    return v.astype(np_dtype)
+                return np_dtype.type(v)
+
+            return fn_cast
+        if isinstance(expr, E.BinaryOp):
+            a_fn = self._compile_value(expr.a, ctx)
+            b_fn = self._compile_value(expr.b, ctx)
+            rank = ctx.rank
+            cls = type(expr)
+            if cls in (E.Min, E.Max):
+                pick = min if cls is E.Min else max
+                ufunc = np.minimum if cls is E.Min else np.maximum
+
+                def fn_minmax(bufs):
+                    a, b = _align([a_fn(bufs), b_fn(bufs)], rank)
+                    if np.ndim(a) == 0 and np.ndim(b) == 0:
+                        return pick(a, b)
+                    return ufunc(a, b)
+
+                return fn_minmax
+            binop = {
+                E.Add: lambda a, b: a + b,
+                E.Sub: lambda a, b: a - b,
+                E.Mul: lambda a, b: a * b,
+                E.FloorDiv: lambda a, b: a // b,
+                E.Mod: lambda a, b: a % b,
+            }[cls]
+
+            def fn_bin(bufs):
+                a, b = _align([a_fn(bufs), b_fn(bufs)], rank)
+                return binop(a, b)
+
+            return fn_bin
+        if isinstance(expr, E.Compare):
+            a_fn = self._compile_value(expr.a, ctx)
+            b_fn = self._compile_value(expr.b, ctx)
+            rank = ctx.rank
+            import operator
+
+            cmp = {
+                "==": operator.eq,
+                "!=": operator.ne,
+                "<": operator.lt,
+                "<=": operator.le,
+                ">": operator.gt,
+                ">=": operator.ge,
+            }[expr.op]
+
+            def fn_cmp(bufs):
+                a, b = _align([a_fn(bufs), b_fn(bufs)], rank)
+                return cmp(a, b)
+
+            return fn_cmp
+        if isinstance(expr, E.Select):
+            cond_fn = self._compile_value(expr.cond, ctx)
+            t_fn = self._compile_value(expr.true_value, ctx)
+            f_fn = self._compile_value(expr.false_value, ctx)
+            rank = ctx.rank
+
+            def fn_select(bufs):
+                cond = cond_fn(bufs)
+                if np.ndim(cond) == 0:
+                    return t_fn(bufs) if bool(cond) else f_fn(bufs)
+                cond, t, f = _align([cond, t_fn(bufs), f_fn(bufs)], rank)
+                return np.where(cond, t, f)
+
+            return fn_select
+        if isinstance(expr, E.Reduce):
+            sub = self._reduce_ctx(expr, ctx)
+            src_fn = self._compile_value(expr.source, sub)
+            rank, sub_rank = ctx.rank, sub.rank
+            fold = self._fold_reduce
+
+            def fn_reduce(bufs):
+                return fold(expr, src_fn(bufs), rank, sub_rank)
+
+            return fn_reduce
+        if isinstance(expr, E.Ramp):
+            base_fn = self._compile_value(expr.base, ctx)
+            rank = ctx.rank
+            lanes, stride = expr.lanes, expr.stride
+
+            def fn_ramp(bufs):
+                base = base_fn(bufs)
+                if np.ndim(base) > rank:
+                    raise Unvectorizable("nested vector lanes (Ramp of a vector)")
+                barr = np.broadcast_to(
+                    np.asarray(base), (1,) * (rank - np.ndim(base)) + np.shape(base)
+                )
+                return barr[..., None] + np.arange(lanes, dtype=np.int64) * stride
+
+            return fn_ramp
+        if isinstance(expr, E.Broadcast):
+            v_fn = self._compile_value(expr.value, ctx)
+            rank = ctx.rank
+            lanes = expr.lanes
+
+            def fn_bcast(bufs):
+                v = v_fn(bufs)
+                if np.ndim(v) > rank:
+                    raise Unvectorizable("nested vector lanes (Broadcast of a vector)")
+                varr = np.broadcast_to(
+                    np.asarray(v), (1,) * (rank - np.ndim(v)) + np.shape(v)
+                )
+                return np.broadcast_to(varr[..., None], varr.shape + (lanes,))
+
+            return fn_bcast
+        if isinstance(expr, E.Shuffle):
+            part_fns = [self._compile_value(v, ctx) for v in expr.vectors]
+            rank = ctx.rank
+
+            def fn_shuffle(bufs):
+                parts = []
+                for f in part_fns:
+                    p = f(bufs)
+                    if np.ndim(p) <= rank:
+                        p = np.broadcast_to(
+                            np.asarray(p), (1,) * (rank - np.ndim(p)) + np.shape(p)
+                        )[..., None]
+                    parts.append(np.asarray(p))
+                lead = np.broadcast_shapes(*(p.shape[:-1] for p in parts))
+                parts = [np.broadcast_to(p, lead + (p.shape[-1],)) for p in parts]
+                return np.concatenate(parts, axis=-1)
+
+            return fn_shuffle
+        raise Unvectorizable(f"cannot vectorize expression {type(expr).__name__}")
+
+    def _compile_load(self, expr: E.TensorLoad, ctx: _CompileCtx) -> Callable:
+        tensor = expr.tensor
+        try:
+            idx = _align([self._static_index(i, ctx) for i in expr.indices], ctx.rank)
+        except _Dynamic:
+            idx = None
+        if idx is not None:
+            if all(np.ndim(i) == 0 for i in idx):
+                point = tuple(int(i) for i in idx)
+                return lambda bufs: _get_buf(bufs, tensor)[point]
+            arrays = []
+            for i, d in zip(idx, tensor.shape):
+                a = np.asarray(i)
+                if ctx.clip:
+                    a = np.clip(a, 0, d - 1)
+                arrays.append(a)
+            gather = tuple(arrays)
+            return lambda bufs: _get_buf(bufs, tensor)[gather]
+        # Indirect addressing: index expressions themselves read buffers.
+        idx_fns = [self._compile_value(i, ctx) for i in expr.indices]
+        rank, clip = ctx.rank, ctx.clip
+
+        def fn_load(bufs):
+            buf = _get_buf(bufs, tensor)
+            idx = _align([f(bufs) for f in idx_fns], rank)
+            if all(np.ndim(i) == 0 for i in idx):
+                return buf[tuple(int(i) for i in idx)]
+            arrays = []
+            for i, d in zip(idx, buf.shape):
+                a = np.asarray(i)
+                if clip:
+                    a = np.clip(a, 0, d - 1)
+                arrays.append(a)
+            return buf[tuple(arrays)]
+
+        return fn_load
+
+    # -- Store nests --------------------------------------------------------
+    def _compile_store(self, nest, axes, guards, store: Store):
+        rank = len(axes)
+        grid = tuple(extent for _, extent in axes)
+        ctx = self._make_ctx(axes, clip=bool(guards))
+        out_np = store.tensor.dtype.np_dtype
+
+        mask = self._static_mask(guards, ctx)
+        if mask is False:
+            return _DeadStep(nest)
+
+        acc = self._match_accumulation(store)
+        try:
+            idx = [self._static_index(i, ctx) for i in store.indices]
+        except _Dynamic:
+            raise Unvectorizable("store indices read tensor contents")
+        if mask is not None:
+            idx = [
+                np.clip(np.asarray(i), 0, d - 1) if np.ndim(i) else min(max(int(i), 0), d - 1)
+                for i, d in zip(idx, store.tensor.shape)
+            ]
+
+        if acc is None:
+            value_fn = self._compile_value(store.value, ctx)
+            return _PlainStoreStep(nest, store.tensor, idx, value_fn, mask, rank, out_np)
+
+        rest_expr, combiner = acc
+        if any(np.ndim(i) > rank for i in idx):
+            raise Unvectorizable("accumulating store over vector lanes")
+        dep: set = set()
+        for i_expr in store.indices:
+            dep.update(E.free_vars(i_expr))
+        red_pos = [k for k, (v, _) in enumerate(axes) if v not in dep]
+        dp_pos = [k for k in range(rank) if k not in red_pos]
+        perm = dp_pos + red_pos
+        dp_shape = tuple(grid[k] for k in dp_pos)
+
+        def to_dp(a):
+            """Reduce a grid-broadcastable array to data-parallel shape."""
+            a = np.broadcast_to(np.asarray(a), grid)
+            a = np.transpose(a, perm)
+            return a[(Ellipsis,) + (0,) * len(red_pos)]
+
+        idx_dp = tuple(to_dp(i) for i in idx)
+        if mask is not None:
+            mask_b = np.broadcast_to(np.asarray(mask), grid)
+            mask_m = np.transpose(mask_b, perm).reshape(dp_shape + (-1,))
             sel = mask_m.any(axis=-1)
-            buf[tuple(a[sel] for a in idx_dp)] = np.broadcast_to(
-                np.asarray(total).astype(out_np), dp_shape
-            )[sel]
+        else:
+            mask_m = None
+            sel = None
+        value_fn = self._compile_value(rest_expr, ctx)
+        return _AccumStoreStep(
+            nest,
+            store.tensor,
+            value_fn,
+            combiner,
+            idx_dp,
+            grid,
+            perm,
+            dp_shape,
+            mask_m,
+            sel,
+            rank,
+            out_np,
+            store.tensor.dtype.bits,
+            store.tensor.dtype.is_integer,
+        )
 
     def _match_accumulation(self, store: Store):
         """Recognise ``t[i] = combine(t[i], rest)`` read-modify-write stores.
@@ -416,52 +1303,54 @@ class VectorizedEngine:
             raise Unvectorizable("store value reads its target tensor (not an accumulation)")
         return None
 
-    # -- vectorized IntrinsicCall -------------------------------------------
-    def _vector_intrinsic(self, axes, guards, call: IntrinsicCall, frame: _Frame) -> None:
+    # -- IntrinsicCall nests -------------------------------------------------
+    def _compile_intrinsic(self, nest, axes, guards, call: IntrinsicCall):
         rank = len(axes)
         grid = tuple(extent for _, extent in axes)
         outer_vars = {var for var, _ in axes}
-        ctx = self._make_ctx(axes, frame, clip=False)
+        ctx = self._make_ctx(axes, clip=False)
 
         for g in guards:
             if not set(E.free_vars(g)) <= outer_vars:
                 raise Unvectorizable("intrinsic guard uses non-loop variables")
-        mask = self._eval_mask(guards, ctx)
+        mask = self._static_mask(guards, ctx)
         if mask is False:
-            return
+            return _DeadStep(nest)
 
         intrin = call.intrin
         iaxes = call.axes
         m = len(iaxes)
         iext = tuple(ax.extent for ax in iaxes)
         full_rank = rank + m
-        fvars = {
-            v: a.reshape(a.shape + (1,) * m) for v, a in ctx.vars.items()
-        }
+        fvars = {v: a.reshape(a.shape + (1,) * m) for v, a in ctx.vars.items()}
         for j, ax in enumerate(iaxes):
             fvars[ax.var] = _axis_array(rank + j, ax.extent, full_rank)
-        fctx = _Ctx(full_rank, fvars, frame.buffers, clip=False)
-        ictx = _Ctx(
+        fctx = _CompileCtx(
+            full_rank, fvars, ctx.order + tuple(ax.var for ax in iaxes), clip=False
+        )
+        ictx = _CompileCtx(
             m,
             {ax.var: _axis_array(j, ax.extent, m) for j, ax in enumerate(iaxes)},
-            frame.buffers,
+            tuple(ax.var for ax in iaxes),
             clip=False,
         )
 
         out_b = call.output
-        out_buf = self._buffer(frame, out_b.program_tensor)
         bindings = list(call.inputs) + [out_b]
         prog_idx: Dict[int, list] = {}
         reg_idx: Dict[int, list] = {}
-        for bi, b in enumerate(bindings):
-            pidx = [self._veval(i, fctx) for i in b.program_indices]
-            ridx = [self._veval(i, ictx) for i in b.intrin_indices]
-            if any(np.ndim(p) > full_rank for p in pidx) or any(
-                np.ndim(r) > m for r in ridx
-            ):
-                raise Unvectorizable("vector lanes in intrinsic operand indices")
-            prog_idx[bi] = pidx
-            reg_idx[bi] = ridx
+        try:
+            for bi, b in enumerate(bindings):
+                pidx = [self._static_index(i, fctx) for i in b.program_indices]
+                ridx = [self._static_index(i, ictx) for i in b.intrin_indices]
+                if any(np.ndim(p) > full_rank for p in pidx) or any(
+                    np.ndim(r) > m for r in ridx
+                ):
+                    raise Unvectorizable("vector lanes in intrinsic operand indices")
+                prog_idx[bi] = pidx
+                reg_idx[bi] = ridx
+        except _Dynamic:
+            raise Unvectorizable("intrinsic operand indices read tensor contents")
 
         # Operands reading the destination tensor must address exactly the
         # element the call writes (the accumulator pattern) — otherwise a
@@ -487,6 +1376,7 @@ class VectorizedEngine:
         batch_ext = [grid[k] for k in batch_pos]
         seq_ext = [grid[k] for k in seq_pos]
         bn_total = int(np.prod(batch_ext)) if batch_ext else 1
+        n_rounds = int(np.prod(seq_ext)) if seq_ext else 1
 
         batch_part = tuple(grid[k] if k in batch_pos else 1 for k in range(rank))
         out_np = out_b.program_tensor.dtype.np_dtype
@@ -543,16 +1433,15 @@ class VectorizedEngine:
         # index rows every round.
         gather_idx: Dict[int, list] = {}
         for bi, b in enumerate(call.inputs):
-            src = self._buffer(frame, b.program_tensor)
             pidx = eff_sliced(prog_idx[bi], bi)
             if mask is not None:
                 pidx = [
                     np.clip(np.asarray(i), 0, d - 1)
-                    for i, d in zip(pidx, src.shape)
+                    for i, d in zip(pidx, b.program_tensor.shape)
                 ]
             gather_idx[bi] = pidx
 
-        def round_slice(arr, spt):
+        def round_slice(arr, spt, length=1):
             """Slice the sequential axes at ``spt``, keeping rank (views only).
 
             The result stays *broadcastable* (size-1 dims preserved): numpy's
@@ -563,7 +1452,9 @@ class VectorizedEngine:
                 return a
             index = [slice(None)] * a.ndim
             for k, s in zip(seq_pos, spt):
-                index[k] = slice(s, s + 1) if a.shape[k] > 1 else slice(0, 1)
+                if s is None:
+                    continue
+                index[k] = slice(s, s + length) if a.shape[k] > 1 else slice(0, 1)
             return a[tuple(index)]
 
         # Scatter plan for the output.  The output's program indices never
@@ -571,20 +1462,14 @@ class VectorizedEngine:
         # the destination tile ignores), so the index rows are
         # round-invariant; the guard mask is too unless a guard mentions a
         # sequential variable.
-        pidx_o = prog_idx[out_i]
+        pidx_o = [np.asarray(i) for i in prog_idx[out_i]]
         scat_ext = tuple(
             np.broadcast_shapes(
-                *(
-                    (np.shape(i)[rank + j],)
-                    for i in pidx_o
-                    if np.ndim(i)
-                ),
+                *((np.shape(i)[rank + j],) for i in pidx_o if np.ndim(i)),
                 (eff[out_i][j],),
             )[0]
             for j in range(m)
         )
-        sel = None
-        sel_rows = None
         mask_invariant = mask is None or not any(
             seq_vars & set(E.free_vars(g)) for g in guards
         )
@@ -597,212 +1482,280 @@ class VectorizedEngine:
                 for i in pidx_o
             ]
 
+        # "Last write wins" slicer for the unmasked scatter: where the target
+        # indices ignore an axis the value varies over, only the last
+        # iteration survives — static, because the value shape is static.
+        val_shape = batch_part + eff[out_i]
+        bshape = np.broadcast_shapes(*(np.shape(i) for i in pidx_o))
+        bfull = (1,) * (len(val_shape) - len(bshape)) + tuple(bshape)
+        out_slicer = tuple(
+            slice(d - 1, None) if t == 1 and d != 1 else slice(None)
+            for t, d in zip(bfull, val_shape)
+        )
+
+        sel = None
+        sel_rows = None
         if mask is not None and mask_invariant:
             mflat = np.broadcast_to(np.asarray(mask), batch_part[:rank]).reshape(-1)
             sel = np.nonzero(mflat)[0]
             if sel.size == 0:
-                return
+                return _DeadStep(nest)
             sel_rows = select_rows(sel)
 
+        common = dict(
+            stmt=nest,
+            call=call,
+            inputs=list(call.inputs),
+            out_tensor=out_b.program_tensor,
+            out_np=out_np,
+            bn_total=bn_total,
+            batch_part=batch_part,
+            eff=eff,
+            bview=bview,
+            identity_fill=identity_fill,
+            out_i=out_i,
+            pidx_o=pidx_o,
+            scat_ext=scat_ext,
+            out_slicer=out_slicer,
+        )
+
+        acc_bi = self._round_stackable(
+            call, bindings, eff, mask, mask_invariant, n_rounds, seq_vars, fctx
+        )
+        if acc_bi is not None and intrin.grid_impl is not None:
+            raw_elems = sum(
+                int(
+                    np.prod(
+                        np.broadcast_shapes(*(np.shape(v) for v in gather_idx[bi]))
+                    )
+                )
+                for bi in range(len(call.inputs))
+                if bi != acc_bi
+            )
+            if raw_elems <= _GRID_GATHER_BUDGET:
+                acc_b = call.inputs[acc_bi]
+                return _GridIntrinsicStep(
+                    acc_bi=acc_bi,
+                    rank=rank,
+                    n_rounds=n_rounds,
+                    grid=grid,
+                    iext=iext,
+                    seq_axes=tuple(seq_pos),
+                    gather_idx={
+                        bi: tuple(gather_idx[bi]) for bi in range(len(call.inputs))
+                    },
+                    out_reg_shape=out_b.intrin_tensor.shape,
+                    acc_idx=tuple(gather_idx[acc_bi]),
+                    eff_acc=eff[acc_bi],
+                    sel=sel,
+                    sel_rows=sel_rows,
+                    **common,
+                )
+        if acc_bi is not None:
+            # Slab the sequential rounds along the outermost sequential axis,
+            # bounding the stacked operand size to the element budget.
+            max_reg = max(
+                int(np.prod(b.intrin_tensor.shape)) for b in bindings
+            )
+            inner = int(np.prod(seq_ext[1:])) if len(seq_ext) > 1 else 1
+            per_outer = max(1, bn_total * inner * max_reg)
+            group = max(1, _ROUND_BATCH_BUDGET // per_outer)
+            slab_axis = seq_pos[0]
+            slabs = []
+            for s0 in range(0, seq_ext[0], group):
+                length = min(group, seq_ext[0] - s0)
+                slab_shape = tuple(
+                    length if k == slab_axis else grid[k] for k in range(rank)
+                )
+                spt = (s0,) + (None,) * (len(seq_pos) - 1)
+                slab_idx = {
+                    bi: tuple(round_slice(i, spt, length) for i in gather_idx[bi])
+                    for bi in range(len(call.inputs))
+                    if bi != acc_bi
+                }
+                slabs.append((slab_shape, slab_idx))
+            acc_b = call.inputs[acc_bi]
+            return _BatchedIntrinsicStep(
+                acc_bi=acc_bi,
+                zero_acc=np.zeros(
+                    acc_b.intrin_tensor.shape, dtype=acc_b.intrin_tensor.dtype.np_dtype
+                ),
+                acc_name=acc_b.intrin_tensor.name,
+                rank=rank,
+                n_rounds=n_rounds,
+                slabs=slabs,
+                sum_axes=tuple(seq_pos),
+                out_reg_shape=out_b.intrin_tensor.shape,
+                acc_idx=tuple(gather_idx[acc_bi]),
+                eff_acc=eff[acc_bi],
+                sel=sel,
+                sel_rows=sel_rows,
+                **common,
+            )
+
+        # Sequential rounds (the general path): precompute every round's
+        # sliced index views and — when a guard mentions a sequential
+        # variable — its per-round selection rows.
+        rounds = []
         for spt in np.ndindex(*seq_ext):
             if mask is not None and not mask_invariant:
                 mflat = np.broadcast_to(
                     round_slice(mask, spt), batch_part[:rank]
                 ).reshape(-1)
-                sel = np.nonzero(mflat)[0]
-                if sel.size == 0:
+                rsel = np.nonzero(mflat)[0]
+                if rsel.size == 0:
                     continue
-                sel_rows = select_rows(sel)
-
-            operands: Dict[str, np.ndarray] = {}
-            for bi, b in enumerate(call.inputs):
-                src = self._buffer(frame, b.program_tensor)
-                pidx = [round_slice(i, spt) for i in gather_idx[bi]]
-                vals = np.broadcast_to(
-                    src[tuple(pidx)], batch_part + eff[bi]
-                ).reshape((bn_total,) + eff[bi])
-                reg_np = b.intrin_tensor.dtype.np_dtype
-                if identity_fill[bi]:
-                    reg = vals.reshape((bn_total,) + b.intrin_tensor.shape)
-                    if reg.dtype != reg_np:
-                        reg = reg.astype(reg_np)
-                else:
-                    reg = np.zeros(
-                        (bn_total,) + b.intrin_tensor.shape, dtype=reg_np
-                    )
-                    reg[(slice(None),) + bview[bi]] = vals
-                operands[b.intrin_tensor.name] = reg
-
-            result = intrin.execute_batch(operands, bn_total)
-            if identity_fill[out_i]:
-                out_vals = result.reshape((bn_total,) + iext).astype(out_np)
+                rsel_rows = select_rows(rsel)
             else:
-                out_vals = result[(slice(None),) + bview[out_i]].astype(out_np)
-            val = out_vals.reshape(batch_part + eff[out_i])
+                rsel = sel
+                rsel_rows = sel_rows
+            input_idx = [
+                tuple(round_slice(i, spt) for i in gather_idx[bi])
+                for bi in range(len(call.inputs))
+            ]
+            rounds.append(_IntrinsicRound(input_idx, rsel, rsel_rows))
+        return _IntrinsicStep(rounds=rounds, **common)
 
-            if sel is None:
-                po = [round_slice(i, spt) for i in pidx_o]
-                # Where the target indices ignore an axis the value varies
-                # over, only the last write survives — slice the value to its
-                # last iteration there; elsewhere broadcasting repeats it.
-                bshape = np.broadcast_shapes(*(np.shape(i) for i in po))
-                bfull = (1,) * (len(val.shape) - len(bshape)) + tuple(bshape)
-                slicer = tuple(
-                    slice(d - 1, None) if t == 1 and d != 1 else slice(None)
-                    for t, d in zip(bfull, val.shape)
+    def _round_stackable(
+        self, call, bindings, eff, mask, mask_invariant, n_rounds, seq_vars, fctx
+    ) -> Optional[int]:
+        """Whether sequential rounds may be stacked into batched slabs.
+
+        Returns the index (into ``call.inputs``) of the accumulator operand
+        when stacking is sound, else ``None``.  Requirements:
+
+        * more than one round, an invariant (or absent) guard mask;
+        * a batch-polymorphic hardware model;
+        * integer accumulation — the instruction's DSL description must be
+          ``d[...] = c[...] + sum(...)`` with exactly one operand (``c``)
+          bound to the destination buffer at the destination address, so
+          ``model(acc, x) = acc + f(x)`` with wraparound integer addition,
+          which makes summing per-round contributions bit-exact;
+        * every input address affine in the loop variables (successive
+          rounds differ only by constant offsets — the round-slicing
+          precondition), established through the memoized
+          :func:`~repro.dsl.expr.extract_linear`.
+        """
+        if n_rounds <= 1:
+            return None
+        if mask is not None and not mask_invariant:
+            return None
+        intrin = call.intrin
+        if intrin.hardware_impl is None or not intrin.batchable:
+            return None
+        out_b = call.output
+        out_reg = out_b.intrin_tensor
+        if not out_reg.dtype.is_integer:
+            return None
+        if out_b.program_tensor.dtype != out_reg.dtype:
+            return None
+        acc_ids = [
+            i
+            for i, b in enumerate(call.inputs)
+            if b.program_tensor is out_b.program_tensor
+        ]
+        if len(acc_ids) != 1:
+            return None
+        acc_bi = acc_ids[0]
+        acc_b = call.inputs[acc_bi]
+        if eff[acc_bi] != eff[len(bindings) - 1]:
+            return None
+        if len(acc_b.intrin_indices) != len(out_b.intrin_indices) or not all(
+            E.structural_equal(x, y)
+            for x, y in zip(acc_b.intrin_indices, out_b.intrin_indices)
+        ):
+            return None
+        # Structural proof that the model is additive in the accumulator.
+        body = intrin.op.body
+        if not isinstance(body, E.Add):
+            return None
+        decomposed = False
+        for load, rest in ((body.a, body.b), (body.b, body.a)):
+            if (
+                isinstance(load, E.TensorLoad)
+                and load.tensor is acc_b.intrin_tensor
+                and isinstance(rest, E.Reduce)
+                and rest.combiner == "sum"
+                and len(load.indices) == len(out_b.intrin_indices)
+                and all(
+                    E.structural_equal(x, y)
+                    for x, y in zip(load.indices, out_b.intrin_indices)
                 )
-                out_buf[tuple(po)] = val[slicer]
+                and not any(
+                    isinstance(n, E.TensorLoad)
+                    and n.tensor in (acc_b.intrin_tensor, intrin.op.output)
+                    for n in E.post_order(rest)
+                )
+            ):
+                decomposed = True
+                break
+        if not decomposed:
+            return None
+        # Affine-offset precondition: every input address must be affine *in
+        # the sequential loop variables* — successive rounds then differ only
+        # by constant offsets, so slicing whole slabs of rounds out of the
+        # precomputed index grids is sound.  (Fused batch-axis variables may
+        # carry div/mod; they are gathered over either way.)  Fully affine
+        # addresses take the memoized :func:`extract_linear` fast path.
+        for bi, b in enumerate(call.inputs):
+            if bi == acc_bi:
+                continue
+            for i_expr in b.program_indices:
+                if E.extract_linear(i_expr, fctx.order) is not None:
+                    continue
+                if not _affine_in(i_expr, seq_vars):
+                    return None
+        return acc_bi
+
+
+def compile_plan(func: PrimFunc, strict: bool = False) -> ExecutablePlan:
+    """Compile ``func`` into an :class:`ExecutablePlan` (the analysis phase).
+
+    ``strict`` makes compilation raise :class:`Unvectorizable` instead of
+    emitting interpreter-fallback steps — useful in tests that assert full
+    vectorization.  Prefer :func:`repro.tir.plan.plan_cache` (or simply
+    :func:`execute`) over calling this directly: the cache recognises
+    structurally identical functions and compiles them once.
+    """
+    return _PlanCompiler(func, strict=strict).compile()
+
+
+# ---------------------------------------------------------------------------
+# The historical engine interface, now a thin wrapper over plans
+# ---------------------------------------------------------------------------
+
+
+class VectorizedEngine:
+    """Execute a :class:`PrimFunc` over numpy buffers by batched array ops.
+
+    Compiles (or fetches from the process-wide plan cache) an
+    :class:`ExecutablePlan` on first use and delegates every ``run`` to it;
+    ``stats`` accumulates per-run execution counters exactly as before the
+    compile/run split.
+    """
+
+    def __init__(self, func: PrimFunc, strict: bool = False) -> None:
+        self.func = func
+        self.strict = strict
+        self.stats = EngineStats()
+        self._plan: Optional[ExecutablePlan] = None
+
+    @property
+    def plan(self) -> ExecutablePlan:
+        """The compiled plan (compiled lazily; cached process-wide unless
+        ``strict``, whose raise-on-fallback contract is per-engine)."""
+        if self._plan is None:
+            if self.strict:
+                self._plan = compile_plan(self.func, strict=True)
             else:
-                out_buf[tuple(sel_rows)] = np.broadcast_to(
-                    val, batch_part + scat_ext
-                ).reshape((bn_total,) + scat_ext)[sel]
-            self.stats.intrinsic_rounds += 1
-            self.stats.intrinsic_points += bn_total
+                from .plan import plan_cache
 
-    # -- expression evaluation over grids -----------------------------------
-    def _veval(self, expr: E.Expr, ctx: _Ctx):
-        if isinstance(expr, E.Const):
-            return expr.value
-        if isinstance(expr, E.Var):
-            try:
-                return ctx.vars[expr]
-            except KeyError:
-                raise Unvectorizable(f"unbound variable {expr.name!r}")
-        if isinstance(expr, E.Cast):
-            v = self._veval(expr.value, ctx)
-            np_dtype = expr.dtype.np_dtype
-            if isinstance(v, np.ndarray):
-                return v.astype(np_dtype)
-            return np_dtype.type(v)
-        if isinstance(expr, E.TensorLoad):
-            buf = self._buffer_ctx(ctx, expr.tensor)
-            idx = _align([self._veval(i, ctx) for i in expr.indices], ctx.rank)
-            if all(np.ndim(i) == 0 for i in idx):
-                return buf[tuple(int(i) for i in idx)]
-            arrays = []
-            for i, d in zip(idx, buf.shape):
-                a = np.asarray(i)
-                if ctx.clip:
-                    a = np.clip(a, 0, d - 1)
-                arrays.append(a)
-            return buf[tuple(arrays)]
-        if isinstance(expr, E.BinaryOp):
-            a = self._veval(expr.a, ctx)
-            b = self._veval(expr.b, ctx)
-            a, b = _align([a, b], ctx.rank)
-            if isinstance(expr, E.Add):
-                return a + b
-            if isinstance(expr, E.Sub):
-                return a - b
-            if isinstance(expr, E.Mul):
-                return a * b
-            if isinstance(expr, E.FloorDiv):
-                return a // b
-            if isinstance(expr, E.Mod):
-                return a % b
-            if isinstance(expr, E.Min):
-                if np.ndim(a) == 0 and np.ndim(b) == 0:
-                    return min(a, b)
-                return np.minimum(a, b)
-            if np.ndim(a) == 0 and np.ndim(b) == 0:
-                return max(a, b)
-            return np.maximum(a, b)
-        if isinstance(expr, E.Compare):
-            a = self._veval(expr.a, ctx)
-            b = self._veval(expr.b, ctx)
-            a, b = _align([a, b], ctx.rank)
-            return {
-                "==": lambda: a == b,
-                "!=": lambda: a != b,
-                "<": lambda: a < b,
-                "<=": lambda: a <= b,
-                ">": lambda: a > b,
-                ">=": lambda: a >= b,
-            }[expr.op]()
-        if isinstance(expr, E.Select):
-            cond = self._veval(expr.cond, ctx)
-            if np.ndim(cond) == 0:
-                branch = expr.true_value if bool(cond) else expr.false_value
-                return self._veval(branch, ctx)
-            t = self._veval(expr.true_value, ctx)
-            f = self._veval(expr.false_value, ctx)
-            cond, t, f = _align([cond, t, f], ctx.rank)
-            return np.where(cond, t, f)
-        if isinstance(expr, E.Reduce):
-            return self._veval_reduce(expr, ctx)
-        if isinstance(expr, E.Ramp):
-            base = self._veval(expr.base, ctx)
-            if np.ndim(base) > ctx.rank:
-                raise Unvectorizable("nested vector lanes (Ramp of a vector)")
-            barr = np.broadcast_to(
-                np.asarray(base), (1,) * (ctx.rank - np.ndim(base)) + np.shape(base)
-            )
-            return barr[..., None] + np.arange(expr.lanes, dtype=np.int64) * expr.stride
-        if isinstance(expr, E.Broadcast):
-            v = self._veval(expr.value, ctx)
-            if np.ndim(v) > ctx.rank:
-                raise Unvectorizable("nested vector lanes (Broadcast of a vector)")
-            varr = np.broadcast_to(
-                np.asarray(v), (1,) * (ctx.rank - np.ndim(v)) + np.shape(v)
-            )
-            return np.broadcast_to(varr[..., None], varr.shape + (expr.lanes,))
-        if isinstance(expr, E.Shuffle):
-            parts = []
-            for v in expr.vectors:
-                p = self._veval(v, ctx)
-                if np.ndim(p) <= ctx.rank:
-                    p = np.broadcast_to(
-                        np.asarray(p), (1,) * (ctx.rank - np.ndim(p)) + np.shape(p)
-                    )[..., None]
-                parts.append(np.asarray(p))
-            lead = np.broadcast_shapes(*(p.shape[:-1] for p in parts))
-            parts = [np.broadcast_to(p, lead + (p.shape[-1],)) for p in parts]
-            return np.concatenate(parts, axis=-1)
-        raise Unvectorizable(f"cannot vectorize expression {type(expr).__name__}")
+                self._plan = plan_cache().get_or_compile(self.func)
+        return self._plan
 
-    def _veval_reduce(self, expr: E.Reduce, ctx: _Ctx):
-        k = len(expr.axes)
-        sub_rank = ctx.rank + k
-        sub_vars = {}
-        for v, a in ctx.vars.items():
-            sub_vars[v] = (
-                np.asarray(a).reshape(np.shape(a) + (1,) * k) if np.ndim(a) else a
-            )
-        extents = tuple(ax.extent for ax in expr.axes)
-        for j, ax in enumerate(expr.axes):
-            sub_vars[ax.var] = _axis_array(ctx.rank + j, ax.extent, sub_rank)
-        sub = _Ctx(sub_rank, sub_vars, ctx.buffers, ctx.clip)
-        src = self._veval(expr.source, sub)
-        if np.ndim(src) > sub_rank:
-            raise Unvectorizable("vector lanes inside a reduction")
-        src = np.broadcast_to(
-            np.asarray(src), (1,) * (sub_rank - np.ndim(src)) + np.shape(src)
-        )
-        flat = src.reshape(src.shape[: ctx.rank] + (-1,))
-        if expr.combiner == "max":
-            return np.maximum.reduce(flat, axis=-1)
-        if expr.combiner == "min":
-            return np.minimum.reduce(flat, axis=-1)
-        if flat.dtype.kind in "iub":
-            return np.add.reduce(flat, axis=-1, dtype=flat.dtype)
-        # Float sums fold sequentially to mirror the interpreter's order.
-        acc = flat[..., 0]
-        for j in range(1, flat.shape[-1]):
-            acc = acc + flat[..., j]
-        return acc
-
-    # -- buffers ------------------------------------------------------------
-    def _buffer(self, frame: _Frame, tensor: Tensor) -> np.ndarray:
-        try:
-            return frame.buffers[tensor]
-        except KeyError as exc:
-            raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
-
-    def _buffer_ctx(self, ctx: _Ctx, tensor: Tensor) -> np.ndarray:
-        try:
-            return ctx.buffers[tensor]
-        except KeyError as exc:
-            raise KeyError(f"no buffer bound for tensor {tensor.name!r}") from exc
+    def run(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
+        """Execute the function; same contract as ``Interpreter.run``."""
+        return self.plan.run(buffers, stats=self.stats, func=self.func)
 
 
 def vector_run(
@@ -821,10 +1774,10 @@ def execute(
     """Execute ``func`` over ``buffers`` with the selected engine.
 
     ``engine`` is ``"vector"`` (the default oracle — batched numpy execution
-    with automatic scalar fallback) or ``"scalar"`` (the reference
-    interpreter).  ``strict`` makes the vector engine raise
-    :class:`Unvectorizable` instead of falling back — useful in tests that
-    assert full vectorization.
+    through a cached :class:`ExecutablePlan`, with automatic scalar fallback)
+    or ``"scalar"`` (the reference interpreter).  ``strict`` makes the vector
+    engine raise :class:`Unvectorizable` instead of falling back — useful in
+    tests that assert full vectorization.
     """
     if engine == "scalar":
         return Interpreter(func).run(buffers)

@@ -16,7 +16,7 @@ the scalar path here stays deliberately simple so it can serve as the ground
 truth the engine is tested against.
 
 The interpreter is reentrant: all execution state (buffer bindings, the loop
-variable environment) lives in a per-call :class:`_Frame`, so one
+variable environment) lives in a per-call :class:`Frame`, so one
 ``Interpreter`` instance may be shared across threads (e.g. the tuning
 drivers' ``parallel_search``) and may be invoked recursively.
 """
@@ -44,11 +44,18 @@ from .stmt import (
     Store,
 )
 
-__all__ = ["Interpreter", "run", "alloc_buffers", "random_array"]
+__all__ = ["Frame", "Interpreter", "run", "alloc_buffers", "random_array"]
 
 
-class _Frame:
-    """Execution state of one ``run`` invocation."""
+class Frame:
+    """Execution state of one ``run`` invocation.
+
+    Shared with the vectorized execution engine (:mod:`repro.tir.engine`):
+    both executors thread all mutable run state — buffer bindings and the
+    loop-variable environment — through per-call frames, which is what makes
+    one interpreter/plan instance safely shareable across threads and
+    recursion (the engine's fallback path re-enters the interpreter).
+    """
 
     __slots__ = ("buffers", "env")
 
@@ -71,7 +78,7 @@ class Interpreter:
     def run(self, buffers: Dict[Tensor, np.ndarray]) -> np.ndarray:
         """Execute the function.  ``buffers`` maps every parameter tensor to a
         numpy array of matching shape/dtype.  Returns the output buffer."""
-        frame = _Frame(self.bind_params(buffers))
+        frame = Frame(self.bind_params(buffers))
         self._exec(self.func.body, frame)
         return frame.buffers[self.func.output]
 
@@ -88,7 +95,7 @@ class Interpreter:
         by ``Allocate``), and ``env`` provides bindings for loop variables of
         enclosing, already-executed loops.
         """
-        self._exec(stmt, _Frame(buffers, dict(env) if env else {}))
+        self._exec(stmt, Frame(buffers, dict(env) if env else {}))
 
     def bind_params(self, buffers: Dict[Tensor, np.ndarray]) -> Dict[Tensor, np.ndarray]:
         """Validate parameter buffers and return a fresh binding dict."""
@@ -106,7 +113,7 @@ class Interpreter:
         return bound
 
     # -- statement execution ----------------------------------------------
-    def _exec(self, stmt: Stmt, frame: _Frame) -> None:
+    def _exec(self, stmt: Stmt, frame: Frame) -> None:
         if isinstance(stmt, SeqStmt):
             for s in stmt.stmts:
                 self._exec(s, frame)
@@ -154,7 +161,7 @@ class Interpreter:
         else:
             raise TypeError(f"cannot interpret statement {type(stmt).__name__}")
 
-    def _exec_intrinsic(self, call: IntrinsicCall, frame: _Frame) -> None:
+    def _exec_intrinsic(self, call: IntrinsicCall, frame: Frame) -> None:
         """Execute a tensorized-instruction call through its hardware model."""
         intrin = call.intrin
         axes = call.axes
@@ -194,7 +201,7 @@ class Interpreter:
             frame.env.pop(var, None)
 
     # -- expression evaluation ---------------------------------------------
-    def _eval(self, expr: E.Expr, frame: _Frame):
+    def _eval(self, expr: E.Expr, frame: Frame):
         if isinstance(expr, E.Const):
             return expr.value
         if isinstance(expr, E.Var):
@@ -275,7 +282,7 @@ class Interpreter:
             return np.concatenate(parts, axis=-1)
         raise TypeError(f"cannot evaluate expression {type(expr).__name__}")
 
-    def _eval_reduce(self, expr: E.Reduce, frame: _Frame):
+    def _eval_reduce(self, expr: E.Reduce, frame: Frame):
         values = []
         extents = [ax.extent for ax in expr.axes]
         axis_vars = [ax.var for ax in expr.axes]
@@ -291,7 +298,7 @@ class Interpreter:
             return max(values)
         return min(values)
 
-    def _get_buffer(self, frame: _Frame, tensor: Tensor) -> np.ndarray:
+    def _get_buffer(self, frame: Frame, tensor: Tensor) -> np.ndarray:
         try:
             return frame.buffers[tensor]
         except KeyError as exc:

@@ -1,0 +1,269 @@
+"""Plan-cache correctness: structural sharing without semantic collisions.
+
+The plan cache hands one compiled :class:`ExecutablePlan` to every
+structurally identical function, so these tests pin the three properties that
+make that safe: shared plans stay bit-identical to the scalar interpreter for
+every caller, functions differing in shapes or dtypes never collide, and the
+cache invalidates itself when the expression interning layer is cleared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import tensorize
+from repro.dsl import compute, placeholder, reduce_axis, sum_reduce
+from repro.dsl.expr import clear_expr_caches, expr_cache_stats, reset_expr_cache_stats
+from repro.rewriter import CpuTuningConfig
+from repro.tir import (
+    PlanCache,
+    Unvectorizable,
+    alloc_buffers,
+    compile_plan,
+    func_signature,
+    func_structural_equal,
+    func_structural_hash,
+    lower,
+    plan_cache,
+    run,
+)
+from repro.workloads import Conv2DParams, conv2d_nchwc
+from tests.conftest import small_conv_hwc, small_matmul_int8
+
+
+def _matmul_func(m=4, n=8, k=8, dtype_a="uint8"):
+    from repro.dsl import cast
+
+    a = placeholder((m, k), dtype_a, "A")
+    b = placeholder((n, k), "int8", "B")
+    rk = reduce_axis(0, k, "rk")
+    out = compute(
+        (m, n),
+        lambda i, j: sum_reduce(cast("int32", a[i, rk]) * cast("int32", b[j, rk]), rk),
+        name="mm",
+    )
+    return lower(out)
+
+
+class TestStructuralIdentity:
+    def test_equal_functions_hash_and_compare_equal(self):
+        f1, f2 = _matmul_func(), _matmul_func()
+        assert f1.params[0] is not f2.params[0]  # genuinely different objects
+        assert func_structural_hash(f1) == func_structural_hash(f2)
+        assert func_structural_equal(f1, f2)
+
+    def test_different_shape_distinguished(self):
+        f1, f2 = _matmul_func(m=4), _matmul_func(m=5)
+        assert func_signature(f1) != func_signature(f2)
+        assert not func_structural_equal(f1, f2)
+
+    def test_different_dtype_distinguished(self):
+        f1, f2 = _matmul_func(dtype_a="uint8"), _matmul_func(dtype_a="int8")
+        assert func_signature(f1) != func_signature(f2)
+        assert not func_structural_equal(f1, f2)
+
+    def test_different_extent_distinguished(self):
+        f1, f2 = _matmul_func(k=8), _matmul_func(k=12)
+        assert func_structural_hash(f1) != func_structural_hash(f2)
+
+    def test_tensorized_twins_compare_equal(self):
+        params = Conv2DParams(
+            in_channels=8, in_height=8, in_width=8, out_channels=16, kernel=3
+        )
+        f1 = tensorize(conv2d_nchwc(params), "x86.avx512.vpdpbusd").func
+        f2 = tensorize(conv2d_nchwc(params), "x86.avx512.vpdpbusd").func
+        assert func_structural_hash(f1) == func_structural_hash(f2)
+        assert func_structural_equal(f1, f2)
+
+
+class TestPlanSharing:
+    def test_structural_twins_share_one_plan_bit_identically(self, rng):
+        """Two structurally equal functions with different buffer contents
+        must share a plan and both reproduce the interpreter exactly."""
+        cache = PlanCache()
+        f1, f2 = _matmul_func(), _matmul_func()
+        p1 = cache.get_or_compile(f1)
+        p2 = cache.get_or_compile(f2)
+        assert p1 is p2
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        for func, seed in ((f1, 1), (f2, 2)):
+            buffers = alloc_buffers(func, np.random.default_rng(seed))
+            ref = run(func, {t: a.copy() for t, a in buffers.items()})
+            got = p1.run({t: a.copy() for t, a in buffers.items()}, func=func)
+            np.testing.assert_array_equal(got, ref)
+
+    def test_shape_and_dtype_variants_get_separate_plans(self):
+        cache = PlanCache()
+        plans = {
+            cache.get_or_compile(f)
+            for f in (
+                _matmul_func(m=4),
+                _matmul_func(m=5),
+                _matmul_func(dtype_a="int8"),
+            )
+        }
+        assert len(plans) == 3
+        assert cache.stats.hits == 0
+
+    def test_tensorized_twin_execution(self, rng):
+        params = Conv2DParams(
+            in_channels=8, in_height=8, in_width=8, out_channels=16, kernel=3
+        )
+        cache = PlanCache()
+        r1 = tensorize(conv2d_nchwc(params), "x86.avx512.vpdpbusd")
+        r2 = tensorize(conv2d_nchwc(params), "x86.avx512.vpdpbusd")
+        plan = cache.get_or_compile(r1.func)
+        assert cache.get_or_compile(r2.func) is plan
+        buffers = alloc_buffers(r2.func, rng)
+        ref = run(r2.func, {t: a.copy() for t, a in buffers.items()})
+        got = plan.run({t: a.copy() for t, a in buffers.items()}, func=r2.func)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        f1, f2, f3 = _matmul_func(m=2), _matmul_func(m=3), _matmul_func(m=6)
+        cache.get_or_compile(f1)
+        cache.get_or_compile(f2)
+        cache.get_or_compile(f3)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # f1 was least recently used: compiling it again is a miss.
+        cache.get_or_compile(f1)
+        assert cache.stats.misses == 4
+
+    def test_global_cache_serves_engine_runs(self, rng):
+        from repro.tir import VectorizedEngine
+
+        func = _matmul_func(m=3, n=6, k=4)
+        twin = _matmul_func(m=3, n=6, k=4)
+        cache = plan_cache()
+        hits0 = cache.stats.hits
+        e1 = VectorizedEngine(func)
+        e2 = VectorizedEngine(twin)
+        b1 = alloc_buffers(func, rng)
+        ref = run(func, {t: a.copy() for t, a in b1.items()})
+        np.testing.assert_array_equal(
+            e1.run({t: a.copy() for t, a in b1.items()}), ref
+        )
+        e2.run(alloc_buffers(twin, np.random.default_rng(9)))
+        assert cache.stats.hits > hits0  # the twin rode the first compile
+
+
+class TestInvalidation:
+    def test_expr_cache_clear_invalidates_plans(self):
+        cache = PlanCache()
+        func = _matmul_func()
+        plan = cache.get_or_compile(func)
+        clear_expr_caches()
+        try:
+            again = cache.get_or_compile(func)
+            assert again is not plan  # recompiled after the epoch bump
+            assert cache.stats.invalidations == 1
+        finally:
+            reset_expr_cache_stats()
+
+    def test_clear_empties_cache(self):
+        cache = PlanCache()
+        cache.get_or_compile(_matmul_func())
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestPlanExecution:
+    def test_plan_stats_count_fallbacks_at_compile_time(self):
+        from repro.dsl.expr import Compare, Const, Var
+        from repro.tir import For, IfThenElse, PrimFunc, Store
+        from repro.dsl.tensor import Tensor
+
+        a = placeholder((4,), "int32", "a")
+        out_t = Tensor((4,), "int32", "out")
+        i = Var("i")
+        body = For(
+            i,
+            4,
+            IfThenElse(
+                Compare("<", i, Const(2)),
+                Store(out_t, [i], a[i]),
+                Store(out_t, [i], a[i] + 1),
+            ),
+        )
+        func = PrimFunc("branchy", [a, out_t], body, op=None)
+        plan = compile_plan(func)
+        assert plan.fallback_nests == 1
+        assert plan.stats.fallback_reasons
+        buffers = alloc_buffers(func, np.random.default_rng(0))
+        ref = run(func, {t: b.copy() for t, b in buffers.items()})
+        got = plan.run({t: b.copy() for t, b in buffers.items()})
+        np.testing.assert_array_equal(got, ref)
+
+    def test_strict_compile_raises(self):
+        from repro.dsl.expr import Compare, Const, Var
+        from repro.tir import For, IfThenElse, PrimFunc, Store
+        from repro.dsl.tensor import Tensor
+
+        a = placeholder((4,), "int32", "a")
+        out_t = Tensor((4,), "int32", "out")
+        i = Var("i")
+        body = For(
+            i, 4, IfThenElse(Compare("<", i, Const(2)), Store(out_t, [i], a[i]),
+                             Store(out_t, [i], a[i]))
+        )
+        func = PrimFunc("strictly", [a, out_t], body, op=None)
+        with pytest.raises(Unvectorizable):
+            compile_plan(func, strict=True)
+
+    def test_repeated_runs_are_deterministic(self, rng):
+        func = lower(small_conv_hwc())
+        plan = compile_plan(func)
+        buffers = alloc_buffers(func, rng)
+        out1 = plan.run({t: a.copy() for t, a in buffers.items()})
+        out2 = plan.run({t: a.copy() for t, a in buffers.items()})
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_affine_analysis_routes_through_memoized_extract_linear(self):
+        """Compiling a tensorized plan must exercise the extract_linear memo
+        (the PR-2 counters were dead); recompiling the same function hits."""
+        params = Conv2DParams(
+            in_channels=8, in_height=8, in_width=8, out_channels=16, kernel=3
+        )
+        result = tensorize(conv2d_nchwc(params), "x86.avx512.vpdpbusd")
+        reset_expr_cache_stats()
+        try:
+            compile_plan(result.func)
+            stats = expr_cache_stats()
+            assert stats.linear_misses + stats.linear_hits > 0
+            assert stats.linear_hits > 0  # round-slicing re-checks hit the memo
+            hits_after_first = stats.linear_hits
+            compile_plan(result.func)
+            assert expr_cache_stats().linear_hits > hits_after_first
+        finally:
+            reset_expr_cache_stats()
+
+    def test_round_batching_on_reduction_rounds(self, rng):
+        """A multi-round integer conv must execute through a stacked round
+        batch, bit-identically to the scalar interpreter."""
+        from repro.tir import EngineStats
+
+        params = Conv2DParams(
+            in_channels=16, in_height=8, in_width=8, out_channels=32, kernel=3
+        )
+        result = tensorize(
+            conv2d_nchwc(params), "x86.avx512.vpdpbusd", config=CpuTuningConfig()
+        )
+        plan = compile_plan(result.func)
+        assert plan.fallback_nests == 0
+        buffers = alloc_buffers(result.func, rng)
+        ref = run(result.func, {t: a.copy() for t, a in buffers.items()})
+        stats = EngineStats()
+        got = plan.run({t: a.copy() for t, a in buffers.items()}, stats=stats)
+        np.testing.assert_array_equal(got, ref)
+        assert stats.intrinsic_round_batches >= 1
+        assert stats.intrinsic_rounds > stats.intrinsic_round_batches
+
+    def test_plain_lowering_plan_matches_interpreter(self, rng):
+        func = lower(small_matmul_int8(5, 7, 9))
+        plan = compile_plan(func)
+        buffers = alloc_buffers(func, rng)
+        ref = run(func, {t: a.copy() for t, a in buffers.items()})
+        got = plan.run({t: a.copy() for t, a in buffers.items()})
+        np.testing.assert_array_equal(got, ref)
