@@ -1,0 +1,261 @@
+"""Tuning-service benchmark: coalescing, warm sharing, speculation, GC.
+
+Not a paper figure — this tracks the networked tuning daemon itself.  Four
+sections:
+
+* **single_process** — the reference: one local ``TuningSession`` tunes the
+  Table I slice serially; its records are the ground truth every remote
+  client must receive bit-identically;
+* **coalesced_clients** — one daemon, N concurrent ``RemoteSession`` clients
+  sweeping the *same* slice.  The integrity gate asserts that each unique
+  ``TuningKey`` was searched exactly once server-side (read-through hits +
+  in-flight coalescing), that every client's records are bit-identical to
+  the reference, and that a late client gets pure warm hits with zero
+  searches anywhere;
+* **speculation** — a fresh daemon, one client tunes a single layer with a
+  sweep hint; the background queue must pre-tune the remaining layers
+  during idle time, so a follow-up sweep performs zero new searches;
+* **gc** — LRU eviction over the populated store, then a re-tune of one
+  evicted key (a fresh search, proving memory and disk agree).
+
+Run standalone to write ``BENCH_service.json`` (the CI ``service-smoke``
+job uploads it as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--layers K] \
+        [--clients N] [-o OUT]
+
+Every integrity check is a hard ``assert`` — this script is the CI gate for
+the acceptance criterion that concurrent remote tuning is bit-identical to
+single-process tuning with each key searched at most once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core import UnitCpuRunner
+from repro.rewriter import TuningSession
+from repro.service import RemoteSession, ServiceClient, TuningService
+from repro.workloads.table1 import TABLE1_LAYERS
+
+
+def bench_single_process(layers) -> dict:
+    """The serial reference run (also returned: its records, for bit-compare)."""
+    session = TuningSession()
+    runner = UnitCpuRunner(session=session)
+    t0 = time.perf_counter()
+    for params in layers:
+        runner.conv2d_latency(params)
+    elapsed = time.perf_counter() - t0
+    return {
+        "layers": len(layers),
+        "elapsed_s": elapsed,
+        "trials": session.trials_run,
+        "searches": session.searches_run,
+        "_records": {r.key: r.to_json() for r in session.cache.records()},
+    }
+
+
+def bench_coalesced_clients(root, layers, clients: int, reference: dict) -> dict:
+    """N concurrent remote clients over one shared slice, one daemon."""
+    with TuningService(root, speculative=False) as service:
+        sessions = [RemoteSession(service.address, tune_timeout=120.0) for _ in range(clients)]
+        barrier = threading.Barrier(clients)
+        errors = []
+
+        def sweep(session):
+            try:
+                runner = UnitCpuRunner(session=session)
+                barrier.wait(timeout=30)
+                for params in layers:
+                    runner.conv2d_latency(params)
+            except Exception as exc:  # surfaced after join
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=sweep, args=(s,)) for s in sessions]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        elapsed = time.perf_counter() - t0
+        assert not errors, f"client sweep errors: {errors}"
+
+        # -- the acceptance criterion -------------------------------------
+        unique_keys = len(reference["_records"])
+        searched = service.session.searches_run
+        assert searched == unique_keys, (
+            f"{searched} server-side searches for {unique_keys} unique keys "
+            "— coalescing/read-through failed to deduplicate"
+        )
+        mismatched = 0
+        for session in sessions:
+            for key, expected in reference["_records"].items():
+                got = session.cache.lookup(key)
+                assert got is not None, f"client missing record for {key}"
+                if got.to_json() != expected:
+                    mismatched += 1
+        assert mismatched == 0, (
+            f"{mismatched} remote records diverged from single-process tuning"
+        )
+
+        # A late client is served entirely from the warm corpus.
+        late = RemoteSession(service.address)
+        late_runner = UnitCpuRunner(session=late)
+        t0 = time.perf_counter()
+        for params in layers:
+            late_runner.conv2d_latency(params)
+        late_elapsed = time.perf_counter() - t0
+        assert late.searches_run == 0 and late.server_tunes == 0
+        assert late.server_hits == unique_keys
+        assert service.session.searches_run == unique_keys
+
+        store_stats = service.store.stats
+        assert store_stats.corrupt_lines == 0 and store_stats.stale_records == 0
+        return {
+            "clients": clients,
+            "unique_keys": unique_keys,
+            "elapsed_s": elapsed,
+            "server_searches": searched,
+            "coalesced_waiters": service.stats.coalesced_waiters,
+            "tune_requests": service.stats.requests.get("tune", 0),
+            "mismatched_records": mismatched,
+            "late_client_hits": late.server_hits,
+            "late_client_searches": late.searches_run,
+            "late_client_elapsed_s": late_elapsed,
+            "store": {
+                "appends": store_stats.appends,
+                "corrupt_lines": store_stats.corrupt_lines,
+                "stale_records": store_stats.stale_records,
+            },
+        }
+
+
+def bench_speculation(root, layers) -> dict:
+    """One request with a sweep hint; idle workers pre-tune the rest."""
+    sweep = f"table1:{len(layers)}"
+    with TuningService(root, speculative=True) as service:
+        session = RemoteSession(service.address, speculate=sweep, tune_timeout=120.0)
+        runner = UnitCpuRunner(session=session)
+        t0 = time.perf_counter()
+        runner.conv2d_latency(layers[0])
+        foreground_s = time.perf_counter() - t0
+        deadline = time.time() + 120
+        while time.time() < deadline and service.session.searches_run < len(layers):
+            time.sleep(0.01)
+        drained_s = time.perf_counter() - t0
+        assert service.session.searches_run == len(layers), (
+            f"speculation stalled: {service.session.searches_run}/{len(layers)}"
+        )
+        # The whole sweep is now warm: a full client sweep adds no searches.
+        follower = RemoteSession(service.address)
+        follower_runner = UnitCpuRunner(session=follower)
+        for params in layers:
+            follower_runner.conv2d_latency(params)
+        assert follower.searches_run == 0
+        assert service.session.searches_run == len(layers)
+        return {
+            "layers": len(layers),
+            "foreground_tunes": 1,
+            "foreground_s": foreground_s,
+            "speculatively_tuned": service.stats.speculative_tuned,
+            "speculative_skipped": service.stats.speculative_skipped,
+            "drain_s": drained_s,
+            "follower_searches": follower.searches_run,
+            "follower_hits": follower.server_hits,
+        }
+
+
+def bench_gc(root, layers, keep: int) -> dict:
+    """Populate, evict down to ``keep`` records, re-tune one evicted key."""
+    with TuningService(root, speculative=False) as service:
+        with ServiceClient(service.address, tune_timeout=120.0) as client:
+            client.warm(f"table1:{len(layers)}")
+            populated = service.session.searches_run
+            report = client.gc(max_records=keep)
+            assert report["kept"] == keep
+            stats = client.stats()
+            assert stats["store"]["evicted_records"] == len(layers) - keep
+            # Memory agreed with disk: an evicted key re-tunes from scratch.
+            before = service.session.searches_run
+            session = RemoteSession(service.address, tune_timeout=120.0)
+            runner = UnitCpuRunner(session=session)
+            runner.conv2d_latency(layers[0])
+            retuned = service.session.searches_run - before
+            # layers[0] was warmed first, hence least recently served, hence
+            # evicted — its re-tune must be a fresh search, not a stale
+            # memory hit the store can no longer vouch for.
+            assert retuned == 1, "daemon memory served a store-evicted record"
+            return {
+                "populated": populated,
+                "kept": report["kept"],
+                "evicted": report["evicted"],
+                "evicted_records_stat": stats["store"]["evicted_records"],
+                "retuned_after_eviction": retuned,
+            }
+
+
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--layers", type=int, default=8, help="Table I layers in the shared slice"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4, help="concurrent remote clients"
+    )
+    parser.add_argument("-o", "--output", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    layers = TABLE1_LAYERS[: args.layers]
+    single = bench_single_process(layers)
+    print(
+        f"single process   : {single['elapsed_s'] * 1e3:8.1f} ms  "
+        f"({single['searches']} searches, {single['trials']} trials)"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench_service.") as root:
+        coalesced = bench_coalesced_clients(
+            f"{root}/store-coalesce", layers, args.clients, single
+        )
+        print(
+            f"{coalesced['clients']} remote clients : "
+            f"{coalesced['elapsed_s'] * 1e3:8.1f} ms  "
+            f"{coalesced['server_searches']} searches for "
+            f"{coalesced['unique_keys']} keys "
+            f"({coalesced['coalesced_waiters']} coalesced, "
+            f"{coalesced['mismatched_records']} mismatched)"
+        )
+        speculation = bench_speculation(f"{root}/store-spec", layers)
+        print(
+            f"speculation      : 1 foreground + "
+            f"{speculation['speculatively_tuned']} speculative tunes, "
+            f"drained in {speculation['drain_s'] * 1e3:.1f} ms; "
+            f"follower searched {speculation['follower_searches']}"
+        )
+        gc = bench_gc(f"{root}/store-gc", layers, keep=max(1, args.layers // 2))
+        print(
+            f"gc               : kept {gc['kept']}/{gc['populated']}, "
+            f"evicted {gc['evicted']}, re-tuned {gc['retuned_after_eviction']}"
+        )
+
+    single.pop("_records")
+    report = {
+        "benchmark": "tuning_service",
+        "single_process": single,
+        "coalesced_clients": coalesced,
+        "speculation": speculation,
+        "gc": gc,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {args.output}")
+    return report
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main() else 1)

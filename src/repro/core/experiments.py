@@ -79,18 +79,21 @@ def _add_geomean(
 
 
 def _session(
-    session: Optional[TuningSession], store=None
+    session: Optional[TuningSession], store=None, remote=None
 ) -> TuningSession:
     """The session a figure driver tunes through.
 
     Resolution follows the one pipeline-wide rule
     (:func:`repro.core.pipeline._resolve_session`): an explicit ``session``
     wins (conflicting ``session``/``store`` pairs raise rather than silently
-    dropping the store); otherwise ``store`` (typically pre-warmed by a
+    dropping the store); ``remote`` — a tuning-daemon address — yields a
+    :class:`~repro.service.client.RemoteSession` so the figure tunes against
+    the shared fleet corpus (``store`` then being its offline fallback);
+    otherwise ``store`` (typically pre-warmed by a
     :class:`~repro.rewriter.workers.DistributedTuner` pass) backs a fresh
-    read-through session, and with neither the figure tunes privately.
+    read-through session, and with none of them the figure tunes privately.
     """
-    resolved = _resolve_session(session, store)
+    resolved = _resolve_session(session, store, remote)
     return resolved if resolved is not None else TuningSession()
 
 
@@ -150,6 +153,7 @@ def figure8_cpu_end_to_end(
     models: Optional[List[str]] = None,
     session: Optional[TuningSession] = None,
     store=None,
+    remote=None,
 ) -> List[Dict]:
     """MXNet+oneDNN vs hand-written TVM VNNI schedules vs UNIT (bs = 1).
 
@@ -158,7 +162,7 @@ def figure8_cpu_end_to_end(
     tuning trials.
     """
     models = models or EVALUATED_MODELS
-    session = _session(session, store)
+    session = _session(session, store, remote)
     mxnet = MxnetOneDnnRunner(session=session)
     tvm_manual = TvmManualModel.for_x86()
     rows = []
@@ -193,10 +197,11 @@ def figure9_gpu_end_to_end(
     models: Optional[List[str]] = None,
     session: Optional[TuningSession] = None,
     store=None,
+    remote=None,
 ) -> List[Dict]:
     """cuDNN fp16 Tensor Core (via TVM offloading) vs UNIT (bs = 1)."""
     models = models or EVALUATED_MODELS
-    session = _session(session, store)
+    session = _session(session, store, remote)
     cudnn = TvmCudnnRunner(mode="tensor_core", session=session)
     rows = []
     for name in models:
@@ -224,10 +229,11 @@ def figure10_cpu_ablation(
     layers: Optional[List[Conv2DParams]] = None,
     session: Optional[TuningSession] = None,
     store=None,
+    remote=None,
 ) -> List[Dict]:
     """oneDNN vs Parallel vs +Unroll vs +Tune, per Table I layer."""
     layers = layers or TABLE1_LAYERS
-    session = _session(session, store)
+    session = _session(session, store, remote)
     onednn = OneDnnModel(CASCADE_LAKE)
     rows = []
     for index, params in enumerate(layers, start=1):
@@ -261,10 +267,11 @@ def figure11_gpu_ablation(
     layers: Optional[List[Conv2DParams]] = None,
     session: Optional[TuningSession] = None,
     store=None,
+    remote=None,
 ) -> List[Dict]:
     """cuDNN vs Generic vs +FuseDim vs +SplitK vs +Tune, per Table I layer."""
     layers = layers or TABLE1_LAYERS
-    session = _session(session, store)
+    session = _session(session, store, remote)
     cudnn = CuDnnModel(V100)
     rows = []
     for index, params in enumerate(layers, start=1):
@@ -303,10 +310,11 @@ def figure12_arm_end_to_end(
     models: Optional[List[str]] = None,
     session: Optional[TuningSession] = None,
     store=None,
+    remote=None,
 ) -> List[Dict]:
     """TVM-NEON vs TVM-Manual (hand-written DOT) vs UNIT on the Graviton2."""
     models = models or EVALUATED_MODELS
-    session = _session(session, store)
+    session = _session(session, store, remote)
     neon = TvmNeonModel(GRAVITON2)
     manual = TvmManualModel.for_arm()
     rows = []
@@ -336,10 +344,10 @@ def figure12_arm_end_to_end(
 # ---------------------------------------------------------------------------
 
 def figure13_conv3d(
-    depth: int = 8, session: Optional[TuningSession] = None, store=None
+    depth: int = 8, session: Optional[TuningSession] = None, store=None, remote=None
 ) -> List[Dict]:
     """oneDNN vs UNIT on the 3-D versions of ResNet-18's convolutions."""
-    session = _session(session, store)
+    session = _session(session, store, remote)
     onednn = OneDnnModel(CASCADE_LAKE)
     runner = UnitCpuRunner(CASCADE_LAKE, "x86.avx512.vpdpbusd", tuning="full", session=session)
     rows = []

@@ -325,6 +325,7 @@ def compile_model(
     fuse: bool = True,
     session: Optional[TuningSession] = None,
     store=None,
+    remote=None,
 ) -> CompiledModel:
     """Compile a model end to end for ``target`` and estimate its latency.
 
@@ -340,6 +341,13 @@ def compile_model(
     :class:`~repro.rewriter.store.ShardedTuningStore`, so this compile reads
     records other processes published (e.g. a distributed pre-tuning pass)
     and publishes its own fresh searches for them.
+
+    ``remote`` points the compile at a tuning daemon instead: a
+    ``(host, port)`` pair or ``"host:port"`` string naming a
+    :class:`~repro.service.server.TuningService`.  Tuning then reads through
+    memory -> server -> miss (searches are run server-side, coalesced with
+    every other client), and a ``store`` given alongside serves as the local
+    fallback while the daemon is unreachable.
     """
     if target not in ("x86", "arm", "cuda"):
         raise ValueError(f"unknown target {target!r}")
@@ -348,7 +356,7 @@ def compile_model(
             "store= only applies to the default UNIT runner; construct the "
             "explicit runner with a store-backed session instead"
         )
-    session = _resolve_session(session, store)
+    session = _resolve_session(session, store, remote)
     work = graph
     if quantize:
         work = quantize_graph(work, "float16" if target == "cuda" else "int8")
@@ -370,14 +378,32 @@ def compile_model(
 
 
 def _resolve_session(
-    session: Optional[TuningSession], store
+    session: Optional[TuningSession], store, remote=None
 ) -> Optional[TuningSession]:
-    """Combine the ``session=`` and ``store=`` conveniences coherently.
+    """Combine the ``session=``, ``store=`` and ``remote=`` conveniences.
 
     ``store`` may be a :class:`ShardedTuningStore` or a path to one (the same
     coercion :class:`~repro.rewriter.workers.DistributedTuner` applies), so
     the mistake surfaces at the API boundary rather than mid-compile.
+
+    ``remote`` is a tuning-daemon address — ``(host, port)`` or
+    ``"host:port"`` — and yields a
+    :class:`~repro.service.client.RemoteSession`; a ``store`` given
+    alongside becomes its offline fallback.  ``remote`` and ``session`` are
+    mutually exclusive (a session already encodes where tuning happens).
     """
+    if remote is not None:
+        if session is not None:
+            raise ValueError(
+                "pass either remote= or session= (construct a RemoteSession "
+                "yourself to customise it), not both"
+            )
+        from ..service.client import RemoteSession
+
+        if isinstance(remote, str):
+            host, _, port = remote.rpartition(":")
+            remote = (host or "127.0.0.1", int(port))
+        return RemoteSession(remote, fallback_store=store)
     if store is not None and not isinstance(store, ShardedTuningStore):
         store = ShardedTuningStore(store)
     if session is not None:
@@ -400,6 +426,7 @@ def compile_model_batch(
     fuse: bool = True,
     store=None,
     workers: Optional[int] = None,
+    remote=None,
 ) -> List[CompiledModel]:
     """Compile many models for many targets through one shared tuning session.
 
@@ -418,8 +445,19 @@ def compile_model_batch(
     the store; the subsequent per-model compiles then run entirely against
     warm records.  Results are bit-identical to the single-process path —
     workers search with the result-deterministic parallel driver.
+
+    ``remote`` points the whole batch at a tuning daemon instead (see
+    :func:`compile_model`); the daemon replaces local pre-tuning, so it is
+    mutually exclusive with ``workers > 1`` — server-side coalescing already
+    ensures each distinct operator is searched once for the whole fleet.
     """
-    session = _resolve_session(session, store)
+    if remote is not None and workers is not None and workers > 1:
+        raise ValueError(
+            "workers > 1 spawns local pre-tuning processes, which is "
+            "redundant against remote=: the daemon already coalesces and "
+            "speculatively pre-tunes; drop workers= or remote="
+        )
+    session = _resolve_session(session, store, remote)
     if session is None:
         session = TuningSession()
     from ..models.zoo import get_model

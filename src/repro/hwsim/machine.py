@@ -131,8 +131,13 @@ _MACHINES = {
 
 
 def machine_by_name(name: str):
-    """Look up a machine description by its short name."""
+    """Look up a machine description by its short name, or — so identifiers
+    recovered from persisted tuning keys resolve too — its descriptive
+    ``spec.name``."""
     key = name.lower()
-    if key not in _MACHINES:
-        raise KeyError(f"unknown machine {name!r}; known: {sorted(_MACHINES)}")
-    return _MACHINES[key]
+    if key in _MACHINES:
+        return _MACHINES[key]
+    for spec in _MACHINES.values():
+        if spec.name == name:
+            return spec
+    raise KeyError(f"unknown machine {name!r}; known: {sorted(_MACHINES)}")

@@ -89,6 +89,7 @@ from .workers import (
     LeaseFile,
     TuningTask,
     WorkerReport,
+    task_from_key,
     tasks_from_graph,
     tasks_from_layers,
 )
@@ -144,6 +145,7 @@ __all__ = [
     "LeaseFile",
     "TuningTask",
     "WorkerReport",
+    "task_from_key",
     "tasks_from_graph",
     "tasks_from_layers",
 ]

@@ -114,6 +114,21 @@ class TuningSession:
         record = self._lookup(key)
         if record is not None:
             return record
+        return self._search_and_record(key, candidates, evaluate, validate)
+
+    def _search_and_record(
+        self,
+        key: TuningKey,
+        candidates: Sequence,
+        evaluate: Callable[[object], CostBreakdown],
+        validate: Optional[Callable[[object], None]] = None,
+    ) -> TuningRecord:
+        """Run the miss path of :meth:`tune`: search, validate, publish.
+
+        Split out so sessions with extra lookup tiers (the service's
+        :class:`~repro.service.client.RemoteSession`) can interpose between
+        the lookup and the local search without duplicating this body.
+        """
         result = self._search(candidates, lambda cfg: evaluate(cfg).seconds)
         if validate is not None:
             validate(result.best_config)

@@ -46,6 +46,7 @@ __all__ = [
     "run_task",
     "tasks_from_layers",
     "tasks_from_graph",
+    "task_from_key",
 ]
 
 _TASK_METHODS = {
@@ -180,6 +181,63 @@ def tasks_from_graph(
             )
         )
     return tasks
+
+
+_CPU_MODES = ("parallel", "first_pair", "full")
+_GPU_MODES = ("generic", "fusedim", "splitk", "tune")
+
+
+def task_from_key(key) -> Optional[TuningTask]:
+    """Reconstruct the :class:`TuningTask` a runner-generated key came from.
+
+    A :class:`~repro.rewriter.records.TuningKey` built by the default UNIT
+    runners carries everything a fresh search needs: the workload kind and
+    full parameter fingerprint, the intrinsic and machine names, and the
+    tuning mode as the label half of its space fingerprint
+    (``"<mode>@<digest>"``).  This inverts that construction so a *remote*
+    peer holding only the key — the tuning service handling a ``tune``
+    request — can run the search itself.
+
+    Returns ``None`` for keys that cannot round-trip: library-baseline
+    spaces, approximate-strategy namespaces (``...!early_exit:k``), custom
+    candidate lists (their space digest will not match the rebuilt runner's
+    — the caller must verify, see :func:`repro.service.server`), unknown
+    machines, or parameter tuples that do not rebuild the workload
+    dataclass.
+    """
+    from ..hwsim.machine import GpuSpec, machine_by_name
+    from ..workloads.conv2d import Conv2DParams
+    from ..workloads.conv3d import Conv3DParams
+    from ..workloads.dense import DenseParams
+
+    param_types = {"conv2d": Conv2DParams, "conv3d": Conv3DParams, "dense": DenseParams}
+    cls = param_types.get(key.kind)
+    if cls is None or "@" not in key.space or "!" in key.space:
+        return None
+    label = key.space.split("@", 1)[0]
+    try:
+        machine = machine_by_name(key.machine)
+    except KeyError:
+        return None
+    runner = "gpu" if isinstance(machine, GpuSpec) else "cpu"
+    if label not in (_GPU_MODES if runner == "gpu" else _CPU_MODES):
+        return None
+    try:
+        params = cls(**dict(key.params))
+    except TypeError:
+        return None
+    from .records import params_fingerprint
+
+    if params_fingerprint(params) != tuple(key.params):
+        return None
+    return TuningTask(
+        kind=key.kind,
+        params=params,
+        runner=runner,
+        machine=key.machine,
+        intrinsic=key.intrinsic,
+        tuning=label,
+    )
 
 
 class LeaseFile:
@@ -321,6 +379,9 @@ def _worker_main(
         for index in indices:
             run_task(tasks[index], session)
             done.append(index)
+    # Persist this worker's buffered last-served stamps: records published
+    # here must not look never-served to a later `evict(max_idle=)` pass.
+    store.flush_touches()
     queue.put(
         WorkerReport(
             worker=worker_id,

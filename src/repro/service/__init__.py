@@ -1,0 +1,35 @@
+"""Tuning-as-a-service: a networked compile/tune daemon over the record store.
+
+PR 3 made the tuning corpus shareable across *processes* on one machine
+(:class:`~repro.rewriter.store.ShardedTuningStore` +
+:class:`~repro.rewriter.workers.DistributedTuner`); this package makes it
+shareable across *machines*:
+
+* :mod:`repro.service.protocol` — the versioned, length-prefixed JSON wire
+  protocol (tune / get / put / stats / gc / warm / shutdown);
+* :mod:`repro.service.server` — :class:`TuningService`, a threaded TCP
+  daemon wrapping one store + session + worker machinery, with in-flight
+  request coalescing (each unique :class:`~repro.rewriter.records.TuningKey`
+  is searched at most once fleet-wide) and a speculative-tuning queue that
+  pre-tunes the remaining layers of a requested sweep during idle time;
+* :mod:`repro.service.client` — :class:`RemoteSession`, a drop-in
+  :class:`~repro.rewriter.session.TuningSession` that reads through
+  memory -> server -> miss, with retries and graceful fallback to a local
+  store when the daemon is unreachable.
+
+``python -m repro.service serve|status|gc|warm|shutdown`` is the CLI.
+"""
+
+from .client import RemoteSession, ServiceClient, ServiceError, ServiceUnavailable
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import TuningService
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteSession",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "TuningService",
+]

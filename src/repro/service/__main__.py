@@ -1,0 +1,159 @@
+"""The tuning service CLI: ``python -m repro.service <command>``.
+
+========  ====================================================================
+serve      run the daemon in the foreground over a store directory
+status     print the daemon's stats (requests, coalescing, store, caches)
+gc         run LRU store eviction on the daemon (``--max-records/--max-idle``)
+warm       pre-tune a named sweep into the daemon's store (``table1[:k]`` or
+           a model-zoo name such as ``resnet-18``)
+ping       liveness probe
+shutdown   stop the daemon after in-flight requests drain
+========  ====================================================================
+
+Examples::
+
+    python -m repro.service serve --root tuning_store --port 9461
+    python -m repro.service warm --sweep table1 --port 9461
+    python -m repro.service status --port 9461
+    python -m repro.service gc --max-records 500 --max-idle 86400 --port 9461
+    python -m repro.service shutdown --port 9461
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .client import ServiceClient, ServiceError, ServiceUnavailable
+from .server import TuningService
+
+DEFAULT_PORT = 9461
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="daemon host")
+    parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, help=f"daemon port (default {DEFAULT_PORT})"
+    )
+
+
+def _client(args) -> ServiceClient:
+    return ServiceClient((args.host, args.port))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Networked tuning service over a sharded tuning store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the tuning daemon in the foreground")
+    _add_endpoint(serve)
+    serve.add_argument("--root", default="tuning_store", help="store directory")
+    serve.add_argument("--shards", type=int, default=8, help="shard count on creation")
+    serve.add_argument(
+        "--strategy",
+        choices=("parallel", "exhaustive"),
+        default="parallel",
+        help="search driver (both are result-deterministic)",
+    )
+    serve.add_argument(
+        "--search-workers",
+        type=int,
+        default=None,
+        help="thread-pool width of each parallel search",
+    )
+    serve.add_argument(
+        "--no-speculate",
+        action="store_true",
+        help="disable idle-time speculative tuning",
+    )
+
+    status = sub.add_parser("status", help="print daemon stats as JSON")
+    _add_endpoint(status)
+
+    gc = sub.add_parser("gc", help="evict least-recently-served store records")
+    _add_endpoint(gc)
+    gc.add_argument("--max-records", type=int, default=None, help="LRU size cap")
+    gc.add_argument(
+        "--max-idle", type=float, default=None, help="drop records idle this many seconds"
+    )
+
+    warm = sub.add_parser("warm", help="pre-tune a named sweep into the store")
+    _add_endpoint(warm)
+    warm.add_argument(
+        "--sweep",
+        required=True,
+        help="'table1', 'table1:K', or a model-zoo name (e.g. resnet-18)",
+    )
+    warm.add_argument(
+        "--background",
+        action="store_true",
+        help="queue for idle-time tuning instead of blocking",
+    )
+
+    ping = sub.add_parser("ping", help="liveness probe")
+    _add_endpoint(ping)
+
+    shutdown = sub.add_parser("shutdown", help="stop the daemon")
+    _add_endpoint(shutdown)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        service = TuningService(
+            args.root,
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            strategy=args.strategy,
+            max_workers=args.search_workers,
+            speculative=not args.no_speculate,
+        )
+        service.start()
+        host, port = service.address
+        print(f"tuning service listening on {host}:{port} over {args.root!r}", flush=True)
+        try:
+            service.serve_until_stopped()
+        finally:
+            # Also reached after a shutdown RPC: stop() is idempotent and
+            # blocks until the RPC's own stop (touch flush included) is
+            # done, so the process never exits with unflushed GC stamps.
+            service.stop()
+        print(service.summary())
+        return 0
+
+    try:
+        with _client(args) as client:
+            if args.command == "status":
+                response = client.stats()
+            elif args.command == "gc":
+                if args.max_records is None and args.max_idle is None:
+                    print("gc needs --max-records and/or --max-idle", file=sys.stderr)
+                    return 2
+                response = client.gc(max_records=args.max_records, max_idle=args.max_idle)
+            elif args.command == "warm":
+                response = client.warm(args.sweep, background=args.background)
+            elif args.command == "ping":
+                response = client.ping()
+            else:  # shutdown
+                response = client.shutdown()
+    except ServiceUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ServiceError as exc:
+        print(f"error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    response.pop("ok", None)
+    response.pop("protocol", None)
+    response.pop("schema", None)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

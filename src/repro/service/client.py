@@ -1,0 +1,368 @@
+"""The tuning service's client side: RPC transport + a drop-in session.
+
+:class:`ServiceClient` is the transport: one persistent TCP connection,
+length-prefixed JSON frames, per-request timeout, bounded reconnect-retry,
+and version checking on every response.  Transport failures raise
+:class:`ServiceUnavailable`; server-reported failures raise
+:class:`ServiceError` carrying the machine-readable ``code`` (e.g.
+``"version_mismatch"``, ``"untunable"``).
+
+:class:`RemoteSession` is the drop-in: a
+:class:`~repro.rewriter.session.TuningSession` whose lookup tier order is
+**memory -> server -> miss**, so ``compile_model(session=RemoteSession(...))``
+and every figure driver in :mod:`repro.core.experiments` tune against the
+daemon transparently.  On a miss it first asks the server to run the search
+(coalesced fleet-wide — see :mod:`repro.service.server`); only if the server
+declines (custom candidate lists, approximate strategies) or is unreachable
+does it search locally.  When the daemon is unreachable the session degrades
+gracefully: lookups and publishes fall back to an optional local
+:class:`~repro.rewriter.store.ShardedTuningStore` and the server is retried
+after a cooldown, so a dead daemon costs availability of the *shared* corpus,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import warnings
+from typing import Callable, Optional, Sequence, Tuple
+
+from ..hwsim.cost import CostBreakdown
+from ..rewriter.records import TuningCache, TuningKey, TuningRecord, record_staleness
+from ..rewriter.session import TuningSession
+from ..rewriter.store import ShardedTuningStore
+from . import protocol
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceUnavailable", "RemoteSession"]
+
+
+class ServiceUnavailable(ConnectionError):
+    """The daemon could not be reached (or died mid-request) after retries."""
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error response."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """One persistent connection to a :class:`~repro.service.server.TuningService`.
+
+    ``timeout`` bounds each socket operation; ``tune_timeout`` bounds the
+    blocking ``tune``/``warm`` requests (the server may be running a search
+    on our behalf).  A failed request closes the connection and retries up
+    to ``retries`` times (fresh connection each time) before raising
+    :class:`ServiceUnavailable`.  Not thread-safe: give each thread its own
+    client (connections are cheap; records are not).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = 10.0,
+        tune_timeout: float = 300.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.05,
+    ) -> None:
+        self.address = (str(address[0]), int(address[1]))
+        self.timeout = timeout
+        self.tune_timeout = tune_timeout
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self._sock: Optional[socket.socket] = None
+        self.requests_sent = 0
+        self.reconnects = 0
+
+    # -- transport ------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self.reconnects += 1
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, op: str, *, _timeout: Optional[float] = None, **fields) -> dict:
+        """Send one request; returns the ``ok`` response payload.
+
+        Raises :class:`ServiceError` for server-reported failures (no
+        retry — the server is healthy, the request is not) and
+        :class:`ServiceUnavailable` after transport-level retries run out.
+        """
+        message = protocol.request(op, **fields)
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.retry_backoff_s * attempt)
+            try:
+                sock = self._connect()
+                sock.settimeout(_timeout if _timeout is not None else self.timeout)
+                protocol.send_message(sock, message)
+                response = protocol.recv_message(sock)
+                self.requests_sent += 1
+            except (OSError, protocol.ProtocolError, protocol.ConnectionClosed) as exc:
+                self.close()
+                last = exc
+                continue
+            mismatch = protocol.check_versions(response)
+            if mismatch is not None:
+                raise ServiceError(*mismatch)
+            if not response.get("ok"):
+                raise ServiceError(
+                    str(response.get("error", "request failed")),
+                    str(response.get("code", "error")),
+                )
+            return response
+        raise ServiceUnavailable(
+            f"tuning service at {self.address[0]}:{self.address[1]} "
+            f"unreachable after {self.retries + 1} attempts: {last}"
+        ) from last
+
+    # -- typed operations ------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    @staticmethod
+    def _decode_record(data: dict) -> TuningRecord:
+        """Decode a record off the wire with the same staleness gate the
+        shard files apply: a winner tuned under a *different cost model*
+        than this client's (the schema version is already envelope-checked)
+        is as unservable over TCP as it is from disk."""
+        staleness = record_staleness(data)
+        if staleness is not None:
+            raise ServiceError(f"record rejected: {staleness}", "stale_record")
+        return TuningRecord.from_json(data)
+
+    def get(self, key: TuningKey) -> Optional[TuningRecord]:
+        response = self.request("get", key=key.to_json())
+        if not response.get("found"):
+            return None
+        return self._decode_record(response["record"])
+
+    def put(self, record: TuningRecord) -> None:
+        self.request("put", record=record.to_json())
+
+    def tune(self, key: TuningKey, sweep: Optional[str] = None) -> TuningRecord:
+        """Have the *server* produce the record for ``key`` (coalesced).
+
+        Raises :class:`ServiceError` with ``code="untunable"`` when the
+        server cannot rebuild the search from the key alone.
+        """
+        fields = {"key": key.to_json()}
+        if sweep:
+            fields["sweep"] = sweep
+        response = self.request("tune", _timeout=self.tune_timeout, **fields)
+        return self._decode_record(response["record"])
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def gc(
+        self, max_records: Optional[int] = None, max_idle: Optional[float] = None
+    ) -> dict:
+        return self.request("gc", max_records=max_records, max_idle=max_idle)
+
+    def warm(self, sweep: str, background: bool = False) -> dict:
+        return self.request(
+            "warm", sweep=sweep, background=background, _timeout=self.tune_timeout
+        )
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+class RemoteSession(TuningSession):
+    """A tuning session backed by a remote daemon: memory -> server -> miss.
+
+    Drop-in for every ``session=`` parameter in the pipeline::
+
+        session = RemoteSession(("tuner.fleet", 9461), fallback_store="local_store")
+        compile_model(get_model("resnet-18"), session=session)
+
+    On a cache miss the session asks the daemon for the record; if the
+    daemon does not have it, the daemon *searches for it* (request-coalesced
+    with every other client asking for the same key) and only keys the
+    server cannot rebuild are searched locally.  Fresh local records are
+    published back to the server so the fleet's corpus stays warm.
+
+    ``speculate`` optionally names the sweep this session's keys belong to
+    (a model-zoo name or ``"table1"``); it rides along on tune requests and
+    prompts the daemon to pre-tune the sweep's remaining layers during idle
+    time.
+
+    When the daemon is unreachable the session keeps working: lookups and
+    publishes fall back to ``fallback_store`` (a local
+    :class:`ShardedTuningStore` or path, optional) and the server is
+    retried after ``offline_cooldown_s``.  ``strategy`` must stay
+    result-deterministic for server-tuned records to be interchangeable
+    with local ones; the approximate ``early_exit`` namespace is never sent
+    to the server (its keys are declined there by construction).
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        cache: Optional[TuningCache] = None,
+        strategy: str = "exhaustive",
+        max_workers: Optional[int] = None,
+        early_exit_k: int = 8,
+        fallback_store=None,
+        timeout: float = 10.0,
+        tune_timeout: float = 300.0,
+        retries: int = 2,
+        offline_cooldown_s: float = 5.0,
+        speculate: Optional[str] = None,
+        server_tune: bool = True,
+    ) -> None:
+        super().__init__(
+            cache=cache,
+            strategy=strategy,
+            max_workers=max_workers,
+            early_exit_k=early_exit_k,
+            store=None,
+        )
+        self.client = ServiceClient(
+            address, timeout=timeout, tune_timeout=tune_timeout, retries=retries
+        )
+        if fallback_store is not None and not isinstance(fallback_store, ShardedTuningStore):
+            fallback_store = ShardedTuningStore(fallback_store)
+        self.fallback_store = fallback_store
+        self.offline_cooldown_s = offline_cooldown_s
+        self.speculate = speculate
+        self.server_tune = server_tune
+        self._down_until = 0.0
+        self.server_hits = 0
+        self.server_tunes = 0
+        self.server_declines = 0
+        self.offline_errors = 0
+        self.local_fallbacks = 0
+        self.incompatible: Optional[str] = None
+
+    # -- availability ----------------------------------------------------------
+    @property
+    def online(self) -> bool:
+        """Whether the session is currently willing to talk to the daemon."""
+        return time.monotonic() >= self._down_until
+
+    def _mark_down(self) -> None:
+        self.offline_errors += 1
+        self._down_until = time.monotonic() + self.offline_cooldown_s
+
+    def _note_error(self, exc: ServiceError) -> None:
+        """A server-reported error: most are per-request, but a version
+        mismatch can never heal within this process — go permanently
+        offline (activating the fallback-store tier) instead of silently
+        re-tuning everything locally and persisting nothing."""
+        if exc.code == "version_mismatch" and self.incompatible is None:
+            self.incompatible = str(exc)
+            self._down_until = float("inf")
+            warnings.warn(
+                f"tuning service at {self.client.address[0]}:"
+                f"{self.client.address[1]} is version-incompatible; "
+                f"falling back to local tuning permanently: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # -- lookup tiers ----------------------------------------------------------
+    def _lookup(self, key: TuningKey) -> Optional[TuningRecord]:
+        """Memory -> server -> (offline: local fallback store) -> miss."""
+        record = self.cache.lookup(key)
+        if record is not None:
+            return record
+        if self.online:
+            record = None
+            try:
+                record = self.client.get(key)
+            except ServiceUnavailable:
+                self._mark_down()
+            except ServiceError as exc:
+                self._note_error(exc)
+            if record is not None:
+                self.server_hits += 1
+                self.cache.insert(record)
+                return record
+        if not self.online and self.fallback_store is not None:
+            record = self.fallback_store.get(key)
+            if record is not None:
+                self.local_fallbacks += 1
+                self.cache.insert(record)
+                return record
+        return None
+
+    def _publish(self, record: TuningRecord) -> None:
+        """Into memory always; to the server when up, the fallback when not.
+
+        A server refusal (stale/corrupt by *its* rules, version mismatch)
+        still writes the fallback store: the record was produced and
+        validated under this client's cost model, and the fallback store
+        shares that model.
+        """
+        self.cache.insert(record)
+        if self.online:
+            try:
+                self.client.put(record)
+                return
+            except ServiceUnavailable:
+                self._mark_down()
+            except ServiceError as exc:
+                self._note_error(exc)
+        if self.fallback_store is not None:
+            self.fallback_store.put(record)
+
+    # -- the tune entry point --------------------------------------------------
+    def tune(
+        self,
+        key: TuningKey,
+        candidates: Sequence,
+        evaluate: Callable[[object], CostBreakdown],
+        validate: Optional[Callable[[object], None]] = None,
+    ) -> TuningRecord:
+        key = self._record_key(key)
+        record = self._lookup(key)
+        if record is not None:
+            return record
+        if self.server_tune and self.online and "!" not in key.space:
+            try:
+                record = self.client.tune(key, sweep=self.speculate)
+            except ServiceUnavailable:
+                self._mark_down()
+            except ServiceError as exc:
+                self.server_declines += 1
+                self._note_error(exc)
+            else:
+                self.server_tunes += 1
+                self.cache.insert(record)
+                return record
+        return self._search_and_record(key, candidates, evaluate, validate)
+
+    # -- accounting ------------------------------------------------------------
+    def summary(self) -> str:
+        base = super().summary()
+        state = "online" if self.online else "OFFLINE"
+        return (
+            f"{base} | remote[{self.client.address[0]}:{self.client.address[1]} "
+            f"{state}]: {self.server_hits} server hits, "
+            f"{self.server_tunes} server tunes, {self.server_declines} declines, "
+            f"{self.local_fallbacks} local fallbacks, {self.offline_errors} outages"
+        )
+
+    def close(self) -> None:
+        self.client.close()

@@ -1,0 +1,598 @@
+"""The tuning daemon: one warm store, many machines, every key searched once.
+
+:class:`TuningService` is a threaded TCP server wrapping one
+:class:`~repro.rewriter.store.ShardedTuningStore` and one
+:class:`~repro.rewriter.session.TuningSession`.  Each client connection gets
+a handler thread; searches therefore run concurrently across *distinct*
+keys, while three mechanisms keep the fleet from duplicating work:
+
+* **read-through** — a ``tune`` or ``get`` first consults the session cache
+  and the shard files, so anything ever tuned (by this daemon, a previous
+  incarnation, or a :class:`~repro.rewriter.workers.DistributedTuner` run
+  into the same store directory) is served without a single trial;
+* **in-flight coalescing** — concurrent ``tune`` requests for the same
+  :class:`~repro.rewriter.records.TuningKey` share one search: the first
+  requester leads it, the rest park on an event and receive the *same*
+  record, so each unique key is searched at most once fleet-wide;
+* **speculative tuning** — a ``tune`` request may name the sweep its key
+  belongs to (a model-zoo model or ``"table1"``); the remaining layers of
+  that sweep are queued and pre-tuned by a background thread whenever no
+  foreground request is in flight, so a client compiling a model layer by
+  layer finds layers N+1.. already warm.
+
+Server-side searches reuse the :mod:`repro.rewriter.workers` machinery:
+the requested key is inverted back into a
+:class:`~repro.rewriter.workers.TuningTask` (:func:`task_from_key`) and run
+through :func:`~repro.rewriter.workers.run_task` with a result-deterministic
+strategy, so winners are bit-identical to a single-process local sweep.
+Keys that cannot round-trip (custom candidate lists, approximate-strategy
+namespaces, library baselines) are declined with ``code="untunable"`` and
+the client searches locally instead — correctness never depends on the
+server being able to rebuild the search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..dsl.expr import expr_cache_stats
+from ..rewriter.records import TuningKey, TuningRecord, decode_record_line
+from ..rewriter.session import TuningSession
+from ..rewriter.store import ShardedTuningStore
+from ..rewriter.workers import TuningTask, run_task, task_from_key, tasks_from_layers
+from . import protocol
+
+__all__ = ["TuningService", "ServiceStats", "expand_sweep"]
+
+
+class _LockedStore:
+    """A :class:`ShardedTuningStore` handle made safe for handler threads.
+
+    One store *handle* is documented single-threaded (incremental shard
+    views, touch buffer); the daemon owns exactly one and serialises every
+    operation on it behind a lock.  File-level locking still protects the
+    shards from *other processes* — this lock only protects the handle.
+    """
+
+    def __init__(self, store: ShardedTuningStore) -> None:
+        self._store = store
+        self._lock = threading.Lock()
+
+    def __getattr__(self, name):
+        value = getattr(self._store, name)
+        if not callable(value):
+            return value
+        def locked(*args, **kwargs):
+            with self._lock:
+                return value(*args, **kwargs)
+        return locked
+
+
+@dataclass
+class ServiceStats:
+    """The daemon's own counters (the ``stats`` endpoint adds session/store
+    snapshots around them)."""
+
+    requests: Dict[str, int] = field(default_factory=dict)
+    protocol_errors: int = 0
+    version_rejections: int = 0
+    searches_led: int = 0
+    coalesced_waiters: int = 0
+    untunable_keys: int = 0
+    speculative_queued: int = 0
+    speculative_tuned: int = 0
+    speculative_skipped: int = 0
+
+    def count(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+
+class _Inflight:
+    """One in-progress search: a leader, any number of coalesced waiters."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.record: Optional[TuningRecord] = None
+        self.error: Optional[str] = None
+        self.waiters = 0
+
+
+_SWEEP_TARGETS = {
+    # machine short/long name fragments -> compile_model target
+    "cascade": "x86",
+    "graviton": "arm",
+    "v100": "cuda",
+}
+
+
+def expand_sweep(name: str, like: Optional[TuningTask]) -> List[TuningTask]:
+    """The task list a sweep name stands for.
+
+    ``"table1"`` (optionally ``"table1[:k]"``) is the Table I layer set;
+    any other name is resolved through the model zoo and expanded to the
+    distinct tunable operators ``compile_model`` would hit.  ``like`` (the
+    task of the request that named the sweep) supplies the machine,
+    intrinsic and tuning mode so speculation warms exactly the records the
+    requester's siblings will look up; without it the target defaults.
+    """
+    from ..rewriter.workers import tasks_from_graph
+
+    if name.startswith("table1"):
+        from ..workloads.table1 import TABLE1_LAYERS
+
+        layers = TABLE1_LAYERS
+        if ":" in name:
+            layers = layers[: max(1, int(name.split(":", 1)[1]))]
+        if like is not None:
+            return tasks_from_layers(
+                layers,
+                runner=like.runner,
+                machine=like.machine,
+                intrinsic=like.intrinsic,
+                tuning=like.tuning,
+            )
+        return tasks_from_layers(layers)
+    from ..models.zoo import get_model
+
+    target = "x86"
+    if like is not None:
+        lowered = like.machine.lower()
+        for fragment, mapped in _SWEEP_TARGETS.items():
+            if fragment in lowered:
+                target = mapped
+                break
+    return tasks_from_graph(get_model(name, fresh=True), target=target)
+
+
+class TuningService:
+    """A long-running tune/compile daemon over one sharded tuning store.
+
+    ``strategy`` must be result-deterministic (``"exhaustive"`` or
+    ``"parallel"``) so that server-side winners are bit-identical to local
+    sweeps; the approximate ``"early_exit"`` strategy is rejected because
+    coalesced clients would receive records a strict client could not
+    reproduce.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`.
+    ``port=0`` binds an ephemeral port (see :attr:`address` after start).
+    """
+
+    def __init__(
+        self,
+        store_root,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 8,
+        strategy: str = "parallel",
+        max_workers: Optional[int] = None,
+        speculative: bool = True,
+        speculative_idle_s: float = 0.02,
+        tune_timeout: float = 300.0,
+    ) -> None:
+        if strategy not in ("exhaustive", "parallel"):
+            raise ValueError(
+                "the tuning service requires a result-deterministic strategy "
+                "('exhaustive' or 'parallel'); got " + repr(strategy)
+            )
+        self.store = _LockedStore(ShardedTuningStore(store_root, shards=shards))
+        self.session = TuningSession(strategy=strategy, max_workers=max_workers, store=self.store)
+        self.host = host
+        self.port = port
+        self.stats = ServiceStats()
+        self.tune_timeout = tune_timeout
+        self.started_at: Optional[float] = None
+        self._gate = threading.Lock()
+        self._inflight: Dict[TuningKey, _Inflight] = {}
+        self._foreground = 0
+        self._spec_enabled = speculative
+        self._spec_idle = speculative_idle_s
+        self._spec_queue: deque = deque()
+        self._spec_queued_ids: set = set()
+        self._spec_wake = threading.Event()
+        self._stop = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._server: Optional[socketserver.ThreadingTCPServer] = None
+        self._threads: List[threading.Thread] = []
+
+    # -- lifecycle ------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("the service is not started")
+        return self._server.server_address[:2]
+
+    def start(self) -> "TuningService":
+        if self._server is not None:
+            raise RuntimeError("the service is already started")
+        service = self
+
+        class Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:
+                service._serve_connection(self.request)
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((self.host, self.port), Handler)
+        self.started_at = time.time()
+        serve = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="tuning-service-accept",
+            daemon=True,
+        )
+        serve.start()
+        self._threads.append(serve)
+        if self._spec_enabled:
+            spec = threading.Thread(
+                target=self._speculate_forever, name="tuning-service-speculate", daemon=True
+            )
+            spec.start()
+            self._threads.append(spec)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, wake the speculative thread, flush the store.
+
+        Idempotent and thread-safe: the shutdown RPC stops the service from
+        a daemon thread while the foreground (CLI ``serve``) may call
+        ``stop()`` on its way out — whoever arrives second blocks until the
+        first finishes, so the process cannot exit before the last-served
+        touch buffer reaches disk.
+        """
+        with self._stop_lock:
+            self._stop.set()
+            self._spec_wake.set()
+            if self._server is not None:
+                self._server.shutdown()
+                self._server.server_close()
+                self._server = None
+            for thread in self._threads:
+                thread.join(timeout=10.0)
+            self._threads = []
+            self.store.flush_touches()
+
+    def __enter__(self) -> "TuningService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def serve_until_stopped(self, poll_s: float = 0.2) -> None:
+        """Block the calling thread until a ``shutdown`` request (CLI mode)."""
+        while not self._stop.wait(poll_s):
+            pass
+
+    # -- connection loop ------------------------------------------------------
+    def _serve_connection(self, sock: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                message = protocol.recv_message(sock)
+            except protocol.ConnectionClosed:
+                return
+            except protocol.ProtocolError as exc:
+                self.stats.protocol_errors += 1
+                try:
+                    protocol.send_message(
+                        sock, protocol.error_response(str(exc), "protocol_error")
+                    )
+                except OSError:
+                    pass
+                return
+            response = self._dispatch(message)
+            try:
+                protocol.send_message(sock, response)
+            except OSError:
+                return
+
+    def _dispatch(self, message: Dict) -> Dict:
+        mismatch = protocol.check_versions(message)
+        if mismatch is not None:
+            self.stats.version_rejections += 1
+            return protocol.error_response(*mismatch)
+        op = message.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if op not in protocol.OPS or handler is None:
+            return protocol.error_response(f"unknown op {op!r}", "unknown_op")
+        self.stats.count(op)
+        with self._gate:
+            self._foreground += 1
+        try:
+            return handler(message)
+        except Exception as exc:  # a bad request must not kill the handler
+            return protocol.error_response(f"{type(exc).__name__}: {exc}", "server_error")
+        finally:
+            with self._gate:
+                self._foreground -= 1
+
+    # -- operations -----------------------------------------------------------
+    def _op_ping(self, message: Dict) -> Dict:
+        return protocol.ok_response(server="tuning-service", uptime_s=self._uptime())
+
+    def _op_get(self, message: Dict) -> Dict:
+        key = TuningKey.from_json(message["key"])
+        record = self.session._lookup(key)
+        if record is not None:
+            # A memory-tier hit must still advance the store's last-served
+            # clock, or LRU GC would evict exactly the hottest records.
+            self.store.touch(key)
+        return protocol.ok_response(
+            found=record is not None,
+            record=record.to_json() if record is not None else None,
+        )
+
+    def _op_put(self, message: Dict) -> Dict:
+        # Validate through the same decoder the shard files use, so a stale
+        # or malformed record is rejected at the door, not persisted.
+        import json as _json
+
+        record, problem = decode_record_line(_json.dumps(message["record"]))
+        if record is None:
+            return protocol.error_response(
+                f"record rejected: {problem}", problem or "corrupt"
+            )
+        self.session.cache.insert(record)
+        self.store.put(record)
+        return protocol.ok_response(stored=True)
+
+    def _op_tune(self, message: Dict) -> Dict:
+        key = TuningKey.from_json(message["key"])
+        record, how = self._tune_key(key)
+        if record is None:
+            self.stats.untunable_keys += 1
+            return protocol.error_response(
+                how or f"cannot reconstruct a search for {key}", "untunable"
+            )
+        sweep = message.get("sweep")
+        if sweep:
+            self._enqueue_sweep(str(sweep), task_from_key(key))
+        return protocol.ok_response(record=record.to_json(), how=how)
+
+    def _op_stats(self, message: Dict) -> Dict:
+        cache = self.session.stats
+        expr = expr_cache_stats()
+        with self._gate:
+            inflight = len(self._inflight)
+            queued = len(self._spec_queue)
+        return protocol.ok_response(
+            uptime_s=self._uptime(),
+            service=dataclasses.asdict(self.stats),
+            session={
+                "records": cache.size,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+                "store_hits": self.session.store_hits,
+                "trials_run": self.session.trials_run,
+                "searches_run": self.session.searches_run,
+                "strategy": self.session.strategy,
+            },
+            store=self.store.stats.as_dict(),
+            expr_cache={
+                f.name: getattr(expr, f.name) for f in dataclasses.fields(expr)
+            },
+            inflight=inflight,
+            speculative_queue=queued,
+        )
+
+    def _op_gc(self, message: Dict) -> Dict:
+        report = self.store.evict(
+            max_records=message.get("max_records"),
+            max_idle=message.get("max_idle"),
+        )
+        # The memory tier must forget what the store evicted, or this daemon
+        # would keep serving records the fleet's GC policy retired.
+        for key in report.pop("evicted_keys"):
+            self.session.cache.discard(key)
+        return protocol.ok_response(**report)
+
+    def _op_warm(self, message: Dict) -> Dict:
+        tasks = expand_sweep(str(message["sweep"]), like=None)
+        if message.get("background"):
+            queued = sum(1 for task in tasks if self._enqueue_task(task))
+            return protocol.ok_response(queued=queued, tasks=len(tasks))
+        tuned = 0
+        hits = 0
+        for task in tasks:
+            before = self.session.searches_run
+            record, how = self._tune_task(task)
+            if record is None:
+                return protocol.error_response(how or "warm task failed", "untunable")
+            if self.session.searches_run > before:
+                tuned += 1
+            else:
+                hits += 1
+        return protocol.ok_response(tasks=len(tasks), tuned=tuned, hits=hits)
+
+    def _op_shutdown(self, message: Dict) -> Dict:
+        threading.Thread(target=self.stop, name="tuning-service-stop", daemon=True).start()
+        return protocol.ok_response(stopping=True)
+
+    def _uptime(self) -> float:
+        return time.time() - self.started_at if self.started_at else 0.0
+
+    # -- coalesced tuning core ------------------------------------------------
+    def _tune_key(self, key: TuningKey) -> Tuple[Optional[TuningRecord], Optional[str]]:
+        """The record for ``key``, searching at most once fleet-wide.
+
+        Returns ``(record, how)`` where ``how`` is ``"hit"``, ``"searched"``
+        or ``"coalesced"`` — or ``(None, reason)`` when the key cannot be
+        tuned server-side.
+        """
+        with self._gate:
+            record = self.session._lookup(key)
+            if record is not None:
+                self.store.touch(key)  # memory hits feed the GC clock too
+                return record, "hit"
+            entry = self._inflight.get(key)
+            if entry is not None:
+                leader = False
+                entry.waiters += 1
+                self.stats.coalesced_waiters += 1
+            else:
+                entry = self._inflight[key] = _Inflight()
+                leader = True
+        if not leader:  # joined an existing search
+            if not entry.done.wait(self.tune_timeout):
+                return None, "coalesced search timed out"
+            if entry.error is not None:
+                return None, entry.error
+            return entry.record, "coalesced"
+        return self._lead_search(key, entry)
+
+    def _lead_search(
+        self, key: TuningKey, entry: _Inflight
+    ) -> Tuple[Optional[TuningRecord], Optional[str]]:
+        try:
+            task = task_from_key(key)
+            if task is None:
+                entry.error = f"key does not name a rebuildable search: {key}"
+                return None, entry.error
+            run_task(task, self.session)
+            record = self.session.cache.lookup(key)
+            if record is None:
+                # The rebuilt runner generated a different space digest —
+                # the client used a custom candidate list.  Its extra record
+                # is harmless; the requested key stays the client's job.
+                entry.error = (
+                    "rebuilt search space does not match the requested key "
+                    f"(custom candidates?): {key.space}"
+                )
+                return None, entry.error
+            entry.record = record
+            self.stats.searches_led += 1
+            return record, "searched"
+        except Exception as exc:
+            entry.error = f"{type(exc).__name__}: {exc}"
+            return None, entry.error
+        finally:
+            with self._gate:
+                self._inflight.pop(key, None)
+            entry.done.set()
+
+    def _tune_task(self, task: TuningTask) -> Tuple[Optional[TuningRecord], Optional[str]]:
+        """Tune a task we already hold (warm/speculative paths), coalescing
+        with any in-flight foreground search for the same key."""
+        try:
+            key = self._key_of(task)
+        except Exception as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+        if key is not None:
+            return self._tune_key(key)
+        # No cheap key derivation — run it directly through the shared session.
+        try:
+            run_task(task, self.session)
+            return None, "task ran but its key could not be derived"
+        except Exception as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+
+    @staticmethod
+    def _key_of(task: TuningTask) -> Optional[TuningKey]:
+        """The :class:`TuningKey` ``task`` will tune under, derived without
+        running any search (build the runner, fingerprint its space)."""
+        from ..rewriter.records import TuningKey as Key
+        from ..rewriter.records import params_fingerprint
+        from ..rewriter.workers import build_runner
+
+        probe = TuningSession()
+        runner = build_runner(task, probe)
+        return Key(
+            kind=task.kind,
+            params=params_fingerprint(task.params),
+            intrinsic=runner.intrin.name,
+            machine=runner.machine.name,
+            space=runner._space,
+        )
+
+    # -- speculation ----------------------------------------------------------
+    def _task_identity(self, task: TuningTask):
+        from ..rewriter.records import params_fingerprint
+
+        return (
+            task.kind,
+            params_fingerprint(task.params),
+            task.runner,
+            task.machine,
+            task.intrinsic,
+            task.tuning,
+        )
+
+    def _enqueue_task(self, task: TuningTask) -> bool:
+        identity = self._task_identity(task)
+        with self._gate:
+            if identity in self._spec_queued_ids:
+                return False
+            self._spec_queued_ids.add(identity)
+            self._spec_queue.append(task)
+            self.stats.speculative_queued += 1
+        self._spec_wake.set()
+        return True
+
+    def _enqueue_sweep(self, sweep: str, like: Optional[TuningTask]) -> int:
+        try:
+            tasks = expand_sweep(sweep, like)
+        except Exception:
+            return 0  # an unknown sweep name must not fail the tune request
+        return sum(1 for task in tasks if self._enqueue_task(task))
+
+    def _speculate_forever(self) -> None:
+        """Drain the speculative queue whenever the foreground is idle.
+
+        Foreground requests always win: a queued task is only started when
+        no request handler is active, and each task re-checks the cache
+        right before tuning (a foreground client may have caused it to be
+        tuned meanwhile — that is a *skip*, not a search).
+        """
+        while not self._stop.is_set():
+            self._spec_wake.wait(timeout=0.2)
+            if self._stop.is_set():
+                return
+            with self._gate:
+                busy = self._foreground > 0
+                task = self._spec_queue.popleft() if (self._spec_queue and not busy) else None
+                if task is not None:
+                    # Release the dedup slot: the identity set only guards
+                    # the queue itself, so a sweep re-warmed after GC (or a
+                    # repeated `warm --background`) enqueues again instead
+                    # of no-opping forever.
+                    self._spec_queued_ids.discard(self._task_identity(task))
+                if not self._spec_queue and task is None:
+                    self._spec_wake.clear()
+            if task is None:
+                if busy:
+                    time.sleep(self._spec_idle)
+                continue
+            key = None
+            try:
+                key = self._key_of(task)
+            except Exception:
+                pass
+            if key is not None and self.session.cache.lookup(key) is not None:
+                self.stats.speculative_skipped += 1
+                continue
+            before = self.session.searches_run
+            record, _ = (
+                self._tune_key(key) if key is not None else (None, None)
+            )
+            if record is not None and self.session.searches_run > before:
+                self.stats.speculative_tuned += 1
+            else:
+                self.stats.speculative_skipped += 1
+
+    def summary(self) -> str:
+        s = self.stats
+        return (
+            f"TuningService[{self.session.strategy}]: "
+            f"{sum(s.requests.values())} requests, {s.searches_led} searches led, "
+            f"{s.coalesced_waiters} coalesced waiters, "
+            f"{s.speculative_tuned} speculative tunes "
+            f"({s.speculative_skipped} skipped)"
+        )

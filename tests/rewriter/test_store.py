@@ -388,3 +388,145 @@ class TestTornTailRepair:
         assert store.get(_key(1)) is not None
         assert store.stats.corrupt_lines == 3
         assert store.stats.stale_records == 0
+
+
+class TestStoreGC:
+    """LRU eviction by last-served timestamp (the store's GC policy)."""
+
+    def _fill(self, root, count=8, base=1000.0):
+        store = ShardedTuningStore(root, shards=4)
+        for index in range(count):
+            store.put(_record(index))
+            store._touch(_key(index), base + index)  # deterministic clock
+        return store
+
+    def test_get_and_put_touch_the_key(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        assert store.last_served(_key(1)) is None
+        store.put(_record(1))
+        after_put = store.last_served(_key(1))
+        assert after_put is not None
+        store.get(_key(1))
+        assert store.last_served(_key(1)) >= after_put
+        assert store.stats.touches == 2
+
+    def test_miss_does_not_touch(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        store.get(_key(1))
+        assert store.stats.touches == 0
+
+    def test_evict_max_records_drops_least_recently_served(self, tmp_path):
+        store = self._fill(tmp_path / "s")
+        report = store.evict(max_records=3, now=2000.0)
+        assert report["evicted"] == 5 and report["by_count"] == 5
+        assert report["kept"] == 3 and len(store) == 3
+        for index in (5, 6, 7):  # the most recently served survive
+            assert store.get(_key(index)) is not None
+        for index in range(5):
+            assert store.get(_key(index)) is None
+
+    def test_evict_max_idle_drops_stale_records(self, tmp_path):
+        store = self._fill(tmp_path / "s")  # touched at 1000..1007
+        report = store.evict(max_idle=4.5, now=1010.0)
+        # idle = 1010 - (1000+i) > 4.5  =>  evict i in 0..5, keep 6 and 7
+        assert report["by_idle"] == 6 and report["kept"] == 2
+        assert store.get(_key(6)) is not None and store.get(_key(7)) is not None
+
+    def test_evict_both_policies_compose(self, tmp_path):
+        store = self._fill(tmp_path / "s")
+        report = store.evict(max_records=1, max_idle=4.5, now=1010.0)
+        assert report["by_idle"] == 6 and report["by_count"] == 1
+        assert len(store) == 1 and store.get(_key(7)) is not None
+
+    def test_evicted_keys_returned_for_memory_tiers(self, tmp_path):
+        store = self._fill(tmp_path / "s", count=4)
+        report = store.evict(max_records=2, now=2000.0)
+        assert sorted(k.params for k in report["evicted_keys"]) == [
+            (("index", 0),),
+            (("index", 1),),
+        ]
+
+    def test_never_served_records_go_first(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        for index in range(4):
+            store.put(_record(index))
+        store._touched.clear()  # simulate records from a non-flushing writer
+        store._touch(_key(3), 5000.0)
+        report = store.evict(max_records=1, now=5001.0)
+        assert report["evicted"] == 3
+        assert store.get(_key(3)) is not None
+
+    def test_last_served_survives_compact_and_reopen(self, tmp_path):
+        store = self._fill(tmp_path / "s", count=4)
+        store.flush_touches()
+        store.compact()
+        assert store.last_served(_key(2)) == 1002.0
+        fresh = ShardedTuningStore(tmp_path / "s")
+        assert fresh.last_served(_key(2)) == 1002.0
+        # ...and still drives eviction from the fresh handle
+        report = fresh.evict(max_records=2, now=2000.0)
+        assert report["evicted"] == 2
+        assert fresh.get(_key(3)) is not None
+
+    def test_compact_folds_served_sidecar(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(1))
+        for stamp in (10.0, 20.0, 30.0):
+            store._touch(_key(1), stamp)
+            store.flush_touches()
+        store.put(_record(9))
+        store._touch(_key(9), 40.0)
+        store.compact()
+        with open(store.served_path(0), encoding="utf-8") as handle:
+            lines = [json.loads(l) for l in handle if l.strip()]
+        assert len(lines) == 2  # one line per surviving key, latest stamp
+        stamps = {tuple(map(tuple, e["served"]["params"])): e["t"] for e in lines}
+        assert stamps[(("index", 1),)] == 30.0
+
+    def test_eviction_counted_in_stats(self, tmp_path):
+        store = self._fill(tmp_path / "s", count=6)
+        store.evict(max_records=4, now=2000.0)
+        store.evict(max_records=2, now=2000.0)
+        stats = store.stats
+        assert stats.gc_runs == 2
+        assert stats.evicted_records == 4
+
+    def test_evict_rewrites_are_crash_safe_lines(self, tmp_path):
+        """Post-eviction shards are complete JSONL a fresh handle fully reads."""
+        store = self._fill(tmp_path / "s", count=8)
+        store.evict(max_records=4, now=2000.0)
+        fresh = ShardedTuningStore(tmp_path / "s")
+        assert len(fresh.load()) == 4
+        assert fresh.stats.corrupt_lines == 0 and fresh.stats.stale_records == 0
+
+    def test_evict_spares_record_appended_by_another_writer(self, tmp_path):
+        """A record published between GC's scan and rewrite must survive.
+
+        evict() scans every shard, decides evictions, then rewrites; the
+        rewrite re-reads each shard under its lock, so a record another
+        handle appended after the scan (here: injected at the first
+        rewrite-phase decode, into a shard rewritten later) is preserved.
+        """
+        store = self._fill(tmp_path / "s", count=4)
+        other = ShardedTuningStore(tmp_path / "s")
+        original_decode = store._decode_lines
+        scan_calls = store.num_shards  # decode calls before the rewrite phase
+        calls = []
+
+        def inject_then_decode(lines):
+            calls.append(True)
+            if len(calls) == scan_calls + 1:  # first rewrite-phase decode
+                other.put(_record(99))  # lands in a not-yet-rewritten shard
+            return original_decode(lines)
+
+        store._decode_lines = inject_then_decode
+        store.evict(max_records=2, now=2000.0)
+        fresh = ShardedTuningStore(tmp_path / "s")
+        assert fresh.get(_key(99)) is not None
+
+    def test_cache_discard(self):
+        cache = TuningCache()
+        cache.insert(_record(1))
+        assert cache.discard(_key(1)) is True
+        assert cache.discard(_key(1)) is False
+        assert cache.lookup(_key(1)) is None
