@@ -19,7 +19,14 @@ Not a paper figure, but the repository's perf trajectory: it measures
   warm expression memos, and the plan-cache hit rate over a repeated-layer
   model executed end to end (``run_model``);
 * **expr_cache**: hit rates of the expression-level memo caches
-  (``simplify`` / ``extract_linear`` / ``structural_equal``).
+  (``simplify`` / ``extract_linear`` / ``structural_equal``);
+* **static_analysis**: the verification tier's own cost and coverage —
+  wall-clock of the full pass stack (``repro.analysis.analyze``) over
+  tensorized Table I layers, the fraction of nests proved, and the runtime
+  checks the proofs let ``compile_plan`` elide (``PlanStats.proved_nests`` /
+  ``elided_checks``).  Coverage metrics are gated *higher-is-better* by
+  ``check_regression.py``: a change that silently loses proofs (and with
+  them the elisions) fails CI even if nothing got slower.
 
 Run standalone to write ``BENCH_compile_time.json`` (the CI smoke job
 uploads it as an artifact)::
@@ -121,6 +128,8 @@ def bench_validation() -> dict:
             "fallback_nests": engine.stats.fallback_nests,
             "intrinsic_rounds": engine.stats.intrinsic_rounds,
             "intrinsic_points": engine.stats.intrinsic_points,
+            "proved_nests": engine.plan.stats.proved_nests,
+            "elided_checks": engine.plan.stats.elided_checks,
         },
     }
 
@@ -146,9 +155,45 @@ def bench_table1_engine(limit: int) -> list:
                 "vector_s": time.perf_counter() - t0,
                 "fallback_nests": plan.fallback_nests,
                 "intrinsic_round_batches": stats.intrinsic_round_batches,
+                "proved_nests": plan.stats.proved_nests,
+                "elided_checks": plan.stats.elided_checks,
             }
         )
     return rows
+
+
+def bench_static_analysis(limit: int) -> dict:
+    """Cost and coverage of the static verification tier on Table I layers.
+
+    ``analyze_s`` is the full pass stack (structure + bounds + overlap +
+    dtype) over already-tensorized funcs — the marginal price the Rewriter
+    pays to precheck one candidate.  ``proved_fraction`` and the elision
+    counters are the payoff and are gated higher-is-better.
+    """
+    from repro.analysis import analyze
+
+    funcs = [_compile_once(p).func for p in TABLE1_LAYERS[:limit]]
+    total_nests = proved_nests = 0
+    strict_ok = True
+    t0 = time.perf_counter()
+    for func in funcs:
+        report = analyze(func)
+        total_nests += report.total_nests
+        proved_nests += report.proved_nests
+        strict_ok = strict_ok and report.ok(strict=True)
+    analyze_s = time.perf_counter() - t0
+
+    elided = sum(compile_plan(f).stats.elided_checks for f in funcs)
+    return {
+        "layers": len(funcs),
+        "analyze_s": analyze_s,
+        "analyze_per_func_ms": analyze_s / len(funcs) * 1e3 if funcs else 0.0,
+        "total_nests": total_nests,
+        "proved_nests": proved_nests,
+        "proved_fraction": proved_nests / total_nests if total_nests else 0.0,
+        "strict_ok": strict_ok,
+        "elided_checks": elided,
+    }
 
 
 # The plan-cache workload: small enough that analysis dominates execution,
@@ -309,6 +354,7 @@ def main(argv=None) -> dict:
     }
     if not args.quick:
         report["table1"] = bench_table1_engine(args.table1_layers)
+        report["static_analysis"] = bench_static_analysis(args.table1_layers)
     report["plan_cache"] = bench_plan_cache()
     report["expr_cache"] = expr_cache_stats().as_dict()
 
@@ -331,7 +377,20 @@ def main(argv=None) -> dict:
             f"table1 layer{row['layer']:<2} {row['macs'] / 1e6:8.1f} MMACs "
             f"plan {row['plan_compile_s'] * 1e3:6.1f} ms "
             f"run {row['vector_s'] * 1e3:7.1f} ms "
-            f"({row['intrinsic_round_batches']} round batch(es))"
+            f"({row['intrinsic_round_batches']} round batch(es), "
+            f"{row['proved_nests']} proved, {row['elided_checks']} elided)"
+        )
+    if "static_analysis" in report:
+        sa = report["static_analysis"]
+        print(
+            f"analysis  {sa['analyze_per_func_ms']:6.1f} ms/func over "
+            f"{sa['layers']} layer(s): {sa['proved_nests']}/{sa['total_nests']} "
+            f"nests proved ({sa['proved_fraction']:.0%}), "
+            f"{sa['elided_checks']} check(s) elided, strict_ok={sa['strict_ok']}"
+        )
+        assert sa["strict_ok"], "a Table I layer failed the strict analysis sweep"
+        assert sa["proved_fraction"] == 1.0, (
+            "static analysis failed to prove a Table I nest"
         )
     plan = report["plan_cache"]
     print(

@@ -10,6 +10,10 @@ generous (default 3x) and only *meaningful* metrics are compared:
   floor (default 5 ms) are noise-dominated and skipped;
 * keys containing ``speedup``, ``hit_rate`` or ``memory_reuse`` are
   **better when larger**; fail when ``fresh < baseline / tolerance``;
+* keys containing ``proved`` or ``elided`` are static-analysis coverage
+  counters — exact, not noisy, so they get **no tolerance**: fail when
+  ``fresh < baseline``.  A change that silently loses bounds proofs (and
+  with them the elided runtime checks) fails CI even if nothing got slower;
 * everything else (counters, flags, labels) is informational and ignored.
 
 Keys present on only one side are reported as warnings, not failures, so the
@@ -50,6 +54,8 @@ def _metric_kind(path: str) -> str:
     leaf = path.rsplit(".", 1)[-1].split("[")[0]
     if "speedup" in leaf or "hit_rate" in leaf or "memory_reuse" in leaf:
         return "higher_is_better"
+    if "proved" in leaf or "elided" in leaf:
+        return "never_lower"
     if leaf.endswith("_s") or leaf.endswith("_ms"):
         return "lower_is_better"
     return "ignored"
@@ -80,6 +86,12 @@ def compare(fresh: dict, base: dict, tolerance: float, floor_s: float):
             limit = base_value * tolerance
             ok = fresh_value <= limit
             line = f"{path}: {fresh_value:.4g} vs baseline {base_value:.4g} (limit {limit:.4g})"
+        elif kind == "never_lower":
+            ok = fresh_value >= base_value
+            line = (
+                f"{path}: {fresh_value:.4g} vs baseline {base_value:.4g} "
+                f"(coverage counter, no tolerance)"
+            )
         else:
             limit = base_value / tolerance
             ok = fresh_value >= limit

@@ -1,0 +1,168 @@
+"""``python -m repro.analysis`` — sweep the paper's workloads through the
+static verification tier.
+
+Tensorizes every Table-1 layer (and, with ``--all``, every unique
+convolution shape of the model zoo) exactly the way the pipeline does, runs
+the full pass stack over each lowered PrimFunc and reports per-function
+proof coverage.  ``--strict`` additionally requires every nest *proved*
+(not merely error-free), which is the bar the ``static-analysis`` CI job
+holds the repository to; ``--json`` emits the machine-readable report the
+job archives.
+
+Exit status is 0 only when every analyzed function passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from . import analyze
+
+__all__ = ["main", "sweep_funcs"]
+
+
+def _table1_funcs() -> List[Tuple[str, object]]:
+    from ..core.unit import tensorize
+    from ..rewriter import CpuTuningConfig
+    from ..workloads.conv2d import conv2d_nchwc
+    from ..workloads.table1 import TABLE1_LAYERS
+
+    funcs = []
+    for params in TABLE1_LAYERS:
+        result = tensorize(
+            conv2d_nchwc(params), "x86.avx512.vpdpbusd", config=CpuTuningConfig()
+        )
+        funcs.append(("table1", result.func))
+    return funcs
+
+
+def _zoo_funcs(models: List[str]) -> List[Tuple[str, object]]:
+    from ..core.unit import tensorize
+    from ..models.zoo import get_model
+    from ..rewriter import CpuTuningConfig
+    from ..workloads.conv2d import conv2d_nchwc
+
+    seen: Dict[tuple, Tuple[str, object]] = {}
+    for name in models:
+        graph = get_model(name, fresh=True)
+        graph.infer_shapes()
+        for node in graph.conv_nodes():
+            params = node.conv_params()
+            key = (
+                params.in_channels,
+                params.in_height,
+                params.in_width,
+                params.out_channels,
+                params.kernel,
+                params.stride,
+                params.padding,
+            )
+            if key not in seen:
+                seen[key] = (name, params)
+    funcs = []
+    for origin, params in seen.values():
+        result = tensorize(
+            conv2d_nchwc(params), "x86.avx512.vpdpbusd", config=CpuTuningConfig()
+        )
+        funcs.append((origin, result.func))
+    return funcs
+
+
+def sweep_funcs(all_workloads: bool = False, models: List[str] = None):
+    """The ``(origin, PrimFunc)`` list the CLI analyzes, importable for tests."""
+    funcs = _table1_funcs()
+    if all_workloads or models:
+        if models is None:
+            from ..models.zoo import EVALUATED_MODELS
+
+            models = list(EVALUATED_MODELS)
+        funcs.extend(_zoo_funcs(models))
+    return funcs
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="statically verify the paper's tensorized workloads",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="analyze the model zoo's unique conv shapes in addition to Table 1",
+    )
+    parser.add_argument(
+        "--models",
+        default=None,
+        help="comma-separated model names to sweep (implies the zoo sweep)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="require every nest proved, not merely error-free",
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH", help="write the JSON report to PATH"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="only print failures and the summary"
+    )
+    args = parser.parse_args(argv)
+
+    models = args.models.split(",") if args.models else None
+    t0 = time.perf_counter()
+    funcs = sweep_funcs(all_workloads=args.all, models=models)
+    build_s = time.perf_counter() - t0
+
+    reports = []
+    failures = 0
+    t0 = time.perf_counter()
+    for origin, func in funcs:
+        start = time.perf_counter()
+        report = analyze(func)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        passed = report.ok(strict=args.strict)
+        failures += 0 if passed else 1
+        if not passed or not args.quiet:
+            status = "ok" if passed else "FAIL"
+            print(
+                f"{origin}/{report.func_name}: {status} — "
+                f"{report.proved_nests}/{report.total_nests} nests proved, "
+                f"{len(report.errors)} error(s), {len(report.warnings)} warning(s)"
+            )
+            for diag in report.diagnostics:
+                print(f"    {diag.format()}")
+        entry = report.to_json()
+        entry["origin"] = origin
+        entry["ok"] = passed
+        entry["elapsed_ms"] = round(elapsed_ms, 3)
+        reports.append(entry)
+    analyze_s = time.perf_counter() - t0
+
+    summary = {
+        "strict": args.strict,
+        "functions": len(reports),
+        "failed": failures,
+        "nests": sum(r["total_nests"] for r in reports),
+        "proved_nests": sum(r["proved_nests"] for r in reports),
+        "build_seconds": round(build_s, 3),
+        "analyze_seconds": round(analyze_s, 3),
+    }
+    print(
+        f"analyzed {summary['functions']} function(s): "
+        f"{summary['proved_nests']}/{summary['nests']} nests proved, "
+        f"{failures} failure(s) "
+        f"[build {build_s:.2f}s, analyze {analyze_s:.2f}s]"
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"summary": summary, "reports": reports}, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,372 @@
+"""Overlap & dependence analysis for tensorized nests.
+
+The execution engine batches an ``IntrinsicCall`` nest over the loop axes
+its destination tile depends on, and runs the remaining axes as sequential
+accumulation rounds.  That is only sound when
+
+* **tiles are disjoint** — two distinct assignments of the batch axes never
+  address the same output element (otherwise the bulk scatter loses the
+  scalar loop's write order), and
+* **rounds are hazard-free** — a sequential round never reads what another
+  round wrote except through the accumulator element itself (the
+  ``d = c + sum(...)`` pattern, which the engine folds exactly).
+
+Both are proved here statically.  Disjointness uses the mixed-radix
+criterion on the flattened affine output address: with batch coefficients
+sorted ascending, each must exceed the total span of all smaller terms plus
+the width of one tile — then any nonzero batch step moves the whole tile
+past every address the other tiles touch.  Hazards are detected by
+comparing every operand binding that touches the written tensor against the
+output binding address-for-address.
+
+The pass also performs def-before-use / uninitialized-accumulator
+detection over the top-level statement order: an accumulating store
+(``t[i] = combine(t[i], rest)``) into a reduction output that no earlier
+nest initialised reads garbage in the scalar semantics — the classic
+"deleted init nest" corruption, reported with the nest and index expression.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..dsl import expr as E
+from ..tir.stmt import IntrinsicCall, Store
+from .framework import Diagnostic, Nest, iter_nests
+from .interval import (
+    Env,
+    Interval,
+    _common_scale,
+    _guard_upper_bound,
+    _linear_interval,
+    atom_interval,
+    atom_root,
+    linearize,
+    loop_env,
+)
+
+__all__ = ["analyze_overlap", "check_tiles_disjoint", "check_nest_overlap"]
+
+
+def analyze_overlap(func) -> Tuple[List[Optional[bool]], List[Diagnostic]]:
+    """Prove tile disjointness / hazard freedom for every nest of ``func``.
+
+    Returns one entry per nest in walk order (``True`` proved disjoint,
+    ``False`` proved or suspected overlapping, ``None`` not applicable) plus
+    diagnostics, including the uninitialized-accumulator findings.
+    """
+    results: List[Optional[bool]] = []
+    diagnostics: List[Diagnostic] = []
+    initialized: Set = set(func.params[:-1])  # inputs are caller-initialised
+    output = func.params[-1]
+    op = getattr(func, "op", None)
+    # An accumulate-form operation (out += ...) reads the caller's output
+    # contents by design; a plain reduction must initialise before updating.
+    accumulate_by_design = bool(getattr(op, "accumulate", False))
+
+    for nest in iter_nests(func):
+        disjoint, diags = check_nest_overlap(nest)
+        results.append(disjoint)
+        diagnostics.extend(diags)
+
+        # -- def-before-use over top-level statement order ---------------
+        written = _written_tensor(nest)
+        acc_read = _accumulator_read(nest)
+        if acc_read is not None and written is not None:
+            tensor, idx_expr = acc_read
+            uninitialised = (
+                tensor not in initialized
+                and not (tensor is output and accumulate_by_design)
+                and tensor not in nest.allocated  # Allocate zero-fills
+            )
+            if uninitialised:
+                diagnostics.append(
+                    Diagnostic(
+                        "overlap",
+                        "error",
+                        f"accumulating store reads {tensor.name!r} before any "
+                        f"nest initialises it (uninitialized accumulator)",
+                        nest=nest.name,
+                        index_expr=str(idx_expr),
+                    )
+                )
+        if written is not None and acc_read is None:
+            # A non-accumulating full store initialises its target.
+            initialized.add(written)
+    return results, diagnostics
+
+
+def check_nest_overlap(nest: Nest) -> Tuple[Optional[bool], List[Diagnostic]]:
+    """Disjointness / hazard proof for one nest (intrinsic nests only)."""
+    if not isinstance(nest.body, IntrinsicCall):
+        return None, []
+    call = nest.body
+    diags: List[Diagnostic] = []
+    out_b = call.output
+
+    # Read-write hazards: an operand reading the written tensor must read
+    # exactly the accumulator element the call writes.
+    for binding in call.inputs:
+        if binding.program_tensor is not out_b.program_tensor:
+            continue
+        same = len(binding.program_indices) == len(out_b.program_indices) and all(
+            E.structural_equal(x, y)
+            for x, y in zip(binding.program_indices, out_b.program_indices)
+        )
+        if not same:
+            diags.append(
+                Diagnostic(
+                    "overlap",
+                    "error",
+                    f"intrinsic reads output tensor "
+                    f"{out_b.program_tensor.name!r} at a different address "
+                    f"than it writes (read-write hazard across rounds)",
+                    nest=nest.name,
+                    index_expr=str(tuple(binding.program_indices)),
+                )
+            )
+            return False, diags
+
+    disjoint = check_tiles_disjoint(call, nest.axes, nest.guards)
+    if disjoint is False:
+        diags.append(
+            Diagnostic(
+                "overlap",
+                "error",
+                f"output tiles of {call.intrin.name} are not provably "
+                f"disjoint across the batch axes (write-write hazard)",
+                nest=nest.name,
+                index_expr=str(tuple(out_b.program_indices)),
+            )
+        )
+    elif disjoint is None:
+        diags.append(
+            Diagnostic(
+                "overlap",
+                "warning",
+                "cannot decide tile disjointness (non-affine output address)",
+                nest=nest.name,
+                index_expr=str(tuple(out_b.program_indices)),
+            )
+        )
+    return disjoint, diags
+
+
+def check_tiles_disjoint(
+    call: IntrinsicCall,
+    axes: List[Tuple[E.Var, int]],
+    guards: Tuple[E.Expr, ...] = (),
+) -> Optional[bool]:
+    """Mixed-radix disjointness of the intrinsic's output tiles.
+
+    Flattens the output binding's program address row-major, decomposes it
+    quasi-affinely (fused-variable ``//``/``%`` terms become split atoms)
+    over the batch variables (outer loop variables the address depends on)
+    and the tile variables (the intrinsic's own axes), and requires every
+    batch coefficient to clear the combined span of all smaller batch terms
+    plus the tile's address width.
+
+    ``likely`` guards participate: a guard ``g < b`` whose support atoms
+    appear in the address as an exact multiple ``s*g`` collapses those atoms
+    into one *group* term of range ``[lo(g), b-1]`` — the engine masks the
+    guarded residue points, so only the restricted domain must be disjoint.
+    (The group map itself must be injective on its box, checked with the
+    same mixed-radix test.)  A batch variable whose split atoms do not
+    jointly reconstruct it (e.g. only ``f // 3`` addressed, the residue
+    lost) makes distinct batch points address identical tiles — a definite
+    collision.  ``True`` = proved disjoint, ``False`` = two batch points
+    provably collide, ``None`` = undecidable in the quasi-affine domain.
+    """
+    out_b = call.output
+    tensor = out_b.program_tensor
+
+    # Row-major flattening of the address.
+    strides: List[int] = []
+    acc = 1
+    for extent in reversed(tensor.shape):
+        strides.append(acc)
+        acc *= int(extent)
+    strides.reverse()
+
+    ienv: Env = {ax.var: Interval(0, int(ax.extent) - 1) for ax in call.axes}
+    benv: Env = loop_env(axes)
+    env: Env = {**benv, **ienv}
+
+    flat_coeffs = {}
+    atom_env = {}
+    per_dim: List[dict] = []
+    for idx, stride in zip(out_b.program_indices, strides):
+        lin = linearize(idx, env)
+        if lin is None:
+            return None
+        coeffs, _const, aenv = lin
+        atom_env.update(aenv)
+        per_dim.append(coeffs)
+        for atom, c in coeffs.items():
+            flat_coeffs[atom] = flat_coeffs.get(atom, 0) + c * stride
+
+    # Partition address atoms into tile (intrinsic-axis) and batch terms.
+    tile = Interval(0, 0)
+    batch_coeffs: dict = {}
+    batch_ivs: dict = {}
+    for atom, c in flat_coeffs.items():
+        if c == 0:
+            continue
+        iv = atom_env.get(atom)
+        if iv is None:
+            return None
+        if atom_root(atom) in ienv:
+            tile = tile + iv.scaled(c)
+        elif iv.width > 0:  # unit-range atoms cannot collide
+            batch_coeffs[atom] = c
+            batch_ivs[atom] = iv
+    width = tile.width
+    used = set(batch_coeffs)
+
+    # Guard grouping: a ``likely`` guard ``g < b`` whose support atoms the
+    # address carries as an exact multiple ``s*g`` collapses into a single
+    # term of coefficient ``s`` over ``[lo(g), b-1]``: the engine masks the
+    # residue points past the guard, so only the restricted domain writes.
+    grouped: List[Tuple[int, int]] = []
+    for guard in guards:
+        gb = _guard_upper_bound(guard)
+        if gb is None:
+            continue
+        g_expr, bound = gb
+        g_lin = linearize(g_expr, env)
+        if g_lin is None or not g_lin[0]:
+            continue
+        g_coeffs, g_const, g_aenv = g_lin
+        support = [a for a, gc in g_coeffs.items() if gc != 0]
+        if any(a not in batch_coeffs for a in support):
+            continue
+        scale = _common_scale({a: batch_coeffs[a] for a in support}, g_coeffs)
+        if scale is None:
+            continue
+        # The group value must determine its member atoms (injective map),
+        # otherwise replacing them by one term would hide a collision.
+        g_terms = sorted(
+            (abs(gc), g_aenv[a].width) for a, gc in g_coeffs.items() if gc != 0
+        )
+        g_span = 0
+        injective = True
+        for coeff, w in g_terms:
+            if coeff <= g_span:
+                injective = False
+                break
+            g_span += coeff * w
+        if not injective:
+            continue
+        g_iv = _linear_interval(g_coeffs, 0, g_aenv)
+        if g_iv is None:
+            continue
+        hi = min(g_iv.hi, bound - 1 - g_const)
+        if hi < g_iv.lo:
+            continue
+        for a in support:
+            del batch_coeffs[a]  # stays in `used`: the group determines it
+        grouped.append((scale, hi - g_iv.lo))
+
+    # Reconstructibility: the batch atoms must determine every batch
+    # variable they derive from; a lost residue means two distinct batch
+    # points share every atom value — identical tiles, definite overlap.
+    divisors: dict = {}
+    for atom in atom_env:
+        if isinstance(atom, tuple):
+            divisors.setdefault(atom[1], set()).add(atom[2])
+
+    def _covered(atom) -> bool:
+        iv = atom_interval(atom, env)
+        if iv is not None and iv.width == 0:
+            return True  # constant-valued: nothing to lose
+        if atom in used:
+            return True
+        return any(
+            _covered(("div", atom, c)) and _covered(("mod", atom, c))
+            for c in divisors.get(atom, ())
+        )
+
+    for root in {atom_root(atom) for atom in used}:
+        if not _covered(root):
+            return False
+
+    terms = [(abs(c), batch_ivs[a].width) for a, c in batch_coeffs.items()]
+    terms.extend(grouped)
+    terms.sort()
+
+    span = width
+    flat_ok = True
+    for coeff, extent_span in terms:
+        if coeff <= span:
+            # The step of this batch axis does not clear the span of the
+            # smaller terms plus one tile: two batch points can address
+            # overlapping tiles (e.g. a stride smaller than the tile).
+            flat_ok = False
+            break
+        span += coeff * extent_span
+    if flat_ok:
+        return True
+
+    # Per-dimension fallback.  The flattened criterion treats the tile as a
+    # contiguous address range, which is too coarse for multi-dimensional
+    # box tiles: a 16x16 WMMA block in a 32-wide row-major array interleaves
+    # with its neighbours in flat address space yet never shares an element.
+    # When every batch atom contributes to exactly one output dimension, it
+    # suffices that each dimension's batch coefficients clear that
+    # dimension's *own* tile width — two distinct batch points then differ
+    # in some dimension by more than the tile spans there, so the boxes are
+    # disjoint.  (Guard restriction is not applied here; the full-interval
+    # check is strictly more conservative.)
+    dim_of: dict = {}
+    dim_terms: List[Tuple[int, List[Tuple[int, int]]]] = []
+    for d, coeffs in enumerate(per_dim):
+        tile_d = Interval(0, 0)
+        batch_d: List[Tuple[int, int]] = []
+        for atom, c in coeffs.items():
+            if c == 0:
+                continue
+            iv = atom_env[atom]
+            if atom_root(atom) in ienv:
+                tile_d = tile_d + iv.scaled(c)
+            elif iv.width > 0:
+                if dim_of.setdefault(atom, d) != d:
+                    return False  # atom spans dimensions; no box argument
+                batch_d.append((abs(c), iv.width))
+        dim_terms.append((tile_d.width, sorted(batch_d)))
+    for w_d, terms_d in dim_terms:
+        span = w_d
+        for coeff, extent_span in terms_d:
+            if coeff <= span:
+                return False
+            span += coeff * extent_span
+    return True
+
+
+# -- def-before-use helpers -------------------------------------------------
+
+
+def _written_tensor(nest: Nest):
+    if isinstance(nest.body, Store):
+        return nest.body.tensor
+    if isinstance(nest.body, IntrinsicCall):
+        return nest.body.output.program_tensor
+    return None
+
+
+def _accumulator_read(nest: Nest):
+    """The ``(tensor, index_expr)`` a nest reads as its accumulator, if any."""
+    if isinstance(nest.body, Store):
+        store = nest.body
+        for node in E.post_order(store.value):
+            if isinstance(node, E.TensorLoad) and node.tensor is store.tensor:
+                return store.tensor, E.TensorLoad(store.tensor, store.indices)
+        return None
+    if isinstance(nest.body, IntrinsicCall):
+        call = nest.body
+        out = call.output.program_tensor
+        if call.reads_output:
+            for binding in call.inputs:
+                if binding.program_tensor is out:
+                    return out, E.TensorLoad(out, binding.program_indices)
+        return None
+    return None

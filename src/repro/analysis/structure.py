@@ -1,0 +1,161 @@
+"""Structural verification of tensor-IR programs (the folded ``tir.verify``).
+
+Checks the invariants the paper relies on (Section II-C.3): canonical loops,
+no variable shadowing, all loads/stores referring to buffers that are either
+parameters or allocated in scope, and every intrinsic operand bound to
+visible buffers over bound variables.  This is the old ``repro.tir.verify``
+pass folded into the analysis framework, with its two known gaps closed:
+
+* **vector expressions** — ``Ramp``/``Broadcast``/``Shuffle`` lanes must be
+  positive and lanes must not nest (a vector of vectors has no scalar-loop
+  semantics; the engine would only discover this at run time);
+* **intrinsic region reads** — operand *index expressions* may themselves
+  read tensors (indirect addressing); those tensors must be visible in the
+  ``Allocate`` scope of the call, which the old pass never checked.
+
+``verify_structure`` raises :class:`VerificationError` on the first
+violation (the historical contract, re-exported as ``repro.tir.verify``);
+``structure_diagnostics`` collects every violation as diagnostics for the
+combined report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..dsl import expr as E
+from ..dsl.tensor import Tensor
+from ..tir.stmt import (
+    Allocate,
+    AttrStmt,
+    Evaluate,
+    For,
+    IfThenElse,
+    IntrinsicCall,
+    SeqStmt,
+    Stmt,
+    Store,
+)
+from .framework import Diagnostic
+
+__all__ = ["VerificationError", "verify_structure", "structure_diagnostics"]
+
+
+class VerificationError(Exception):
+    """Raised when a tensor-IR program violates a structural invariant."""
+
+
+def verify_structure(func) -> None:
+    """Verify ``func``; raises :class:`VerificationError` on the first violation."""
+    visible: Set[Tensor] = set(func.params)
+    bound_vars: Set[E.Var] = set()
+    _check(func.body, visible, bound_vars)
+
+
+def structure_diagnostics(func) -> List[Diagnostic]:
+    """All structural violations of ``func`` as diagnostics (never raises)."""
+    try:
+        verify_structure(func)
+    except VerificationError as exc:
+        return [Diagnostic("structure", "error", str(exc))]
+    return []
+
+
+def _check(stmt: Stmt, visible: Set[Tensor], bound: Set[E.Var]) -> None:
+    if isinstance(stmt, For):
+        if stmt.var in bound:
+            raise VerificationError(f"loop variable {stmt.var.name!r} is shadowed")
+        if stmt.extent <= 0:
+            raise VerificationError("loop extent must be positive")
+        _check(stmt.body, visible, bound | {stmt.var})
+    elif isinstance(stmt, SeqStmt):
+        for s in stmt.stmts:
+            _check(s, visible, bound)
+    elif isinstance(stmt, IfThenElse):
+        _check_expr(stmt.condition, visible, bound)
+        _check(stmt.then_case, visible, bound)
+        if stmt.else_case is not None:
+            _check(stmt.else_case, visible, bound)
+    elif isinstance(stmt, AttrStmt):
+        _check(stmt.body, visible, bound)
+    elif isinstance(stmt, Allocate):
+        _check(stmt.body, visible | {stmt.tensor}, bound)
+    elif isinstance(stmt, Store):
+        if stmt.tensor not in visible:
+            raise VerificationError(f"store into unknown buffer {stmt.tensor.name!r}")
+        for idx in stmt.indices:
+            _check_expr(idx, visible, bound)
+        _check_expr(stmt.value, visible, bound)
+    elif isinstance(stmt, Evaluate):
+        _check_expr(stmt.expr, visible, bound)
+    elif isinstance(stmt, IntrinsicCall):
+        intrin_axis_vars = {ax.var for ax in stmt.axes}
+        for binding in list(stmt.inputs) + [stmt.output]:
+            if binding.program_tensor not in visible:
+                raise VerificationError(
+                    f"intrinsic operand uses unknown buffer "
+                    f"{binding.program_tensor.name!r}"
+                )
+            for idx in binding.program_indices:
+                for var in E.free_vars(idx):
+                    if var not in bound and var not in intrin_axis_vars:
+                        raise VerificationError(
+                            f"intrinsic operand index uses unbound variable {var.name!r}"
+                        )
+                # Indirect addressing: region reads inside the operand index
+                # must be visible in the Allocate scope of the call.
+                for node in E.post_order(idx):
+                    if isinstance(node, E.TensorLoad) and node.tensor not in visible:
+                        raise VerificationError(
+                            f"intrinsic operand index reads unknown buffer "
+                            f"{node.tensor.name!r}"
+                        )
+                _check_vector(idx)
+    else:
+        raise VerificationError(f"unknown statement type {type(stmt).__name__}")
+
+
+def _check_expr(expr: E.Expr, visible: Set[Tensor], bound: Set[E.Var]) -> None:
+    if isinstance(expr, E.Var):
+        if expr not in bound:
+            raise VerificationError(f"use of unbound variable {expr.name!r}")
+        return
+    if isinstance(expr, E.Reduce):
+        # Reduce axes bind their own variables inside the source.
+        _check_expr(expr.source, visible, bound | {ax.var for ax in expr.axes})
+        return
+    if isinstance(expr, E.TensorLoad):
+        if expr.tensor not in visible:
+            raise VerificationError(f"load from unknown buffer {expr.tensor.name!r}")
+    if isinstance(expr, (E.Ramp, E.Broadcast, E.Shuffle)):
+        _check_vector(expr)
+    for child in expr.children:
+        _check_expr(child, visible, bound)
+
+
+def _check_vector(expr: E.Expr, inside_vector: bool = False) -> None:
+    """Vector well-formedness: positive lane counts, no nested lanes."""
+    if isinstance(expr, (E.Ramp, E.Broadcast)):
+        if expr.lanes <= 0:
+            raise VerificationError(
+                f"{type(expr).__name__} with non-positive lane count {expr.lanes}"
+            )
+        if inside_vector:
+            raise VerificationError(
+                f"nested vector lanes ({type(expr).__name__} inside a vector expression)"
+            )
+        for child in expr.children:
+            _check_vector(child, inside_vector=True)
+        return
+    if isinstance(expr, E.Shuffle):
+        if inside_vector:
+            raise VerificationError(
+                "nested vector lanes (Shuffle inside a vector expression)"
+            )
+        for child in expr.children:
+            # Shuffle concatenates vectors; its parts may be vectors but
+            # must not nest further.
+            _check_vector(child, inside_vector=False)
+        return
+    for child in expr.children:
+        _check_vector(child, inside_vector)

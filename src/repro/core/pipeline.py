@@ -114,6 +114,27 @@ class _SessionTunedRunner:
 
         return check
 
+    def _precheck(self, kind: str, params):
+        """The static-verification candidate gate (raise-to-reject).
+
+        Only built when ``validate`` is on: it tensorizes the workload with
+        each candidate configuration (no numeric execution) so the rewrite
+        passes through :func:`repro.analysis.verify_rewrite` — a candidate
+        whose bounds / tile-disjointness / dtype proofs fail is rejected
+        before the cost model evaluates it, and counted in
+        ``TuningResult.rejected``.
+        """
+        if not self.validate:
+            return None
+
+        def check(config) -> None:
+            from .unit import tensorize
+
+            op = self._validation_op(kind, params)
+            tensorize(op, self.intrin, config=config, validate=False)
+
+        return check
+
     def _tuned(self, kind: str, params, evaluate) -> CostBreakdown:
         key = TuningKey(
             kind=kind,
@@ -123,7 +144,11 @@ class _SessionTunedRunner:
             space=self._space,
         )
         record = self.session.tune(
-            key, self._configs(), evaluate, validate=self._validator(kind, params)
+            key,
+            self._configs(),
+            evaluate,
+            validate=self._validator(kind, params),
+            precheck=self._precheck(kind, params),
         )
         if record.result is not None:
             self.tuning_results[(kind, params)] = record.result

@@ -188,7 +188,10 @@ def tensorize(
         config = gpu_config
 
     func = lower(spec.schedule)
-    func = replace_tensorize(func, spec)
+    # replace_tensorize runs the full static verification tier (structure,
+    # bounds, overlap, dtype) over the rewritten candidate; the structural
+    # verify() afterwards keeps the historical VerificationError surface.
+    func = replace_tensorize(func, spec, verify=verify_ir)
     if verify_ir:
         verify(func)
     result = TensorizeResult(

@@ -133,8 +133,18 @@ class _Replacer(StmtMutator):
         return result
 
 
-def replace_tensorize(func: PrimFunc, spec: TensorizeSpec) -> PrimFunc:
-    """Replace every tensorize-pragma region of ``func`` with the intrinsic call."""
+def replace_tensorize(
+    func: PrimFunc, spec: TensorizeSpec, verify: bool = True
+) -> PrimFunc:
+    """Replace every tensorize-pragma region of ``func`` with the intrinsic call.
+
+    By default the rewritten candidate is pushed through the static
+    verification tier (:func:`repro.analysis.verify_rewrite`) before it is
+    returned — bounds, tile-disjointness and dtype errors raise
+    :class:`~repro.analysis.AnalysisError` here, so an unsound rewrite never
+    reaches the cost model or the engine.  Pass ``verify=False`` to skip the
+    gate (e.g. when deliberately constructing a broken candidate in tests).
+    """
     call = build_intrinsic_call(spec)
     replacer = _Replacer(call)
     new_body = replacer.mutate(func.body)
@@ -143,4 +153,9 @@ def replace_tensorize(func: PrimFunc, spec: TensorizeSpec) -> PrimFunc:
             "the lowered function contains no tensorize pragma; was the "
             "schedule produced by reorganize_loops()?"
         )
-    return PrimFunc(func.name, func.params, new_body, func.op)
+    new_func = PrimFunc(func.name, func.params, new_body, func.op)
+    if verify:
+        from ..analysis import verify_rewrite
+
+        verify_rewrite(new_func)
+    return new_func

@@ -70,6 +70,7 @@ class TuningSession:
         self.store_hits = 0
         self.trials_run = 0
         self.searches_run = 0
+        self.candidates_rejected = 0
 
     # -- search dispatch ------------------------------------------------------
     def _record_key(self, key: TuningKey) -> TuningKey:
@@ -79,13 +80,20 @@ class TuningSession:
         return key
 
     def _search(
-        self, candidates: Sequence, evaluate_cost: Callable[[object], float]
+        self,
+        candidates: Sequence,
+        evaluate_cost: Callable[[object], float],
+        precheck: Optional[Callable[[object], None]] = None,
     ) -> TuningResult:
         if self.strategy == "parallel":
-            return parallel_search(candidates, evaluate_cost, max_workers=self.max_workers)
+            return parallel_search(
+                candidates, evaluate_cost, max_workers=self.max_workers, precheck=precheck
+            )
         if self.strategy == "early_exit":
-            return early_exit_search(candidates, evaluate_cost, k=self.early_exit_k)
-        return exhaustive_search(candidates, evaluate_cost)
+            return early_exit_search(
+                candidates, evaluate_cost, k=self.early_exit_k, precheck=precheck
+            )
+        return exhaustive_search(candidates, evaluate_cost, precheck=precheck)
 
     # -- the two entry points -------------------------------------------------
     def tune(
@@ -94,6 +102,7 @@ class TuningSession:
         candidates: Sequence,
         evaluate: Callable[[object], CostBreakdown],
         validate: Optional[Callable[[object], None]] = None,
+        precheck: Optional[Callable[[object], None]] = None,
     ) -> TuningRecord:
         """Return the record for ``key``, searching ``candidates`` on a miss.
 
@@ -109,12 +118,19 @@ class TuningSession:
         vectorized engine's output against the reference lowering
         (bit-identical for integer kernels, tight tolerance for float), so a
         record never enters the cache unvalidated.
+
+        ``precheck`` screens *every* candidate before the cost model sees it
+        (also raise-to-reject): the operator runners pass the static
+        verification tier here, so a candidate whose rewrite cannot be proved
+        sound is never costed, never profiled and never wins.  Rejections are
+        counted in ``TuningResult.rejected`` and the session's
+        ``candidates_rejected``.
         """
         key = self._record_key(key)
         record = self._lookup(key)
         if record is not None:
             return record
-        return self._search_and_record(key, candidates, evaluate, validate)
+        return self._search_and_record(key, candidates, evaluate, validate, precheck)
 
     def _search_and_record(
         self,
@@ -122,6 +138,7 @@ class TuningSession:
         candidates: Sequence,
         evaluate: Callable[[object], CostBreakdown],
         validate: Optional[Callable[[object], None]] = None,
+        precheck: Optional[Callable[[object], None]] = None,
     ) -> TuningRecord:
         """Run the miss path of :meth:`tune`: search, validate, publish.
 
@@ -129,7 +146,7 @@ class TuningSession:
         :class:`~repro.service.client.RemoteSession`) can interpose between
         the lookup and the local search without duplicating this body.
         """
-        result = self._search(candidates, lambda cfg: evaluate(cfg).seconds)
+        result = self._search(candidates, lambda cfg: evaluate(cfg).seconds, precheck)
         if validate is not None:
             validate(result.best_config)
         best = evaluate(result.best_config)
@@ -144,6 +161,7 @@ class TuningSession:
         self._publish(record)
         self.trials_run += result.num_trials
         self.searches_run += 1
+        self.candidates_rejected += result.rejected
         return record
 
     def memoize(
@@ -195,8 +213,11 @@ class TuningSession:
     def summary(self) -> str:
         s = self.stats
         store = f", {self.store_hits} store hits" if self.store is not None else ""
+        rejected = (
+            f", {self.candidates_rejected} rejected" if self.candidates_rejected else ""
+        )
         return (
             f"TuningSession[{self.strategy}]: {s.size} records, "
             f"{s.hits} hits / {s.misses} misses ({s.hit_rate:.0%}){store}, "
-            f"{self.trials_run} trials in {self.searches_run} searches"
+            f"{self.trials_run} trials in {self.searches_run} searches{rejected}"
         )

@@ -35,11 +35,18 @@ class TuningTrial(Generic[ConfigT]):
 
 @dataclass
 class TuningResult(Generic[ConfigT]):
-    """The outcome of a tuning run."""
+    """The outcome of a tuning run.
+
+    ``rejected`` counts the candidates the search's ``precheck`` oracle
+    refused before the cost model saw them (e.g. the static verification
+    tier rejecting an unsound rewrite); rejected candidates produce no
+    trial and cannot win.
+    """
 
     best_config: ConfigT
     best_cost: float
     trials: List[TuningTrial] = field(default_factory=list)
+    rejected: int = 0
 
     @property
     def num_trials(self) -> int:
@@ -69,63 +76,111 @@ class TuningResult(Generic[ConfigT]):
         return self.trials[index].cost
 
 
+PrecheckT = Callable[[ConfigT], None]
+
+
+def _prefilter(
+    candidates: Sequence[ConfigT], precheck: Optional[PrecheckT]
+) -> Tuple[List[Tuple[int, ConfigT]], int]:
+    """Partition candidates through the precheck oracle.
+
+    ``precheck`` is invoked with each candidate and must raise to reject it;
+    survivors keep their original candidate index (so ``best_rank`` still
+    reports positions in the advertised tuning-pair ordering).  Returns the
+    kept ``(index, config)`` pairs plus the reject count.
+    """
+    if precheck is None:
+        return list(enumerate(candidates)), 0
+    kept: List[Tuple[int, ConfigT]] = []
+    rejected = 0
+    for index, config in enumerate(candidates):
+        try:
+            precheck(config)
+        except Exception:
+            rejected += 1
+        else:
+            kept.append((index, config))
+    return kept, rejected
+
+
 def exhaustive_search(
     candidates: Sequence[ConfigT],
     evaluate: Callable[[ConfigT], float],
+    precheck: Optional[PrecheckT] = None,
 ) -> TuningResult:
-    """Profile every candidate and return the best one."""
+    """Profile every candidate and return the best one.
+
+    ``precheck`` (raise-to-reject) screens each candidate before it is
+    evaluated: rejected candidates are skipped, counted in
+    :attr:`TuningResult.rejected` and never reach the cost model.
+    """
     if not candidates:
         raise ValueError("tuning requires at least one candidate configuration")
+    kept, rejected = _prefilter(candidates, precheck)
+    if not kept:
+        raise ValueError("the precheck rejected every candidate configuration")
     trials: List[TuningTrial] = []
     best: Optional[TuningTrial] = None
-    for index, config in enumerate(candidates):
+    for index, config in kept:
         cost = float(evaluate(config))
         trial = TuningTrial(config=config, cost=cost, index=index)
         trials.append(trial)
         if best is None or cost < best.cost:
             best = trial
     assert best is not None
-    return TuningResult(best_config=best.config, best_cost=best.cost, trials=trials)
+    return TuningResult(
+        best_config=best.config, best_cost=best.cost, trials=trials, rejected=rejected
+    )
 
 
 def first_k_search(
     candidates: Sequence[ConfigT],
     evaluate: Callable[[ConfigT], float],
     k: int,
+    precheck: Optional[PrecheckT] = None,
 ) -> TuningResult:
     """Profile only the first ``k`` candidates (budgeted tuning)."""
-    return exhaustive_search(list(candidates)[: max(1, k)], evaluate)
+    return exhaustive_search(list(candidates)[: max(1, k)], evaluate, precheck=precheck)
 
 
 def parallel_search(
     candidates: Sequence[ConfigT],
     evaluate: Callable[[ConfigT], float],
     max_workers: Optional[int] = None,
+    precheck: Optional[PrecheckT] = None,
 ) -> TuningResult:
     """Profile every candidate on a thread pool.
 
     Candidate evaluation order is nondeterministic but the outcome is not:
     trials are re-assembled in candidate order and ties break toward the
     lowest index, so the returned :class:`TuningResult` is identical to what
-    :func:`exhaustive_search` produces on the same inputs.
+    :func:`exhaustive_search` produces on the same inputs.  The precheck runs
+    serially up front (it is a cheap static pass) so rejection is
+    deterministic too.
     """
     candidates = list(candidates)
     if not candidates:
         raise ValueError("tuning requires at least one candidate configuration")
+    kept, rejected = _prefilter(candidates, precheck)
+    if not kept:
+        raise ValueError("the precheck rejected every candidate configuration")
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        costs = list(pool.map(lambda cfg: float(evaluate(cfg)), candidates))
+        costs = list(pool.map(lambda pair: float(evaluate(pair[1])), kept))
     trials = [
         TuningTrial(config=config, cost=cost, index=index)
-        for index, (config, cost) in enumerate(zip(candidates, costs))
+        for (index, config), cost in zip(kept, costs)
     ]
     best = min(trials, key=lambda t: (t.cost, t.index))
-    return TuningResult(best_config=best.config, best_cost=best.cost, trials=trials)
+    return TuningResult(
+        best_config=best.config, best_cost=best.cost, trials=trials, rejected=rejected
+    )
 
 
 def early_exit_search(
     candidates: Sequence[ConfigT],
     evaluate: Callable[[ConfigT], float],
     k: int = 8,
+    precheck: Optional[PrecheckT] = None,
 ) -> TuningResult:
     """Profile candidates in order, stopping after ``k`` consecutive
     non-improving trials.
@@ -133,7 +188,8 @@ def early_exit_search(
     The candidate orderings in this repo place likely-best configurations
     first (the paper's ">95% optimal within the first eight pairs"
     observation), so a small ``k`` recovers nearly all of the exhaustive
-    result at a fraction of the trials.
+    result at a fraction of the trials.  Rejected candidates (``precheck``
+    raised) produce no trial and do not count toward the exit window.
     """
     candidates = list(candidates)
     if not candidates:
@@ -141,8 +197,15 @@ def early_exit_search(
     k = max(1, k)
     trials: List[TuningTrial] = []
     best: Optional[TuningTrial] = None
+    rejected = 0
     since_improvement = 0
     for index, config in enumerate(candidates):
+        if precheck is not None:
+            try:
+                precheck(config)
+            except Exception:
+                rejected += 1
+                continue
         cost = float(evaluate(config))
         trial = TuningTrial(config=config, cost=cost, index=index)
         trials.append(trial)
@@ -153,5 +216,8 @@ def early_exit_search(
             since_improvement += 1
             if since_improvement >= k:
                 break
-    assert best is not None
-    return TuningResult(best_config=best.config, best_cost=best.cost, trials=trials)
+    if best is None:
+        raise ValueError("the precheck rejected every candidate configuration")
+    return TuningResult(
+        best_config=best.config, best_cost=best.cost, trials=trials, rejected=rejected
+    )

@@ -216,6 +216,58 @@ class Stage:
             )
         loop.annotation = annotation
 
+    # -- verification -----------------------------------------------------
+    def verify(self) -> None:
+        """Check the schedule's structural invariants.
+
+        The lowering pass calls this on every scheduled candidate, so a
+        malformed schedule — duplicate or non-positive leaf loops, split /
+        fuse algebra that no longer covers the parent extents, a reduce loop
+        annotated parallel, or a dangling tensorize loop — is rejected
+        before the candidate is lowered, costed or executed.  Raises
+        :class:`ValueError` naming the offending loop.
+        """
+        seen = set()
+        for loop in self.leaf_vars:
+            if id(loop) in seen:
+                raise ValueError(f"duplicate leaf loop {loop.name!r} in schedule")
+            seen.add(id(loop))
+            if loop.extent <= 0:
+                raise ValueError(
+                    f"leaf loop {loop.name!r} has non-positive extent {loop.extent}"
+                )
+            if loop.is_reduce and loop.annotation == Annotation.PARALLEL:
+                raise ValueError(
+                    f"reduce loop {loop.name!r} is annotated parallel; "
+                    f"use split-reduction (rfactor) instead"
+                )
+        for rel in self.relations:
+            if isinstance(rel, _SplitRelation):
+                covered = rel.outer.extent * rel.factor
+                if covered < rel.parent.extent:
+                    raise ValueError(
+                        f"split of {rel.parent.name!r} covers only {covered} "
+                        f"of {rel.parent.extent} iterations"
+                    )
+                if (rel.outer.extent - 1) * rel.factor >= rel.parent.extent:
+                    raise ValueError(
+                        f"split of {rel.parent.name!r} overshoots: outer extent "
+                        f"{rel.outer.extent} x factor {rel.factor} leaves a "
+                        f"whole empty tile"
+                    )
+            elif isinstance(rel, _FuseRelation):
+                product = rel.outer.extent * rel.inner.extent
+                if rel.fused.extent != product:
+                    raise ValueError(
+                        f"fused loop {rel.fused.name!r} has extent "
+                        f"{rel.fused.extent}, expected {product}"
+                    )
+        if self.tensorize_loop is not None and self.tensorize_loop not in self.leaf_vars:
+            raise ValueError(
+                f"tensorize loop {self.tensorize_loop.name!r} is no longer a "
+                f"leaf of the schedule"
+            )
+
     # -- reconstruction ---------------------------------------------------
     def index_expressions(self) -> Dict[Var, Expr]:
         """Express every root axis variable in terms of the leaf loop variables.

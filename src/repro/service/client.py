@@ -334,6 +334,7 @@ class RemoteSession(TuningSession):
         candidates: Sequence,
         evaluate: Callable[[object], CostBreakdown],
         validate: Optional[Callable[[object], None]] = None,
+        precheck: Optional[Callable[[object], None]] = None,
     ) -> TuningRecord:
         key = self._record_key(key)
         record = self._lookup(key)
@@ -351,7 +352,7 @@ class RemoteSession(TuningSession):
                 self.server_tunes += 1
                 self.cache.insert(record)
                 return record
-        return self._search_and_record(key, candidates, evaluate, validate)
+        return self._search_and_record(key, candidates, evaluate, validate, precheck)
 
     # -- accounting ------------------------------------------------------------
     def summary(self) -> str:

@@ -122,10 +122,19 @@ class EngineStats:
 
 @dataclass
 class PlanStats:
-    """Compile-time facts about one :class:`ExecutablePlan`."""
+    """Compile-time facts about one :class:`ExecutablePlan`.
+
+    ``proved_nests`` counts nests whose every access the static bounds
+    analysis (:mod:`repro.analysis`) proved in-range; ``elided_checks``
+    counts the runtime guards (masked-gather/scatter clamps, accumulation
+    lane checks) the compiler skipped because a proof made them identity
+    operations.
+    """
 
     vector_nests: int = 0
     fallback_nests: int = 0
+    proved_nests: int = 0
+    elided_checks: int = 0
     fallback_reasons: List[str] = field(default_factory=list)
 
     @property
@@ -193,15 +202,19 @@ class _CompileCtx:
     affine decomposition.  ``clip`` clamps gather indices into range —
     enabled when a mask is active, because masked-out grid points may carry
     out-of-range addresses the scalar loop would never have touched.
+    ``env`` maps every bound variable to its static interval, letting the
+    compiler elide a clamp whose index is proven in-range at *every* grid
+    point (clipping an in-range index is the identity).
     """
 
-    __slots__ = ("rank", "vars", "order", "clip")
+    __slots__ = ("rank", "vars", "order", "clip", "env")
 
-    def __init__(self, rank, vars, order, clip=False):
+    def __init__(self, rank, vars, order, clip=False, env=None):
         self.rank = rank
         self.vars = vars
         self.order = order
         self.clip = clip
+        self.env = env
 
 
 # ---------------------------------------------------------------------------
@@ -295,11 +308,12 @@ class _AccumStoreStep:
         "out_np",
         "out_bits",
         "is_int_out",
+        "check_lanes",
     )
 
     def __init__(
         self, stmt, tensor, value_fn, combiner, idx_dp, grid, perm, dp_shape,
-        mask_m, sel, rank, out_np, out_bits, is_int_out,
+        mask_m, sel, rank, out_np, out_bits, is_int_out, check_lanes=True,
     ) -> None:
         self.stmt = stmt
         self.tensor = tensor
@@ -315,6 +329,7 @@ class _AccumStoreStep:
         self.out_np = out_np
         self.out_bits = out_bits
         self.is_int_out = is_int_out
+        self.check_lanes = check_lanes
 
     def _to_folded(self, a):
         """Reshape a grid-broadcastable array to (dp..., K) in loop order."""
@@ -325,7 +340,7 @@ class _AccumStoreStep:
     def run(self, bufs, stats) -> None:
         buf = _get_buf(bufs, self.tensor)
         vals = self.value_fn(bufs)
-        if np.ndim(vals) > self.rank:
+        if self.check_lanes and np.ndim(vals) > self.rank:
             raise Unvectorizable("accumulating store over vector lanes")
         vals_m = self._to_folded(vals)
         mask_m = self.mask_m
@@ -770,8 +785,30 @@ class ExecutablePlan:
 # ---------------------------------------------------------------------------
 
 
+# The static verification tier, bound on first plan compile.  The analysis
+# package imports repro.tir.stmt at module level, so a module-level import
+# here would make the pair unimportable from the analysis side
+# (``python -m repro.analysis`` loads repro.analysis before repro.tir).
+check_nest_bounds = None
+_AnalysisNest = None
+_Interval = None
+_expr_interval = None
+
+
+def _bind_analysis() -> None:
+    global check_nest_bounds, _AnalysisNest, _Interval, _expr_interval
+    if _Interval is not None:
+        return
+    from ..analysis.bounds import check_nest_bounds as _cnb
+    from ..analysis.framework import Nest as _nest
+    from ..analysis.interval import Interval as _iv, expr_interval as _ei
+
+    check_nest_bounds, _AnalysisNest, _Interval, _expr_interval = _cnb, _nest, _iv, _ei
+
+
 class _PlanCompiler:
     def __init__(self, func: PrimFunc, strict: bool = False) -> None:
+        _bind_analysis()
         self.func = func
         self.strict = strict
         self.steps: list = []
@@ -840,7 +877,29 @@ class _PlanCompiler:
         vars = {
             var: _axis_array(i, extent, rank) for i, (var, extent) in enumerate(axes)
         }
-        return _CompileCtx(rank, vars, tuple(var for var, _ in axes), clip)
+        env = {var: _Interval(0, extent - 1) for var, extent in axes}
+        return _CompileCtx(rank, vars, tuple(var for var, _ in axes), clip, env)
+
+    def _count_proof(self, nest, axes, guards, body) -> None:
+        """Record whether the static bounds analysis proves this nest safe
+        (guard-refined proofs included) — surfaced as ``PlanStats.proved_nests``."""
+        proof, _diags = check_nest_bounds(
+            _AnalysisNest(nest, list(axes), list(guards), body)
+        )
+        if proof.bounds_proved:
+            self.stats.proved_nests += 1
+
+    def _clip_elidable(self, i_expr: E.Expr, extent: int, ctx: _CompileCtx) -> bool:
+        """Whether the protective clamp on this index dimension is provably
+        the identity: the static interval of the index stays inside
+        ``[0, extent)`` at every grid point, masked ones included."""
+        if ctx.env is None:
+            return False
+        iv = _expr_interval(i_expr, ctx.env)
+        if iv is not None and iv.within(0, extent - 1):
+            self.stats.elided_checks += 1
+            return True
+        return False
 
     # -- static (buffer-independent) evaluation -----------------------------
     def _static_index(self, expr: E.Expr, ctx: _CompileCtx):
@@ -972,7 +1031,12 @@ class _PlanCompiler:
         for j, ax in enumerate(expr.axes):
             sub_vars[ax.var] = _axis_array(ctx.rank + j, ax.extent, sub_rank)
         order = ctx.order + tuple(ax.var for ax in expr.axes)
-        return _CompileCtx(sub_rank, sub_vars, order, ctx.clip)
+        env = None
+        if ctx.env is not None:
+            env = dict(ctx.env)
+            for ax in expr.axes:
+                env[ax.var] = _Interval(0, ax.extent - 1)
+        return _CompileCtx(sub_rank, sub_vars, order, ctx.clip, env)
 
     @staticmethod
     def _fold_reduce(expr: E.Reduce, src, rank: int, sub_rank: int):
@@ -1171,9 +1235,9 @@ class _PlanCompiler:
                 point = tuple(int(i) for i in idx)
                 return lambda bufs: _get_buf(bufs, tensor)[point]
             arrays = []
-            for i, d in zip(idx, tensor.shape):
+            for i_expr, i, d in zip(expr.indices, idx, tensor.shape):
                 a = np.asarray(i)
-                if ctx.clip:
+                if ctx.clip and not self._clip_elidable(i_expr, d, ctx):
                     a = np.clip(a, 0, d - 1)
                 arrays.append(a)
             gather = tuple(arrays)
@@ -1181,6 +1245,10 @@ class _PlanCompiler:
         # Indirect addressing: index expressions themselves read buffers.
         idx_fns = [self._compile_value(i, ctx) for i in expr.indices]
         rank, clip = ctx.rank, ctx.clip
+        elided = [
+            clip and self._clip_elidable(i_expr, d, ctx)
+            for i_expr, d in zip(expr.indices, tensor.shape)
+        ]
 
         def fn_load(bufs):
             buf = _get_buf(bufs, tensor)
@@ -1188,9 +1256,9 @@ class _PlanCompiler:
             if all(np.ndim(i) == 0 for i in idx):
                 return buf[tuple(int(i) for i in idx)]
             arrays = []
-            for i, d in zip(idx, buf.shape):
+            for i, d, skip in zip(idx, buf.shape, elided):
                 a = np.asarray(i)
-                if clip:
+                if clip and not skip:
                     a = np.clip(a, 0, d - 1)
                 arrays.append(a)
             return buf[tuple(arrays)]
@@ -1207,6 +1275,7 @@ class _PlanCompiler:
         mask = self._static_mask(guards, ctx)
         if mask is False:
             return _DeadStep(nest)
+        self._count_proof(nest, axes, guards, store)
 
         acc = self._match_accumulation(store)
         try:
@@ -1214,10 +1283,15 @@ class _PlanCompiler:
         except _Dynamic:
             raise Unvectorizable("store indices read tensor contents")
         if mask is not None:
-            idx = [
-                np.clip(np.asarray(i), 0, d - 1) if np.ndim(i) else min(max(int(i), 0), d - 1)
-                for i, d in zip(idx, store.tensor.shape)
-            ]
+            clipped = []
+            for i_expr, i, d in zip(store.indices, idx, store.tensor.shape):
+                if self._clip_elidable(i_expr, d, ctx):
+                    clipped.append(i)
+                elif np.ndim(i):
+                    clipped.append(np.clip(np.asarray(i), 0, d - 1))
+                else:
+                    clipped.append(min(max(int(i), 0), d - 1))
+            idx = clipped
 
         if acc is None:
             value_fn = self._compile_value(store.value, ctx)
@@ -1226,6 +1300,15 @@ class _PlanCompiler:
         rest_expr, combiner = acc
         if any(np.ndim(i) > rank for i in idx):
             raise Unvectorizable("accumulating store over vector lanes")
+        # Lane check: with no vector constructor anywhere in the folded
+        # value, the compiled closure can never grow a lane axis — the
+        # runtime ndim re-check is dead and the step skips it.
+        check_lanes = any(
+            isinstance(n, (E.Ramp, E.Broadcast, E.Shuffle))
+            for n in E.post_order(rest_expr)
+        )
+        if not check_lanes:
+            self.stats.elided_checks += 1
         dep: set = set()
         for i_expr in store.indices:
             dep.update(E.free_vars(i_expr))
@@ -1264,6 +1347,7 @@ class _PlanCompiler:
             out_np,
             store.tensor.dtype.bits,
             store.tensor.dtype.is_integer,
+            check_lanes,
         )
 
     def _match_accumulation(self, store: Store):
@@ -1316,6 +1400,7 @@ class _PlanCompiler:
         mask = self._static_mask(guards, ctx)
         if mask is False:
             return _DeadStep(nest)
+        self._count_proof(nest, axes, guards, call)
 
         intrin = call.intrin
         iaxes = call.axes
@@ -1325,14 +1410,22 @@ class _PlanCompiler:
         fvars = {v: a.reshape(a.shape + (1,) * m) for v, a in ctx.vars.items()}
         for j, ax in enumerate(iaxes):
             fvars[ax.var] = _axis_array(rank + j, ax.extent, full_rank)
+        fenv = dict(ctx.env)
+        for ax in iaxes:
+            fenv[ax.var] = _Interval(0, ax.extent - 1)
         fctx = _CompileCtx(
-            full_rank, fvars, ctx.order + tuple(ax.var for ax in iaxes), clip=False
+            full_rank,
+            fvars,
+            ctx.order + tuple(ax.var for ax in iaxes),
+            clip=False,
+            env=fenv,
         )
         ictx = _CompileCtx(
             m,
             {ax.var: _axis_array(j, ax.extent, m) for j, ax in enumerate(iaxes)},
             tuple(ax.var for ax in iaxes),
             clip=False,
+            env={ax.var: _Interval(0, ax.extent - 1) for ax in iaxes},
         )
 
         out_b = call.output
@@ -1436,8 +1529,12 @@ class _PlanCompiler:
             pidx = eff_sliced(prog_idx[bi], bi)
             if mask is not None:
                 pidx = [
-                    np.clip(np.asarray(i), 0, d - 1)
-                    for i, d in zip(pidx, b.program_tensor.shape)
+                    i
+                    if self._clip_elidable(i_expr, d, fctx)
+                    else np.clip(np.asarray(i), 0, d - 1)
+                    for i_expr, i, d in zip(
+                        b.program_indices, pidx, b.program_tensor.shape
+                    )
                 ]
             gather_idx[bi] = pidx
 

@@ -151,6 +151,7 @@ def lower(sched_or_op, name: Optional[str] = None) -> PrimFunc:
         stage = schedule.stage
     op = stage.op
     func_name = name or op.name
+    stage.verify()
 
     index_map = stage.index_expressions()
     guards = stage.guards()

@@ -1,100 +1,13 @@
-"""Structural verification of tensor-IR programs.
+"""Structural verification of tensor-IR programs — thin alias.
 
-Checks the invariants the paper relies on (Section II-C.3): canonical loops,
-no variable shadowing, all loads/stores referring to buffers that are either
-parameters or allocated in scope, and every tensorize pragma wrapping a
-perfectly nested loop region.
+The pass now lives in :mod:`repro.analysis.structure`, folded into the
+static verification tier alongside the bounds/overlap/dtype passes (and
+extended with vector-lane and intrinsic-region-read checks).  This module
+keeps the historical ``repro.tir.verify`` entry point stable.
 """
 
 from __future__ import annotations
 
-from typing import List, Set
-
-from ..dsl import expr as E
-from ..dsl.tensor import Tensor
-from .lower import PrimFunc
-from .stmt import (
-    Allocate,
-    AttrStmt,
-    Evaluate,
-    For,
-    IfThenElse,
-    IntrinsicCall,
-    SeqStmt,
-    Stmt,
-    Store,
-)
+from ..analysis.structure import VerificationError, verify_structure as verify
 
 __all__ = ["VerificationError", "verify"]
-
-
-class VerificationError(Exception):
-    """Raised when a tensor-IR program violates a structural invariant."""
-
-
-def verify(func: PrimFunc) -> None:
-    """Verify ``func``; raises :class:`VerificationError` on the first violation."""
-    visible: Set[Tensor] = set(func.params)
-    bound_vars: Set[E.Var] = set()
-    _check(func.body, visible, bound_vars)
-
-
-def _check(stmt: Stmt, visible: Set[Tensor], bound: Set[E.Var]) -> None:
-    if isinstance(stmt, For):
-        if stmt.var in bound:
-            raise VerificationError(f"loop variable {stmt.var.name!r} is shadowed")
-        if stmt.extent <= 0:
-            raise VerificationError("loop extent must be positive")
-        _check(stmt.body, visible, bound | {stmt.var})
-    elif isinstance(stmt, SeqStmt):
-        for s in stmt.stmts:
-            _check(s, visible, bound)
-    elif isinstance(stmt, IfThenElse):
-        _check_expr(stmt.condition, visible, bound)
-        _check(stmt.then_case, visible, bound)
-        if stmt.else_case is not None:
-            _check(stmt.else_case, visible, bound)
-    elif isinstance(stmt, AttrStmt):
-        _check(stmt.body, visible, bound)
-    elif isinstance(stmt, Allocate):
-        _check(stmt.body, visible | {stmt.tensor}, bound)
-    elif isinstance(stmt, Store):
-        if stmt.tensor not in visible:
-            raise VerificationError(f"store into unknown buffer {stmt.tensor.name!r}")
-        for idx in stmt.indices:
-            _check_expr(idx, visible, bound)
-        _check_expr(stmt.value, visible, bound)
-    elif isinstance(stmt, Evaluate):
-        _check_expr(stmt.expr, visible, bound)
-    elif isinstance(stmt, IntrinsicCall):
-        for binding in list(stmt.inputs) + [stmt.output]:
-            if binding.program_tensor not in visible:
-                raise VerificationError(
-                    f"intrinsic operand uses unknown buffer "
-                    f"{binding.program_tensor.name!r}"
-                )
-            intrin_axis_vars = {ax.var for ax in stmt.axes}
-            for idx in binding.program_indices:
-                for var in E.free_vars(idx):
-                    if var not in bound and var not in intrin_axis_vars:
-                        raise VerificationError(
-                            f"intrinsic operand index uses unbound variable {var.name!r}"
-                        )
-    else:
-        raise VerificationError(f"unknown statement type {type(stmt).__name__}")
-
-
-def _check_expr(expr: E.Expr, visible: Set[Tensor], bound: Set[E.Var]) -> None:
-    if isinstance(expr, E.Var):
-        if expr not in bound:
-            raise VerificationError(f"use of unbound variable {expr.name!r}")
-        return
-    if isinstance(expr, E.Reduce):
-        # Reduce axes bind their own variables inside the source.
-        _check_expr(expr.source, visible, bound | {ax.var for ax in expr.axes})
-        return
-    if isinstance(expr, E.TensorLoad):
-        if expr.tensor not in visible:
-            raise VerificationError(f"load from unknown buffer {expr.tensor.name!r}")
-    for child in expr.children:
-        _check_expr(child, visible, bound)

@@ -1,0 +1,102 @@
+"""``python -m repro.analysis`` — exit codes, strictness and JSON output.
+
+The sweep itself (16 Table-1 tensorizations) is exercised end-to-end in the
+``static-analysis`` CI job; here the fixture funcs are injected through
+``sweep_funcs`` so the CLI contract — exit status, strict mode, the JSON
+schema the job archives — is pinned without rebuilding the full table.
+"""
+
+import json
+
+import pytest
+
+import repro.analysis.__main__ as cli
+from repro.core import tensorize
+from repro.tir import lower
+from repro.tir.lower import PrimFunc
+from tests.conftest import small_conv_hwc, small_matmul_int8
+
+
+@pytest.fixture
+def clean_funcs(monkeypatch):
+    funcs = [
+        ("fixture", lower(small_conv_hwc())),
+        ("fixture", tensorize(small_matmul_int8(), "x86.avx512.vpdpbusd").func),
+    ]
+    monkeypatch.setattr(cli, "sweep_funcs", lambda **kw: funcs)
+    return funcs
+
+
+@pytest.fixture
+def failing_funcs(monkeypatch):
+    from repro.tir import SeqStmt
+
+    good = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+    assert isinstance(good.body, SeqStmt)
+    bad = PrimFunc(good.name, good.params, good.body.stmts[1], good.op)
+    monkeypatch.setattr(
+        cli, "sweep_funcs", lambda **kw: [("fixture", lower(small_conv_hwc())), ("bad", bad)]
+    )
+    return bad
+
+
+class TestExitCodes:
+    def test_clean_sweep_exits_zero(self, clean_funcs, capsys):
+        assert cli.main([]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed 2 function(s)" in out
+        assert "0 failure(s)" in out
+
+    def test_strict_clean_sweep_exits_zero(self, clean_funcs):
+        assert cli.main(["--strict"]) == 0
+
+    def test_unsafe_function_fails_sweep(self, failing_funcs, capsys):
+        assert cli.main([]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "uninitialized accumulator" in out
+
+    def test_quiet_only_prints_failures(self, clean_funcs, capsys):
+        assert cli.main(["-q"]) == 0
+        out = capsys.readouterr().out
+        assert "fixture/" not in out  # per-function lines suppressed
+        assert "analyzed 2 function(s)" in out
+
+
+class TestJsonReport:
+    def test_report_schema(self, clean_funcs, tmp_path):
+        path = tmp_path / "report.json"
+        assert cli.main(["--strict", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        summary = payload["summary"]
+        assert summary["strict"] is True
+        assert summary["functions"] == 2
+        assert summary["failed"] == 0
+        assert summary["proved_nests"] == summary["nests"] > 0
+        assert summary["analyze_seconds"] >= 0
+        assert len(payload["reports"]) == 2
+        for entry in payload["reports"]:
+            assert entry["ok"] is True
+            assert entry["origin"] == "fixture"
+            assert entry["elapsed_ms"] >= 0
+            assert entry["proved_nests"] == entry["total_nests"]
+
+    def test_failures_recorded_in_json(self, failing_funcs, tmp_path):
+        path = tmp_path / "report.json"
+        assert cli.main(["--json", str(path)]) == 1
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["failed"] == 1
+        bad = [e for e in payload["reports"] if not e["ok"]]
+        assert len(bad) == 1
+        assert any(
+            "uninitialized" in d["message"] for d in bad[0]["diagnostics"]
+        )
+
+
+class TestRealSweepEntry:
+    def test_sweep_funcs_builds_table1(self):
+        """The genuine (unpatched) sweep tensorizes all 16 Table-1 layers."""
+        funcs = cli.sweep_funcs()
+        assert len(funcs) == 16
+        origins = {origin for origin, _ in funcs}
+        assert origins == {"table1"}

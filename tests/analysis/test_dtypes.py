@@ -1,0 +1,82 @@
+"""Dtype & overflow lint: accumulation chains and narrowing casts.
+
+Everything this pass reports is a *warning*: overflow is a property of the
+program's declared semantics (the scalar reference wraps identically), so
+a finding must never reject a rewrite — the last test pins exactly that.
+"""
+
+from repro.analysis import analyze, analyze_dtypes, verify_rewrite
+from repro.core import tensorize
+from repro.dsl import cast, compute, placeholder, reduce_axis, sum_reduce
+from repro.tir import lower
+from tests.conftest import small_conv_hwc
+
+
+def _int16_matmul(m=4, n=16, k=32):
+    """The vpdpwssd shape: int16 inputs, int32 accumulator — a worst-case
+    chain of k products of 32767^2 overflows int32."""
+    a = placeholder((m, k), "int16", "A")
+    b = placeholder((n, k), "int16", "B")
+    rk = reduce_axis(0, k, "rk")
+    return compute(
+        (m, n),
+        lambda i, j: sum_reduce(cast("int32", a[i, rk]) * cast("int32", b[j, rk]), rk),
+        name="mm_i16",
+    )
+
+
+class TestAccumulationChains:
+    def test_uint8_conv_within_budget(self):
+        """255 * 127 * 72 rounds is ~2.3M — comfortably inside int32."""
+        assert analyze_dtypes(lower(small_conv_hwc())) == []
+
+    def test_int16_scalar_chain_warns(self):
+        diags = analyze_dtypes(lower(_int16_matmul()))
+        assert diags
+        assert all(d.severity == "warning" for d in diags)
+        assert any("overflow int32" in d.message for d in diags)
+
+    def test_int16_intrinsic_chain_warns(self):
+        result = tensorize(_int16_matmul(), "x86.avx512.vpdpwssd")
+        diags = analyze_dtypes(result.func)
+        assert any(
+            d.severity == "warning" and "vpdpwssd" in d.message for d in diags
+        )
+
+    def test_float_stores_not_linted(self):
+        a = placeholder((4, 8), "float32", "a")
+        rk = reduce_axis(0, 8, "rk")
+        out = compute((4,), lambda i: sum_reduce(a[i, rk], rk), name="fsum")
+        assert analyze_dtypes(lower(out)) == []
+
+
+class TestNarrowingCasts:
+    def test_narrowing_cast_flagged(self):
+        a = placeholder((8,), "int32", "a")
+        out = compute((8,), lambda i: cast("int8", a[i]), name="narrow")
+        diags = analyze_dtypes(lower(out))
+        assert any(
+            d.severity == "warning" and "narrowing cast to int8" in d.message
+            for d in diags
+        )
+
+    def test_widening_cast_clean(self):
+        a = placeholder((8,), "int8", "a")
+        out = compute((8,), lambda i: cast("int32", a[i]), name="widen")
+        assert analyze_dtypes(lower(out)) == []
+
+
+class TestWarningsAreNotErrors:
+    def test_overflow_does_not_reject_rewrite(self):
+        """A legitimate int16 workload must pass verify_rewrite despite the
+        overflow warning — dtype findings are lint, not soundness."""
+        result = tensorize(_int16_matmul(), "x86.avx512.vpdpwssd")
+        verify_rewrite(result.func)  # must not raise
+
+        report = analyze(result.func)
+        assert report.warnings and not report.errors
+        assert report.ok(strict=True)  # warnings don't break strict either
+
+    def test_diagnostics_name_their_nest(self):
+        diags = analyze_dtypes(lower(_int16_matmul()))
+        assert diags and all(d.nest for d in diags)

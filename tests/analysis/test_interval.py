@@ -1,0 +1,173 @@
+"""Interval arithmetic, quasi-affine linearization and guard refinement.
+
+These are the primitives every analysis pass builds on, so the tests pin
+their contracts directly: sound (never too narrow) intervals, atom-based
+decomposition of fused ``//``/``%`` indices, and the residue-guard
+refinement that proves imperfect-split accesses in-bounds.
+"""
+
+import pytest
+
+from repro.analysis import (
+    Interval,
+    affine_interval,
+    expr_interval,
+    loop_env,
+    prove_in_range,
+    refine_with_guards,
+)
+from repro.analysis.interval import atom_interval, atom_root, linearize
+from repro.dsl import placeholder
+from repro.dsl.expr import Var
+
+
+class TestIntervalArithmetic:
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_add_sub(self):
+        a, b = Interval(1, 4), Interval(-2, 3)
+        assert a + b == Interval(-1, 7)
+        assert a - b == Interval(-2, 6)
+
+    def test_mul_takes_corner_extrema(self):
+        assert Interval(-2, 3) * Interval(-5, 4) == Interval(-15, 12)
+
+    def test_scaled_negative_flips(self):
+        assert Interval(1, 4).scaled(-2) == Interval(-8, -2)
+
+    def test_floordiv_undefined_across_zero(self):
+        assert Interval(0, 8).floordiv(Interval(-1, 1)) is None
+        assert Interval(0, 8).floordiv(Interval(2, 2)) == Interval(0, 4)
+
+    def test_mod_constant_positive_only(self):
+        assert Interval(0, 100).mod(Interval(8, 8)) == Interval(0, 7)
+        # Already-reduced values keep their tighter bound.
+        assert Interval(2, 5).mod(Interval(8, 8)) == Interval(2, 5)
+        assert Interval(0, 8).mod(Interval(0, 8)) is None
+
+    def test_within_and_width(self):
+        assert Interval(0, 6).within(0, 6)
+        assert not Interval(0, 7).within(0, 6)
+        assert Interval(2, 9).width == 7
+
+
+class TestAffineAndExprIntervals:
+    def test_affine_combination(self):
+        i, j = Var("i"), Var("j")
+        env = loop_env([(i, 4), (j, 8)])
+        assert affine_interval(i * 8 + j, env) == Interval(0, 31)
+
+    def test_negative_stride_index(self):
+        """A reversed index ``(E-1) - i`` stays inside [0, E-1]."""
+        i = Var("i")
+        env = loop_env([(i, 8)])
+        iv = expr_interval(7 - i, env)
+        assert iv == Interval(0, 7)
+        proved, used_guard, _ = prove_in_range(7 - i, 8, env)
+        assert proved and not used_guard
+        # ...and an off-by-one reversal is *not* provable.
+        proved, _, iv = prove_in_range(8 - i, 8, env)
+        assert not proved
+        assert iv == Interval(1, 8)
+
+    def test_zero_extent_loop_rejected(self):
+        """Empty iteration domains have no sound interval; the env builder
+        refuses them instead of fabricating one."""
+        with pytest.raises(ValueError):
+            loop_env([(Var("i"), 0)])
+
+    def test_data_dependent_index_unbounded(self):
+        """A load used as an index cannot be bounded (non-affine fallback)."""
+        a = placeholder((8,), "int32", "a")
+        i = Var("i")
+        env = loop_env([(i, 8)])
+        assert expr_interval(a[i], env) is None
+        proved, used_guard, iv = prove_in_range(a[i], 8, env)
+        assert not proved and not used_guard and iv is None
+
+
+class TestLinearize:
+    def test_plain_affine(self):
+        i, j = Var("i"), Var("j")
+        env = loop_env([(i, 4), (j, 8)])
+        coeffs, const, atom_env = linearize(i * 8 + j + 3, env)
+        assert coeffs == {i: 8, j: 1}
+        assert const == 3
+
+    def test_fused_div_mod_atoms(self):
+        """A fused index ``(f % 3) * 8 + f // 3`` decomposes over div/mod
+        atoms with exact bounds rather than falling back to hulls."""
+        f = Var("f")
+        env = loop_env([(f, 24)])
+        lin = linearize((f % 3) * 8 + f // 3, env)
+        assert lin is not None
+        coeffs, const, atom_env = lin
+        assert const == 0
+        by_shape = {}
+        for atom, c in coeffs.items():
+            assert atom_root(atom) is f
+            by_shape[atom[0]] = (c, atom_interval(atom, env.copy() | atom_env))
+        assert by_shape["mod"] == (8, Interval(0, 2))
+        assert by_shape["div"] == (1, Interval(0, 7))
+
+    def test_mod_refines_to_var_when_already_reduced(self):
+        """``f % 8`` with f in [0, 8) is f itself — no atom is minted."""
+        f = Var("f")
+        env = loop_env([(f, 8)])
+        coeffs, const, _ = linearize(f % 8, env)
+        assert coeffs == {f: 1} and const == 0
+
+    def test_div_of_reduced_var_is_constant_zero(self):
+        f = Var("f")
+        env = loop_env([(f, 8)])
+        coeffs, const, _ = linearize(f // 8, env)
+        assert coeffs == {} and const == 0
+
+    def test_products_of_variables_not_affine(self):
+        i = Var("i")
+        env = loop_env([(i, 8)])
+        assert linearize(i * i, env) is None
+
+
+class TestGuardRefinement:
+    def test_residue_guard_caps_split_index(self):
+        """The imperfect-split shape: extent 7 split by 4 gives
+        ``idx = 4*o + r`` with o in [0,1], r in [0,3] and the residue guard
+        ``4*o + r < 7``; the guard is exactly what proves idx < 7."""
+        o, r = Var("o"), Var("r")
+        env = loop_env([(o, 2), (r, 4)])
+        idx = o * 4 + r
+        base = expr_interval(idx, env)
+        assert base == Interval(0, 7)  # one past the end without the guard
+
+        refined, used = refine_with_guards(idx, base, [idx < 7], env)
+        assert used
+        assert refined == Interval(0, 6)
+
+        proved, used_guard, iv = prove_in_range(idx, 7, env, guards=[idx < 7])
+        assert proved and used_guard and iv.within(0, 6)
+        # Without the guard the access is not provable.
+        proved, _, _ = prove_in_range(idx, 7, env)
+        assert not proved
+
+    def test_guard_scales_through_strided_index(self):
+        """A load ``2*(4*o + r) + s`` under the same guard is capped at
+        ``2*6 + max(s)`` — the guard composes through the stride."""
+        o, r, s = Var("o"), Var("r"), Var("s")
+        env = loop_env([(o, 2), (r, 4), (s, 2)])
+        guard = o * 4 + r < 7
+        idx = (o * 4 + r) * 2 + s
+        proved, used_guard, iv = prove_in_range(idx, 14, env, guards=[guard])
+        assert proved and used_guard
+        assert iv == Interval(0, 13)
+
+    def test_unrelated_guard_does_not_tighten(self):
+        o, r, z = Var("o"), Var("r"), Var("z")
+        env = loop_env([(o, 2), (r, 4), (z, 3)])
+        idx = o * 4 + r
+        refined, used = refine_with_guards(idx, expr_interval(idx, env), [z < 2], env)
+        assert not used
+        proved, _, _ = prove_in_range(idx, 7, env, guards=[z < 2])
+        assert not proved

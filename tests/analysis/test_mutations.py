@@ -1,0 +1,155 @@
+"""Negative tests: known-good funcs mutated into unsafe variants.
+
+Each mutation takes the verified VNNI conv and injects exactly one defect —
+an out-of-bounds index, overlapping output tiles, an uninitialized
+accumulator — and :func:`repro.analysis.verify_rewrite` must reject it with
+a diagnostic precise enough to act on: the offending nest by name and the
+index expression (with its violating interval for bounds errors).
+"""
+
+import pytest
+
+from repro.analysis import AnalysisError, analyze, verify_rewrite
+from repro.core import tensorize
+from repro.dsl import expr as E
+from repro.tir import SeqStmt, StmtMutator, Store, collect
+from repro.tir.lower import PrimFunc
+from repro.tir.stmt import IntrinsicCall, OperandBinding
+from tests.conftest import small_conv_hwc
+
+
+def _good_func():
+    return tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+
+
+def _with_body(func, body):
+    return PrimFunc(func.name, func.params, body, func.op)
+
+
+class _BumpStoreIndex(StmtMutator):
+    """``t[x, ...] = v``  ->  ``t[x+1, ...] = v`` on the first store."""
+
+    def __init__(self):
+        self.done = False
+
+    def mutate_store(self, stmt):
+        if self.done:
+            return stmt
+        self.done = True
+        indices = [stmt.indices[0] + 1, *stmt.indices[1:]]
+        return Store(stmt.tensor, indices, stmt.value)
+
+    def mutate(self, stmt):
+        if isinstance(stmt, Store):
+            return self.mutate_store(stmt)
+        return super().mutate(stmt)
+
+
+class _SkewIntrinsicOutput(StmtMutator):
+    """Rewrite ``var -> repl`` inside every binding touching the output."""
+
+    def __init__(self, var, repl):
+        self.map = {var: repl}
+
+    def mutate(self, stmt):
+        if not isinstance(stmt, IntrinsicCall):
+            return super().mutate(stmt)
+        out_b = stmt.output
+
+        def rebind(b):
+            return OperandBinding(
+                b.intrin_tensor,
+                b.intrin_indices,
+                b.program_tensor,
+                tuple(E.substitute(i, self.map) for i in b.program_indices),
+            )
+
+        inputs = [
+            rebind(b) if b.program_tensor is out_b.program_tensor else b
+            for b in stmt.inputs
+        ]
+        return IntrinsicCall(
+            stmt.intrin, inputs, rebind(out_b), stmt.axes, reads_output=stmt.reads_output
+        )
+
+
+def _axis_var(func, name):
+    for store in collect(func.body, lambda s: isinstance(s, IntrinsicCall)):
+        for idx in store.output.program_indices:
+            for var in E.free_vars(idx):
+                if var.name == name:
+                    return var
+    raise AssertionError(f"no axis {name!r} addresses the output")
+
+
+class TestBaseline:
+    def test_unmutated_func_verifies(self):
+        verify_rewrite(_good_func())  # the control: no defect, no rejection
+
+
+class TestOutOfBounds:
+    def test_bumped_index_rejected_with_interval(self):
+        func = _good_func()
+        mutated = _with_body(func, _BumpStoreIndex().mutate(func.body))
+        with pytest.raises(AnalysisError) as exc:
+            verify_rewrite(mutated)
+        diags = exc.value.diagnostics
+        bounds = [d for d in diags if d.pass_name == "bounds" and d.severity == "error"]
+        assert bounds
+        d = bounds[0]
+        # Precise: names the store nest, the index expression and the
+        # violating interval (x+1 over x in [0,5] reaches 6 in extent 6).
+        assert "store[conv]" in d.nest
+        assert d.index_expr is not None and "+ 1" in d.index_expr
+        assert d.interval == (1, 6)
+        assert "[0, 5]" in d.message
+
+    def test_oob_report_counts_unproved_nest(self):
+        func = _good_func()
+        mutated = _with_body(func, _BumpStoreIndex().mutate(func.body))
+        report = analyze(mutated)
+        assert not report.ok()
+        assert report.proved_nests < report.total_nests
+
+
+class TestOverlap:
+    def test_collapsed_batch_axis_rejected(self):
+        func = _good_func()
+        y = _axis_var(func, "y")
+        mutated = _with_body(func, _SkewIntrinsicOutput(y, y // 2).mutate(func.body))
+        with pytest.raises(AnalysisError) as exc:
+            verify_rewrite(mutated)
+        overlap = [
+            d
+            for d in exc.value.diagnostics
+            if d.pass_name == "overlap" and d.severity == "error"
+        ]
+        assert overlap
+        d = overlap[0]
+        assert "write-write hazard" in d.message
+        assert "intrinsic[x86.avx512.vpdpbusd]" in d.nest
+        assert d.index_expr is not None and "y" in d.index_expr
+
+
+class TestUninitialized:
+    def test_dropped_init_nest_rejected(self):
+        func = _good_func()
+        assert isinstance(func.body, SeqStmt)
+        mutated = _with_body(func, func.body.stmts[1])
+        with pytest.raises(AnalysisError) as exc:
+            verify_rewrite(mutated)
+        assert any(
+            "uninitialized accumulator" in d.message and d.severity == "error"
+            for d in exc.value.diagnostics
+        )
+        assert any("intrinsic" in d.nest for d in exc.value.diagnostics)
+
+
+class TestDiagnosticFormat:
+    def test_format_carries_nest_and_expression(self):
+        func = _good_func()
+        mutated = _with_body(func, _BumpStoreIndex().mutate(func.body))
+        with pytest.raises(AnalysisError) as exc:
+            verify_rewrite(mutated)
+        text = str(exc.value)
+        assert "store[conv]" in text and "bounds" in text

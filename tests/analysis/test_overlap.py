@@ -1,0 +1,149 @@
+"""Overlap & dependence analysis: tile disjointness and hazard detection.
+
+Positive proofs run over real tensorized funcs — the VNNI conv (scalar
+batch axes), and the WMMA matmul whose 16x16 box tiles interleave in the
+flattened address space and therefore exercise the per-dimension
+disjointness fallback.  Negative cases rebuild the intrinsic call with a
+corrupted operand binding and must flip the proof, not merely warn.
+"""
+
+import pytest
+
+from repro.analysis import analyze, analyze_overlap, check_nest_overlap, iter_nests
+from repro.core import tensorize
+from repro.dsl import expr as E
+from repro.tir.stmt import IntrinsicCall, OperandBinding
+from tests.conftest import small_conv_hwc, small_matmul_fp16
+
+
+def _intrinsic_nest(func):
+    nests = [n for n in iter_nests(func) if isinstance(n.body, IntrinsicCall)]
+    assert len(nests) == 1
+    return nests[0]
+
+
+def _axis(nest, name):
+    for var, _ in nest.axes:
+        if var.name == name:
+            return var
+    raise AssertionError(f"no axis named {name!r} in {nest.name}")
+
+
+def _rebind(call, mutate_output, mutate_acc_read):
+    """Rebuild ``call`` transforming the bindings that touch its output."""
+    out_b = call.output
+    new_out = OperandBinding(
+        out_b.intrin_tensor,
+        out_b.intrin_indices,
+        out_b.program_tensor,
+        tuple(mutate_output(i) for i in out_b.program_indices),
+    )
+    new_inputs = []
+    for b in call.inputs:
+        if b.program_tensor is out_b.program_tensor:
+            b = OperandBinding(
+                b.intrin_tensor,
+                b.intrin_indices,
+                b.program_tensor,
+                tuple(mutate_acc_read(i) for i in b.program_indices),
+            )
+        new_inputs.append(b)
+    return IntrinsicCall(
+        call.intrin, new_inputs, new_out, call.axes, reads_output=call.reads_output
+    )
+
+
+class TestDisjointnessProofs:
+    def test_vnni_conv_tiles_disjoint(self):
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        results, diags = analyze_overlap(func)
+        assert not diags
+        # One store nest (not applicable) and one intrinsic nest (proved).
+        assert results.count(True) == 1 and results.count(None) == 1
+
+    def test_reduction_rounds_are_not_hazards(self):
+        """Axes absent from the output address (r, s, rc.o) are sequential
+        accumulation rounds, not parallel writers — no diagnostic."""
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        nest = _intrinsic_nest(func)
+        addr_vars = set()
+        for idx in nest.body.output.program_indices:
+            addr_vars.update(E.free_vars(idx))
+        assert any(var not in addr_vars for var, _ in nest.axes)
+        disjoint, diags = check_nest_overlap(nest)
+        assert disjoint is True and not diags
+
+    def test_wmma_box_tiles_use_per_dimension_fallback(self):
+        """The 16x16 WMMA tile interleaves with its neighbours in the
+        flattened address space (row stride 32 > tile width 16), so only the
+        per-dimension argument proves disjointness — and it must."""
+        func = tensorize(
+            small_matmul_fp16(), "nvvm.wmma.m16n16k16.mma.row.row.f32.f32"
+        ).func
+        results, diags = analyze_overlap(func)
+        assert not [d for d in diags if d.severity == "error"]
+        assert True in results
+        assert analyze(func).ok(strict=True)
+
+
+class TestHazards:
+    def test_read_write_hazard_detected(self):
+        """Reading the accumulator at a different address than the write is
+        a cross-round hazard."""
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        nest = _intrinsic_nest(func)
+        y = _axis(nest, "y")
+        skew = lambda i: E.substitute(i, {y: y // 2})
+        bad = _rebind(nest.body, lambda i: i, skew)
+        nest.body = bad
+        disjoint, diags = check_nest_overlap(nest)
+        assert disjoint is False
+        assert any("read-write hazard" in d.message for d in diags)
+
+    def test_write_write_hazard_detected(self):
+        """Collapsing the y batch axis (y -> y//2) makes neighbouring rounds
+        write the same tile: disjointness must prove False, not None."""
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        nest = _intrinsic_nest(func)
+        y = _axis(nest, "y")
+        skew = lambda i: E.substitute(i, {y: y // 2})
+        nest.body = _rebind(nest.body, skew, skew)
+        disjoint, diags = check_nest_overlap(nest)
+        assert disjoint is False
+        assert any("write-write hazard" in d.message for d in diags)
+        assert all(d.severity == "error" for d in diags)
+
+    def test_data_dependent_address_is_undecidable_not_unsafe(self):
+        """A non-affine output address downgrades to a warning — the pass
+        must not claim either safety or a proven hazard."""
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        nest = _intrinsic_nest(func)
+        x = _axis(nest, "x")
+        data = func.params[0]
+        nonaffine = lambda i: E.substitute(i, {x: data[x, 0, 0]})
+        nest.body = _rebind(nest.body, nonaffine, nonaffine)
+        disjoint, diags = check_nest_overlap(nest)
+        assert disjoint is None
+        assert any(
+            d.severity == "warning" and "cannot decide" in d.message for d in diags
+        )
+
+
+class TestInitialization:
+    def test_uninitialized_accumulator_detected(self):
+        from repro.tir import SeqStmt
+        from repro.tir.lower import PrimFunc
+
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        assert isinstance(func.body, SeqStmt) and len(func.body.stmts) == 2
+        stripped = PrimFunc(func.name, func.params, func.body.stmts[1], func.op)
+        _, diags = analyze_overlap(stripped)
+        assert any(
+            d.severity == "error" and "uninitialized accumulator" in d.message
+            for d in diags
+        )
+
+    def test_initialized_accumulator_clean(self):
+        func = tensorize(small_conv_hwc(), "x86.avx512.vpdpbusd").func
+        _, diags = analyze_overlap(func)
+        assert not diags

@@ -231,3 +231,63 @@ class TestStoreConveniences:
         compile_model_batch([_toy_model()], targets=("x86",), session=session, workers=2)
         assert session.trials_run == 0  # every compile lookup hit the store
         assert session.store_hits > 0
+
+
+class TestStaticPrecheck:
+    """The static verification tier as the candidate-screening oracle."""
+
+    def test_precheck_built_only_when_validating(self):
+        from repro.core.pipeline import UnitCpuRunner
+        from repro.workloads import Conv2DParams
+
+        params = Conv2DParams(
+            in_channels=8, in_height=6, in_width=6, out_channels=16, kernel=3, name="p"
+        )
+        plain = UnitCpuRunner(tuning="first_pair")
+        assert plain._precheck("conv2d", params) is None
+        checking = UnitCpuRunner(tuning="first_pair", validate=True)
+        assert checking._precheck("conv2d", params) is not None
+
+    def test_sound_candidates_survive_the_precheck(self):
+        from repro.core.pipeline import UnitCpuRunner
+        from repro.workloads import Conv2DParams
+
+        runner = UnitCpuRunner(tuning="full", validate=True)
+        params = Conv2DParams(
+            in_channels=8, in_height=6, in_width=6, out_channels=16, kernel=3, name="ok"
+        )
+        cost = runner.conv2d_latency(params)
+        assert cost.seconds > 0
+        # Every candidate of the full space verifies: nothing rejected.
+        assert runner.session.candidates_rejected == 0
+
+    def test_rejected_candidates_counted_in_record(self):
+        from repro.core.pipeline import UnitCpuRunner
+        from repro.rewriter.loop_reorg import TensorizeError
+        from repro.workloads import Conv2DParams
+
+        class RejectFirst(UnitCpuRunner):
+            """Wrap the real precheck, vetoing the first candidate seen."""
+
+            def _precheck(self, kind, params):
+                real = super()._precheck(kind, params)
+                seen = []
+
+                def check(config):
+                    if not seen:
+                        seen.append(config)
+                        raise TensorizeError("injected precheck rejection")
+                    if real is not None:
+                        real(config)
+
+                return check
+
+        runner = RejectFirst(tuning="full", validate=True)
+        params = Conv2DParams(
+            in_channels=8, in_height=6, in_width=6, out_channels=16, kernel=3, name="rj"
+        )
+        cost = runner.conv2d_latency(params)
+        assert cost.seconds > 0
+        assert runner.session.candidates_rejected == 1
+        record = next(iter(runner.session.cache._records.values()))
+        assert record.result.rejected == 1
