@@ -18,28 +18,40 @@ sections:
 * **gc** — LRU eviction over the populated store, then a re-tune of one
   evicted key (a fresh search, proving memory and disk agree).
 
+A fifth section, ``--chaos``, is the fault-tolerance drill and runs alone:
+a *subprocess* primary daemon replicates into an in-process replica, a
+client warms half the slice, the primary is SIGKILLed mid-sweep, and the
+full sweep must finish from the replica — warm keys served without a single
+re-search, cold keys tuned exactly once on the replica, every record
+bit-identical to single-process tuning, and the killed primary's store
+auditing clean under ``fsck``.
+
 Run standalone to write ``BENCH_service.json`` (the CI ``service-smoke``
 job uploads it as an artifact)::
 
     PYTHONPATH=src python benchmarks/bench_service.py [--layers K] \
-        [--clients N] [-o OUT]
+        [--clients N] [--chaos] [-o OUT]
 
 Every integrity check is a hard ``assert`` — this script is the CI gate for
 the acceptance criterion that concurrent remote tuning is bit-identical to
-single-process tuning with each key searched at most once.
+single-process tuning with each key searched at most once, and (under
+``--chaos``) that killing the primary loses nothing.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
+import subprocess
 import sys
 import tempfile
 import threading
 import time
 
 from repro.core import UnitCpuRunner
-from repro.rewriter import TuningSession
+from repro.rewriter import ShardedTuningStore, TuningSession
 from repro.service import RemoteSession, ServiceClient, TuningService
 from repro.workloads.table1 import TABLE1_LAYERS
 
@@ -200,6 +212,151 @@ def bench_gc(root, layers, keep: int) -> dict:
             }
 
 
+def _spawn_primary(root: str) -> tuple:
+    """Launch ``python -m repro.service serve`` and parse its bound address."""
+    src = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve", "--root", root, "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        bufsize=1,
+        env=env,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"primary daemon exited: rc={proc.poll()}")
+        if "listening on " in line:
+            endpoint = line.split("listening on ", 1)[1].split(" over ", 1)[0]
+            host, _, port = endpoint.strip().rpartition(":")
+            return proc, (host, int(port))
+    proc.kill()
+    raise RuntimeError("primary daemon never reported its address")
+
+
+def bench_chaos_failover(root, layers, reference: dict) -> dict:
+    """SIGKILL the primary mid-sweep; the replica must carry the fleet.
+
+    Invariants asserted:
+
+    * the client fails over (never errors out) and finishes the sweep;
+    * keys warmed before the kill are *served*, not re-searched — zero
+      searches anywhere for them after the primary dies;
+    * cold keys are tuned exactly once, on the replica;
+    * every record is bit-identical to single-process tuning;
+    * the killed primary's store audits clean under ``fsck`` — SIGKILL at
+      an arbitrary instant tears no durable state.
+    """
+    primary_root = f"{root}/primary"
+    replica_root = f"{root}/replica"
+    proc, primary_addr = _spawn_primary(primary_root)
+    try:
+        warm_slice = layers[: max(1, len(layers) // 2)]
+        with TuningService(
+            replica_root,
+            speculative=False,
+            replicate_from=primary_addr,
+            sync_interval_s=0.1,
+        ) as replica:
+            # Phase 1: warm half the slice through the primary.
+            warm = RemoteSession(primary_addr, tune_timeout=120.0)
+            t0 = time.perf_counter()
+            _sweep(warm, warm_slice)
+            warm_s = time.perf_counter() - t0
+            warmed = warm.server_tunes
+            assert warm.searches_run == 0
+
+            # Phase 2: wait until the replica has pulled every warm record.
+            deadline = time.monotonic() + 30.0
+            applied = 0
+            while time.monotonic() < deadline:
+                with ServiceClient(replica.address, timeout=5.0) as probe:
+                    applied = probe.health()["replication"]["records_applied"]
+                if applied >= warmed:
+                    break
+                time.sleep(0.05)
+            assert applied >= warmed, (
+                f"replica stalled: {applied}/{warmed} records replicated"
+            )
+
+            # Phase 3: kill the primary dead — no drain, no goodbye.
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=30)
+
+            # Phase 4: a fresh client sweeps the FULL slice against the
+            # two-endpoint list; everything must come from the replica.
+            session = RemoteSession(
+                [primary_addr, replica.address],
+                retries=2,
+                timeout=5.0,
+                tune_timeout=120.0,
+            )
+            t0 = time.perf_counter()
+            _sweep(session, layers)
+            sweep_s = time.perf_counter() - t0
+
+            unique_keys = len(reference["_records"])
+            cold = unique_keys - warmed
+            assert session.client.failovers >= 1, "client never failed over"
+            assert session.searches_run == 0, (
+                f"client searched {session.searches_run} keys locally — "
+                "failover fell back instead of using the replica"
+            )
+            assert session.server_hits >= warmed, (
+                f"only {session.server_hits} warm hits for {warmed} warm keys "
+                "— records were lost in the failover"
+            )
+            assert replica.session.searches_run == cold, (
+                f"replica searched {replica.session.searches_run} keys for "
+                f"{cold} cold keys — work was lost or repeated"
+            )
+            mismatched = sum(
+                1
+                for key, expected in reference["_records"].items()
+                if session.cache.lookup(key).to_json() != expected
+            )
+            assert mismatched == 0, (
+                f"{mismatched} records diverged from single-process tuning"
+            )
+            replica_stats = replica.store.stats
+            assert replica_stats.corrupt_lines == 0
+            assert replica_stats.stale_records == 0
+
+        # Phase 5: the corpse's store must audit clean.
+        report = ShardedTuningStore(primary_root).fsck()
+        assert report["corrupt"] == 0, (
+            f"SIGKILL tore {report['corrupt']} durable lines in the primary store"
+        )
+        assert ShardedTuningStore(primary_root).fsck(quarantine=False)["clean"] == 1
+        return {
+            "layers": len(layers),
+            "warmed_keys": warmed,
+            "cold_keys": cold,
+            "warm_phase_s": warm_s,
+            "failover_sweep_s": sweep_s,
+            "failovers": session.client.failovers,
+            "client_searches": session.searches_run,
+            "replica_searches": replica.session.searches_run,
+            "server_hits": session.server_hits,
+            "mismatched_records": mismatched,
+            "primary_fsck": report,
+        }
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+
+
+def _sweep(session, layers):
+    runner = UnitCpuRunner(session=session)
+    for params in layers:
+        runner.conv2d_latency(params)
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -207,6 +364,11 @@ def main(argv=None) -> dict:
     )
     parser.add_argument(
         "--clients", type=int, default=4, help="concurrent remote clients"
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run only the failover drill: SIGKILL the primary mid-sweep",
     )
     parser.add_argument("-o", "--output", default="BENCH_service.json")
     args = parser.parse_args(argv)
@@ -217,6 +379,28 @@ def main(argv=None) -> dict:
         f"single process   : {single['elapsed_s'] * 1e3:8.1f} ms  "
         f"({single['searches']} searches, {single['trials']} trials)"
     )
+
+    if args.chaos:
+        with tempfile.TemporaryDirectory(prefix="bench_chaos.") as root:
+            chaos = bench_chaos_failover(root, layers, single)
+        print(
+            f"chaos failover   : {chaos['failover_sweep_s'] * 1e3:8.1f} ms  "
+            f"primary killed after {chaos['warmed_keys']} warm keys; "
+            f"{chaos['failovers']} failovers, "
+            f"{chaos['server_hits']} hits, "
+            f"{chaos['replica_searches']} replica searches, "
+            f"{chaos['mismatched_records']} mismatched"
+        )
+        single.pop("_records")
+        report = {
+            "benchmark": "tuning_service_chaos",
+            "single_process": single,
+            "chaos_failover": chaos,
+        }
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"wrote {args.output}")
+        return report
 
     with tempfile.TemporaryDirectory(prefix="bench_service.") as root:
         coalesced = bench_coalesced_clients(

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Fault-tolerance walkthrough: replication, failover, and recovery.
+
+PR 5's tuning service made one daemon serve a fleet; this PR makes the
+fleet survive the daemon.  This example:
+
+1. starts a **primary** ``TuningService`` and a **replica** that pulls the
+   primary's shard records over the wire (``replicate_from=``) — incremental
+   anti-entropy sync, every record re-validated through the same staleness
+   gate the store uses on disk;
+2. warms a Table I slice through the primary and watches the replica
+   converge (the ``health`` endpoint reports role and replication lag);
+3. **kills the primary without ceremony** (``kill()`` — the in-process
+   stand-in for ``kill -9``) and points a fresh two-endpoint
+   ``RemoteSession`` at the fleet: the client fails over to the replica and
+   every warm key is *served*, not re-tuned — zero searches anywhere;
+4. shows the unified :class:`~repro.retry.RetryPolicy` and the session's
+   circuit breaker degrading gracefully when *no* endpoint answers: the
+   sweep completes from local search, records land in the fallback store;
+5. audits every store with ``fsck`` — the kill tore nothing durable.
+
+Run:  PYTHONPATH=src python examples/fault_tolerance.py
+"""
+
+import os
+import tempfile
+import time
+
+from repro.core import UnitCpuRunner
+from repro.rewriter import ShardedTuningStore, TuningSession
+from repro.service import RemoteSession, ServiceClient, TuningService
+from repro.workloads.table1 import TABLE1_LAYERS
+
+SLICE = TABLE1_LAYERS[:4]
+
+
+def sweep(session, layers=SLICE):
+    runner = UnitCpuRunner(session=session)
+    for params in layers:
+        runner.conv2d_latency(params)
+
+
+def main() -> None:
+    base = tempfile.mkdtemp(prefix="unit_faults.")
+    primary_root = os.path.join(base, "primary")
+    replica_root = os.path.join(base, "replica")
+
+    # 1. A primary and a replica that tails it over the wire.
+    primary = TuningService(primary_root, speculative=False).start()
+    replica = TuningService(
+        replica_root,
+        speculative=False,
+        replicate_from=primary.address,
+        sync_interval_s=0.1,
+    ).start()
+    print("== Fleet ==")
+    print(f"  primary  {primary.address[0]}:{primary.address[1]} over {primary_root!r}")
+    print(f"  replica  {replica.address[0]}:{replica.address[1]} over {replica_root!r}")
+
+    # 2. Warm the slice through the primary; the replica converges behind it.
+    warm = RemoteSession(primary.address)
+    sweep(warm)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        with ServiceClient(replica.address) as probe:
+            health = probe.health()
+        if health["replication"]["records_applied"] >= len(SLICE):
+            break
+        time.sleep(0.05)
+    print("\n== Replication (health endpoint) ==")
+    print(f"  replica role            : {health['role']}")
+    print(f"  records applied         : {health['replication']['records_applied']}")
+    print(f"  replication lag         : {health['replication']['lag_s'] * 1e3:.1f} ms")
+    assert health["replication"]["records_applied"] >= len(SLICE)
+
+    # 3. Kill the primary dead and fail over.
+    primary.kill()
+    fleet = RemoteSession([primary.address, replica.address], retries=1, timeout=2.0)
+    t0 = time.perf_counter()
+    sweep(fleet)
+    elapsed = time.perf_counter() - t0
+    print("\n== Primary killed mid-fleet ==")
+    print(f"  warm sweep after kill   : {elapsed * 1e3:.1f} ms")
+    print(f"  failovers               : {fleet.client.failovers}")
+    print(f"  server hits (replica)   : {fleet.server_hits} / {len(SLICE)}")
+    print(f"  searches anywhere       : {fleet.searches_run + replica.session.searches_run}")
+    assert fleet.client.failovers >= 1
+    assert fleet.server_hits == len(SLICE)
+    assert fleet.searches_run == 0 and replica.session.searches_run == 0
+
+    # Bit-identical to single-process tuning, through death and failover.
+    reference = TuningSession()
+    sweep(reference)
+    identical = all(
+        fleet.cache.lookup(record.key).to_json() == record.to_json()
+        for record in reference.cache.records()
+    )
+    print(f"  bit-identical to local  : {identical}")
+    assert identical
+
+    # 4. Total outage: the breaker opens and the session degrades to local
+    #    search with a durable fallback store — no exception ever escapes.
+    replica.stop()
+    fallback_root = os.path.join(base, "fallback")
+    dark = RemoteSession(
+        [primary.address, replica.address],
+        retries=0,
+        timeout=0.5,
+        fallback_store=fallback_root,
+    )
+    sweep(dark, TABLE1_LAYERS[4:6])
+    print("\n== Total outage (circuit breaker open) ==")
+    print(f"  online                  : {dark.online}")
+    print(f"  searched locally        : {dark.searches_run}")
+    print(f"  fallback records        : {len(ShardedTuningStore(fallback_root).load())}")
+    assert not dark.online and dark.searches_run == 2
+
+    # 5. Post-mortem: every store audits clean — nothing durable tore.
+    print("\n== fsck ==")
+    for name, root in (("primary", primary_root), ("replica", replica_root),
+                       ("fallback", fallback_root)):
+        report = ShardedTuningStore(root).fsck()
+        print(f"  {name:8s}: {report['records']} records, "
+              f"{report['corrupt']} corrupt, clean={bool(report['clean'])}")
+        assert report["corrupt"] == 0 and report["clean"] == 1
+    print(f"\n  {dark.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..retry import RetryPolicy
+from ..testing import faults
 from .records import (
     SCHEMA_VERSION,
     TuningCache,
@@ -88,10 +90,36 @@ class FileLock:
     The lock keeps contention accounting — how often and for how long
     acquisition had to wait — which :class:`ShardedTuningStore` aggregates
     into its :class:`StoreStats`.
+
+    Contention is waited out on a :class:`~repro.retry.RetryPolicy`:
+    capped-exponential polling (starting at ``poll_interval``) with
+    deterministic jitter seeded by this process's pid, so N workers that
+    collide on one shard decorrelate instead of re-polling in phase, and
+    ``timeout`` is the policy deadline.  Pass ``retry=`` to override the
+    whole schedule; its ``deadline_s`` then *is* the timeout.
     """
 
-    def __init__(self, path, timeout: float = 30.0, poll_interval: float = 0.002) -> None:
+    def __init__(
+        self,
+        path,
+        timeout: float = 30.0,
+        poll_interval: float = 0.002,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.path = os.fspath(path)
+        if retry is None:
+            retry = RetryPolicy(
+                max_attempts=None,
+                base_delay_s=poll_interval,
+                max_delay_s=max(poll_interval * 25.0, 0.05),
+                multiplier=1.5,
+                jitter=0.5,
+                deadline_s=timeout,
+                seed=os.getpid(),
+            )
+        elif retry.deadline_s is not None:
+            timeout = retry.deadline_s
+        self.retry = retry
         self.timeout = timeout
         self.poll_interval = poll_interval
         self._fd: Optional[int] = None
@@ -106,19 +134,19 @@ class FileLock:
     def acquire(self) -> None:
         if self._fd is not None:
             raise RuntimeError(f"lock {self.path!r} is not reentrant")
+        faults.fire("store.lock", path=self.path)
         start = time.perf_counter()
-        deadline = start + self.timeout
         if _HAVE_FCNTL or _HAVE_MSVCRT:
-            self._fd = self._acquire_os_lock(deadline)
+            self._fd = self._acquire_os_lock()
         else:  # pragma: no cover - exercised only where fcntl/msvcrt are absent
-            self._fd = self._acquire_sentinel(deadline)
+            self._fd = self._acquire_sentinel()
         self.acquisitions += 1
         self.wait_seconds += time.perf_counter() - start
 
-    def _acquire_os_lock(self, deadline: float) -> int:
+    def _acquire_os_lock(self) -> int:
         fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
         contended = False
-        while True:
+        for _ in self.retry.attempts():
             try:
                 if _HAVE_FCNTL:
                     fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
@@ -129,19 +157,15 @@ class FileLock:
                 if not contended:
                     contended = True
                     self.contentions += 1
-                if time.perf_counter() > deadline:
-                    os.close(fd)
-                    raise LockTimeout(
-                        f"could not lock {self.path!r} within {self.timeout}s"
-                    )
-                time.sleep(self.poll_interval)
+        os.close(fd)
+        raise LockTimeout(f"could not lock {self.path!r} within {self.timeout}s")
 
-    def _acquire_sentinel(self, deadline: float) -> int:
+    def _acquire_sentinel(self) -> int:
         # Exclusive-create fallback: whoever creates the sentinel holds the
         # lock.  A sentinel older than the timeout is treated as leaked by a
         # crashed holder and broken.
         contended = False
-        while True:
+        for _ in self.retry.attempts():
             try:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
                 os.write(fd, f"{os.getpid()}\n".encode("ascii"))
@@ -159,14 +183,9 @@ class FileLock:
                         breaker = f"{self.path}.break.{os.getpid()}"
                         os.rename(self.path, breaker)
                         os.unlink(breaker)
-                        continue
                 except OSError:
-                    continue  # holder released / another waiter broke it first
-                if time.perf_counter() > deadline:
-                    raise LockTimeout(
-                        f"could not lock {self.path!r} within {self.timeout}s"
-                    )
-                time.sleep(self.poll_interval)
+                    pass  # holder released / another waiter broke it first
+        raise LockTimeout(f"could not lock {self.path!r} within {self.timeout}s")
 
     def release(self) -> None:
         if self._fd is None:
@@ -286,6 +305,9 @@ class ShardedTuningStore:
     def served_path(self, index: int) -> str:
         return os.path.join(self.root, f"served-{index:02d}.jsonl")
 
+    def quarantine_path(self, index: int) -> str:
+        return os.path.join(self.root, f"quarantine-{index:02d}.jsonl")
+
     def _init_meta(self, shards: int) -> int:
         """Create or read ``store.json``; returns the authoritative shard count.
 
@@ -344,6 +366,7 @@ class ShardedTuningStore:
             if self._has_torn_tail(path):
                 line = "\n" + line
             with open(path, "a", encoding="utf-8") as handle:
+                faults.fire("store.append", path=path, handle=handle, line=line)
                 handle.write(line)
                 handle.flush()
                 os.fsync(handle.fileno())
@@ -447,6 +470,58 @@ class ShardedTuningStore:
         """Distinct keys currently stored (reads every shard)."""
         return len(self.load())
 
+    # -- replication feed -----------------------------------------------------
+    def read_shard_since(
+        self, index: int, offset: int, max_bytes: int = 4 * 1024 * 1024
+    ) -> Tuple[List[Dict], int, bool]:
+        """The raw record dicts appended to one shard at/after byte ``offset``.
+
+        The anti-entropy feed for :class:`~repro.service.server.TuningService`
+        replication: returns ``(dicts, new_offset, reset)``.  Only *complete*
+        lines are consumed — ``new_offset`` always lands on a line boundary,
+        so a torn tail is simply re-offered once a later append heals it.  A
+        file smaller than ``offset`` (compacted or cleared since the last
+        pull) resets the scan to byte 0 and reports ``reset=True``; replaying
+        the whole shard is harmless because consumers apply lines last-wins.
+
+        Lines travel as parsed-but-unvalidated dicts: validation (schema +
+        cost-model fingerprint) belongs to the *consumer's* decode gate, so a
+        replica re-checks everything it ingests rather than trusting the
+        primary's opinion.  Undecodable line fragments are skipped here (the
+        consumer could do nothing with them anyway).
+        """
+        path = self.shard_path(index)
+        reset = False
+        offset = max(0, int(offset))
+        with self._locked(index):
+            if not os.path.exists(path):
+                return [], 0, offset > 0
+            size = os.path.getsize(path)
+            if size < offset:
+                offset = 0
+                reset = True
+            if size == offset:
+                return [], offset, reset
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read(max_bytes)
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return [], offset, reset  # no complete line yet (torn tail)
+        complete, new_offset = chunk[: end + 1], offset + end + 1
+        dicts: List[Dict] = []
+        for raw in complete.decode("utf-8", errors="replace").split("\n"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                data = json.loads(raw)
+            except ValueError:
+                continue  # a healed torn line; its replacement follows
+            if isinstance(data, dict):
+                dicts.append(data)
+        return dicts, new_offset, reset
+
     # -- last-served tracking (the GC clock) ----------------------------------
 
     # Auto-flush the touch buffer past this size: touches are buffered so a
@@ -542,6 +617,7 @@ class ShardedTuningStore:
         ``records`` / ``served``.  Call with the shard lock held."""
         path = self.shard_path(index)
         tmp = path + f".tmp.{os.getpid()}"
+        faults.fire("store.compact", path=path, tmp=tmp)
         with open(tmp, "w", encoding="utf-8") as handle:
             for record in records.values():
                 handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
@@ -600,6 +676,98 @@ class ShardedTuningStore:
             self._counters.compactions += 1
         self._counters.compacted_away += dropped
         return {"kept": kept, "dropped": dropped}
+
+    def fsck(self, quarantine: bool = True) -> Dict[str, int]:
+        """Audit every shard after a crash; optionally repair in place.
+
+        Per shard, under its lock, every line is pushed through the same
+        decode gate that serving uses and sorted into three piles:
+
+        * **valid** records — kept (and counted);
+        * **stale** records — valid lines from another schema or cost-model
+          fingerprint: counted but *left in place* (they are data, not
+          damage; :meth:`compact` is the pass that folds them away);
+        * **corrupt** lines — torn tails from a crashed append, bit rot,
+          foreign garbage: with ``quarantine=True`` they are moved verbatim
+          to ``quarantine-XX.jsonl`` (append + fsync, so nothing is ever
+          destroyed by the repair itself) and the shard is rewritten with
+          the surviving lines in their original order.
+
+        Leftover ``*.tmp.*`` files from a crashed compaction are deleted —
+        their ``os.replace`` never happened, so the shard beside them is
+        intact and the temp is pure garbage.  With ``quarantine=False``
+        nothing is modified (the ``--check`` dry run).
+
+        Returns ``{"shards", "records", "stale", "corrupt", "quarantined",
+        "tmp_files", "tmp_removed", "clean"}``; ``clean`` means no corrupt
+        lines and no leftover temps — the state a second ``fsck`` right
+        after a repairing one must always report.
+        """
+        report: Dict[str, int] = {
+            "shards": self.num_shards,
+            "records": 0,
+            "stale": 0,
+            "corrupt": 0,
+            "quarantined": 0,
+            "tmp_files": 0,
+            "tmp_removed": 0,
+        }
+        for index in range(self.num_shards):
+            path = self.shard_path(index)
+            if not os.path.exists(path):
+                continue
+            repaired = False
+            with self._locked(index):
+                with open(path, "r", encoding="utf-8") as handle:
+                    content = handle.read()
+                good: List[str] = []
+                bad: List[str] = []
+                for raw in content.split("\n"):
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    record, problem = decode_record_line(raw)
+                    if record is not None:
+                        good.append(raw)
+                        report["records"] += 1
+                    elif problem == "stale":
+                        good.append(raw)
+                        report["stale"] += 1
+                    else:
+                        bad.append(raw)
+                        report["corrupt"] += 1
+                if bad and quarantine:
+                    with open(
+                        self.quarantine_path(index), "a", encoding="utf-8"
+                    ) as handle:
+                        for raw in bad:
+                            handle.write(raw + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    tmp = path + f".tmp.{os.getpid()}"
+                    with open(tmp, "w", encoding="utf-8") as handle:
+                        for raw in good:
+                            handle.write(raw + "\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+                    self._fsync_dir()
+                    report["quarantined"] += len(bad)
+                    repaired = True
+            if repaired:
+                self._views[index].reset()
+        for name in sorted(os.listdir(self.root)):
+            if ".tmp." not in name:
+                continue
+            report["tmp_files"] += 1
+            if quarantine:
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    report["tmp_removed"] += 1
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+        report["clean"] = int(report["corrupt"] == 0 and report["tmp_files"] == 0)
+        return report
 
     def evict(
         self,

@@ -34,8 +34,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..retry import RetryPolicy
 from .session import TuningSession
-from .store import FileLock, ShardedTuningStore, StoreStats
+from .store import FileLock, LockTimeout, ShardedTuningStore, StoreStats
 
 __all__ = [
     "TuningTask",
@@ -371,17 +372,32 @@ def _worker_main(
         early_exit_k=early_exit_k,
     )
     lease = LeaseFile(lease_path, timeout=lock_timeout)
+    # A claim that loses the lease lock to a slow sibling is transient, not
+    # a dead worker: retry it on a capped-exponential schedule (seeded by
+    # pid, so colliding workers decorrelate) before giving up for real.
+    claim_retry = RetryPolicy(
+        max_attempts=3,
+        base_delay_s=0.05,
+        max_delay_s=1.0,
+        transient=(LockTimeout,),
+        seed=os.getpid(),
+    )
     done: List[int] = []
-    while True:
-        indices = lease.claim(worker_id, len(tasks), batch=batch)
-        if not indices:
-            break
-        for index in indices:
-            run_task(tasks[index], session)
-            done.append(index)
-    # Persist this worker's buffered last-served stamps: records published
-    # here must not look never-served to a later `evict(max_idle=)` pass.
-    store.flush_touches()
+    try:
+        while True:
+            indices = claim_retry.call(
+                lambda: lease.claim(worker_id, len(tasks), batch=batch)
+            )
+            if not indices:
+                break
+            for index in indices:
+                run_task(tasks[index], session)
+                done.append(index)
+    finally:
+        # Persist this worker's buffered last-served stamps even on the
+        # failure path: records published here must not look never-served
+        # to a later `evict(max_idle=)` pass.
+        store.flush_touches()
     queue.put(
         WorkerReport(
             worker=worker_id,

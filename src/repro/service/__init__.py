@@ -17,19 +17,50 @@ shareable across *machines*:
   memory -> server -> miss, with retries and graceful fallback to a local
   store when the daemon is unreachable.
 
-``python -m repro.service serve|status|gc|warm|shutdown`` is the CLI.
+This PR adds the fault-tolerance layer on top:
+
+* **replication + failover** — ``serve --replicate-from HOST:PORT`` runs a
+  daemon as a read-write *replica* that incrementally pulls the primary's
+  shard records over the same wire protocol (``sync``), and
+  :class:`ServiceClient`/:class:`RemoteSession` accept address *lists* with
+  per-endpoint health tracking, automatic failover/failback, and hedged
+  reads — killing the primary mid-sweep costs a reconnect, not the corpus;
+* **one retry policy** — :class:`~repro.retry.RetryPolicy` (capped
+  exponential backoff, deterministic jitter, per-op deadlines,
+  transient-vs-fatal classification) now drives the client transport, the
+  worker lock claims, and the store's file-lock polling;
+* **degradation + recovery** — :class:`~repro.retry.CircuitBreaker` governs
+  :class:`RemoteSession` fallback, the ``health`` op reports role and
+  replication lag for probes, and ``python -m repro.service fsck`` audits a
+  store offline, quarantining torn shard lines;
+* **deterministic fault injection** — :mod:`repro.testing.faults` names the
+  failure points in protocol/server/store and drives the seeded chaos suite.
+
+``python -m repro.service serve|status|health|gc|warm|fsck|shutdown`` is
+the CLI.
 """
 
-from .client import RemoteSession, ServiceClient, ServiceError, ServiceUnavailable
+from ..retry import CircuitBreaker, RetryPolicy
+from .client import (
+    RemoteSession,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    normalize_addresses,
+)
 from .protocol import PROTOCOL_VERSION, ProtocolError
-from .server import TuningService
+from .server import ReplicationStats, TuningService
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "CircuitBreaker",
     "ProtocolError",
     "RemoteSession",
+    "ReplicationStats",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
     "ServiceUnavailable",
     "TuningService",
+    "normalize_addresses",
 ]

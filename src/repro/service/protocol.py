@@ -19,6 +19,8 @@ Requests are ``{"op": <name>, ...}``; the operations are
 ``gc``       run :meth:`ShardedTuningStore.evict` on the server's store
 ``warm``     pre-tune a named sweep (Table I slice or a model-zoo model)
 ``shutdown`` stop serving after the in-flight requests drain
+``sync``     anti-entropy pull: raw shard lines appended since given offsets
+``health``   role, replication lag, inflight depth (the failover probe)
 ========  ==================================================================
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg,
@@ -37,6 +39,7 @@ import struct
 from typing import Dict, Optional, Tuple
 
 from ..rewriter.records import SCHEMA_VERSION
+from ..testing import faults
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -61,7 +64,10 @@ MAX_MESSAGE_BYTES = 64 * 1024 * 1024
 
 _LENGTH = struct.Struct(">I")
 
-OPS = ("ping", "get", "put", "tune", "stats", "gc", "warm", "shutdown")
+# "sync" and "health" ride on the same envelope version: a v1 peer that
+# predates them rejects the unknown op cleanly, which is exactly the
+# failure mode replication and failover are built to tolerate.
+OPS = ("ping", "get", "put", "tune", "stats", "gc", "warm", "shutdown", "sync", "health")
 
 
 class ProtocolError(RuntimeError):
@@ -123,7 +129,9 @@ def send_message(sock: socket.socket, message: Dict) -> None:
     body = json.dumps(message, sort_keys=True).encode("utf-8")
     if len(body) > MAX_MESSAGE_BYTES:
         raise ProtocolError(f"message of {len(body)} bytes exceeds the frame limit")
-    sock.sendall(_LENGTH.pack(len(body)) + body)
+    frame = _LENGTH.pack(len(body)) + body
+    faults.fire("protocol.send", sock=sock, frame=frame, message=message)
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, count: int, *, at_frame_start: bool) -> bytes:
@@ -145,6 +153,7 @@ def _recv_exact(sock: socket.socket, count: int, *, at_frame_start: bool) -> byt
 def recv_message(sock: socket.socket) -> Dict:
     """Read one frame; raises :class:`ConnectionClosed` on clean EOF between
     frames and :class:`ProtocolError` on torn or malformed frames."""
+    faults.fire("protocol.recv", sock=sock)
     header = _recv_exact(sock, _LENGTH.size, at_frame_start=True)
     (length,) = _LENGTH.unpack(header)
     if length > MAX_MESSAGE_BYTES:

@@ -29,6 +29,17 @@ Keys that cannot round-trip (custom candidate lists, approximate-strategy
 namespaces, library baselines) are declined with ``code="untunable"`` and
 the client searches locally instead — correctness never depends on the
 server being able to rebuild the search.
+
+A daemon started with ``replicate_from=`` (CLI ``--replicate-from``) runs
+as a **replica**: a background thread pulls newly appended shard lines from
+the primary over the ordinary wire protocol (the ``sync`` op, incremental
+by per-shard byte offset) and re-validates every line through the same
+schema/cost-model decode gate the shard files use — a replica never trusts
+the primary's opinion of a record.  Replication is one-way (primary ->
+replica) and the replica stays fully serviceable: clients that fail over to
+it read the synced corpus warm and tune the rest against it directly.  The
+``health`` op reports the role, replication lag and inflight depth; it is
+what a failover client probes.
 """
 
 from __future__ import annotations
@@ -47,9 +58,22 @@ from ..rewriter.records import TuningKey, TuningRecord, decode_record_line
 from ..rewriter.session import TuningSession
 from ..rewriter.store import ShardedTuningStore
 from ..rewriter.workers import TuningTask, run_task, task_from_key, tasks_from_layers
+from ..testing import faults
 from . import protocol
+from .client import ServiceClient, ServiceError, ServiceUnavailable, normalize_addresses
 
-__all__ = ["TuningService", "ServiceStats", "expand_sweep"]
+__all__ = [
+    "TuningService",
+    "ServiceStats",
+    "ReplicationStats",
+    "expand_sweep",
+    "SHUTTING_DOWN",
+]
+
+# The one shutdown message, compared by the tune path to map a woken
+# waiter's error onto code="shutting_down" (clients treat that code as an
+# endpoint outage and fail over instead of declining the key).
+SHUTTING_DOWN = "daemon is shutting down"
 
 
 class _LockedStore:
@@ -92,6 +116,27 @@ class ServiceStats:
 
     def count(self, op: str) -> None:
         self.requests[op] = self.requests.get(op, 0) + 1
+
+
+@dataclass
+class ReplicationStats:
+    """A replica's anti-entropy accounting (all zero on a primary).
+
+    ``records_applied`` counts lines that passed the replica's own decode
+    gate and were written through; ``stale_rejected``/``corrupt_rejected``
+    count lines the gate refused (a primary on a different cost model shows
+    up here, loudly, instead of poisoning the replica).  ``offset_resets``
+    counts shards replayed from byte 0 after the primary compacted or
+    cleared them.
+    """
+
+    syncs: int = 0
+    sync_failures: int = 0
+    records_applied: int = 0
+    stale_rejected: int = 0
+    corrupt_rejected: int = 0
+    offset_resets: int = 0
+    last_sync_unix: Optional[float] = None
 
 
 class _Inflight:
@@ -162,6 +207,13 @@ class TuningService:
 
     Use as a context manager, or call :meth:`start` / :meth:`stop`.
     ``port=0`` binds an ephemeral port (see :attr:`address` after start).
+
+    ``replicate_from`` (an address, ``(host, port)`` or ``"host:port"``)
+    runs this daemon as a replica of that primary: a background thread
+    pulls appended shard lines every ``sync_interval_s`` seconds through
+    the ``sync`` op and ingests them through the decode gate.  A replica
+    still serves and tunes like any daemon — replication only keeps its
+    corpus converging on the primary's.
     """
 
     def __init__(
@@ -175,6 +227,8 @@ class TuningService:
         speculative: bool = True,
         speculative_idle_s: float = 0.02,
         tune_timeout: float = 300.0,
+        replicate_from=None,
+        sync_interval_s: float = 0.25,
     ) -> None:
         if strategy not in ("exhaustive", "parallel"):
             raise ValueError(
@@ -188,7 +242,14 @@ class TuningService:
         self.stats = ServiceStats()
         self.tune_timeout = tune_timeout
         self.started_at: Optional[float] = None
+        self.replicate_from: Optional[Tuple[str, int]] = (
+            normalize_addresses(replicate_from)[0] if replicate_from is not None else None
+        )
+        self.sync_interval_s = sync_interval_s
+        self.replication = ReplicationStats()
+        self._sync_offsets: Dict[int, int] = {}  # sync-thread-private
         self._gate = threading.Lock()
+        self._conns: set = set()
         self._inflight: Dict[TuningKey, _Inflight] = {}
         self._foreground = 0
         self._spec_enabled = speculative
@@ -199,14 +260,20 @@ class TuningService:
         self._stop = threading.Event()
         self._stop_lock = threading.Lock()
         self._server: Optional[socketserver.ThreadingTCPServer] = None
+        self._bound_address: Optional[Tuple[str, int]] = None
         self._threads: List[threading.Thread] = []
 
     # -- lifecycle ------------------------------------------------------------
     @property
     def address(self) -> Tuple[str, int]:
-        if self._server is None:
-            raise RuntimeError("the service is not started")
-        return self._server.server_address[:2]
+        """The bound ``(host, port)``.  Still answers after :meth:`kill` /
+        :meth:`stop` — failover drills need the dead endpoint's address to
+        hand to clients — but not before :meth:`start`."""
+        if self._server is not None:
+            return self._server.server_address[:2]
+        if self._bound_address is not None:
+            return self._bound_address
+        raise RuntimeError("the service is not started")
 
     def start(self) -> "TuningService":
         if self._server is not None:
@@ -222,6 +289,7 @@ class TuningService:
             daemon_threads = True
 
         self._server = Server((self.host, self.port), Handler)
+        self._bound_address = self._server.server_address[:2]
         self.started_at = time.time()
         serve = threading.Thread(
             target=self._server.serve_forever,
@@ -237,6 +305,12 @@ class TuningService:
             )
             spec.start()
             self._threads.append(spec)
+        if self.replicate_from is not None:
+            sync = threading.Thread(
+                target=self._replicate_forever, name="tuning-service-sync", daemon=True
+            )
+            sync.start()
+            self._threads.append(sync)
         return self
 
     def stop(self) -> None:
@@ -247,10 +321,16 @@ class TuningService:
         ``stop()`` on its way out — whoever arrives second blocks until the
         first finishes, so the process cannot exit before the last-served
         touch buffer reaches disk.
+
+        Coalesced ``tune`` waiters parked on an in-flight search are woken
+        *now* with a clean ``shutting_down`` error — before the stop lock
+        is taken (``_gate`` and ``_stop_lock`` must never nest), and
+        without waiting for the leader's search, which may outlive us.
         """
+        self._stop.set()
+        self._spec_wake.set()
+        self._abort_inflight()
         with self._stop_lock:
-            self._stop.set()
-            self._spec_wake.set()
             if self._server is not None:
                 self._server.shutdown()
                 self._server.server_close()
@@ -259,6 +339,51 @@ class TuningService:
                 thread.join(timeout=10.0)
             self._threads = []
             self.store.flush_touches()
+
+    def kill(self) -> None:
+        """Abrupt termination for crash drills: the in-process ``kill -9``.
+
+        No drain, no thread join, no touch flush — the listener closes,
+        every live connection is torn down (clients observe a reset, never
+        a hang) and coalesced waiters are released.  The store is left
+        exactly as the last fsync left it, which is precisely the state
+        :meth:`ShardedTuningStore.fsck` and the chaos suite audit.
+        """
+        self._stop.set()
+        self._spec_wake.set()
+        self._abort_inflight()
+        with self._stop_lock:
+            server, self._server = self._server, None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        with self._gate:
+            conns = list(self._conns)
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._threads = []
+
+    def _abort_inflight(self) -> None:
+        """Release every parked coalesced waiter with the shutdown error.
+
+        The leader's search itself is not interrupted (searches are pure
+        compute; its handler thread is a daemon) — but nobody new should
+        wait on it, so the inflight table is emptied as well.
+        """
+        with self._gate:
+            entries = list(self._inflight.values())
+            self._inflight.clear()
+        for entry in entries:
+            if not entry.done.is_set():
+                entry.error = SHUTTING_DOWN
+                entry.done.set()
 
     def __enter__(self) -> "TuningService":
         return self.start()
@@ -273,31 +398,44 @@ class TuningService:
 
     # -- connection loop ------------------------------------------------------
     def _serve_connection(self, sock: socket.socket) -> None:
-        while not self._stop.is_set():
-            try:
-                message = protocol.recv_message(sock)
-            except protocol.ConnectionClosed:
-                return
-            except protocol.ProtocolError as exc:
-                self.stats.protocol_errors += 1
+        with self._gate:
+            self._conns.add(sock)
+        try:
+            while not self._stop.is_set():
                 try:
-                    protocol.send_message(
-                        sock, protocol.error_response(str(exc), "protocol_error")
-                    )
+                    message = protocol.recv_message(sock)
+                except protocol.ConnectionClosed:
+                    return
+                except protocol.ProtocolError as exc:
+                    self.stats.protocol_errors += 1
+                    try:
+                        protocol.send_message(
+                            sock, protocol.error_response(str(exc), "protocol_error")
+                        )
+                    except OSError:
+                        pass
+                    return
                 except OSError:
-                    pass
-                return
-            response = self._dispatch(message)
-            try:
-                protocol.send_message(sock, response)
-            except OSError:
-                return
+                    return  # the connection was torn down under us (kill())
+                response = self._dispatch(message)
+                try:
+                    faults.fire("server.respond", sock=sock, response=response)
+                    protocol.send_message(sock, response)
+                except OSError:
+                    return
+        finally:
+            with self._gate:
+                self._conns.discard(sock)
 
     def _dispatch(self, message: Dict) -> Dict:
         mismatch = protocol.check_versions(message)
         if mismatch is not None:
             self.stats.version_rejections += 1
             return protocol.error_response(*mismatch)
+        if self._stop.is_set():
+            # A draining daemon answers every request the same way a woken
+            # coalesced waiter is answered: clean, coded, immediately.
+            return protocol.error_response(SHUTTING_DOWN, "shutting_down")
         op = message.get("op")
         handler = getattr(self, f"_op_{op}", None)
         if op not in protocol.OPS or handler is None:
@@ -347,6 +485,8 @@ class TuningService:
         key = TuningKey.from_json(message["key"])
         record, how = self._tune_key(key)
         if record is None:
+            if how == SHUTTING_DOWN:
+                return protocol.error_response(SHUTTING_DOWN, "shutting_down")
             self.stats.untunable_keys += 1
             return protocol.error_response(
                 how or f"cannot reconstruct a search for {key}", "untunable"
@@ -416,8 +556,113 @@ class TuningService:
         threading.Thread(target=self.stop, name="tuning-service-stop", daemon=True).start()
         return protocol.ok_response(stopping=True)
 
+    def _op_sync(self, message: Dict) -> Dict:
+        """Serve the anti-entropy feed: raw lines appended since the
+        caller's per-shard byte offsets (see
+        :meth:`ShardedTuningStore.read_shard_since`).  Lines travel
+        unvalidated on purpose — the *replica's* decode gate is the
+        authority on what it ingests."""
+        offsets = message.get("offsets") or {}
+        shards: Dict[str, Dict] = {}
+        for index in range(self.store.num_shards):
+            try:
+                start = int(offsets.get(str(index), 0))
+            except (TypeError, ValueError):
+                start = 0
+            records, new_offset, reset = self.store.read_shard_since(index, start)
+            shards[str(index)] = {
+                "records": records,
+                "offset": new_offset,
+                "reset": reset,
+            }
+        return protocol.ok_response(shards=shards, role=self._role())
+
+    def _op_health(self, message: Dict) -> Dict:
+        """The failover probe: role, load and (for replicas) sync lag."""
+        with self._gate:
+            inflight = len(self._inflight)
+            queued = len(self._spec_queue)
+            foreground = self._foreground
+            replication = dataclasses.asdict(self.replication)
+        payload: Dict = {
+            "role": self._role(),
+            "uptime_s": self._uptime(),
+            "shutting_down": self._stop.is_set(),
+            "inflight": inflight,
+            "foreground": foreground,
+            "speculative_queue": queued,
+        }
+        if self.replicate_from is not None:
+            last = replication.get("last_sync_unix")
+            replication["lag_s"] = (time.time() - last) if last else None
+            replication["primary"] = list(self.replicate_from)
+            payload["replication"] = replication
+        return protocol.ok_response(**payload)
+
+    def _role(self) -> str:
+        return "replica" if self.replicate_from is not None else "primary"
+
     def _uptime(self) -> float:
         return time.time() - self.started_at if self.started_at else 0.0
+
+    # -- replication (replica role) -------------------------------------------
+    def _replicate_forever(self) -> None:
+        """The replica's anti-entropy loop: pull, validate, ingest, sleep.
+
+        One pull per ``sync_interval_s``; an unreachable primary counts a
+        failure and waits for the next tick (the loop *is* the retry
+        schedule, so the client itself runs with no retries).  The loop
+        never takes the store's shard locks and the service's ``_gate``
+        at the same time — stats updates happen after ingestion.
+        """
+        client = ServiceClient(self.replicate_from, timeout=5.0, retries=0)
+        try:
+            while not self._stop.is_set():
+                try:
+                    self._sync_once(client)
+                except (ServiceUnavailable, ServiceError, OSError):
+                    with self._gate:
+                        self.replication.sync_failures += 1
+                self._stop.wait(self.sync_interval_s)
+        finally:
+            client.close()
+
+    def _sync_once(self, client: ServiceClient) -> None:
+        import json as _json
+
+        offsets = {str(index): offset for index, offset in self._sync_offsets.items()}
+        response = client.request("sync", offsets=offsets)
+        applied = stale = corrupt = resets = 0
+        for name, shard in sorted(response.get("shards", {}).items()):
+            for data in shard.get("records", ()):
+                # The same gate the shard files and `put` use: schema +
+                # cost-model fingerprint.  A mismatched primary is counted,
+                # not ingested.
+                record, problem = decode_record_line(_json.dumps(data))
+                if record is None:
+                    if problem == "stale":
+                        stale += 1
+                    else:
+                        corrupt += 1
+                    continue
+                self.session.cache.insert(record)
+                self.store.put(record)
+                applied += 1
+            try:
+                index = int(name)
+            except ValueError:
+                continue
+            self._sync_offsets[index] = int(shard.get("offset", 0))
+            if shard.get("reset"):
+                resets += 1
+        with self._gate:
+            stats = self.replication
+            stats.syncs += 1
+            stats.records_applied += applied
+            stats.stale_rejected += stale
+            stats.corrupt_rejected += corrupt
+            stats.offset_resets += resets
+            stats.last_sync_unix = time.time()
 
     # -- coalesced tuning core ------------------------------------------------
     def _tune_key(self, key: TuningKey) -> Tuple[Optional[TuningRecord], Optional[str]]:
@@ -452,6 +697,7 @@ class TuningService:
         self, key: TuningKey, entry: _Inflight
     ) -> Tuple[Optional[TuningRecord], Optional[str]]:
         try:
+            faults.fire("server.tune", service=self, key=key)
             task = task_from_key(key)
             if task is None:
                 entry.error = f"key does not name a rebuildable search: {key}"

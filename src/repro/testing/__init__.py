@@ -1,0 +1,11 @@
+"""Test-support machinery that ships with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection registry
+the service/store stack is instrumented with; it lives in ``src`` (not
+``tests``) because the injection *points* are production code — the hooks
+compile to a single list-truthiness check when no plan is armed.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

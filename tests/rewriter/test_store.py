@@ -530,3 +530,112 @@ class TestStoreGC:
         assert cache.discard(_key(1)) is True
         assert cache.discard(_key(1)) is False
         assert cache.lookup(_key(1)) is None
+
+
+class TestFsck:
+    def _corrupt_shard(self, store, index=0):
+        with open(store.shard_path(index), "a", encoding="utf-8") as handle:
+            handle.write('{"schema": 2, "cost_model": "torn-mid-app')
+
+    def test_clean_store_audits_clean(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        for index in range(4):
+            store.put(_record(index))
+        report = store.fsck()
+        assert report["clean"] == 1
+        assert report["records"] == 4
+        assert report["corrupt"] == 0 and report["quarantined"] == 0
+
+    def test_check_mode_reports_without_modifying(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(0))
+        self._corrupt_shard(store)
+        before = open(store.shard_path(0), encoding="utf-8").read()
+        report = store.fsck(quarantine=False)
+        assert report["corrupt"] == 1 and report["clean"] == 0
+        assert report["quarantined"] == 0
+        assert open(store.shard_path(0), encoding="utf-8").read() == before
+        assert not os.path.exists(store.quarantine_path(0))
+
+    def test_repair_quarantines_and_second_pass_is_clean(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(0))
+        store.put(_record(1))
+        self._corrupt_shard(store)
+        report = store.fsck()
+        assert report["quarantined"] == 1
+        # Nothing was destroyed: the bad line lives on in the quarantine file.
+        quarantined = open(store.quarantine_path(0), encoding="utf-8").read()
+        assert "torn-mid-app" in quarantined
+        # The repaired shard serves both records and re-audits clean.
+        fresh = ShardedTuningStore(tmp_path / "s")
+        assert fresh.get(_key(0)) is not None and fresh.get(_key(1)) is not None
+        assert fresh.fsck()["clean"] == 1
+
+    def test_stale_records_are_counted_but_left_in_place(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(0))
+        stale = _record(1).to_json()
+        stale["cost_model"] = "feedfacecafe"
+        with open(store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stale) + "\n")
+        report = store.fsck()
+        assert report["stale"] == 1
+        assert report["clean"] == 1  # stale is data, not damage
+        assert "feedfacecafe" in open(store.shard_path(0), encoding="utf-8").read()
+
+    def test_leftover_compaction_temps_are_swept(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(0))
+        litter = os.path.join(store.root, "shard-00.jsonl.tmp.12345")
+        with open(litter, "w", encoding="utf-8") as handle:
+            handle.write("half-written compaction\n")
+        check = store.fsck(quarantine=False)
+        assert check["tmp_files"] == 1 and check["clean"] == 0
+        repair = store.fsck()
+        assert repair["tmp_removed"] == 1
+        assert not os.path.exists(litter)
+        assert store.fsck(quarantine=False)["clean"] == 1
+
+    def test_repaired_shard_view_serves_fresh_reads(self, tmp_path):
+        store = ShardedTuningStore(tmp_path / "s", shards=1)
+        store.put(_record(0))
+        store.get(_key(0))  # warm the incremental view
+        self._corrupt_shard(store)
+        store.fsck()
+        # The rewrite invalidated the view; a read must rescan, not serve
+        # offsets into the old file layout.
+        assert store.get(_key(0)) is not None
+
+
+class TestLockRetrySchedule:
+    def test_lock_uses_pid_seeded_jittered_policy(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock", timeout=3.0, poll_interval=0.004)
+        assert lock.retry.deadline_s == 3.0
+        assert lock.retry.base_delay_s == 0.004
+        assert lock.retry.seed == os.getpid()  # decorrelates across processes
+        assert lock.retry.jitter > 0
+
+    def test_custom_retry_policy_deadline_becomes_the_timeout(self, tmp_path):
+        from repro.retry import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=None, base_delay_s=0.001, deadline_s=0.25)
+        lock = FileLock(tmp_path / "x.lock", timeout=99.0, retry=policy)
+        assert lock.timeout == 0.25
+
+    def test_contended_lock_times_out_on_the_policy_deadline(self, tmp_path):
+        path = tmp_path / "x.lock"
+        holder = FileLock(path, timeout=5.0)
+        holder.acquire()
+        try:
+            waiter = FileLock(path, timeout=0.3)
+            import time as time_module
+
+            start = time_module.perf_counter()
+            with pytest.raises(LockTimeout, match="within 0.3s"):
+                waiter.acquire()
+            waited = time_module.perf_counter() - start
+            assert 0.2 <= waited < 2.0  # deadline honoured, not overshot
+            assert waiter.contentions == 1
+        finally:
+            holder.release()

@@ -153,7 +153,7 @@ class TestFailurePaths:
             fallback_store=fallback,
             offline_cooldown_s=60.0,
         )
-        warm._down_until = float("inf")
+        warm.force_offline()
         _tune_layers(warm, TABLE1_LAYERS[:2])
         assert warm.searches_run == 0 and warm.local_fallbacks == 2
 
@@ -219,6 +219,18 @@ class TestFailurePaths:
             _tune_layers(session, TABLE1_LAYERS[:1])
             assert session.server_tunes == 1
 
+    def test_force_offline_pins_the_session_to_local_tiers(self, service, tmp_path):
+        session = RemoteSession(
+            service.address, fallback_store=tmp_path / "local"
+        )
+        session.force_offline()
+        assert not session.online
+        _tune_layers(session, TABLE1_LAYERS[:1])
+        assert session.searches_run == 1
+        assert session.client.requests_sent == 0  # never touched the wire
+        assert service.session.searches_run == 0
+
+
     def test_publish_falls_back_when_server_refuses(self, service, monkeypatch):
         session = RemoteSession(service.address)
         # Have the server-side tune decline so the client searches locally...
@@ -229,3 +241,60 @@ class TestFailurePaths:
         other = RemoteSession(service.address)
         _tune_layers(other, TABLE1_LAYERS[:1])
         assert other.server_hits == 1 and other.searches_run == 0
+
+
+class TestAddressesAndPolicy:
+    def test_string_address_accepted(self, service):
+        host, port = service.address
+        session = RemoteSession(f"{host}:{port}")
+        _tune_layers(session, TABLE1_LAYERS[:1])
+        assert session.server_tunes == 1
+
+    def test_normalize_addresses_forms(self):
+        from repro.service import normalize_addresses
+
+        assert normalize_addresses(("10.0.0.1", 9461)) == [("10.0.0.1", 9461)]
+        assert normalize_addresses("10.0.0.1:9461") == [("10.0.0.1", 9461)]
+        assert normalize_addresses(":9461") == [("127.0.0.1", 9461)]
+        assert normalize_addresses(
+            ["10.0.0.1:9461", ("10.0.0.2", 9462)]
+        ) == [("10.0.0.1", 9461), ("10.0.0.2", 9462)]
+        with pytest.raises(ValueError):
+            normalize_addresses([])
+        with pytest.raises(ValueError):
+            normalize_addresses("no-port-here")
+
+    def test_retry_backoff_s_kwarg_is_a_deprecated_alias(self, service):
+        with pytest.warns(DeprecationWarning, match="retry_backoff_s"):
+            client = ServiceClient(service.address, retries=1, retry_backoff_s=0.01)
+        assert client.retry.base_delay_s == 0.01  # still honoured
+        assert client.retries == 1
+        assert client.retry_backoff_s == 0.01  # read-only compat property
+        client.close()
+
+    def test_explicit_retry_policy_drives_the_transport(self, service):
+        from repro.retry import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=7, base_delay_s=0.123, jitter=0.0)
+        client = ServiceClient(service.address, retry_policy=policy)
+        assert client.retry is policy
+        assert client.retries == 6
+        client.ping()
+        client.close()
+
+    def test_second_endpoint_serves_when_first_is_dead(self, service):
+        client = ServiceClient(
+            [("127.0.0.1", 1), service.address], retries=1, timeout=0.5
+        )
+        assert client.ping()["server"] == "tuning-service"
+        assert client.failovers == 1
+        assert client._active == 1
+        client.close()
+
+    def test_remote_session_summary_names_endpoints_and_breaker(self, service):
+        session = RemoteSession([service.address, ("127.0.0.1", 1)])
+        _tune_layers(session, TABLE1_LAYERS[:1])
+        summary = session.summary()
+        assert "breaker closed" in summary
+        assert f"{service.address[0]}:{service.address[1]}" in summary
+        assert "1 server tunes" not in summary or session.server_tunes == 1

@@ -125,6 +125,79 @@ class TestFraming:
             b.close()
 
 
+class TestInjectedFaults:
+    """The framing error taxonomy, reached through the fault registry
+    instead of hand-rolled byte surgery — the same machinery the chaos
+    suite drives, validated at the protocol layer."""
+
+    def test_injected_torn_frame_is_protocol_error(self):
+        from repro.testing.faults import FaultPlan, torn_frame
+
+        a, b = _pair()
+        try:
+            with FaultPlan() as plan:
+                plan.on("protocol.send", torn_frame(0.5))
+                with pytest.raises(ConnectionResetError):
+                    send_message(a, request("ping", payload="x" * 256))
+            assert plan.fired("protocol.send") == 1
+            a.close()  # the sender died mid-frame
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_injected_send_reset_leaves_peer_at_clean_eof(self):
+        from repro.testing.faults import FaultPlan, reset_connection
+
+        a, b = _pair()
+        try:
+            with FaultPlan() as plan:
+                plan.on("protocol.send", reset_connection)
+                with pytest.raises(ConnectionResetError):
+                    send_message(a, request("ping"))
+            assert plan.fired("protocol.send") == 1
+            # The reset fired before any byte hit the wire: the peer sees a
+            # clean close, not a torn frame.
+            a.close()
+            with pytest.raises(ConnectionClosed):
+                recv_message(b)
+        finally:
+            b.close()
+
+    def test_injected_recv_reset_surfaces_at_the_reader(self):
+        from repro.testing.faults import FaultPlan, reset_connection
+
+        a, b = _pair()
+        try:
+            send_message(a, request("ping"))
+            with FaultPlan() as plan:
+                plan.on("protocol.recv", reset_connection)
+                with pytest.raises(ConnectionResetError):
+                    recv_message(b)
+            # Disarmed, the frame that was already on the wire still reads.
+            assert recv_message(b)["op"] == "ping"
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_still_rejected_under_fault_plan(self):
+        # An armed (but non-matching) plan must not perturb the framing
+        # checks themselves.
+        from repro.testing.faults import FaultPlan, delay
+
+        a, b = _pair()
+        try:
+            with FaultPlan() as plan:
+                plan.on("store.lock", delay(0.0))
+                a.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+                with pytest.raises(ProtocolError, match="frame limit"):
+                    recv_message(b)
+            assert plan.fired() == 0
+        finally:
+            a.close()
+            b.close()
+
+
 class TestEnvelope:
     def test_request_rejects_unknown_op(self):
         with pytest.raises(ValueError, match="unknown op"):

@@ -1,0 +1,274 @@
+"""Tests for primary -> replica anti-entropy sync and client failover."""
+
+import json
+import time
+
+import pytest
+
+from repro.core.pipeline import UnitCpuRunner
+from repro.rewriter import ShardedTuningStore, TuningSession
+from repro.service import RemoteSession, ServiceClient, TuningService
+from repro.workloads.table1 import TABLE1_LAYERS
+
+
+def _tune_layers(session, layers):
+    runner = UnitCpuRunner(session=session)
+    for params in layers:
+        runner.conv2d_latency(params)
+
+
+def _reference(layers):
+    session = TuningSession()
+    _tune_layers(session, layers)
+    return {record.key: record for record in session.cache.records()}
+
+
+def _wait_for(predicate, timeout=15.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _replica_records(replica):
+    with ServiceClient(replica.address) as client:
+        health = client.health()
+    return (health.get("replication") or {}).get("records_applied", 0)
+
+
+@pytest.fixture
+def primary(tmp_path):
+    with TuningService(tmp_path / "primary", speculative=False) as svc:
+        yield svc
+
+
+@pytest.fixture
+def replica(tmp_path, primary):
+    svc = TuningService(
+        tmp_path / "replica",
+        speculative=False,
+        replicate_from=primary.address,
+        sync_interval_s=0.05,
+    ).start()
+    yield svc
+    svc.stop()
+
+
+class TestSync:
+    def test_replica_converges_bit_identically(self, tmp_path, primary, replica):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:3])
+        assert _wait_for(lambda: _replica_records(replica) >= 3)
+        reference = _reference(TABLE1_LAYERS[:3])
+        store = ShardedTuningStore(tmp_path / "replica")
+        for key, expected in reference.items():
+            got = store.get(key)
+            assert got is not None
+            assert got.to_json() == expected.to_json()
+
+    def test_incremental_sync_applies_each_record_once(self, primary, replica):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:2])
+        assert _wait_for(lambda: _replica_records(replica) >= 2)
+        # Let several empty sync rounds pass: already-pulled bytes are not
+        # re-offered, so the applied count must not creep.
+        time.sleep(0.5)
+        with ServiceClient(replica.address) as client:
+            replication = client.health()["replication"]
+        assert replication["records_applied"] == 2
+        assert replication["syncs"] > 2  # the loop kept pulling, found nothing
+        assert replication["offset_resets"] == 0
+
+    def test_replica_serves_reads_without_touching_the_primary(self, primary, replica):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:2])
+        assert _wait_for(lambda: _replica_records(replica) >= 2)
+        session = RemoteSession(replica.address)
+        _tune_layers(session, TABLE1_LAYERS[:2])
+        assert session.server_hits == 2
+        assert session.searches_run == 0
+        assert replica.session.searches_run == 0  # served, not re-tuned
+
+    def test_primary_compaction_resets_offsets_without_loss(
+        self, tmp_path, primary, replica
+    ):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:3])
+        assert _wait_for(lambda: _replica_records(replica) >= 3)
+        # Re-publish (duplicate lines) and let the replica pull them, then
+        # compact: shards shrink below the replica's offsets, forcing a
+        # reset + full replay.
+        session = RemoteSession(primary.address)
+        _tune_layers(session, TABLE1_LAYERS[:3])
+        for record in session.cache.records():
+            primary.store.put(record)
+        assert _wait_for(lambda: _replica_records(replica) >= 6)
+        primary.store.compact()
+        assert _wait_for(lambda: _offset_resets(replica) > 0)
+        reference = _reference(TABLE1_LAYERS[:3])
+        store = ShardedTuningStore(tmp_path / "replica")
+        for key, expected in reference.items():
+            assert store.get(key).to_json() == expected.to_json()
+
+    def test_corrupt_primary_lines_are_counted_not_ingested(
+        self, tmp_path, primary, replica
+    ):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:1])
+        assert _wait_for(lambda: _replica_records(replica) >= 1)
+        # Wrong-fingerprint (stale) and structurally-broken (corrupt-to-the-
+        # gate: versions check out but the record body is missing) dicts
+        # appended straight into a primary shard file.
+        reference = next(iter(_reference(TABLE1_LAYERS[:1]).values()))
+        stale = dict(reference.to_json())
+        stale["cost_model"] = "feedfacecafe"
+        corrupt = dict(reference.to_json())
+        del corrupt["key"]
+        with open(primary.store.shard_path(0), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stale) + "\n")
+            handle.write(json.dumps(corrupt) + "\n")
+        def rejected():
+            with ServiceClient(replica.address) as client:
+                replication = client.health()["replication"]
+            return (
+                replication["stale_rejected"] >= 1
+                and replication["corrupt_rejected"] >= 1
+            )
+        assert _wait_for(rejected)
+        # Nothing foreign reached the replica's store.
+        store = ShardedTuningStore(tmp_path / "replica")
+        assert store.fsck(quarantine=False)["clean"] == 1
+        assert len(store.load()) == 1
+
+    def test_replica_survives_primary_death_and_counts_failures(
+        self, primary, replica
+    ):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:1])
+        assert _wait_for(lambda: _replica_records(replica) >= 1)
+        primary.kill()
+        def failed():
+            with ServiceClient(replica.address) as client:
+                return client.health()["replication"]["sync_failures"] >= 1
+        assert _wait_for(failed)
+        # The replica still answers; the corpus it already pulled survives.
+        with ServiceClient(replica.address) as client:
+            assert client.ping()["server"] == "tuning-service"
+
+
+def _offset_resets(replica):
+    with ServiceClient(replica.address) as client:
+        return client.health()["replication"]["offset_resets"]
+
+
+class TestHealth:
+    def test_primary_health_shape(self, primary):
+        with ServiceClient(primary.address) as client:
+            health = client.health()
+        assert health["role"] == "primary"
+        assert health["shutting_down"] is False
+        assert "replication" not in health
+        assert health["inflight"] == 0
+
+    def test_replica_health_reports_lag_and_primary(self, primary, replica):
+        assert _wait_for(lambda: _syncs(replica) >= 1)
+        with ServiceClient(replica.address) as client:
+            health = client.health()
+        assert health["role"] == "replica"
+        replication = health["replication"]
+        assert tuple(replication["primary"]) == primary.address
+        assert replication["lag_s"] is not None
+        assert replication["lag_s"] < 60.0
+
+
+def _syncs(replica):
+    with ServiceClient(replica.address) as client:
+        return client.health()["replication"]["syncs"]
+
+
+class TestFailover:
+    def test_client_fails_over_to_replica_after_primary_kill(
+        self, primary, replica
+    ):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:3])
+        assert _wait_for(lambda: _replica_records(replica) >= 3)
+        primary.kill()
+        session = RemoteSession(
+            [primary.address, replica.address], retries=0, timeout=1.0
+        )
+        _tune_layers(session, TABLE1_LAYERS[:3])
+        # Warm keys came from the replica — nothing was re-searched anywhere.
+        assert session.server_hits == 3
+        assert session.searches_run == 0
+        assert session.client.failovers >= 1
+        assert session.online  # the fleet is degraded, not down
+
+    def test_failover_results_bit_identical(self, primary, replica):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:2])
+        assert _wait_for(lambda: _replica_records(replica) >= 2)
+        primary.kill()
+        session = RemoteSession(
+            [primary.address, replica.address], retries=0, timeout=1.0
+        )
+        _tune_layers(session, TABLE1_LAYERS[:2])
+        for key, expected in _reference(TABLE1_LAYERS[:2]).items():
+            assert session.cache.lookup(key).to_json() == expected.to_json()
+
+    def test_cold_keys_tune_on_the_replica_after_failover(self, primary, replica):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:1])
+        assert _wait_for(lambda: _replica_records(replica) >= 1)
+        primary.kill()
+        session = RemoteSession(
+            [primary.address, replica.address], retries=0, timeout=2.0
+        )
+        _tune_layers(session, TABLE1_LAYERS[:3])  # 1 warm + 2 cold
+        assert session.server_hits == 1
+        assert session.server_tunes == 2  # the replica led the new searches
+        assert session.searches_run == 0
+        assert replica.session.searches_run == 2
+
+    def test_hedged_get_answers_while_primary_is_dark(self, primary, replica):
+        _tune_layers(RemoteSession(primary.address), TABLE1_LAYERS[:1])
+        assert _wait_for(lambda: _replica_records(replica) >= 1)
+        key = next(iter(_reference(TABLE1_LAYERS[:1])))
+        primary.kill()
+        client = ServiceClient(
+            [primary.address, replica.address], timeout=1.0, hedge_delay_s=0.02
+        )
+        record = client.hedged_get(key)
+        assert record is not None
+        assert client.hedged_gets == 1
+        assert client.hedged_wins >= 1  # the replica's answer won
+        client.close()
+
+    def test_traffic_fails_back_once_the_primary_returns(self, tmp_path, replica):
+        # A primary that dies and is later restarted on the same port.
+        first = TuningService(
+            tmp_path / "primary2", speculative=False, host="127.0.0.1"
+        ).start()
+        host, port = first.address
+        client = ServiceClient(
+            [first.address, replica.address],
+            retries=0,
+            timeout=1.0,
+            retry_policy=None,
+        )
+        client.ping()
+        assert client._active == 0
+        first.kill()
+        with pytest.raises(Exception):
+            client.ping()  # penalises the dead primary
+        client.ping()  # served by the replica
+        assert client._active == 1
+        second = TuningService(
+            tmp_path / "primary2", speculative=False, host=host, port=port
+        ).start()
+        try:
+            assert _wait_for(lambda: _pings_primary(client), timeout=20.0)
+        finally:
+            client.close()
+            second.stop()
+
+
+def _pings_primary(client):
+    try:
+        client.ping()
+    except Exception:
+        return False
+    return client._active == 0

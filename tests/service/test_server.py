@@ -330,6 +330,69 @@ class TestLifecycle:
         with pytest.raises(ValueError, match="result-deterministic"):
             TuningService(tmp_path / "store", strategy="early_exit")
 
+    def test_shutdown_wakes_coalesced_tune_waiters(self, tmp_path):
+        """The satellite scenario: clients parked on an in-flight search
+        must get a clean ``shutting_down`` answer the moment the daemon
+        stops — not hang until their tune timeout."""
+        import repro.service.server as server_module
+        from repro.service import ServiceUnavailable
+
+        svc = TuningService(tmp_path / "store", speculative=False).start()
+        original = server_module.run_task
+        reached = threading.Event()
+        release = threading.Event()
+
+        def hang(task, session):
+            reached.set()
+            release.wait(30.0)
+            return original(task, session)
+
+        server_module.run_task = hang
+        try:
+            (key,) = _keys_for(TABLE1_LAYERS[:1])
+            outcomes = {}
+
+            def tune(name):
+                client = ServiceClient(
+                    svc.address, retries=0, timeout=5.0, tune_timeout=60.0
+                )
+                try:
+                    client.tune(key)
+                    outcomes[name] = "ok"
+                except (ServiceError, ServiceUnavailable, OSError) as exc:
+                    outcomes[name] = exc
+                finally:
+                    client.close()
+
+            leader = threading.Thread(target=tune, args=("leader",))
+            leader.start()
+            assert reached.wait(10.0)  # the leader's search is in flight
+            waiter = threading.Thread(target=tune, args=("waiter",))
+            waiter.start()
+            deadline = time.time() + 10
+            while time.time() < deadline and svc.stats.coalesced_waiters < 1:
+                time.sleep(0.02)
+            assert svc.stats.coalesced_waiters == 1  # parked on the entry
+
+            start = time.monotonic()
+            stopper = threading.Thread(target=svc.stop)
+            stopper.start()
+            waiter.join(timeout=10.0)
+            woken_after = time.monotonic() - start
+            assert not waiter.is_alive()
+            assert woken_after < 5.0  # woken by stop(), not by its timeout
+            # A single-endpoint client maps shutting_down to "endpoint
+            # down" and exhausts its (zero) retries.
+            assert isinstance(outcomes["waiter"], ServiceUnavailable)
+            release.set()
+            leader.join(timeout=10.0)
+            stopper.join(timeout=20.0)
+            assert not stopper.is_alive()
+        finally:
+            release.set()
+            server_module.run_task = original
+            svc.stop()
+
 
 class TestReviewHardening:
     """Regressions for the GC clock, staleness gate and dedup lifecycle."""

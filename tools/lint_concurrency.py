@@ -52,6 +52,8 @@ DEFAULT_FILES = [
     "src/repro/rewriter/workers.py",
     "src/repro/service/server.py",
     "src/repro/service/client.py",
+    "src/repro/retry.py",
+    "src/repro/testing/faults.py",
 ]
 
 # Constructors whose result is a lock-like object when assigned to self.
@@ -61,7 +63,14 @@ LOCK_FACTORIES = {"Lock", "RLock", "Condition", "FileLock"}
 GUARDED: Dict[str, Dict[str, Dict[str, Set[str]]]] = {
     "server.py": {
         "TuningService": {
-            "_gate": {"_inflight", "_foreground", "_spec_queue", "_spec_queued_ids"},
+            "_gate": {
+                "_inflight",
+                "_foreground",
+                "_spec_queue",
+                "_spec_queued_ids",
+                "_conns",
+                "replication",
+            },
         },
     },
 }
@@ -79,6 +88,8 @@ REQUIRE_LOCKED: Dict[str, Dict[str, Dict[str, Set[str]]]] = {
                 "clear",
                 "_scan_shard",
                 "last_served",
+                "read_shard_since",
+                "fsck",
             },
         },
     },
