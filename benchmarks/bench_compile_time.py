@@ -33,9 +33,18 @@ uploads it as an artifact)::
 
     PYTHONPATH=src python benchmarks/bench_compile_time.py [--quick] [-o OUT]
 
+* **native_tier**: the tiered native backend on the full-size layer 1 —
+  vectorized vs promoted-native run time, the ≥2x speedup floor, the
+  bit-identity spot check, and the promotion counters
+  (``native_runs``/``native_promotions``) that ``check_regression.py``
+  gates never-lower.
+
 ``--plan-smoke`` runs the CI plan-cache gate instead: warm-plan execution
 must be ≥5x faster than cold on the repeated-layer workload and every
 Table I layer must compile to a fully vectorized plan (zero fallbacks).
+``--native-smoke`` runs the CI native-tier gate: layer 1 must promote, run
+≥2x faster than the vectorized tier and stay bit-identical (skips cleanly
+when neither numba nor a C compiler is installed).
 
 Or run under pytest-benchmark along with the figure benchmarks::
 
@@ -56,11 +65,11 @@ from repro.graph import Conv2DNode, Graph, InputNode, TensorShape, run_model
 from repro.rewriter import CpuTuningConfig
 from repro.tir import (
     EngineStats,
+    Executor,
     Interpreter,
     VectorizedEngine,
     alloc_buffers,
     compile_plan,
-    execute,
     plan_cache,
 )
 from repro.workloads import Conv2DParams, conv2d_nchwc
@@ -162,6 +171,106 @@ def bench_table1_engine(limit: int) -> list:
     return rows
 
 
+def bench_native_tier(limit: int) -> dict:
+    """The tiered native backend on full-size Table I layers.
+
+    For each layer: time the warm vectorized run, then force promotion
+    (``promote_after=1`` — one warm run compiles the kernel and spot-checks
+    it for bit identity) and time the promoted native runs.  Reports the
+    native/vectorized speedup plus the promotion counters that
+    ``check_regression.py`` gates never-lower.  When no toolchain (numba or
+    a C compiler) is available the section reports ``available: false`` and
+    nothing else — the graceful-fallback story, not a failure.
+    """
+    from repro.tir import native_toolchain, tier_state
+    from repro.tir.backend import run_tiered
+
+    kind, payload = native_toolchain()
+    report = {
+        "available": kind is not None,
+        "toolchain": kind if kind is not None else str(payload),
+        "layers": [],
+    }
+    if kind is None:
+        return report
+    for index, params in enumerate(TABLE1_LAYERS[:limit], start=1):
+        result = _compile_once(params)
+        plan = compile_plan(result.func)
+        buffers = alloc_buffers(result.func, np.random.default_rng(index))
+        stats = EngineStats()
+
+        t0 = time.perf_counter()
+        expected = plan.run({t: a.copy() for t, a in buffers.items()}, stats=stats)
+        vector_s = time.perf_counter() - t0
+        expected = np.array(expected, copy=True)
+
+        # The threshold-crossing warm run: vectorized execution + kernel
+        # compile + bit-identity spot-check, all in one call.
+        t0 = time.perf_counter()
+        run_tiered(
+            plan, {t: a.copy() for t, a in buffers.items()}, stats=stats, promote_after=1
+        )
+        promote_s = time.perf_counter() - t0
+        state = tier_state(plan)
+
+        native_s, got = float("inf"), None
+        if state.tier == "native":
+            times = []
+            for _ in range(2):
+                native_buffers = {t: a.copy() for t, a in buffers.items()}
+                t0 = time.perf_counter()
+                got = run_tiered(plan, native_buffers, stats=stats, promote_after=1)
+                times.append(time.perf_counter() - t0)
+            native_s = min(times)
+        report["layers"].append(
+            {
+                "layer": index,
+                "params": params.describe(),
+                "macs": params.macs,
+                "tier": state.tier,
+                "demotion_reason": state.demotion_reason,
+                "vector_s": vector_s,
+                "promote_s": promote_s,
+                "native_s": native_s,
+                "native_speedup": vector_s / native_s if native_s else float("inf"),
+                "bit_identical": bool(
+                    got is not None and np.array_equal(got, expected)
+                ),
+                "native_runs": stats.native_runs,
+                "native_promotions": stats.native_promotions,
+                "native_demotions": stats.native_demotions,
+            }
+        )
+    return report
+
+
+def native_smoke() -> None:
+    """The CI native-tier gate (``--native-smoke``).
+
+    Skips (exit 0) when no native toolchain exists; otherwise layer 1 must
+    promote, run ≥2x faster than the vectorized tier, and stay bit-identical.
+    """
+    report = bench_native_tier(1)
+    if not report["available"]:
+        print(f"native-tier smoke skipped: {report['toolchain']}")
+        return
+    row = report["layers"][0]
+    print(
+        f"native tier ({report['toolchain']}): layer1 vector "
+        f"{row['vector_s'] * 1e3:7.1f} ms  native {row['native_s'] * 1e3:7.1f} ms "
+        f"({row['native_speedup']:.2f}x, bit_identical={row['bit_identical']}, "
+        f"tier={row['tier']})"
+    )
+    assert row["tier"] == "native", (
+        f"layer 1 failed to promote: {row['demotion_reason'] or 'unknown reason'}"
+    )
+    assert row["bit_identical"], "native kernel diverged from the vectorized tier"
+    assert row["native_speedup"] >= 2.0, (
+        f"native speedup {row['native_speedup']:.2f}x below the 2x floor"
+    )
+    print("native-tier smoke ok")
+
+
 def bench_static_analysis(limit: int) -> dict:
     """Cost and coverage of the static verification tier on Table I layers.
 
@@ -242,7 +351,7 @@ def bench_plan_cache() -> dict:
         cache.clear()
         buffers = alloc_buffers(func, np.random.default_rng(0))
         t0 = time.perf_counter()
-        execute(func, buffers)
+        Executor(tier="vectorized").run(func, buffers)
         cold_times.append(time.perf_counter() - t0)
     cold_s = min(cold_times)
 
@@ -251,7 +360,7 @@ def bench_plan_cache() -> dict:
     for _ in range(5):
         buffers = alloc_buffers(funcs[2], np.random.default_rng(0))
         t0 = time.perf_counter()
-        execute(funcs[2], buffers)
+        Executor(tier="vectorized").run(funcs[2], buffers)
         warm_times.append(time.perf_counter() - t0)
     warm_s = min(warm_times)
 
@@ -261,7 +370,7 @@ def bench_plan_cache() -> dict:
     for func in funcs[3:]:
         buffers = alloc_buffers(func, np.random.default_rng(0))
         t0 = time.perf_counter()
-        execute(func, buffers)
+        Executor(tier="vectorized").run(func, buffers)
         twin_times.append(time.perf_counter() - t0)
     twin_s = min(twin_times)
     hits, misses = cache.stats.hits - hits0, cache.stats.misses - misses0
@@ -340,11 +449,21 @@ def main(argv=None) -> dict:
         help="run the CI plan-cache gate (5x warm floor + zero Table I "
         "fallbacks) and exit without writing the report",
     )
+    parser.add_argument(
+        "--native-smoke",
+        action="store_true",
+        help="run the CI native-tier gate (layer 1 promotes, >=2x over the "
+        "vectorized tier, bit-identical; skips without a toolchain) and exit "
+        "without writing the report",
+    )
     args = parser.parse_args(argv)
 
     if args.plan_smoke:
         reset_expr_cache_stats()
         plan_smoke()
+        return {}
+    if args.native_smoke:
+        native_smoke()
         return {}
 
     report = {
@@ -354,6 +473,7 @@ def main(argv=None) -> dict:
     }
     if not args.quick:
         report["table1"] = bench_table1_engine(args.table1_layers)
+        report["native_tier"] = bench_native_tier(1)
         report["static_analysis"] = bench_static_analysis(args.table1_layers)
     report["plan_cache"] = bench_plan_cache()
     report["expr_cache"] = expr_cache_stats().as_dict()
@@ -380,6 +500,24 @@ def main(argv=None) -> dict:
             f"({row['intrinsic_round_batches']} round batch(es), "
             f"{row['proved_nests']} proved, {row['elided_checks']} elided)"
         )
+    native = report.get("native_tier")
+    if native is not None:
+        if not native["available"]:
+            print(f"native tier unavailable: {native['toolchain']}")
+        for row in native["layers"]:
+            print(
+                f"native layer{row['layer']:<2} vector {row['vector_s'] * 1e3:7.1f} ms "
+                f"native {row['native_s'] * 1e3:7.1f} ms "
+                f"({row['native_speedup']:.2f}x, "
+                f"bit_identical={row['bit_identical']}, tier={row['tier']})"
+            )
+            assert row["bit_identical"], (
+                f"native layer {row['layer']} diverged from the vectorized tier"
+            )
+            assert row["native_speedup"] >= 2.0, (
+                f"native layer {row['layer']} speedup "
+                f"{row['native_speedup']:.2f}x below the 2x floor"
+            )
     if "static_analysis" in report:
         sa = report["static_analysis"]
         print(

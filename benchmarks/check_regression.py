@@ -14,6 +14,10 @@ generous (default 3x) and only *meaningful* metrics are compared:
   counters — exact, not noisy, so they get **no tolerance**: fail when
   ``fresh < baseline``.  A change that silently loses bounds proofs (and
   with them the elided runtime checks) fails CI even if nothing got slower;
+* keys containing ``native_runs`` or ``native_promotions`` are the native
+  tier's coverage counters and are gated the same way (**never lower**): a
+  change that silently stops plans from promoting — or makes promoted plans
+  demote — fails CI even though the vectorized fallback masks it;
 * everything else (counters, flags, labels) is informational and ignored.
 
 Keys present on only one side are reported as warnings, not failures, so the
@@ -55,6 +59,8 @@ def _metric_kind(path: str) -> str:
     if "speedup" in leaf or "hit_rate" in leaf or "memory_reuse" in leaf:
         return "higher_is_better"
     if "proved" in leaf or "elided" in leaf:
+        return "never_lower"
+    if "native_runs" in leaf or "native_promotions" in leaf:
         return "never_lower"
     if leaf.endswith("_s") or leaf.endswith("_ms"):
         return "lower_is_better"

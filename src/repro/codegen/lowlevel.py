@@ -16,10 +16,13 @@ exists for three reasons:
 
 from __future__ import annotations
 
+import numpy as np
+
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..dsl import expr as E
+from ..dsl.dtype import DType, from_string
 from ..dsl.printer import expr_to_str
 from ..tir.lower import PrimFunc
 from ..tir.stmt import (
@@ -35,7 +38,17 @@ from ..tir.stmt import (
     Store,
 )
 
-__all__ = ["Instruction", "CodegenResult", "generate", "REGISTER_PREFIX"]
+__all__ = [
+    "Instruction",
+    "CodegenResult",
+    "generate",
+    "REGISTER_PREFIX",
+    "LoweringError",
+    "NativeSource",
+    "generate_c",
+    "generate_numba_source",
+    "native_support_reason",
+]
 
 REGISTER_PREFIX = {
     "x86": "zmm",
@@ -54,7 +67,14 @@ class Instruction:
     comment: str = ""
 
     def render(self) -> str:
-        text = f"{self.opcode} " + ", ".join(self.operands) if self.operands else self.opcode
+        # The conditional must select only the operand suffix: spelled as one
+        # ternary the condition binds the whole concatenation, which is easy
+        # to regress into a trailing-space (or operand-dropping) rendering for
+        # zero-operand opcodes like ``.else``/``.endif``.
+        if self.operands:
+            text = f"{self.opcode} " + ", ".join(self.operands)
+        else:
+            text = self.opcode
         if self.comment:
             text = f"{text:<60s} ; {self.comment}"
         return text
@@ -107,6 +127,47 @@ class CodegenResult:
                 counts["loops"] += 1
             elif instr.opcode == ".if":
                 counts["guards"] += 1
+        return counts
+
+    @property
+    def dynamic_stats(self) -> Dict[str, int]:
+        """Dynamic instruction counts: each instruction weighted by the
+        product of its enclosing static loop extents.
+
+        This is the executed-instruction count of the listing (``likely``
+        residue guards are *not* folded — guarded-off iterations still issue
+        their instructions, exactly as the cost models charge them), which is
+        what the analytical cost models' ``instructions`` detail can be
+        cross-checked against.
+        """
+        counts: Dict[str, int] = {
+            "tensorized": 0,
+            "vector_load": 0,
+            "vector_store": 0,
+            "broadcast": 0,
+            "scalar_store": 0,
+            "loop_iterations": 0,
+        }
+        trip = 1
+        stack: List[int] = []
+        for instr in self.instructions:
+            if instr.opcode in (".loop", ".parallel_loop", ".unrolled_loop"):
+                extent = int(instr.operands[1])
+                stack.append(extent)
+                trip *= extent
+                counts["loop_iterations"] += trip
+            elif instr.opcode == ".endloop":
+                trip //= stack.pop()
+            elif instr.opcode.startswith("tensor."):
+                counts["tensorized"] += trip
+            elif instr.opcode == "vload":
+                counts["vector_load"] += trip
+            elif instr.opcode == "vstore":
+                counts["vector_store"] += trip
+            elif instr.opcode == "vbcast":
+                counts["broadcast"] += trip
+            elif instr.opcode == "store":
+                counts["scalar_store"] += trip
         return counts
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -208,3 +269,902 @@ def generate(func: PrimFunc, target: str = "generic") -> CodegenResult:
     emitter = _Emitter(target)
     emitter.visit(func.body)
     return CodegenResult(func_name=func.name, target=target, instructions=emitter.instructions)
+
+
+# ---------------------------------------------------------------------------
+# Native source generation (the "LLVM step" of the paper, Section II-C.4).
+#
+# The emitters below lower a tensorized PrimFunc all the way to *executable*
+# source: C (compiled by the host toolchain, loaded through ctypes) or Python
+# (numba ``@njit``-able, and runnable un-jitted for testing).  Both mirror the
+# scalar interpreter's semantics bit for bit:
+#
+# * index expressions are evaluated the way the interpreter evaluates them —
+#   over Python ints, i.e. effectively unbounded integers.  In C these render
+#   as ``int64_t`` arithmetic with *no* per-node truncation (all in-bounds
+#   index math fits in 64 bits).
+# * value expressions follow numpy's NEP-50 promotion: Python-literal
+#   constants and loop variables are "weak", tensor loads and casts are
+#   "strong" (carry a concrete dtype), and every strong binary op truncates
+#   to the promoted dtype.  In C this renders as a cast on every node so that
+#   e.g. int8 adds wrap exactly like ``np.int8 + np.int8``.
+# * reductions fold sequentially in source order starting from zero — the
+#   exact fold order the interpreter's ``sum(values)`` performs — so float
+#   results are bit-identical (compile with ``-ffp-contract=off``; no FMA
+#   contraction, no reassociation).
+# * intrinsic calls expand to the interpreter's gather → execute → scatter
+#   register dance, with fixed-size stack arrays for the registers.
+# ---------------------------------------------------------------------------
+
+
+class LoweringError(Exception):
+    """A function (or one of its nests) cannot be lowered to native code."""
+
+
+@dataclass(frozen=True)
+class NativeSource:
+    """Generated native source for one PrimFunc.
+
+    ``language`` is ``"c"`` (compile with a C toolchain, call through ctypes)
+    or ``"python"`` (exec, optionally wrap with ``numba.njit``).  ``params``
+    records the buffer order of the entry point — identical to
+    ``func.params``.
+    """
+
+    func_name: str
+    language: str
+    source: str
+    entry: str
+    params: Tuple = ()
+
+
+_C_TYPES = {
+    "int8": "int8_t",
+    "uint8": "uint8_t",
+    "int16": "int16_t",
+    "uint16": "uint16_t",
+    "int32": "int32_t",
+    "int64": "int64_t",
+    "float32": "float",
+    "float64": "double",
+    "bool": "uint8_t",
+}
+
+_NP_CTORS = {
+    "int8": "np.int8",
+    "uint8": "np.uint8",
+    "int16": "np.int16",
+    "uint16": "np.uint16",
+    "int32": "np.int32",
+    "int64": "np.int64",
+    "float32": "np.float32",
+    "float64": "np.float64",
+    "bool": "np.bool_",
+}
+
+# Weak kinds (NEP-50 "python scalar" operands): weak int, weak float, weak
+# bool.  Strong operands carry their DType.
+_WI, _WF, _WB = "wi", "wf", "wb"
+
+
+def _kind_of(expr: E.Expr):
+    """Infer the promotion kind of a value expression.
+
+    Returns a :class:`DType` for "strong" expressions (loads, casts, and any
+    op touching one) or one of the weak markers for pure python-scalar math.
+    Mirrors how the interpreter's operands behave under NEP-50.
+    """
+    if isinstance(expr, (E.TensorLoad, E.Cast)):
+        return expr.dtype
+    if isinstance(expr, E.Var):
+        return _WI
+    if isinstance(expr, E.Const):
+        if isinstance(expr.value, bool):
+            return _WB
+        return _WI if isinstance(expr.value, int) else _WF
+    if isinstance(expr, E.Compare):
+        return _WB
+    if isinstance(expr, E.Select):
+        return _combine_kinds(_kind_of(expr.true_value), _kind_of(expr.false_value))
+    if isinstance(expr, E.Reduce):
+        return _kind_of(expr.source)
+    if isinstance(expr, E.BinaryOp):
+        return _combine_kinds(_kind_of(expr.a), _kind_of(expr.b))
+    raise LoweringError(f"cannot infer promotion kind of {type(expr).__name__}")
+
+
+def _combine_kinds(ka, kb):
+    if isinstance(ka, DType) and isinstance(kb, DType):
+        return from_string(np.promote_types(ka.np_dtype, kb.np_dtype).name)
+    if isinstance(ka, DType):
+        return ka
+    if isinstance(kb, DType):
+        return kb
+    if _WF in (ka, kb):
+        return _WF
+    return _WI
+
+
+def _c_type_for(kind) -> str:
+    if isinstance(kind, DType):
+        ctype = _C_TYPES.get(kind.name)
+        if ctype is None:
+            raise LoweringError(f"dtype {kind.name} has no native lowering")
+        return ctype
+    return {"wi": "int64_t", "wf": "double", "wb": "int64_t"}[kind]
+
+
+def _py_ctor_for(kind) -> Optional[str]:
+    """numpy scalar constructor for strong kinds; None for weak (python) math."""
+    if isinstance(kind, DType):
+        ctor = _NP_CTORS.get(kind.name)
+        if ctor is None:
+            raise LoweringError(f"dtype {kind.name} has no native lowering")
+        return ctor
+    return None
+
+
+def _c_float_literal(value: float, single: bool) -> str:
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise LoweringError("non-finite float constant in native lowering")
+    # Hex float literals are exact; the default %r round-trips only for repr
+    # parsing, which C does not do.
+    text = value.hex()
+    return f"{text}f" if single else text
+
+
+def _row_major_strides(shape) -> List[int]:
+    strides = [1] * len(shape)
+    for i in range(len(shape) - 2, -1, -1):
+        strides[i] = strides[i + 1] * shape[i + 1]
+    return strides
+
+
+# -- native eligibility -------------------------------------------------------
+
+_UNSUPPORTED_EXPRS = (E.Ramp, E.Broadcast, E.Shuffle, E.Call)
+
+
+def _intrinsic_native_reason(intrin) -> Optional[str]:
+    """Why an intrinsic cannot be natively expanded, or None if it can.
+
+    Native expansion executes the intrinsic's DSL body point by point, which
+    matches the *hardware* model (einsum and friends) bit-for-bit only when
+    the accumulation is order-free.  We accept exactly the structural class
+    the engine already trusts for round stacking (`_round_stackable`): an
+    integer accumulator plus an integer sum-reduction that does not read the
+    accumulator or the output — int wraparound addition is associative, so
+    any evaluation order agrees.
+    """
+    op = intrin.op
+    out = op.output
+    if not out.dtype.is_integer:
+        return f"intrinsic {intrin.name}: non-integer accumulator"
+    body = op.body
+    if not isinstance(body, E.Add):
+        return f"intrinsic {intrin.name}: body is not acc + reduce"
+    axis_vars = [ax.var for ax in op.axes]
+    for load, rest in ((body.a, body.b), (body.b, body.a)):
+        if not isinstance(load, E.TensorLoad):
+            continue
+        if not isinstance(rest, E.Reduce) or rest.combiner != "sum":
+            continue
+        if len(load.indices) != len(axis_vars):
+            continue
+        if not all(idx is var for idx, var in zip(load.indices, axis_vars)):
+            continue
+        acc_tensor = load.tensor
+        reads_forbidden = False
+        for node in E.post_order(rest):
+            if isinstance(node, E.TensorLoad) and node.tensor in (acc_tensor, out):
+                reads_forbidden = True
+            if isinstance(node, E.TensorLoad) and not node.tensor.dtype.is_integer:
+                reads_forbidden = True
+            if isinstance(node, _UNSUPPORTED_EXPRS):
+                reads_forbidden = True
+        if reads_forbidden:
+            return f"intrinsic {intrin.name}: reduction reads accumulator/output or non-integer lanes"
+        return None
+    return f"intrinsic {intrin.name}: body is not acc + sum-reduction over its axes"
+
+
+def _expr_native_reason(expr: E.Expr) -> Optional[str]:
+    for node in E.post_order(expr):
+        if isinstance(node, _UNSUPPORTED_EXPRS):
+            return f"{type(node).__name__} expressions have no native lowering"
+        if node.dtype is not None and node.dtype.name not in _C_TYPES:
+            return f"dtype {node.dtype.name} has no native lowering"
+    return None
+
+
+def native_support_reason(func: PrimFunc) -> Optional[str]:
+    """Return why ``func`` cannot be natively compiled, or None if it can."""
+    for tensor in func.params:
+        if tensor.dtype.name not in _C_TYPES:
+            return f"parameter {tensor.name}: dtype {tensor.dtype.name} has no native lowering"
+
+    def walk(stmt: Stmt) -> Optional[str]:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                reason = walk(s)
+                if reason:
+                    return reason
+            return None
+        if isinstance(stmt, For):
+            return walk(stmt.body)
+        if isinstance(stmt, IfThenElse):
+            reason = _expr_native_reason(stmt.condition)
+            if reason:
+                return reason
+            reason = walk(stmt.then_case)
+            if reason:
+                return reason
+            return walk(stmt.else_case) if stmt.else_case is not None else None
+        if isinstance(stmt, AttrStmt):
+            return walk(stmt.body)
+        if isinstance(stmt, Allocate):
+            if stmt.tensor.dtype.name not in _C_TYPES:
+                return f"allocation {stmt.tensor.name}: dtype {stmt.tensor.dtype.name} has no native lowering"
+            return walk(stmt.body)
+        if isinstance(stmt, Store):
+            reason = _expr_native_reason(stmt.value)
+            if reason:
+                return reason
+            for idx in stmt.indices:
+                reason = _expr_native_reason(idx)
+                if reason:
+                    return reason
+            return None
+        if isinstance(stmt, Evaluate):
+            return None
+        if isinstance(stmt, IntrinsicCall):
+            reason = _intrinsic_native_reason(stmt.intrin)
+            if reason:
+                return reason
+            for binding in list(stmt.inputs) + [stmt.output]:
+                for idx in list(binding.program_indices) + list(binding.intrin_indices):
+                    r = _expr_native_reason(idx)
+                    if r:
+                        return r
+            return None
+        return f"statement {type(stmt).__name__} has no native lowering"
+
+    return walk(func.body)
+
+
+# -- C emitter ----------------------------------------------------------------
+
+_C_PRELUDE = """\
+#include <stdint.h>
+#include <stdlib.h>
+#include <math.h>
+
+/* Python floor-division / floor-modulo over int64, with numpy's div-by-zero
+ * convention (result 0). */
+static inline int64_t repro_fdiv(int64_t a, int64_t b) {
+    if (b == 0) return 0;
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;
+    return q;
+}
+static inline int64_t repro_fmod(int64_t a, int64_t b) {
+    if (b == 0) return 0;
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+static inline float repro_fmodf(float a, float b) {
+    float r = fmodf(a, b);
+    if (r != 0.0f && ((r < 0.0f) != (b < 0.0f))) r += b;
+    return r;
+}
+static inline double repro_fmodd(double a, double b) {
+    double r = fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
+    return r;
+}
+"""
+
+
+class _NameTable:
+    """Identity-keyed unique C/Python identifiers for Vars and Tensors."""
+
+    def __init__(self) -> None:
+        self._names: Dict[int, str] = {}
+        self._used = set()
+
+    def name(self, obj, hint: str, prefix: str) -> str:
+        key = id(obj)
+        if key in self._names:
+            return self._names[key]
+        base = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in hint)
+        if not base or base[0].isdigit():
+            base = "_" + base
+        candidate = f"{prefix}{base}"
+        serial = 0
+        while candidate in self._used:
+            serial += 1
+            candidate = f"{prefix}{base}_{serial}"
+        self._used.add(candidate)
+        self._names[key] = candidate
+        return candidate
+
+
+class _CEmitter:
+    def __init__(self, func: PrimFunc, parallel: bool = True) -> None:
+        self.func = func
+        self.parallel = parallel
+        self.lines: List[str] = []
+        self.depth = 1
+        self.names = _NameTable()
+        self._tmp = 0
+
+    # -- plumbing ----------------------------------------------------------
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def fresh(self, prefix: str) -> str:
+        self._tmp += 1
+        return f"{prefix}{self._tmp}"
+
+    def var_name(self, var: E.Var) -> str:
+        return self.names.name(var, var.name, "v_")
+
+    def tensor_name(self, tensor) -> str:
+        return self.names.name(tensor, tensor.name, "t_")
+
+    # -- index expressions: python-int semantics, rendered as int64 --------
+    def index(self, expr: E.Expr) -> str:
+        if isinstance(expr, E.Var):
+            return self.var_name(expr)
+        if isinstance(expr, E.Const):
+            value = int(expr.value)
+            return f"{value}LL" if abs(value) > 2**31 - 1 else str(value)
+        if isinstance(expr, E.Add):
+            return f"(({self.index(expr.a)}) + ({self.index(expr.b)}))"
+        if isinstance(expr, E.Sub):
+            return f"(({self.index(expr.a)}) - ({self.index(expr.b)}))"
+        if isinstance(expr, E.Mul):
+            return f"(({self.index(expr.a)}) * ({self.index(expr.b)}))"
+        if isinstance(expr, E.FloorDiv):
+            return f"repro_fdiv({self.index(expr.a)}, {self.index(expr.b)})"
+        if isinstance(expr, E.Mod):
+            return f"repro_fmod({self.index(expr.a)}, {self.index(expr.b)})"
+        if isinstance(expr, E.Min):
+            a, b = self.index(expr.a), self.index(expr.b)
+            return f"(({b}) < ({a}) ? ({b}) : ({a}))"
+        if isinstance(expr, E.Max):
+            a, b = self.index(expr.a), self.index(expr.b)
+            return f"(({b}) > ({a}) ? ({b}) : ({a}))"
+        if isinstance(expr, E.Select):
+            cond, _ = self.value(expr.cond, {})
+            return f"(({cond}) ? ({self.index(expr.true_value)}) : ({self.index(expr.false_value)}))"
+        if isinstance(expr, E.Cast):
+            # Index-position casts stay exact in the interpreter's range of
+            # interest; int64 holds every in-bounds index.
+            return f"(int64_t)({self.index(expr.value)})"
+        code, _ = self.value(expr, {})
+        return f"(int64_t)({code})"
+
+    def flat_index(self, indices, shape) -> str:
+        strides = _row_major_strides(shape)
+        terms = []
+        for idx, stride in zip(indices, strides):
+            code = self.index(idx)
+            terms.append(code if stride == 1 else f"({code}) * {stride}")
+        return " + ".join(terms) if terms else "0"
+
+    # -- value expressions: NEP-50 weak/strong semantics -------------------
+    def value(self, expr: E.Expr, subs: Dict[int, Tuple[str, object]]) -> Tuple[str, object]:
+        """Render a value expression; returns (code, kind)."""
+        if id(expr) in subs:
+            return subs[id(expr)]
+        if isinstance(expr, E.Var):
+            return self.var_name(expr), _WI
+        if isinstance(expr, E.Const):
+            if isinstance(expr.value, bool):
+                return ("1" if expr.value else "0"), _WB
+            if isinstance(expr.value, int):
+                value = expr.value
+                return (f"{value}LL" if abs(value) > 2**31 - 1 else str(value)), _WI
+            return _c_float_literal(expr.value, single=False), _WF
+        if isinstance(expr, E.TensorLoad):
+            name = self.tensor_name(expr.tensor)
+            return f"{name}[{self.flat_index(expr.indices, expr.tensor.shape)}]", expr.dtype
+        if isinstance(expr, E.Cast):
+            code, _ = self.value(expr.value, subs)
+            ctype = _c_type_for(expr.dtype)
+            return f"(({ctype})({code}))", expr.dtype
+        if isinstance(expr, E.Compare):
+            ca, ka = self.value(expr.a, subs)
+            cb, kb = self.value(expr.b, subs)
+            ct = _c_type_for(_combine_kinds(ka, kb))
+            return f"((({ct})({ca})) {expr.op} (({ct})({cb})))", _WB
+        if isinstance(expr, E.Select):
+            cc, _ = self.value(expr.cond, subs)
+            ct_code, tk = self.value(expr.true_value, subs)
+            cf_code, fk = self.value(expr.false_value, subs)
+            kind = _combine_kinds(tk, fk)
+            ct = _c_type_for(kind)
+            return f"(({cc}) ? (({ct})({ct_code})) : (({ct})({cf_code})))", kind
+        if isinstance(expr, E.Reduce):
+            raise LoweringError("Reduce must be hoisted before rendering")
+        if isinstance(expr, E.BinaryOp):
+            return self._binary(expr, subs)
+        raise LoweringError(f"cannot lower {type(expr).__name__} to C")
+
+    def _binary(self, expr: E.BinaryOp, subs) -> Tuple[str, object]:
+        ca, ka = self.value(expr.a, subs)
+        cb, kb = self.value(expr.b, subs)
+        kind = _combine_kinds(ka, kb)
+        ct = _c_type_for(kind)
+        is_float = (kind == _WF) or (isinstance(kind, DType) and not kind.is_integer)
+        if isinstance(expr, (E.Add, E.Sub, E.Mul)):
+            op = {"Add": "+", "Sub": "-", "Mul": "*"}[type(expr).__name__]
+            return f"(({ct})((({ct})({ca})) {op} (({ct})({cb}))))", kind
+        if isinstance(expr, E.FloorDiv):
+            if is_float:
+                if ct == "float":
+                    return f"floorf((({ct})({ca})) / (({ct})({cb})))", kind
+                return f"floor((({ct})({ca})) / (({ct})({cb})))", kind
+            return f"(({ct})repro_fdiv((int64_t)(({ct})({ca})), (int64_t)(({ct})({cb}))))", kind
+        if isinstance(expr, E.Mod):
+            if is_float:
+                helper = "repro_fmodf" if ct == "float" else "repro_fmodd"
+                return f"{helper}((({ct})({ca})), (({ct})({cb})))", kind
+            return f"(({ct})repro_fmod((int64_t)(({ct})({ca})), (int64_t)(({ct})({cb}))))", kind
+        if isinstance(expr, E.Min):
+            a, b = f"(({ct})({ca}))", f"(({ct})({cb}))"
+            return f"(({b}) < ({a}) ? ({b}) : ({a}))", kind
+        if isinstance(expr, E.Max):
+            a, b = f"(({ct})({ca}))", f"(({ct})({cb}))"
+            return f"(({b}) > ({a}) ? ({b}) : ({a}))", kind
+        raise LoweringError(f"cannot lower {type(expr).__name__} to C")
+
+    def hoist_reduces(self, expr: E.Expr, subs: Dict[int, Tuple[str, object]]) -> None:
+        """Emit loop code for every Reduce in ``expr``, registering temps."""
+        if isinstance(expr, E.Reduce):
+            kind = _kind_of(expr.source)
+            ct = _c_type_for(kind)
+            tmp = self.fresh("red")
+            if expr.combiner == "sum":
+                self.line(f"{ct} {tmp} = 0;")
+                self._open_reduce_loops(expr.axes)
+                self.hoist_reduces(expr.source, subs)
+                code, _ = self.value(expr.source, subs)
+                # Sequential left fold from zero, truncating every step —
+                # exactly the interpreter's sum(values).
+                self.line(f"{tmp} = ({ct})({tmp} + ({ct})({code}));")
+                self._close_reduce_loops(expr.axes)
+            else:
+                cmp = "<" if expr.combiner == "min" else ">"
+                self.line(f"{ct} {tmp} = 0;")
+                self.line(f"int {tmp}_first = 1;")
+                self._open_reduce_loops(expr.axes)
+                self.hoist_reduces(expr.source, subs)
+                code, _ = self.value(expr.source, subs)
+                self.line(f"{ct} {tmp}_v = ({ct})({code});")
+                self.line(f"if ({tmp}_first) {{ {tmp} = {tmp}_v; {tmp}_first = 0; }}")
+                self.line(f"else if ({tmp}_v {cmp} {tmp}) {{ {tmp} = {tmp}_v; }}")
+                self._close_reduce_loops(expr.axes)
+            subs[id(expr)] = (tmp, kind)
+            return
+        for child in expr.children:
+            self.hoist_reduces(child, subs)
+
+    def _open_reduce_loops(self, axes) -> None:
+        for axis in axes:
+            name = self.var_name(axis.var)
+            self.line(f"for (int64_t {name} = 0; {name} < {axis.extent}; ++{name}) {{")
+            self.depth += 1
+
+    def _close_reduce_loops(self, axes) -> None:
+        for _ in axes:
+            self.depth -= 1
+            self.line("}")
+
+    # -- statements --------------------------------------------------------
+    def visit(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.visit(s)
+        elif isinstance(stmt, For):
+            name = self.var_name(stmt.var)
+            if stmt.kind is ForKind.PARALLEL and self.parallel:
+                # Iterations of a parallel nest write disjoint locations
+                # (verified by the engine's planner), so a static schedule is
+                # bit-exact; without -fopenmp the pragma is ignored.
+                self.line("#pragma omp parallel for schedule(static)")
+            self.line(f"for (int64_t {name} = 0; {name} < {stmt.extent}; ++{name}) {{")
+            self.depth += 1
+            self.visit(stmt.body)
+            self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, IfThenElse):
+            subs: Dict[int, Tuple[str, object]] = {}
+            self.hoist_reduces(stmt.condition, subs)
+            cond, _ = self.value(stmt.condition, subs)
+            self.line(f"if ({cond}) {{")
+            self.depth += 1
+            self.visit(stmt.then_case)
+            self.depth -= 1
+            if stmt.else_case is not None:
+                self.line("} else {")
+                self.depth += 1
+                self.visit(stmt.else_case)
+                self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, AttrStmt):
+            self.visit(stmt.body)
+        elif isinstance(stmt, Allocate):
+            name = self.tensor_name(stmt.tensor)
+            ctype = _c_type_for(stmt.tensor.dtype)
+            count = stmt.tensor.num_elements
+            self.line("{")
+            self.depth += 1
+            # calloc matches the interpreter's np.zeros initialisation.
+            self.line(f"{ctype}* {name} = ({ctype}*)calloc({count}, sizeof({ctype}));")
+            self.visit(stmt.body)
+            self.line(f"free({name});")
+            self.depth -= 1
+            self.line("}")
+        elif isinstance(stmt, Store):
+            subs = {}
+            self.hoist_reduces(stmt.value, subs)
+            code, _ = self.value(stmt.value, subs)
+            name = self.tensor_name(stmt.tensor)
+            flat = self.flat_index(stmt.indices, stmt.tensor.shape)
+            dtype = stmt.tensor.dtype
+            if dtype.name == "bool":
+                self.line(f"{name}[{flat}] = (uint8_t)(({code}) != 0);")
+            else:
+                self.line(f"{name}[{flat}] = ({_c_type_for(dtype)})({code});")
+        elif isinstance(stmt, Evaluate):
+            pass  # pure expression; no effect
+        elif isinstance(stmt, IntrinsicCall):
+            self._intrinsic(stmt)
+        else:
+            raise LoweringError(f"cannot lower {type(stmt).__name__} to C")
+
+    def _intrinsic(self, call: IntrinsicCall) -> None:
+        reason = _intrinsic_native_reason(call.intrin)
+        if reason:
+            raise LoweringError(reason)
+        op = call.intrin.op
+        self.line("{")
+        self.depth += 1
+        # Materialise the intrinsic's register operands as stack arrays,
+        # zero-filled like the interpreter's np.zeros registers.
+        for binding in list(call.inputs) + [call.output]:
+            reg = binding.intrin_tensor
+            name = self.tensor_name(reg)
+            ctype = _c_type_for(reg.dtype)
+            self.line(f"{ctype} {name}[{reg.num_elements}] = {{0}};")
+        # Gather: lane-by-lane over the call's axes, in order (last write
+        # wins, matching the interpreter's itertools.product walk).
+        self._open_reduce_loops(call.axes)
+        for binding in call.inputs:
+            reg = binding.intrin_tensor
+            src = self.tensor_name(binding.program_tensor)
+            dst = self.tensor_name(reg)
+            src_flat = self.flat_index(binding.program_indices, binding.program_tensor.shape)
+            dst_flat = self.flat_index(binding.intrin_indices, reg.shape)
+            self.line(f"{dst}[{dst_flat}] = ({_c_type_for(reg.dtype)})({src}[{src_flat}]);")
+        self._close_reduce_loops(call.axes)
+        # Execute: evaluate the intrinsic's DSL body point by point.
+        out_reg = op.output
+        out_name = self.tensor_name(call.output.intrin_tensor)
+        self._open_reduce_loops(op.axes)
+        subs: Dict[int, Tuple[str, object]] = {}
+        self.hoist_reduces(op.body, subs)
+        code, _ = self.value(op.body, subs)
+        out_flat = self.flat_index([ax.var for ax in op.axes], out_reg.shape)
+        self.line(f"{out_name}[{out_flat}] = ({_c_type_for(out_reg.dtype)})({code});")
+        self._close_reduce_loops(op.axes)
+        # Scatter the output register back to the program tensor.
+        out_binding = call.output
+        dst = self.tensor_name(out_binding.program_tensor)
+        self._open_reduce_loops(call.axes)
+        dst_flat = self.flat_index(out_binding.program_indices, out_binding.program_tensor.shape)
+        src_flat = self.flat_index(out_binding.intrin_indices, out_binding.intrin_tensor.shape)
+        cast = _c_type_for(out_binding.program_tensor.dtype)
+        self.line(f"{dst}[{dst_flat}] = ({cast})({out_name}[{src_flat}]);")
+        self._close_reduce_loops(call.axes)
+        self.depth -= 1
+        self.line("}")
+
+
+def generate_c(func: PrimFunc, parallel: bool = True) -> NativeSource:
+    """Lower ``func`` to a self-contained C translation unit.
+
+    The entry point takes one pointer per ``func.params`` tensor (row-major,
+    C-contiguous) and mirrors the scalar interpreter bit for bit; compile
+    with ``-O3 -fwrapv -ffp-contract=off`` (plus ``-fopenmp`` to honour
+    parallel nests).
+    """
+    reason = native_support_reason(func)
+    if reason:
+        raise LoweringError(reason)
+    emitter = _CEmitter(func, parallel=parallel)
+    # Reserve parameter names before the body references them.
+    params = []
+    for tensor in func.params:
+        params.append((emitter.tensor_name(tensor), _c_type_for(tensor.dtype)))
+    emitter.visit(func.body)
+    entry = "repro_kernel"
+    sig = ", ".join(f"{ctype}* restrict {name}" for name, ctype in params)
+    lines = [_C_PRELUDE]
+    lines.append(f"void {entry}({sig}) {{")
+    lines.extend(emitter.lines)
+    lines.append("}")
+    return NativeSource(
+        func_name=func.name,
+        language="c",
+        source="\n".join(lines) + "\n",
+        entry=entry,
+        params=tuple(func.params),
+    )
+
+
+# -- Python / numba emitter ---------------------------------------------------
+
+
+class _PyEmitter:
+    """Emit the same kernel as Python source.
+
+    Weak math is plain python ints (exactly the interpreter), strong math is
+    numpy scalar constructors (which numba compiles to native truncating
+    ops).  The result runs un-jitted for testing and under ``numba.njit``
+    for speed.
+    """
+
+    def __init__(self, func: PrimFunc) -> None:
+        self.func = func
+        self.lines: List[str] = []
+        self.depth = 1
+        self.names = _NameTable()
+        self._tmp = 0
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    def fresh(self, prefix: str) -> str:
+        self._tmp += 1
+        return f"{prefix}{self._tmp}"
+
+    def var_name(self, var: E.Var) -> str:
+        return self.names.name(var, var.name, "v_")
+
+    def tensor_name(self, tensor) -> str:
+        return self.names.name(tensor, tensor.name, "t_")
+
+    def _wrap(self, kind, code: str) -> str:
+        ctor = _py_ctor_for(kind)
+        return f"{ctor}({code})" if ctor else f"({code})"
+
+    def index(self, expr: E.Expr) -> str:
+        if isinstance(expr, E.Var):
+            return self.var_name(expr)
+        if isinstance(expr, E.Const):
+            return repr(expr.value)
+        if isinstance(expr, E.Add):
+            return f"(({self.index(expr.a)}) + ({self.index(expr.b)}))"
+        if isinstance(expr, E.Sub):
+            return f"(({self.index(expr.a)}) - ({self.index(expr.b)}))"
+        if isinstance(expr, E.Mul):
+            return f"(({self.index(expr.a)}) * ({self.index(expr.b)}))"
+        if isinstance(expr, E.FloorDiv):
+            a, b = self.index(expr.a), self.index(expr.b)
+            return f"(({a}) // ({b}) if ({b}) != 0 else 0)"
+        if isinstance(expr, E.Mod):
+            a, b = self.index(expr.a), self.index(expr.b)
+            return f"(({a}) % ({b}) if ({b}) != 0 else 0)"
+        if isinstance(expr, E.Min):
+            return f"min({self.index(expr.a)}, {self.index(expr.b)})"
+        if isinstance(expr, E.Max):
+            return f"max({self.index(expr.a)}, {self.index(expr.b)})"
+        if isinstance(expr, E.Select):
+            cond, _ = self.value(expr.cond, {})
+            return f"(({self.index(expr.true_value)}) if ({cond}) else ({self.index(expr.false_value)}))"
+        if isinstance(expr, E.Cast):
+            return f"int({self.index(expr.value)})"
+        code, _ = self.value(expr, {})
+        return f"int({code})"
+
+    def subscript(self, indices) -> str:
+        return ", ".join(self.index(i) for i in indices)
+
+    def value(self, expr: E.Expr, subs: Dict[int, Tuple[str, object]]) -> Tuple[str, object]:
+        if id(expr) in subs:
+            return subs[id(expr)]
+        if isinstance(expr, E.Var):
+            return self.var_name(expr), _WI
+        if isinstance(expr, E.Const):
+            return repr(expr.value), _kind_of(expr)
+        if isinstance(expr, E.TensorLoad):
+            name = self.tensor_name(expr.tensor)
+            return f"{name}[{self.subscript(expr.indices)}]", expr.dtype
+        if isinstance(expr, E.Cast):
+            code, _ = self.value(expr.value, subs)
+            return self._wrap(expr.dtype, code), expr.dtype
+        if isinstance(expr, E.Compare):
+            ca, _ = self.value(expr.a, subs)
+            cb, _ = self.value(expr.b, subs)
+            return f"(({ca}) {expr.op} ({cb}))", _WB
+        if isinstance(expr, E.Select):
+            cc, _ = self.value(expr.cond, subs)
+            tc, tk = self.value(expr.true_value, subs)
+            fc, fk = self.value(expr.false_value, subs)
+            return f"(({tc}) if ({cc}) else ({fc}))", _combine_kinds(tk, fk)
+        if isinstance(expr, E.Reduce):
+            raise LoweringError("Reduce must be hoisted before rendering")
+        if isinstance(expr, E.BinaryOp):
+            ca, ka = self.value(expr.a, subs)
+            cb, kb = self.value(expr.b, subs)
+            kind = _combine_kinds(ka, kb)
+            name = type(expr).__name__
+            if name in ("Add", "Sub", "Mul"):
+                op = {"Add": "+", "Sub": "-", "Mul": "*"}[name]
+                return self._wrap(kind, f"({ca}) {op} ({cb})"), kind
+            if name == "FloorDiv":
+                return self._wrap(kind, f"({ca}) // ({cb})"), kind
+            if name == "Mod":
+                return self._wrap(kind, f"({ca}) % ({cb})"), kind
+            if name == "Min":
+                return self._wrap(kind, f"min({ca}, {cb})"), kind
+            if name == "Max":
+                return self._wrap(kind, f"max({ca}, {cb})"), kind
+        raise LoweringError(f"cannot lower {type(expr).__name__} to Python")
+
+    def hoist_reduces(self, expr: E.Expr, subs: Dict[int, Tuple[str, object]]) -> None:
+        if isinstance(expr, E.Reduce):
+            kind = _kind_of(expr.source)
+            tmp = self.fresh("red")
+            ctor = _py_ctor_for(kind)
+            if expr.combiner == "sum":
+                self.line(f"{tmp} = {ctor}(0)" if ctor else f"{tmp} = 0")
+                self._open_loops(expr.axes)
+                self.hoist_reduces(expr.source, subs)
+                code, _ = self.value(expr.source, subs)
+                self.line(f"{tmp} = {self._wrap(kind, f'{tmp} + ({code})')}")
+                self._close_loops(expr.axes)
+            else:
+                cmp = "<" if expr.combiner == "min" else ">"
+                self.line(f"{tmp} = {ctor}(0)" if ctor else f"{tmp} = 0")
+                self.line(f"{tmp}_first = True")
+                self._open_loops(expr.axes)
+                self.hoist_reduces(expr.source, subs)
+                code, _ = self.value(expr.source, subs)
+                self.line(f"{tmp}_v = {self._wrap(kind, code)}")
+                self.line(f"if {tmp}_first or {tmp}_v {cmp} {tmp}:")
+                self.depth += 1
+                self.line(f"{tmp} = {tmp}_v")
+                self.depth -= 1
+                self.line(f"{tmp}_first = False")
+                self._close_loops(expr.axes)
+            subs[id(expr)] = (tmp, kind)
+            return
+        for child in expr.children:
+            self.hoist_reduces(child, subs)
+
+    def _open_loops(self, axes) -> None:
+        for axis in axes:
+            name = self.var_name(axis.var)
+            self.line(f"for {name} in range({axis.extent}):")
+            self.depth += 1
+
+    def _close_loops(self, axes) -> None:
+        self.depth -= len(list(axes))
+
+    def visit(self, stmt: Stmt) -> None:
+        if isinstance(stmt, SeqStmt):
+            for s in stmt.stmts:
+                self.visit(s)
+        elif isinstance(stmt, For):
+            name = self.var_name(stmt.var)
+            self.line(f"for {name} in range({stmt.extent}):")
+            self.depth += 1
+            self.visit(stmt.body)
+            self.depth -= 1
+        elif isinstance(stmt, IfThenElse):
+            subs: Dict[int, Tuple[str, object]] = {}
+            self.hoist_reduces(stmt.condition, subs)
+            cond, _ = self.value(stmt.condition, subs)
+            self.line(f"if {cond}:")
+            self.depth += 1
+            self.visit(stmt.then_case)
+            self.depth -= 1
+            if stmt.else_case is not None:
+                self.line("else:")
+                self.depth += 1
+                self.visit(stmt.else_case)
+                self.depth -= 1
+        elif isinstance(stmt, AttrStmt):
+            self.visit(stmt.body)
+        elif isinstance(stmt, Allocate):
+            name = self.tensor_name(stmt.tensor)
+            shape = ", ".join(str(s) for s in stmt.tensor.shape)
+            ctor = _NP_CTORS[stmt.tensor.dtype.name]
+            self.line(f"{name} = np.zeros(({shape},), dtype={ctor})")
+            self.visit(stmt.body)
+        elif isinstance(stmt, Store):
+            subs = {}
+            self.hoist_reduces(stmt.value, subs)
+            code, _ = self.value(stmt.value, subs)
+            name = self.tensor_name(stmt.tensor)
+            ctor = _NP_CTORS[stmt.tensor.dtype.name]
+            self.line(f"{name}[{self.subscript(stmt.indices)}] = {ctor}({code})")
+        elif isinstance(stmt, Evaluate):
+            pass
+        elif isinstance(stmt, IntrinsicCall):
+            self._intrinsic(stmt)
+        else:
+            raise LoweringError(f"cannot lower {type(stmt).__name__} to Python")
+
+    def _intrinsic(self, call: IntrinsicCall) -> None:
+        reason = _intrinsic_native_reason(call.intrin)
+        if reason:
+            raise LoweringError(reason)
+        op = call.intrin.op
+        for binding in list(call.inputs) + [call.output]:
+            reg = binding.intrin_tensor
+            name = self.tensor_name(reg)
+            shape = ", ".join(str(s) for s in reg.shape)
+            ctor = _NP_CTORS[reg.dtype.name]
+            self.line(f"{name} = np.zeros(({shape},), dtype={ctor})")
+        self._open_loops(call.axes)
+        for binding in call.inputs:
+            reg = binding.intrin_tensor
+            src = self.tensor_name(binding.program_tensor)
+            dst = self.tensor_name(reg)
+            self.line(
+                f"{dst}[{self.subscript(binding.intrin_indices)}] = "
+                f"{src}[{self.subscript(binding.program_indices)}]"
+            )
+        self._close_loops(call.axes)
+        out_reg = call.output.intrin_tensor
+        out_name = self.tensor_name(out_reg)
+        self._open_loops(op.axes)
+        subs: Dict[int, Tuple[str, object]] = {}
+        self.hoist_reduces(op.body, subs)
+        code, _ = self.value(op.body, subs)
+        out_sub = self.subscript([ax.var for ax in op.axes])
+        ctor = _NP_CTORS[out_reg.dtype.name]
+        self.line(f"{out_name}[{out_sub}] = {ctor}({code})")
+        self._close_loops(op.axes)
+        out_binding = call.output
+        dst = self.tensor_name(out_binding.program_tensor)
+        ctor = _NP_CTORS[out_binding.program_tensor.dtype.name]
+        self._open_loops(call.axes)
+        self.line(
+            f"{dst}[{self.subscript(out_binding.program_indices)}] = "
+            f"{ctor}({out_name}[{self.subscript(out_binding.intrin_indices)}])"
+        )
+        self._close_loops(call.axes)
+
+
+def generate_numba_source(func: PrimFunc) -> NativeSource:
+    """Lower ``func`` to Python source suitable for ``numba.njit``.
+
+    The emitted module defines ``repro_kernel(<one array per func.params>)``.
+    It is plain Python/numpy, so it also runs (slowly) without numba — which
+    is how the tests verify it when numba is not installed.
+    """
+    reason = native_support_reason(func)
+    if reason:
+        raise LoweringError(reason)
+    emitter = _PyEmitter(func)
+    params = [emitter.tensor_name(tensor) for tensor in func.params]
+    emitter.visit(func.body)
+    entry = "repro_kernel"
+    lines = ["import numpy as np", "", "", f"def {entry}({', '.join(params)}):"]
+    body = emitter.lines or ["    pass"]
+    lines.extend(body)
+    return NativeSource(
+        func_name=func.name,
+        language="python",
+        source="\n".join(lines) + "\n",
+        entry=entry,
+        params=tuple(func.params),
+    )

@@ -62,7 +62,7 @@ class CompiledModel:
     def latency_ms(self) -> float:
         return self.report.total_milliseconds
 
-    def run(self, inputs, weights=None, rng=None, keep=()):
+    def run(self, inputs, weights=None, rng=None, keep=(), executor=None):
         """Execute the compiled graph numerically, end to end.
 
         Runs the (quantized, fused) graph through the memory-planned,
@@ -70,11 +70,15 @@ class CompiledModel:
         (:func:`repro.graph.executor.run_model`): activations share one
         liveness-planned arena and every operator executes through the
         process-wide executable-plan cache, so repeated layer shapes compile
-        once.  Returns a :class:`~repro.graph.executor.ModelRun`.
+        once.  Pass a :class:`repro.tir.Executor` via ``executor`` to select
+        the execution tier and validation policy.  Returns a
+        :class:`~repro.graph.executor.ModelRun`.
         """
         from ..graph.executor import run_model
 
-        return run_model(self.graph, inputs, weights=weights, rng=rng, keep=keep)
+        return run_model(
+            self.graph, inputs, weights=weights, rng=rng, keep=keep, executor=executor
+        )
 
 
 class _SessionTunedRunner:
@@ -89,15 +93,42 @@ class _SessionTunedRunner:
     trials (they are deliberately not persisted), so keys tuned entirely
     from a warm cache are absent from it.
 
-    When ``validate`` is enabled, every fresh search's winning configuration
-    is functionally validated before its record enters the cache: the
-    workload is tensorized with that configuration and executed through the
-    vectorized engine, which must reproduce the reference lowering —
+    Validation is governed by a :class:`~repro.tir.ValidationPolicy`
+    (``validation=``): under ``SPOT`` every fresh search's winning
+    configuration is functionally validated before its record enters the
+    cache — the workload is tensorized with that configuration and executed
+    through the engine, which must reproduce the reference lowering
     bit-identically for integer kernels, within a tight tolerance for float
-    kernels (:func:`repro.core.unit.validate_tensorize`).
+    kernels (:func:`repro.core.unit.validate_tensorize`); ``FULL`` validates
+    every candidate; ``OFF`` trusts the cost model.  The boolean
+    ``validate=`` kwarg is the deprecated spelling of ``SPOT``.
     """
 
     validate: bool = False
+    validation = None
+
+    @staticmethod
+    def _resolve_validation(validate, validation, owner: str):
+        """Map the (deprecated bool, policy) kwarg pair to one policy."""
+        from ..tir.executor import ValidationPolicy
+
+        if validation is not None:
+            if validate is not None:
+                raise TypeError("pass either validation= or the deprecated validate=")
+            return ValidationPolicy.coerce(
+                validation,
+                default=ValidationPolicy.OFF,
+                bool_true=ValidationPolicy.SPOT,
+                owner=owner,
+            )
+        if validate is not None:
+            return ValidationPolicy.coerce(
+                bool(validate),
+                default=ValidationPolicy.OFF,
+                bool_true=ValidationPolicy.SPOT,
+                owner=owner,
+            )
+        return ValidationPolicy.OFF
 
     def _validation_op(self, kind: str, params):
         raise NotImplementedError
@@ -147,8 +178,9 @@ class _SessionTunedRunner:
             key,
             self._configs(),
             evaluate,
-            validate=self._validator(kind, params),
+            oracle=self._validator(kind, params),
             precheck=self._precheck(kind, params),
+            validation=self.validation,
         )
         if record.result is not None:
             self.tuning_results[(kind, params)] = record.result
@@ -165,10 +197,12 @@ class UnitCpuRunner(_SessionTunedRunner):
 
     ``session`` is the shared tuning session; omit it for a private one.
 
-    ``validate`` turns on functional trial validation: the winning
-    configuration of every fresh search is tensorized and checked
-    bit-identical against the reference lowering through the vectorized
-    engine before its record is cached.
+    ``validation`` selects the :class:`~repro.tir.ValidationPolicy` for
+    tuning-time functional checks (``SPOT`` validates the winning
+    configuration of every fresh search bit-identically against the
+    reference lowering before its record is cached; ``FULL`` validates every
+    candidate).  ``validate=True`` is the deprecated boolean spelling of
+    ``SPOT``.
     """
 
     def __init__(
@@ -179,7 +213,8 @@ class UnitCpuRunner(_SessionTunedRunner):
         candidates: Optional[Sequence[CpuTuningConfig]] = None,
         max_candidates: int = 16,
         session: Optional[TuningSession] = None,
-        validate: bool = False,
+        validate: Optional[bool] = None,
+        validation=None,
     ) -> None:
         if tuning not in ("parallel", "first_pair", "full"):
             raise ValueError("tuning must be 'parallel', 'first_pair' or 'full'")
@@ -191,7 +226,8 @@ class UnitCpuRunner(_SessionTunedRunner):
             max_pairs=max_candidates
         )
         self.session = session if session is not None else TuningSession()
-        self.validate = bool(validate)
+        self.validation = self._resolve_validation(validate, validation, "UnitCpuRunner")
+        self.validate = self.validation.value != "off"
         self._space = space_fingerprint(tuning, self._configs())
         self.tuning_results: Dict[object, TuningResult] = {}
 
@@ -280,7 +316,8 @@ class UnitGpuRunner(_SessionTunedRunner):
         intrinsic_name: str = "nvvm.wmma.m16n16k16.mma.row.row.f32.f32",
         mode: str = "tune",
         session: Optional[TuningSession] = None,
-        validate: bool = False,
+        validate: Optional[bool] = None,
+        validation=None,
     ) -> None:
         if mode not in ("generic", "fusedim", "splitk", "tune"):
             raise ValueError("mode must be 'generic', 'fusedim', 'splitk' or 'tune'")
@@ -289,7 +326,8 @@ class UnitGpuRunner(_SessionTunedRunner):
         self.model = GpuKernelModel(machine, self.intrin)
         self.mode = mode
         self.session = session if session is not None else TuningSession()
-        self.validate = bool(validate)
+        self.validation = self._resolve_validation(validate, validation, "UnitGpuRunner")
+        self.validate = self.validation.value != "off"
         self._space = space_fingerprint(mode, self._configs())
         self.tuning_results: Dict[object, TuningResult] = {}
 

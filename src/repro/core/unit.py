@@ -34,7 +34,8 @@ from ..rewriter import (
     replace_tensorize,
     reorganize_loops,
 )
-from ..tir import PrimFunc, alloc_buffers, execute, lower, verify
+from ..tir import PrimFunc, alloc_buffers, lower, verify
+from ..tir.executor import Executor, tier_for_engine
 
 __all__ = ["TensorizeResult", "tensorize", "select_intrinsic", "validate_tensorize"]
 
@@ -52,14 +53,20 @@ class TensorizeResult:
     schedule_report: Union[CpuScheduleReport, GpuScheduleReport, None]
 
     def execute(
-        self, buffers: Dict[Tensor, np.ndarray], engine: str = "vector"
+        self,
+        buffers: Dict[Tensor, np.ndarray],
+        engine: str = "vector",
+        executor: Optional[Executor] = None,
     ) -> np.ndarray:
         """Run the tensorized program on numpy buffers (correctness check).
 
-        Executes through the vectorized engine by default; pass
-        ``engine="scalar"`` for the reference interpreter.
+        Executes through a :class:`repro.tir.Executor` — pass one to control
+        the tier and validation policy, or use the legacy ``engine`` string
+        (``"vector"`` by default, ``"scalar"`` for the reference
+        interpreter, ``"native"`` for tiered compiled execution).
         """
-        return execute(self.func, buffers, engine=engine)
+        executor = executor or Executor(tier=tier_for_engine(engine))
+        return executor.run(self.func, buffers)
 
     @property
     def num_feasible_mappings(self) -> int:
@@ -92,6 +99,7 @@ def validate_tensorize(
     result: TensorizeResult,
     rng: Optional[np.random.Generator] = None,
     engine: str = "vector",
+    executor: Optional[Executor] = None,
 ) -> None:
     """Numerically validate a tensorized function against its operation.
 
@@ -106,12 +114,11 @@ def validate_tensorize(
     engine it is cheap enough to run per tuned workload.
     """
     rng = rng or np.random.default_rng(0)
+    executor = executor or Executor(tier=tier_for_engine(engine))
     reference = lower(result.operation, name=f"{result.operation.name}_ref")
     buffers = alloc_buffers(result.func, rng)
-    got = execute(result.func, {t: a.copy() for t, a in buffers.items()}, engine=engine)
-    expected = execute(
-        reference, {t: a.copy() for t, a in buffers.items()}, engine=engine
-    )
+    got = executor.run(result.func, {t: a.copy() for t, a in buffers.items()})
+    expected = executor.run(reference, {t: a.copy() for t, a in buffers.items()})
     if result.func.output.dtype.is_integer:
         ok = np.array_equal(got, expected)
     else:

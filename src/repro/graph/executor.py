@@ -141,6 +141,7 @@ def execute_graph(
     weights: Optional[Dict[str, np.ndarray]] = None,
     rng: Optional[np.random.Generator] = None,
     engine: str = "vector",
+    executor=None,
 ) -> Dict[str, np.ndarray]:
     """Execute ``graph`` numerically in float32, CHW activations.
 
@@ -150,30 +151,42 @@ def execute_graph(
     missing parameters are drawn deterministically from ``rng``.
 
     Convolutions and dense layers are lowered from the tensor DSL and run
-    through ``repro.tir.execute`` with the selected engine (``"vector"`` is
-    the default oracle, ``"scalar"`` the reference interpreter), so graph
-    execution exercises exactly the code path that validates tensorized
-    kernels.  Returns every node's output keyed by node name.
+    through a :class:`~repro.tir.Executor` — pass one via ``executor`` to
+    control the tier and validation policy, or use the legacy ``engine``
+    string (``"vector"`` is the default oracle, ``"scalar"`` the reference
+    interpreter), so graph execution exercises exactly the code path that
+    validates tensorized kernels.  Returns every node's output keyed by node
+    name.
     """
     graph.infer_shapes()
     weights = dict(weights or {})
     rng = rng or np.random.default_rng(0)
+    executor = _resolve_executor(executor, engine)
     outputs: Dict[str, np.ndarray] = {}
     for node in graph.nodes:
         ins = [outputs[name] for name in node.inputs]
-        out = _execute_node(node, ins, inputs, weights, rng, engine)
+        out = _execute_node(node, ins, inputs, weights, rng, executor)
         for activation in node.fused_activations:
             out = _apply_elementwise(activation, [out])
         outputs[node.name] = np.ascontiguousarray(out, dtype=np.float32)
     return outputs
 
 
-def _execute_node(node, ins, inputs, weights, rng, engine, out_buf=None) -> np.ndarray:
+def _resolve_executor(executor, engine: str):
+    """An Executor for graph execution: the caller's, or one for the legacy
+    ``engine`` string."""
+    if executor is not None:
+        return executor
+    from ..tir.executor import Executor, tier_for_engine
+
+    return Executor(tier=tier_for_engine(engine))
+
+
+def _execute_node(node, ins, inputs, weights, rng, executor, out_buf=None) -> np.ndarray:
     """Execute one node; when ``out_buf`` is given, compute-intensive
     operators write straight into it (an arena slot view under
     :func:`run_model`) and it is returned."""
     from ..dsl import compute, placeholder, reduce_axis, sum_reduce
-    from ..tir import execute as tir_execute
     from ..tir import lower
 
     def dsl_run(out_tensor, bindings, out_array=None):
@@ -192,7 +205,7 @@ def _execute_node(node, ins, inputs, weights, rng, engine, out_buf=None) -> np.n
             buffers[func.output] = np.zeros(
                 func.output.shape, dtype=func.output.dtype.np_dtype
             )
-        return tir_execute(func, buffers, engine=engine)
+        return executor.run(func, buffers)
 
     if isinstance(node, InputNode):
         try:
@@ -487,6 +500,7 @@ def run_model(
     rng: Optional[np.random.Generator] = None,
     engine: str = "vector",
     keep: Sequence[str] = (),
+    executor=None,
 ) -> ModelRun:
     """Execute a whole model through cached plans and one activation arena.
 
@@ -509,6 +523,7 @@ def run_model(
     memory = plan_memory(graph, keep=keep)
     weights = dict(weights or {})
     rng = rng or np.random.default_rng(0)
+    executor = _resolve_executor(executor, engine)
 
     cache_stats = plan_cache().stats
     hits0, misses0 = cache_stats.hits, cache_stats.misses
@@ -533,12 +548,12 @@ def run_model(
         ins = [outputs[name] for name in node.inputs]
         if isinstance(node, InputNode):
             outputs[node.name] = np.ascontiguousarray(
-                _execute_node(node, ins, inputs, weights, rng, engine),
+                _execute_node(node, ins, inputs, weights, rng, executor),
                 dtype=np.float32,
             )
             continue
         view = slot_view(node.name)
-        result = _execute_node(node, ins, inputs, weights, rng, engine, out_buf=view)
+        result = _execute_node(node, ins, inputs, weights, rng, executor, out_buf=view)
         for activation in node.fused_activations:
             result = _apply_elementwise(activation, [result])
         result = np.asarray(result, dtype=np.float32).reshape(view.shape)

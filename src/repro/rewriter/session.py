@@ -36,6 +36,48 @@ SEARCH_STRATEGIES = ("exhaustive", "parallel", "early_exit")
 _APPROXIMATE_STRATEGIES = ("early_exit",)
 
 
+def _apply_validation_policy(validate, oracle, precheck, validation):
+    """Normalise the legacy/unified validation kwargs of :meth:`tune`.
+
+    Returns the effective ``(oracle, precheck)`` pair for the requested
+    :class:`~repro.tir.ValidationPolicy`: ``OFF`` drops the oracle, ``SPOT``
+    keeps it winner-only (the historical behaviour), ``FULL`` merges it into
+    the per-candidate precheck.  The deprecated ``validate=`` callable keeps
+    working with one :class:`DeprecationWarning`.
+    """
+    from ..tir.executor import ValidationPolicy, warn_once
+
+    if validate is not None:
+        if oracle is not None:
+            raise TypeError("pass either oracle= or the deprecated validate=")
+        warn_once(
+            "TuningSession.tune:validate",
+            "TuningSession.tune(validate=...) is deprecated; pass oracle=... "
+            "(and validation=ValidationPolicy.SPOT/FULL/OFF)",
+        )
+        oracle = validate
+    policy = ValidationPolicy.coerce(
+        validation,
+        default=ValidationPolicy.SPOT,
+        bool_true=ValidationPolicy.FULL,
+        owner="TuningSession.tune",
+    )
+    if policy is ValidationPolicy.OFF:
+        return None, precheck
+    if policy is ValidationPolicy.FULL and oracle is not None:
+        base_precheck, winner_oracle = precheck, oracle
+
+        def full_precheck(cfg):
+            if base_precheck is not None:
+                base_precheck(cfg)
+            winner_oracle(cfg)
+
+        # Every candidate (the winner included) is validated up front, so
+        # the winner-only pass would be redundant work.
+        return None, full_precheck
+    return oracle, precheck
+
+
 class TuningSession:
     """Shared tuning state: a record cache plus a search strategy.
 
@@ -103,6 +145,9 @@ class TuningSession:
         evaluate: Callable[[object], CostBreakdown],
         validate: Optional[Callable[[object], None]] = None,
         precheck: Optional[Callable[[object], None]] = None,
+        *,
+        oracle: Optional[Callable[[object], None]] = None,
+        validation=None,
     ) -> TuningRecord:
         """Return the record for ``key``, searching ``candidates`` on a miss.
 
@@ -110,14 +155,21 @@ class TuningSession:
         the search minimises ``evaluate(cfg).seconds``.  On a hit no candidate
         is evaluated at all.
 
-        ``validate`` is the trial-validation oracle: it is invoked with the
-        winning configuration of a fresh search (never on a cache hit — a
-        cached record was validated when it was created) and must raise to
-        reject it.  The operator runners pass a functional check that
-        tensorizes the workload with the winning config and compares the
-        vectorized engine's output against the reference lowering
-        (bit-identical for integer kernels, tight tolerance for float), so a
-        record never enters the cache unvalidated.
+        ``oracle`` is the trial-validation callable (raise-to-reject); how
+        much of the search it covers is the ``validation``
+        :class:`~repro.tir.ValidationPolicy`:
+
+        * ``SPOT`` (the default) — winner-only: the oracle runs on the
+          winning configuration of a fresh search (never on a cache hit — a
+          cached record was validated when it was created), so a record never
+          enters the cache unvalidated.  The operator runners pass a
+          functional check that tensorizes the workload with the winning
+          config and compares the engine's output against the reference
+          lowering (bit-identical for integer kernels, tight tolerance for
+          float).
+        * ``FULL`` — the oracle additionally screens every candidate before
+          it is costed (merged into ``precheck``).
+        * ``OFF`` — the oracle is not invoked at all.
 
         ``precheck`` screens *every* candidate before the cost model sees it
         (also raise-to-reject): the operator runners pass the static
@@ -125,12 +177,16 @@ class TuningSession:
         sound is never costed, never profiled and never wins.  Rejections are
         counted in ``TuningResult.rejected`` and the session's
         ``candidates_rejected``.
+
+        ``validate`` is the deprecated spelling of ``oracle`` and keeps
+        working with a :class:`DeprecationWarning`.
         """
+        oracle, precheck = _apply_validation_policy(validate, oracle, precheck, validation)
         key = self._record_key(key)
         record = self._lookup(key)
         if record is not None:
             return record
-        return self._search_and_record(key, candidates, evaluate, validate, precheck)
+        return self._search_and_record(key, candidates, evaluate, oracle, precheck)
 
     def _search_and_record(
         self,

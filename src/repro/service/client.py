@@ -611,7 +611,13 @@ class RemoteSession(TuningSession):
         evaluate: Callable[[object], CostBreakdown],
         validate: Optional[Callable[[object], None]] = None,
         precheck: Optional[Callable[[object], None]] = None,
+        *,
+        oracle: Optional[Callable[[object], None]] = None,
+        validation=None,
     ) -> TuningRecord:
+        from ..rewriter.session import _apply_validation_policy
+
+        oracle, precheck = _apply_validation_policy(validate, oracle, precheck, validation)
         key = self._record_key(key)
         record = self._lookup(key)
         if record is not None:
@@ -629,7 +635,7 @@ class RemoteSession(TuningSession):
                 self.server_tunes += 1
                 self.cache.insert(record)
                 return record
-        return self._search_and_record(key, candidates, evaluate, validate, precheck)
+        return self._search_and_record(key, candidates, evaluate, oracle, precheck)
 
     # -- accounting ------------------------------------------------------------
     def summary(self) -> str:

@@ -1,12 +1,14 @@
 """``repro.tir`` — the imperative tensor IR.
 
 Lowering (:func:`lower`) turns a ComputeOp plus a schedule into a
-:class:`PrimFunc` whose body is a canonical loop nest.  Two execution paths
-share one contract: the vectorized engine (:func:`execute`, the default
-correctness oracle — batched numpy operations with automatic scalar
-fallback) and the scalar :class:`Interpreter` (the reference the engine is
-tested against).  The verifier checks structural invariants, and the printer
-renders C-like listings.
+:class:`PrimFunc` whose body is a canonical loop nest.  Execution goes
+through one front door — :class:`Executor`, which selects a tier from the
+:mod:`~repro.tir.backend` registry (``interpreter`` / ``vectorized`` /
+``native``) and applies a :class:`ValidationPolicy`.  The scalar
+:class:`Interpreter` remains the reference semantics every tier is tested
+against; the legacy :func:`execute` / :func:`vector_run` entrypoints survive
+as deprecation shims.  The verifier checks structural invariants, and the
+printer renders C-like listings.
 """
 
 from .lower import PrimFunc, decompose_reduction, lower
@@ -19,6 +21,25 @@ from .engine import (
     compile_plan,
     execute,
     vector_run,
+)
+from .backend import (
+    ExecutionBackend,
+    NativeKernel,
+    NativeUnavailable,
+    TierState,
+    available_backends,
+    compile_native,
+    get_backend,
+    native_eligibility_reason,
+    native_toolchain,
+    register_backend,
+    tier_state,
+)
+from .executor import (
+    Executor,
+    ValidationError,
+    ValidationPolicy,
+    reset_deprecation_warnings,
 )
 from .interpreter import Frame, Interpreter, alloc_buffers, random_array, run
 from .plan import (
@@ -61,6 +82,21 @@ __all__ = [
     "Unvectorizable",
     "execute",
     "vector_run",
+    "Executor",
+    "ValidationPolicy",
+    "ValidationError",
+    "reset_deprecation_warnings",
+    "ExecutionBackend",
+    "NativeKernel",
+    "NativeUnavailable",
+    "TierState",
+    "available_backends",
+    "compile_native",
+    "get_backend",
+    "native_eligibility_reason",
+    "native_toolchain",
+    "register_backend",
+    "tier_state",
     "ExecutablePlan",
     "PlanStats",
     "compile_plan",

@@ -1,0 +1,514 @@
+"""Tiered execution backends: interpreter → vectorized → native.
+
+The paper hands rewritten tensor IR to LLVM (Section II-C.4); this module is
+that step for the reproduction.  Three :class:`ExecutionBackend`\\ s share one
+interface:
+
+* ``interpreter`` — the scalar reference semantics (:mod:`.interpreter`);
+* ``vectorized`` — batched numpy execution through a cached
+  :class:`~repro.tir.engine.ExecutablePlan`;
+* ``native`` — the vectorized tier plus *tiered promotion*: once a plan has
+  run warm ``promote_after`` times, its function is lowered through
+  :mod:`repro.codegen.lowlevel` to real machine code (numba ``@njit`` when
+  importable, else C compiled by the host toolchain and loaded through
+  ctypes) and subsequent runs dispatch to the compiled kernel.
+
+Promotion is conservative by construction:
+
+* only plans whose every nest the static verifier proved (``proved_nests ==
+  vector_nests``, no fallback steps — the PR 6 analysis tier) are eligible,
+  and the function must pass :func:`~repro.codegen.lowlevel.native_support_reason`;
+* at promotion time the fresh kernel is spot-checked for **bit identity**
+  against the vectorized result that was just computed on the caller's real
+  buffers — a mismatch demotes instead of promoting;
+* any compile or runtime failure demotes the plan permanently (per plan);
+  demoted plans keep running vectorized, so the native tier can never change
+  results or raise where the vectorized tier would not.
+
+Promotion state lives on the plan object itself (via :func:`tier_state`), so
+it is keyed off the process-wide :class:`~repro.tir.plan.PlanCache` exactly
+like the plan: every caller that hits the same cached plan shares one warm-run
+count and one compiled kernel.
+"""
+
+from __future__ import annotations
+
+import atexit
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dsl.tensor import Tensor
+
+if TYPE_CHECKING:  # runtime import is lazy (see _lowlevel) to avoid a cycle
+    from ..codegen.lowlevel import NativeSource
+from .engine import EngineStats, ExecutablePlan
+from .interpreter import Interpreter
+from .lower import PrimFunc
+
+
+def _lowlevel():
+    # Imported lazily: ``repro.codegen.lowlevel`` itself imports ``repro.tir``
+    # (for the stmt/expr node types), so a module-level import here would be
+    # circular whenever ``repro.codegen`` loads first.
+    from ..codegen import lowlevel
+
+    return lowlevel
+
+__all__ = [
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "VectorizedBackend",
+    "NativeBackend",
+    "NativeUnavailable",
+    "NativeKernel",
+    "TierState",
+    "available_backends",
+    "compile_native",
+    "default_promote_after",
+    "get_backend",
+    "native_eligibility_reason",
+    "native_toolchain",
+    "register_backend",
+    "set_default_promote_after",
+    "tier_state",
+]
+
+
+# ---------------------------------------------------------------------------
+# Toolchain discovery
+# ---------------------------------------------------------------------------
+
+
+class NativeUnavailable(RuntimeError):
+    """No native toolchain (numba or a C compiler) is installed."""
+
+
+_TOOLCHAIN_LOCK = threading.Lock()
+_TOOLCHAIN: Optional[Tuple[Optional[str], object]] = None
+
+
+def _discover_toolchain() -> Tuple[Optional[str], object]:
+    if os.environ.get("REPRO_DISABLE_NATIVE"):
+        return None, "native tier disabled via REPRO_DISABLE_NATIVE"
+    try:
+        import numba  # type: ignore
+
+        return "numba", numba
+    except Exception:  # pragma: no cover - depends on environment
+        pass
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return "cc", path
+    return None, "neither numba nor a C compiler (cc/gcc/clang) is available"
+
+
+def native_toolchain(refresh: bool = False) -> Tuple[Optional[str], object]:
+    """The available native toolchain.
+
+    Returns ``("numba", <module>)``, ``("cc", <compiler path>)``, or
+    ``(None, <reason string>)``.  Cached after the first probe; pass
+    ``refresh=True`` to re-probe (tests monkeypatching the environment).
+    """
+    global _TOOLCHAIN
+    with _TOOLCHAIN_LOCK:
+        if _TOOLCHAIN is None or refresh:
+            _TOOLCHAIN = _discover_toolchain()
+        return _TOOLCHAIN
+
+
+# ---------------------------------------------------------------------------
+# Kernel compilation
+# ---------------------------------------------------------------------------
+
+_BUILD_DIR: Optional[str] = None
+_CC_FLAGS = ["-O3", "-fwrapv", "-ffp-contract=off", "-fPIC", "-shared"]
+_SO_SERIAL = 0
+
+
+def _build_dir() -> str:
+    global _BUILD_DIR
+    if _BUILD_DIR is None:
+        _BUILD_DIR = tempfile.mkdtemp(prefix="repro_native_")
+        atexit.register(shutil.rmtree, _BUILD_DIR, ignore_errors=True)
+    return _BUILD_DIR
+
+
+class NativeKernel:
+    """A compiled kernel for one PrimFunc.
+
+    ``params`` is the buffer order of the entry point (``func.params``).
+    Call :meth:`run` with arrays aligned to that order; the output array is
+    mutated in place, exactly like ``Interpreter.run``.
+    """
+
+    def __init__(self, source: NativeSource, toolchain: str, entry: Callable) -> None:
+        self.source = source
+        self.toolchain = toolchain
+        self._entry = entry
+        self.params: Tuple[Tensor, ...] = tuple(source.params)
+
+    def run(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        if len(arrays) != len(self.params):
+            raise ValueError(
+                f"kernel {self.source.func_name!r} takes {len(self.params)} buffers, "
+                f"got {len(arrays)}"
+            )
+        prepared: List[np.ndarray] = []
+        writeback: List[Tuple[int, np.ndarray]] = []
+        for pos, (tensor, array) in enumerate(zip(self.params, arrays)):
+            if tuple(array.shape) != tensor.shape:
+                raise ValueError(
+                    f"buffer {tensor.name!r}: expected shape {tensor.shape}, "
+                    f"got {tuple(array.shape)}"
+                )
+            if array.dtype != tensor.dtype.np_dtype:
+                raise ValueError(
+                    f"buffer {tensor.name!r}: expected dtype {tensor.dtype.name}, "
+                    f"got {array.dtype}"
+                )
+            if not array.flags["C_CONTIGUOUS"]:
+                contiguous = np.ascontiguousarray(array)
+                prepared.append(contiguous)
+                writeback.append((pos, contiguous))
+            else:
+                prepared.append(array)
+        if self.toolchain == "cc":
+            self._entry(*[a.ctypes.data_as(ctypes.c_void_p) for a in prepared])
+        else:
+            self._entry(*prepared)
+        for pos, contiguous in writeback:
+            arrays[pos][...] = contiguous
+        return arrays[-1]
+
+
+def _compile_c(source: NativeSource, compiler: str) -> NativeKernel:
+    global _SO_SERIAL
+    _SO_SERIAL += 1
+    directory = _build_dir()
+    stem = os.path.join(directory, f"{source.func_name}_{_SO_SERIAL}")
+    c_path, so_path = stem + ".c", stem + ".so"
+    with open(c_path, "w") as handle:
+        handle.write(source.source)
+    proc = subprocess.run(
+        [compiler, *_CC_FLAGS, "-o", so_path, c_path],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise _lowlevel().LoweringError(
+            f"C compilation of {source.func_name!r} failed:\n{proc.stderr.strip()}"
+        )
+    library = ctypes.CDLL(so_path)
+    entry = getattr(library, source.entry)
+    entry.restype = None
+    kernel = NativeKernel(source, "cc", entry)
+    kernel._library = library  # keep the handle alive with the kernel
+    return kernel
+
+
+def _compile_numba(source: NativeSource, numba_module) -> NativeKernel:
+    namespace: Dict[str, object] = {}
+    exec(compile(source.source, f"<native:{source.func_name}>", "exec"), namespace)
+    python_fn = namespace[source.entry]
+    jitted = numba_module.njit(cache=False)(python_fn)
+    return NativeKernel(source, "numba", jitted)
+
+
+def compile_native(func: PrimFunc) -> NativeKernel:
+    """Lower ``func`` to a compiled kernel with the best available toolchain.
+
+    Raises :class:`NativeUnavailable` when no toolchain exists and
+    :class:`~repro.codegen.lowlevel.LoweringError` when ``func`` cannot be
+    lowered or compilation fails.
+    """
+    kind, payload = native_toolchain()
+    if kind is None:
+        raise NativeUnavailable(str(payload))
+    lowlevel = _lowlevel()
+    if kind == "numba":
+        return _compile_numba(lowlevel.generate_numba_source(func), payload)
+    return _compile_c(lowlevel.generate_c(func), str(payload))
+
+
+# ---------------------------------------------------------------------------
+# Tier state and promotion
+# ---------------------------------------------------------------------------
+
+_DEFAULT_PROMOTE_AFTER = 3
+
+
+def default_promote_after() -> int:
+    """Warm runs before a plan is considered for native promotion."""
+    env = os.environ.get("REPRO_NATIVE_PROMOTE_AFTER")
+    if env is not None:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return _DEFAULT_PROMOTE_AFTER
+
+
+def set_default_promote_after(value: int) -> None:
+    global _DEFAULT_PROMOTE_AFTER
+    if value < 1:
+        raise ValueError("promote_after must be >= 1")
+    _DEFAULT_PROMOTE_AFTER = int(value)
+
+
+@dataclass
+class TierState:
+    """Per-plan promotion state (shared by every caller of a cached plan)."""
+
+    tier: str = "vectorized"
+    warm_runs: int = 0
+    kernel: Optional[NativeKernel] = None
+    demoted: bool = False
+    demotion_reason: str = ""
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+def tier_state(plan: ExecutablePlan) -> TierState:
+    """The promotion state attached to ``plan`` (created on first use)."""
+    state = getattr(plan, "_tier_state", None)
+    if state is None:
+        state = TierState()
+        plan._tier_state = state
+    return state
+
+
+def native_eligibility_reason(plan: ExecutablePlan) -> Optional[str]:
+    """Why ``plan`` can never promote to native, or None if it may.
+
+    Eligibility requires the static verification tier (PR 6) to have proved
+    every nest — the same proofs that elide runtime guards now license
+    codegen — plus a plan with no interpreter-fallback steps and a function
+    the native emitters accept.
+    """
+    if plan.stats.fallback_nests > 0:
+        return f"plan has {plan.stats.fallback_nests} interpreter-fallback nest(s)"
+    if plan.stats.vector_nests == 0:
+        return "plan has no vectorized nests to compile"
+    if plan.stats.proved_nests < plan.stats.vector_nests:
+        return (
+            f"static verifier proved {plan.stats.proved_nests}/"
+            f"{plan.stats.vector_nests} nests; native promotion requires all"
+        )
+    return _lowlevel().native_support_reason(plan.func)
+
+
+def _demote(plan: ExecutablePlan, reason: str, stats: Optional[EngineStats]) -> None:
+    state = tier_state(plan)
+    state.tier = "vectorized"
+    state.kernel = None
+    state.demoted = True
+    state.demotion_reason = reason
+    if stats is not None:
+        stats.native_demotions += 1
+
+
+def _kernel_arrays(
+    plan: ExecutablePlan, func: PrimFunc, buffers: Dict[Tensor, np.ndarray]
+) -> List[np.ndarray]:
+    """Order the caller's buffers to the plan function's parameter order.
+
+    Mirrors ``ExecutablePlan.run``'s positional rebinding for plans served
+    from the cache for a structurally identical function.
+    """
+    arrays = []
+    for mine, theirs in zip(plan.func.params, func.params):
+        if theirs not in buffers:
+            raise KeyError(f"missing buffer for parameter {theirs.name!r}")
+        arrays.append(buffers[theirs])
+    return arrays
+
+
+def _try_promote(
+    plan: ExecutablePlan,
+    func: PrimFunc,
+    inputs_before: List[np.ndarray],
+    output_before: np.ndarray,
+    expected: np.ndarray,
+    stats: Optional[EngineStats],
+) -> None:
+    """Compile a kernel and spot-check it for bit identity before promoting.
+
+    ``inputs_before``/``output_before`` are the buffer values the vectorized
+    run consumed; ``expected`` is the result it produced.  Running the fresh
+    kernel over copies of the same inputs must reproduce ``expected`` bit for
+    bit, else the plan demotes.
+    """
+    state = tier_state(plan)
+    try:
+        kernel = compile_native(plan.func)
+    except (NativeUnavailable, _lowlevel().LoweringError) as exc:
+        _demote(plan, f"native compile failed: {exc}", stats)
+        return
+    check = [np.array(a, copy=True) for a in inputs_before]
+    check.append(np.array(output_before, copy=True))
+    try:
+        got = kernel.run(check)
+    except Exception as exc:  # demote on *any* kernel failure
+        _demote(plan, f"native kernel raised during spot-check: {exc}", stats)
+        return
+    if not np.array_equal(got, expected):
+        _demote(plan, "native kernel is not bit-identical to the vectorized tier", stats)
+        return
+    state.kernel = kernel
+    state.tier = "native"
+    if stats is not None:
+        stats.native_promotions += 1
+    plan.stats.native_promotions += 1
+
+
+def run_tiered(
+    plan: ExecutablePlan,
+    buffers: Dict[Tensor, np.ndarray],
+    stats: Optional[EngineStats] = None,
+    func: Optional[PrimFunc] = None,
+    promote_after: Optional[int] = None,
+) -> np.ndarray:
+    """Execute ``plan`` under the tiered native policy.
+
+    Runs natively when the plan is promoted; otherwise runs vectorized,
+    counts the warm run, and attempts promotion once the plan is warm and
+    eligible.  Any native failure demotes the plan and falls back to the
+    vectorized result, so this never errors where the vectorized tier would
+    not.
+    """
+    func = func or plan.func
+    state = tier_state(plan)
+    threshold = promote_after if promote_after is not None else default_promote_after()
+
+    if state.tier == "native" and state.kernel is not None:
+        arrays = _kernel_arrays(plan, func, buffers)
+        try:
+            with state.lock:
+                result = state.kernel.run(arrays)
+        except Exception as exc:
+            _demote(plan, f"native kernel raised: {exc}", stats)
+        else:
+            if stats is not None:
+                stats.native_runs += 1
+            plan.stats.native_runs += 1
+            return result
+
+    if state.demoted or state.tier != "vectorized" or state.warm_runs + 1 < threshold:
+        result = plan.run(buffers, stats=stats, func=func)
+        with state.lock:
+            if not state.demoted:
+                state.warm_runs += 1
+        return result
+
+    # This warm run crosses the threshold: keep the pre-run buffer values so
+    # the freshly compiled kernel can be spot-checked on the same inputs.
+    arrays = _kernel_arrays(plan, func, buffers)
+    inputs_before = [np.array(a, copy=True) for a in arrays[:-1]]
+    output_before = np.array(arrays[-1], copy=True)
+    result = plan.run(buffers, stats=stats, func=func)
+    with state.lock:
+        state.warm_runs += 1
+        should_promote = (
+            not state.demoted
+            and state.tier == "vectorized"
+            and state.warm_runs >= threshold
+        )
+        if should_promote:
+            reason = native_eligibility_reason(plan)
+            if reason is not None:
+                _demote(plan, reason, stats)
+            else:
+                _try_promote(plan, func, inputs_before, output_before, result, stats)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """One way to execute a PrimFunc over numpy buffers."""
+
+    name: str = "abstract"
+
+    def run(
+        self,
+        func: PrimFunc,
+        buffers: Dict[Tensor, np.ndarray],
+        stats: Optional[EngineStats] = None,
+        strict: bool = False,
+        promote_after: Optional[int] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class InterpreterBackend(ExecutionBackend):
+    """The scalar reference interpreter — the semantics oracle."""
+
+    name = "interpreter"
+
+    def run(self, func, buffers, stats=None, strict=False, promote_after=None):
+        return Interpreter(func).run(buffers)
+
+
+class VectorizedBackend(ExecutionBackend):
+    """Batched numpy execution through the cached ExecutablePlan."""
+
+    name = "vectorized"
+
+    def _plan(self, func: PrimFunc, strict: bool) -> ExecutablePlan:
+        from .engine import compile_plan
+        from .plan import plan_cache
+
+        if strict:
+            return compile_plan(func, strict=True)
+        return plan_cache().get_or_compile(func)
+
+    def run(self, func, buffers, stats=None, strict=False, promote_after=None):
+        return self._plan(func, strict).run(buffers, stats=stats, func=func)
+
+
+class NativeBackend(VectorizedBackend):
+    """The vectorized tier plus tiered promotion to compiled kernels."""
+
+    name = "native"
+
+    def run(self, func, buffers, stats=None, strict=False, promote_after=None):
+        plan = self._plan(func, strict)
+        return run_tiered(
+            plan, buffers, stats=stats, func=func, promote_after=promote_after
+        )
+
+
+_BACKENDS: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> None:
+    _BACKENDS[backend.name] = backend
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {name!r} (available: {sorted(_BACKENDS)})"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    return sorted(_BACKENDS)
+
+
+register_backend(InterpreterBackend())
+register_backend(VectorizedBackend())
+register_backend(NativeBackend())

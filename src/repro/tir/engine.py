@@ -112,6 +112,9 @@ class EngineStats:
     intrinsic_rounds: int = 0
     intrinsic_points: int = 0
     intrinsic_round_batches: int = 0
+    native_runs: int = 0
+    native_promotions: int = 0
+    native_demotions: int = 0
     fallback_reasons: List[str] = field(default_factory=list)
 
     @property
@@ -135,6 +138,8 @@ class PlanStats:
     fallback_nests: int = 0
     proved_nests: int = 0
     elided_checks: int = 0
+    native_runs: int = 0
+    native_promotions: int = 0
     fallback_reasons: List[str] = field(default_factory=list)
 
     @property
@@ -1858,8 +1863,19 @@ class VectorizedEngine:
 def vector_run(
     func: PrimFunc, buffers: Dict[Tensor, np.ndarray], strict: bool = False
 ) -> np.ndarray:
-    """Execute ``func`` through the vectorized engine."""
-    return VectorizedEngine(func, strict=strict).run(buffers)
+    """Execute ``func`` through the vectorized engine.
+
+    .. deprecated::
+        Use ``repro.tir.Executor(tier="vectorized").run(func, buffers)``.
+    """
+    from .executor import Executor, warn_once
+
+    warn_once(
+        "tir.engine.vector_run",
+        "repro.tir.vector_run is deprecated; use "
+        "repro.tir.Executor(tier='vectorized').run(func, buffers)",
+    )
+    return Executor(tier="vectorized", strict=strict).run(func, buffers)
 
 
 def execute(
@@ -1871,13 +1887,20 @@ def execute(
     """Execute ``func`` over ``buffers`` with the selected engine.
 
     ``engine`` is ``"vector"`` (the default oracle — batched numpy execution
-    through a cached :class:`ExecutablePlan`, with automatic scalar fallback)
-    or ``"scalar"`` (the reference interpreter).  ``strict`` makes the vector
-    engine raise :class:`Unvectorizable` instead of falling back — useful in
-    tests that assert full vectorization.
+    through a cached :class:`ExecutablePlan`, with automatic scalar fallback),
+    ``"scalar"`` (the reference interpreter), or ``"native"`` (tiered
+    promotion to compiled kernels).  ``strict`` makes the vector engine raise
+    :class:`Unvectorizable` instead of falling back — useful in tests that
+    assert full vectorization.
+
+    .. deprecated::
+        Use ``repro.tir.Executor(tier=...).run(func, buffers)``.
     """
-    if engine == "scalar":
-        return Interpreter(func).run(buffers)
-    if engine == "vector":
-        return vector_run(func, buffers, strict=strict)
-    raise ValueError(f"unknown engine {engine!r} (expected 'vector' or 'scalar')")
+    from .executor import Executor, tier_for_engine, warn_once
+
+    warn_once(
+        "tir.engine.execute",
+        "repro.tir.execute is deprecated; use "
+        "repro.tir.Executor(tier=...).run(func, buffers)",
+    )
+    return Executor(tier=tier_for_engine(engine), strict=strict).run(func, buffers)

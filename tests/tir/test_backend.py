@@ -1,0 +1,255 @@
+"""Tiered native execution: promotion, demotion, and bit identity.
+
+The native tier may only ever *speed up* execution: every test here pins one
+of the guarantees that make that true — plans promote only after N warm runs,
+only when statically proved, only when the compiled kernel reproduces the
+vectorized result bit for bit, and any failure demotes the plan back to the
+vectorized tier instead of surfacing an error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codegen.lowlevel import LoweringError
+from repro.tir import (
+    EngineStats,
+    alloc_buffers,
+    compile_plan,
+    compile_native,
+    lower,
+    native_eligibility_reason,
+    native_toolchain,
+    run,
+    tier_state,
+)
+from repro.tir.backend import (
+    default_promote_after,
+    run_tiered,
+    set_default_promote_after,
+)
+from repro.workloads.dense import matmul_fp32
+from tests.conftest import small_conv_hwc
+
+TOOLCHAIN_KIND = native_toolchain()[0]
+needs_toolchain = pytest.mark.skipif(
+    TOOLCHAIN_KIND is None, reason="no native toolchain (numba or C compiler)"
+)
+
+
+def _proved_plan():
+    return compile_plan(lower(small_conv_hwc()))
+
+
+def _unproved_plan():
+    """A gather whose data-dependent index the static verifier cannot prove."""
+    from repro.dsl import compute, placeholder
+
+    idx = placeholder((8,), "int32", "idx")
+    a = placeholder((8,), "int32", "a")
+    out = compute((8,), lambda i: a[idx[i] % 8], name="gather")
+    return compile_plan(lower(out))
+
+
+def _fresh_buffers(plan, seed=0):
+    return alloc_buffers(plan.func, np.random.default_rng(seed))
+
+
+def _reference(plan, buffers):
+    return run(plan.func, {t: a.copy() for t, a in buffers.items()})
+
+
+class TestEligibility:
+    def test_proved_conv_is_eligible(self):
+        assert native_eligibility_reason(_proved_plan()) is None
+
+    def test_unproved_gather_is_not(self):
+        reason = native_eligibility_reason(_unproved_plan())
+        assert reason is not None and "proved" in reason
+
+
+class TestPromotion:
+    @needs_toolchain
+    def test_promotes_after_n_warm_runs(self):
+        plan = _proved_plan()
+        stats = EngineStats()
+        state = tier_state(plan)
+        for i in range(2):
+            buffers = _fresh_buffers(plan, seed=i)
+            run_tiered(plan, buffers, stats=stats, promote_after=3)
+            assert state.tier == "vectorized"
+            assert state.warm_runs == i + 1
+        run_tiered(plan, _fresh_buffers(plan, seed=2), stats=stats, promote_after=3)
+        assert state.tier == "native"
+        assert state.kernel is not None
+        assert stats.native_promotions == 1
+        assert plan.stats.native_promotions == 1
+        assert not state.demoted
+
+    @needs_toolchain
+    def test_native_runs_bit_identical_and_counted(self):
+        plan = _proved_plan()
+        stats = EngineStats()
+        for i in range(2):
+            run_tiered(plan, _fresh_buffers(plan, seed=i), stats=stats, promote_after=2)
+        assert tier_state(plan).tier == "native"
+        buffers = _fresh_buffers(plan, seed=99)
+        expected = _reference(plan, buffers)
+        got = run_tiered(plan, buffers, stats=stats, promote_after=2)
+        np.testing.assert_array_equal(got, expected)
+        assert stats.native_runs == 1
+        assert plan.stats.native_runs == 1
+
+    @needs_toolchain
+    def test_spot_check_runs_at_promotion(self, monkeypatch):
+        """Promotion happens on the threshold-crossing run itself and the
+        returned result is still the (trusted) vectorized one."""
+        plan = _proved_plan()
+        buffers = _fresh_buffers(plan)
+        expected = _reference(plan, buffers)
+        got = run_tiered(plan, buffers, stats=EngineStats(), promote_after=1)
+        np.testing.assert_array_equal(got, expected)
+        assert tier_state(plan).tier == "native"
+
+    def test_unproved_plan_never_promotes(self):
+        plan = _unproved_plan()
+        stats = EngineStats()
+        for i in range(4):
+            buffers = _fresh_buffers(plan, seed=i)
+            expected = _reference(plan, buffers)
+            got = run_tiered(plan, buffers, stats=stats, promote_after=2)
+            np.testing.assert_array_equal(got, expected)
+        state = tier_state(plan)
+        assert state.tier == "vectorized"
+        assert state.kernel is None
+        assert state.demoted
+        assert "proved" in state.demotion_reason
+        assert stats.native_promotions == 0 and stats.native_runs == 0
+
+
+class TestDemotion:
+    def test_demotes_on_compile_failure(self, monkeypatch):
+        import repro.tir.backend as backend
+
+        def broken_compile(func):
+            raise LoweringError("simulated compile failure")
+
+        monkeypatch.setattr(backend, "compile_native", broken_compile)
+        plan = _proved_plan()
+        stats = EngineStats()
+        for i in range(3):
+            buffers = _fresh_buffers(plan, seed=i)
+            expected = _reference(plan, buffers)
+            got = run_tiered(plan, buffers, stats=stats, promote_after=2)
+            np.testing.assert_array_equal(got, expected)
+        state = tier_state(plan)
+        assert state.demoted
+        assert "compile failed" in state.demotion_reason
+        assert stats.native_demotions == 1  # failure is permanent: no retries
+        assert stats.native_promotions == 0
+
+    def test_demotes_on_bit_mismatch(self, monkeypatch):
+        import repro.tir.backend as backend
+
+        class WrongKernel:
+            def run(self, arrays):
+                out = np.array(arrays[-1], copy=True)
+                out += 1
+                return out
+
+        monkeypatch.setattr(backend, "compile_native", lambda func: WrongKernel())
+        plan = _proved_plan()
+        stats = EngineStats()
+        buffers = _fresh_buffers(plan)
+        expected = _reference(plan, buffers)
+        got = run_tiered(plan, buffers, stats=stats, promote_after=1)
+        np.testing.assert_array_equal(got, expected)  # vectorized result wins
+        state = tier_state(plan)
+        assert state.demoted
+        assert "bit-identical" in state.demotion_reason
+        assert state.tier == "vectorized" and state.kernel is None
+        assert stats.native_demotions == 1
+
+    def test_demotes_when_no_toolchain(self, monkeypatch):
+        """The automatic-fallback guarantee: without any toolchain the tier
+        silently keeps executing vectorized."""
+        monkeypatch.setenv("REPRO_DISABLE_NATIVE", "1")
+        try:
+            native_toolchain(refresh=True)
+            plan = _proved_plan()
+            buffers = _fresh_buffers(plan)
+            expected = _reference(plan, buffers)
+            got = run_tiered(plan, buffers, stats=EngineStats(), promote_after=1)
+            np.testing.assert_array_equal(got, expected)
+            state = tier_state(plan)
+            assert state.demoted and "compile failed" in state.demotion_reason
+        finally:
+            monkeypatch.delenv("REPRO_DISABLE_NATIVE")
+            native_toolchain(refresh=True)
+
+
+class TestPromoteAfterKnobs:
+    def test_default_is_configurable(self):
+        original = default_promote_after()
+        try:
+            set_default_promote_after(7)
+            assert default_promote_after() == 7
+        finally:
+            set_default_promote_after(original)
+
+    def test_env_var_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE_PROMOTE_AFTER", "5")
+        assert default_promote_after() == 5
+        monkeypatch.setenv("REPRO_NATIVE_PROMOTE_AFTER", "not-a-number")
+        assert default_promote_after() == default_promote_after()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_default_promote_after(0)
+
+
+@needs_toolchain
+class TestNativeKernel:
+    def test_integer_conv_bit_identical_to_interpreter(self):
+        func = lower(small_conv_hwc())
+        kernel = compile_native(func)
+        buffers = alloc_buffers(func, np.random.default_rng(3))
+        expected = run(func, {t: a.copy() for t, a in buffers.items()})
+        arrays = [np.array(buffers[p], copy=True) for p in func.params]
+        got = kernel.run(arrays)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_float_matmul_preserves_fold_order(self):
+        """float32 sums are order-sensitive: the native kernel must use the
+        interpreter's exact left-fold, making it bit-identical (not merely
+        allclose)."""
+        func = lower(matmul_fp32(8, 12, 16))
+        kernel = compile_native(func)
+        buffers = alloc_buffers(func, np.random.default_rng(4))
+        expected = run(func, {t: a.copy() for t, a in buffers.items()})
+        arrays = [np.array(buffers[p], copy=True) for p in func.params]
+        got = kernel.run(arrays)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_rejects_wrong_shape(self):
+        func = lower(small_conv_hwc())
+        kernel = compile_native(func)
+        buffers = alloc_buffers(func, np.random.default_rng(0))
+        arrays = [np.array(buffers[p], copy=True) for p in func.params]
+        arrays[0] = arrays[0][:-1]
+        with pytest.raises(ValueError, match="shape"):
+            kernel.run(arrays)
+
+    def test_rejects_wrong_dtype(self):
+        func = lower(small_conv_hwc())
+        kernel = compile_native(func)
+        buffers = alloc_buffers(func, np.random.default_rng(0))
+        arrays = [np.array(buffers[p], copy=True) for p in func.params]
+        arrays[0] = arrays[0].astype(np.int32)
+        with pytest.raises(ValueError, match="dtype"):
+            kernel.run(arrays)
+
+    def test_rejects_wrong_arity(self):
+        func = lower(small_conv_hwc())
+        kernel = compile_native(func)
+        with pytest.raises(ValueError, match="buffers"):
+            kernel.run([])

@@ -1,0 +1,281 @@
+"""The unified Executor facade and the ValidationPolicy kwarg unification.
+
+One front door for execution (``Executor``), one policy vocabulary for
+validation everywhere (``off``/``spot``/``full``), and every legacy
+entrypoint/kwarg surviving as a warn-once deprecation shim.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.tir.executor as executor_module
+from repro.hwsim.cost import CostBreakdown
+from repro.rewriter.records import TuningKey
+from repro.rewriter.session import TuningSession
+from repro.tir import (
+    Executor,
+    Interpreter,
+    ValidationError,
+    ValidationPolicy,
+    alloc_buffers,
+    execute,
+    lower,
+    reset_deprecation_warnings,
+    run,
+    vector_run,
+)
+from repro.tir.backend import _BACKENDS, ExecutionBackend, register_backend
+from tests.conftest import small_conv_hwc
+
+
+def _func():
+    return lower(small_conv_hwc())
+
+
+def _buffers(func, seed=0):
+    return alloc_buffers(func, np.random.default_rng(seed))
+
+
+def _no_deprecation(record):
+    return [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+class TestValidationPolicy:
+    def _coerce(self, value, **overrides):
+        kwargs = dict(
+            default=ValidationPolicy.SPOT,
+            bool_true=ValidationPolicy.FULL,
+            owner="test",
+        )
+        kwargs.update(overrides)
+        return ValidationPolicy.coerce(value, **kwargs)
+
+    def test_none_takes_default(self):
+        assert self._coerce(None) is ValidationPolicy.SPOT
+
+    def test_policy_passes_through(self):
+        assert self._coerce(ValidationPolicy.FULL) is ValidationPolicy.FULL
+
+    def test_strings_parse_case_insensitively(self):
+        assert self._coerce("off") is ValidationPolicy.OFF
+        assert self._coerce("SPOT") is ValidationPolicy.SPOT
+        assert self._coerce("Full") is ValidationPolicy.FULL
+
+    def test_bool_maps_with_one_deprecation_warning(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning, match="boolean validate"):
+            assert self._coerce(True) is ValidationPolicy.FULL
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert self._coerce(False) is ValidationPolicy.OFF
+        assert not _no_deprecation(record)  # warn-once: second bool is silent
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError):
+            self._coerce(3.5)
+
+
+class TestExecutor:
+    def test_auto_tier_resolves_to_a_real_backend(self):
+        assert Executor().tier in ("native", "vectorized")
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            Executor(tier="llvm")
+
+    def test_interpreter_tier_matches_reference(self):
+        func = _func()
+        buffers = _buffers(func)
+        expected = run(func, {t: a.copy() for t, a in buffers.items()})
+        got = Executor(tier="interpreter").run(func, buffers)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_deprecated_validate_bool_maps_to_full(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            executor = Executor(tier="vectorized", validate=True)
+        assert executor.validation is ValidationPolicy.FULL
+
+    def test_validate_and_validation_together_raise(self):
+        with pytest.raises(TypeError, match="either validation"):
+            Executor(validation="spot", validate=True)
+
+    def test_spot_checks_each_distinct_function_once(self, monkeypatch):
+        calls = []
+        real_interpreter = executor_module.Interpreter
+
+        class CountingInterpreter(real_interpreter):
+            def __init__(self, func):
+                calls.append(func)
+                super().__init__(func)
+
+        monkeypatch.setattr(executor_module, "Interpreter", CountingInterpreter)
+        executor = Executor(tier="vectorized", validation="spot")
+        func = _func()
+        for seed in range(3):
+            executor.run(func, _buffers(func, seed=seed))
+        assert len(calls) == 1
+
+    def test_full_checks_every_run(self, monkeypatch):
+        calls = []
+        real_interpreter = executor_module.Interpreter
+
+        class CountingInterpreter(real_interpreter):
+            def __init__(self, func):
+                calls.append(func)
+                super().__init__(func)
+
+        monkeypatch.setattr(executor_module, "Interpreter", CountingInterpreter)
+        executor = Executor(tier="vectorized", validation="full")
+        func = _func()
+        for seed in range(3):
+            executor.run(func, _buffers(func, seed=seed))
+        assert len(calls) == 3
+
+    def test_validation_catches_a_lying_backend(self):
+        class OffByOneBackend(ExecutionBackend):
+            name = "off-by-one"
+
+            def run(self, func, buffers, stats=None, strict=False, promote_after=None):
+                out = Interpreter(func).run(buffers)
+                out += 1
+                return out
+
+        register_backend(OffByOneBackend())
+        try:
+            executor = Executor(tier="off-by-one", validation="full")
+            func = _func()
+            with pytest.raises(ValidationError, match="differs"):
+                executor.run(func, _buffers(func))
+        finally:
+            del _BACKENDS["off-by-one"]
+
+    def test_runs_accumulate_into_executor_stats(self):
+        executor = Executor(tier="vectorized")
+        func = _func()
+        executor.run(func, _buffers(func))
+        assert executor.stats.vector_nests > 0
+
+
+class TestDeprecatedShims:
+    def test_execute_warns_exactly_once_and_delegates(self):
+        reset_deprecation_warnings()
+        func = _func()
+        buffers = _buffers(func)
+        expected = run(func, {t: a.copy() for t, a in buffers.items()})
+        with pytest.warns(DeprecationWarning, match="repro.tir.execute is deprecated"):
+            got = execute(func, {t: a.copy() for t, a in buffers.items()})
+        np.testing.assert_array_equal(got, expected)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            execute(func, {t: a.copy() for t, a in buffers.items()})
+        assert not _no_deprecation(record)
+
+    def test_vector_run_warns_exactly_once_and_delegates(self):
+        reset_deprecation_warnings()
+        func = _func()
+        buffers = _buffers(func)
+        expected = run(func, {t: a.copy() for t, a in buffers.items()})
+        with pytest.warns(DeprecationWarning, match="vector_run is deprecated"):
+            got = vector_run(func, {t: a.copy() for t, a in buffers.items()})
+        np.testing.assert_array_equal(got, expected)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            vector_run(func, {t: a.copy() for t, a in buffers.items()})
+        assert not _no_deprecation(record)
+
+    def test_execute_rejects_unknown_engine(self):
+        func = _func()
+        with pytest.raises(ValueError, match="unknown engine"):
+            execute(func, _buffers(func), engine="tpu")
+
+
+# ---------------------------------------------------------------------------
+# TuningSession.tune: the unified validation= policy
+# ---------------------------------------------------------------------------
+
+CANDIDATES = [3, 1, 2]
+
+
+def _key(space="policy-test"):
+    return TuningKey(
+        kind="conv2d", params=(("h", 8),), intrinsic="vnni", machine="test", space=space
+    )
+
+
+def _breakdown(config):
+    return CostBreakdown(seconds=float(config))
+
+
+class TestTuneValidationPolicy:
+    def test_spot_default_validates_winner_only(self):
+        calls = []
+        TuningSession().tune(_key(), CANDIDATES, _breakdown, oracle=calls.append)
+        assert calls == [1]  # exactly the winner, exactly once
+
+    def test_off_never_invokes_the_oracle(self):
+        calls = []
+        TuningSession().tune(
+            _key(), CANDIDATES, _breakdown, oracle=calls.append, validation="off"
+        )
+        assert calls == []
+
+    def test_full_screens_every_candidate_without_redundant_winner_pass(self):
+        calls = []
+        TuningSession().tune(
+            _key(), CANDIDATES, _breakdown, oracle=calls.append, validation="full"
+        )
+        assert sorted(calls) == sorted(CANDIDATES)
+
+    def test_full_oracle_rejections_remove_candidates(self):
+        def reject_one(config):
+            if config == 1:
+                raise AssertionError("bad numerics")
+
+        record = TuningSession().tune(
+            _key(), CANDIDATES, _breakdown, oracle=reject_one, validation="full"
+        )
+        assert record.best_config == 2  # the cheapest *validated* candidate
+        assert record.result.rejected == 1
+
+    def test_deprecated_validate_kwarg_warns_once(self):
+        reset_deprecation_warnings()
+        calls = []
+        with pytest.warns(DeprecationWarning, match="validate=...\\) is deprecated"):
+            TuningSession().tune(_key("a"), CANDIDATES, _breakdown, validate=calls.append)
+        assert calls == [1]
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            TuningSession().tune(_key("b"), CANDIDATES, _breakdown, validate=calls.append)
+        assert not _no_deprecation(record)
+
+    def test_validate_and_oracle_together_raise(self):
+        with pytest.raises(TypeError, match="either oracle"):
+            TuningSession().tune(
+                _key(), CANDIDATES, _breakdown, validate=lambda c: None, oracle=lambda c: None
+            )
+
+
+class TestRunnerValidationResolution:
+    """The operator runners resolve validate=/validation= through one helper."""
+
+    def _resolve(self, validate=None, validation=None):
+        from repro.core.pipeline import _SessionTunedRunner
+
+        return _SessionTunedRunner._resolve_validation(validate, validation, "TestRunner")
+
+    def test_default_is_off(self):
+        assert self._resolve() is ValidationPolicy.OFF
+
+    def test_validation_string_wins(self):
+        assert self._resolve(validation="full") is ValidationPolicy.FULL
+
+    def test_legacy_bool_maps_to_spot_with_warning(self):
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            assert self._resolve(validate=True) is ValidationPolicy.SPOT
+        reset_deprecation_warnings()
+        with pytest.warns(DeprecationWarning):
+            assert self._resolve(validate=False) is ValidationPolicy.OFF
