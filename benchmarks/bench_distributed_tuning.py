@@ -24,6 +24,18 @@ Run standalone to write ``BENCH_distributed_tuning.json`` (the CI
 ``--smoke`` runs a single worker count (default 4) plus the stress section
 and asserts the integrity invariants — the CI gate.  Every integrity check is
 asserted in full mode too; ``--smoke`` only trims the sweep.
+
+``--chaos`` runs the **compute-plane chaos drill** instead (written to
+``BENCH_distributed_chaos.json`` — the CI ``chaos-smoke`` job's gate):
+
+* *kernel chaos* — a native-tier promotion whose candidate kernel segfaults
+  inside the qualification sandbox: the host survives, the plan demotes with
+  a classified ``sandbox_*`` reason, and a clean plan still promotes;
+* *worker chaos* — a Table I sweep under injected SIGKILLs: one task kills
+  every worker that claims it (quarantined after ``poison_threshold``
+  claims, searched never again), another kills its first claimer only
+  (reclaimed and finished by the healed fleet); the sweep completes and
+  every surviving record is bit-identical to the single-process reference.
 """
 
 from __future__ import annotations
@@ -183,12 +195,254 @@ def bench_stress(root: str, processes: int, records_each: int) -> dict:
     return row
 
 
+def _chaos_conv(name: str, h: int = 8, w: int = 8, c: int = 8, k: int = 16, r: int = 3):
+    """A small provable VNNI-style conv (distinct names -> distinct plans)."""
+    from repro.dsl import cast, compute, placeholder, reduce_axis, sum_reduce
+
+    a = placeholder((h, w, c), "uint8", f"{name}_data")
+    b = placeholder((r, r, k, c), "int8", f"{name}_weight")
+    rc = reduce_axis(0, c, "rc")
+    rr = reduce_axis(0, r, "r")
+    rs = reduce_axis(0, r, "s")
+    return compute(
+        (h - r + 1, w - r + 1, k),
+        lambda x, y, kk: sum_reduce(
+            cast("int32", a[x + rr, y + rs, rc]) * cast("int32", b[rr, rs, kk, rc]),
+            [rr, rs, rc],
+        ),
+        name=name,
+        axis_names=["x", "y", "k"],
+    )
+
+
+def bench_kernel_chaos(seed: int) -> dict:
+    """Sandboxed qualification under an injected kernel segfault.
+
+    The first plan's candidate kernel SIGSEGVs inside the sandbox child: the
+    host (this process) must survive, the plan must demote with a classified
+    sandbox reason, and its vectorized results must stay bit-identical to
+    the scalar reference.  A second, unpoisoned plan must still qualify and
+    promote — one poisoned kernel does not disable the tier.
+    """
+    import numpy as np
+
+    from repro.testing import faults
+    from repro.tir import EngineStats, alloc_buffers, compile_plan, lower, run, tier_state
+    from repro.tir.backend import native_toolchain, run_tiered
+
+    kind, detail = native_toolchain()
+    if kind is None:
+        return {"skipped": f"no native toolchain ({detail})"}
+
+    stats = EngineStats()
+    rng = np.random.default_rng(seed)
+
+    # Part 1: the poisoned kernel.
+    plan = compile_plan(lower(_chaos_conv("chaos_poisoned")))
+    buffers = alloc_buffers(plan.func, rng)
+    reference = run(plan.func, {t: a.copy() for t, a in buffers.items()})
+    t0 = time.perf_counter()
+    with faults.FaultPlan(seed=seed) as fault_plan:
+        fault_plan.on(
+            "backend.qualify",
+            faults.segfault,
+            when=lambda c: c.get("where") == "sandbox",
+        )
+        got = run_tiered(plan, buffers, stats=stats, promote_after=1)
+    poisoned_s = time.perf_counter() - t0
+    state = tier_state(plan)
+    assert state.demoted, "poisoned kernel must demote, not promote"
+    assert state.sandbox_outcome == "segfault", state.sandbox_outcome
+    assert "sandbox rejected" in state.demotion_reason
+    assert np.array_equal(got, reference), "demoted plan diverged from scalar reference"
+    assert stats.sandbox_rejections == 1
+
+    # Part 2: a clean plan still promotes through the same sandbox.
+    plan2 = compile_plan(lower(_chaos_conv("chaos_clean")))
+    buffers2 = alloc_buffers(plan2.func, rng)
+    reference2 = run(plan2.func, {t: a.copy() for t, a in buffers2.items()})
+    run_tiered(plan2, buffers2, stats=stats, promote_after=1)
+    state2 = tier_state(plan2)
+    assert state2.tier == "native", f"clean plan failed to promote: {state2.demotion_reason}"
+    assert state2.sandbox_outcome == "qualified"
+    native_buffers = alloc_buffers(plan2.func, rng)
+    native_reference = run(plan2.func, {t: a.copy() for t, a in native_buffers.items()})
+    got2 = run_tiered(plan2, native_buffers, stats=stats, promote_after=1)
+    assert np.array_equal(got2, native_reference), "native run diverged from scalar reference"
+
+    return {
+        "toolchain": kind,
+        "poisoned_demotion_s": poisoned_s,
+        "sandbox_qualifications": stats.sandbox_qualifications,
+        "sandbox_rejections": stats.sandbox_rejections,
+        "sandbox_outcome_poisoned": state.sandbox_outcome,
+        "sandbox_outcome_clean": state2.sandbox_outcome,
+        "native_runs": stats.native_runs,
+    }
+
+
+def bench_worker_chaos(layers, reference: TuningSession, root: str, seed: int) -> dict:
+    """A Table I sweep under SIGKILLed workers: heal, quarantine, verify.
+
+    Two injected fault classes: a *poison* task SIGKILLs every claimer (the
+    supervisor must quarantine it after exactly ``poison_threshold`` claims
+    and never hand it out again) and a *transient* task SIGKILLs only its
+    first claimer (marker file on shared disk — fault-plan rule state is
+    per-process under fork, so ``times=1`` alone would kill every retry
+    too).  Every assertion here is the ISSUE 9 acceptance drill.
+    """
+    import signal as signal_module
+
+    from repro.rewriter.workers import POISON_FILENAME
+    from repro.testing import faults
+
+    if multiprocessing.get_start_method() != "fork":
+        return {"skipped": "fault plans reach workers via fork inheritance"}
+
+    tasks = tasks_from_layers(layers)
+    assert len(tasks) >= 4, "worker chaos drill needs at least 4 tasks"
+    poison_index = len(tasks) // 2
+    transient_index = 0
+    poison_threshold = 2
+    store = ShardedTuningStore(os.path.join(root, "store-chaos"), shards=8)
+    tuner = DistributedTuner(
+        store,
+        workers=2,
+        max_restarts=2,
+        poison_threshold=poison_threshold,
+        heartbeat_interval=0.1,
+        heartbeat_timeout=30.0,
+        start_method="fork",
+    )
+    marker = os.path.join(root, "transient-crash.marker")
+
+    def kill_always(injection):
+        os.kill(os.getpid(), signal_module.SIGKILL)
+
+    def kill_once(injection):
+        if os.path.exists(marker):
+            return
+        with open(marker, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal_module.SIGKILL)
+
+    t0 = time.perf_counter()
+    with faults.FaultPlan(seed=seed) as fault_plan:
+        fault_plan.on(
+            "worker.task",
+            kill_always,
+            times=None,
+            when=lambda c: c["index"] == poison_index,
+        )
+        fault_plan.on(
+            "worker.task",
+            kill_once,
+            times=None,
+            when=lambda c: c["index"] == transient_index,
+        )
+        report = tuner.run(tasks)
+    elapsed = time.perf_counter() - t0
+
+    # The sweep completed: every task finished except the quarantined one.
+    assert report.complete, "chaos sweep did not complete"
+    assert report.quarantined == [poison_index], report.quarantined
+    assert poison_index not in report.completed
+    # Poison searched at most K times and never after quarantine: one crash
+    # per claim, so exactly ``poison_threshold`` crashes are poison's.
+    assert len(report.poison_records) == 1
+    assert report.poison_records[0]["crashes"] == poison_threshold
+    # 2 poison claims + 1 transient kill, each SIGKILLing one worker.
+    assert report.crashes == poison_threshold + 1, report.crashes
+    assert report.tasks_reclaimed >= 2  # transient + first poison claim
+    assert report.worker_restarts >= 2
+    assert os.path.exists(os.path.join(store.root, POISON_FILENAME))
+
+    # Bit identity: every surviving record matches the single-process
+    # reference; only the poison task's record is (expectedly) absent.
+    reloaded = store.load()
+    reference_records = reference.cache.records()
+    lost, mismatched = [], 0
+    for record in reference_records:
+        got = reloaded.lookup(record.key)
+        if got is None:
+            lost.append(record.key)
+            continue
+        if got.best_config != record.best_config or got.best_cost != record.best_cost:
+            mismatched += 1
+    stats = store.stats
+    assert mismatched == 0, f"{mismatched} surviving records diverged"
+    assert len(lost) == 1, f"expected exactly the poison record missing, lost: {lost}"
+    assert stats.corrupt_lines == 0 and stats.stale_records == 0
+
+    return {
+        "tasks": len(tasks),
+        "elapsed_s": elapsed,
+        "poison_index": poison_index,
+        "transient_index": transient_index,
+        "crashes": report.crashes,
+        "worker_restarts": report.worker_restarts,
+        "tasks_reclaimed": report.tasks_reclaimed,
+        "quarantined": report.quarantined,
+        "poison_searches": report.poison_records[0]["crashes"],
+        "survivor_records": len(reloaded),
+        "mismatched_records": mismatched,
+        "corrupt_lines": stats.corrupt_lines,
+    }
+
+
+def bench_chaos(layers, seed: int, output: str) -> dict:
+    """The full compute-plane chaos drill (CI ``chaos-smoke``)."""
+    single = bench_single_process(layers)
+    reference = single.pop("_session")
+    kernel = bench_kernel_chaos(seed)
+    if "skipped" in kernel:
+        print(f"kernel chaos   : skipped ({kernel['skipped']})")
+    else:
+        print(
+            f"kernel chaos   : poisoned kernel demoted as "
+            f"{kernel['sandbox_outcome_poisoned']!r} in "
+            f"{kernel['poisoned_demotion_s'] * 1e3:.0f} ms, clean kernel "
+            f"qualified ({kernel['sandbox_rejections']} rejection(s))"
+        )
+    with tempfile.TemporaryDirectory(prefix="bench_distributed_chaos.") as root:
+        worker = bench_worker_chaos(layers, reference, root, seed)
+    if "skipped" in worker:
+        print(f"worker chaos   : skipped ({worker['skipped']})")
+    else:
+        print(
+            f"worker chaos   : {worker['tasks']} tasks, {worker['crashes']} "
+            f"SIGKILLs healed ({worker['worker_restarts']} restarts, "
+            f"{worker['tasks_reclaimed']} reclaimed), poison task "
+            f"quarantined after {worker['poison_searches']} searches, "
+            f"{worker['survivor_records']} survivors bit-identical"
+        )
+    report = {
+        "benchmark": "distributed_tuning_chaos",
+        "seed": seed,
+        "kernel_chaos": kernel,
+        "worker_chaos": worker,
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {output}")
+    return report
+
+
 def main(argv=None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="single worker count + stress section only (the CI gate)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="compute-plane chaos drill: sandboxed kernel crashes + "
+        "SIGKILLed workers (writes BENCH_distributed_chaos.json)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="chaos-drill fault plan seed"
     )
     parser.add_argument(
         "--workers",
@@ -199,10 +453,14 @@ def main(argv=None) -> dict:
     parser.add_argument(
         "--layers", type=int, default=len(TABLE1_LAYERS), help="Table I layers to tune"
     )
-    parser.add_argument("-o", "--output", default="BENCH_distributed_tuning.json")
+    parser.add_argument("-o", "--output", default=None)
     args = parser.parse_args(argv)
 
     layers = TABLE1_LAYERS[: args.layers]
+    if args.chaos:
+        output = args.output or "BENCH_distributed_chaos.json"
+        return bench_chaos(layers, args.seed, output)
+    args.output = args.output or "BENCH_distributed_tuning.json"
     worker_counts = [args.workers or 4] if args.smoke else [1, 2, 4, 8]
 
     single = bench_single_process(layers)

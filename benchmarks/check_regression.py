@@ -62,6 +62,8 @@ def _metric_kind(path: str) -> str:
         return "never_lower"
     if "native_runs" in leaf or "native_promotions" in leaf:
         return "never_lower"
+    if "sandbox_rejections" in leaf or "worker_restarts" in leaf or "tasks_reclaimed" in leaf:
+        return "never_lower"
     if leaf.endswith("_s") or leaf.endswith("_ms"):
         return "lower_is_better"
     return "ignored"

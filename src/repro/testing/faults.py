@@ -35,6 +35,17 @@ Injection points
                     — contended/stale locks
 ``store.compact``   a shard is about to be rewritten (context: ``path``,
                     ``tmp``) — disk-full mid-compaction
+``backend.compile`` a native kernel is about to be compiled (context:
+                    ``func_name``, ``where`` — ``"host"`` or ``"sandbox"``)
+                    — hung or crashing compilers
+``backend.qualify`` the sandbox child is about to run the candidate kernel
+                    (context: ``func_name``, ``where="sandbox"``) —
+                    segfaulting/OOMing/hanging kernels
+``worker.task``     a tuning worker is about to search a leased task
+                    (context: ``worker``, ``index``, ``task``) — workers
+                    SIGKILLed mid-lease
+``worker.heartbeat`` a worker is about to stamp its liveness file (context:
+                    ``worker``, ``path``) — frozen heartbeats
 ==================  ==========================================================
 
 Usage::
@@ -74,6 +85,9 @@ __all__ = [
     "partial_append",
     "disk_full",
     "contend_lock",
+    "segfault",
+    "hang",
+    "oom",
 ]
 
 POINTS = (
@@ -84,6 +98,10 @@ POINTS = (
     "store.append",
     "store.lock",
     "store.compact",
+    "backend.compile",
+    "backend.qualify",
+    "worker.task",
+    "worker.heartbeat",
 )
 
 
@@ -319,5 +337,48 @@ def contend_lock(hold_s: float = 0.05) -> Callable[[Injection], None]:
             os.close(fd)
 
         threading.Thread(target=release, name="fault-lock-holder", daemon=True).start()
+
+    return action
+
+
+def segfault(injection: Injection) -> None:
+    """Kill the calling process with a real SIGSEGV — no Python unwinding,
+    no cleanup, exactly what a miscompiled kernel does.  Arm this only at
+    points that run inside a disposable process (``backend.qualify`` in the
+    sandbox child, ``worker.task`` in a tuning worker): fired in the host it
+    kills the host, which is the failure mode the sandbox exists to absorb."""
+    import signal
+
+    os.kill(os.getpid(), signal.SIGSEGV)
+
+
+def hang(seconds: float = 3600.0) -> Callable[[Injection], None]:
+    """Stop making progress (an infinite loop in a kernel, a wedged search).
+
+    Distinct from :func:`delay` in intent: the duration is chosen to outlast
+    any watchdog under test, so the *watchdog* ends the wait (wall-clock
+    timeout in the sandbox, heartbeat/task timeout in the supervisor), never
+    this sleep."""
+
+    def action(injection: Injection) -> None:
+        time.sleep(seconds)
+
+    return action
+
+
+def oom(limit_mb: int = 512) -> Callable[[Injection], None]:
+    """Allocate until the address-space limit bites, then raise MemoryError.
+
+    Under a sandbox ``RLIMIT_AS`` the allocations fail much earlier than
+    ``limit_mb``; the cap just keeps the action bounded when no rlimit is in
+    force (a test running in the host).  Either way the call site observes a
+    process drowning in allocations."""
+
+    def action(injection: Injection) -> None:
+        hoard: List[bytearray] = []
+        chunk = 8 << 20
+        for _ in range(max(1, (limit_mb << 20) // chunk)):
+            hoard.append(bytearray(chunk))
+        raise MemoryError(f"injected allocation storm reached {limit_mb} MiB cap")
 
     return action

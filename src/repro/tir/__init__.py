@@ -41,6 +41,7 @@ from .executor import (
     ValidationPolicy,
     reset_deprecation_warnings,
 )
+from .sandbox import SandboxVerdict, sandbox_enabled
 from .interpreter import Frame, Interpreter, alloc_buffers, random_array, run
 from .plan import (
     PlanCache,
@@ -97,6 +98,8 @@ __all__ = [
     "native_toolchain",
     "register_backend",
     "tier_state",
+    "SandboxVerdict",
+    "sandbox_enabled",
     "ExecutablePlan",
     "PlanStats",
     "compile_plan",

@@ -40,12 +40,14 @@ import shutil
 import subprocess
 import tempfile
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..dsl.tensor import Tensor
+from ..testing import faults
 
 if TYPE_CHECKING:  # runtime import is lazy (see _lowlevel) to avoid a cycle
     from ..codegen.lowlevel import NativeSource
@@ -190,6 +192,27 @@ class NativeKernel:
         return arrays[-1]
 
 
+_DEFAULT_COMPILE_TIMEOUT_S = 120.0
+
+
+def _compile_timeout_s() -> float:
+    """Wall-clock budget for one C-compiler invocation.
+
+    A wedged ``cc`` (NFS stall, broken ccache, runaway optimizer) used to
+    block promotion — and the promoting run — forever; now it raises
+    ``LoweringError`` and the plan demotes like any other compile failure.
+    """
+    raw = os.environ.get("REPRO_NATIVE_COMPILE_TIMEOUT")
+    if raw is not None:
+        try:
+            value = float(raw)
+            if value > 0:
+                return value
+        except ValueError:
+            pass
+    return _DEFAULT_COMPILE_TIMEOUT_S
+
+
 def _compile_c(source: NativeSource, compiler: str) -> NativeKernel:
     global _SO_SERIAL
     _SO_SERIAL += 1
@@ -198,11 +221,18 @@ def _compile_c(source: NativeSource, compiler: str) -> NativeKernel:
     c_path, so_path = stem + ".c", stem + ".so"
     with open(c_path, "w") as handle:
         handle.write(source.source)
-    proc = subprocess.run(
-        [compiler, *_CC_FLAGS, "-o", so_path, c_path],
-        capture_output=True,
-        text=True,
-    )
+    try:
+        proc = subprocess.run(
+            [compiler, *_CC_FLAGS, "-o", so_path, c_path],
+            capture_output=True,
+            text=True,
+            timeout=_compile_timeout_s(),
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise _lowlevel().LoweringError(
+            f"C compilation of {source.func_name!r} timed out after "
+            f"{exc.timeout:g}s"
+        ) from None
     if proc.returncode != 0:
         raise _lowlevel().LoweringError(
             f"C compilation of {source.func_name!r} failed:\n{proc.stderr.strip()}"
@@ -233,6 +263,7 @@ def compile_native(func: PrimFunc) -> NativeKernel:
     kind, payload = native_toolchain()
     if kind is None:
         raise NativeUnavailable(str(payload))
+    faults.fire("backend.compile", func_name=func.name, where="host")
     lowlevel = _lowlevel()
     if kind == "numba":
         return _compile_numba(lowlevel.generate_numba_source(func), payload)
@@ -253,7 +284,13 @@ def default_promote_after() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring invalid REPRO_NATIVE_PROMOTE_AFTER={env!r} "
+                f"(not an integer); using the default of "
+                f"{_DEFAULT_PROMOTE_AFTER}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return _DEFAULT_PROMOTE_AFTER
 
 
@@ -266,13 +303,21 @@ def set_default_promote_after(value: int) -> None:
 
 @dataclass
 class TierState:
-    """Per-plan promotion state (shared by every caller of a cached plan)."""
+    """Per-plan promotion state (shared by every caller of a cached plan).
+
+    ``sandbox_outcome`` records what the qualification sandbox concluded for
+    this plan's candidate kernel (``"qualified"``, ``"segfault"``, ``"oom"``,
+    ``"hang"``, ``"mismatch"``, ... — see
+    :class:`repro.tir.sandbox.SandboxVerdict`), or ``None`` when the sandbox
+    has not run (not yet promoted, disabled, or no toolchain).
+    """
 
     tier: str = "vectorized"
     warm_runs: int = 0
     kernel: Optional[NativeKernel] = None
     demoted: bool = False
     demotion_reason: str = ""
+    sandbox_outcome: Optional[str] = None
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
@@ -345,11 +390,39 @@ def _try_promote(
     run consumed; ``expected`` is the result it produced.  Running the fresh
     kernel over copies of the same inputs must reproduce ``expected`` bit for
     bit, else the plan demotes.
+
+    When a toolchain exists and the sandbox is enabled, the candidate is
+    first compiled and bit-checked in a disposable subprocess
+    (:func:`repro.tir.sandbox.qualify`): a kernel that segfaults, OOMs, or
+    hangs kills only that child, and the classified verdict becomes the
+    demotion reason.  Only a ``qualified`` candidate is compiled and
+    ``CDLL``-loaded in the host process.
     """
+    from . import sandbox
+
     state = tier_state(plan)
+    toolchain_kind, _ = native_toolchain()
+    if toolchain_kind is not None and sandbox.sandbox_enabled():
+        check = [np.array(a, copy=True) for a in inputs_before]
+        check.append(np.array(output_before, copy=True))
+        verdict = sandbox.qualify(plan.func, check, expected)
+        state.sandbox_outcome = verdict.outcome
+        if stats is not None:
+            stats.sandbox_qualifications += 1
+        plan.stats.sandbox_qualifications += 1
+        if not verdict.ok:
+            if stats is not None:
+                stats.sandbox_rejections += 1
+            plan.stats.sandbox_rejections += 1
+            _demote(
+                plan,
+                f"sandbox rejected native kernel ({verdict.describe()})",
+                stats,
+            )
+            return
     try:
         kernel = compile_native(plan.func)
-    except (NativeUnavailable, _lowlevel().LoweringError) as exc:
+    except Exception as exc:  # NativeUnavailable, LoweringError, injected
         _demote(plan, f"native compile failed: {exc}", stats)
         return
     check = [np.array(a, copy=True) for a in inputs_before]

@@ -115,6 +115,8 @@ class EngineStats:
     native_runs: int = 0
     native_promotions: int = 0
     native_demotions: int = 0
+    sandbox_qualifications: int = 0
+    sandbox_rejections: int = 0
     fallback_reasons: List[str] = field(default_factory=list)
 
     @property
@@ -140,6 +142,8 @@ class PlanStats:
     elided_checks: int = 0
     native_runs: int = 0
     native_promotions: int = 0
+    sandbox_qualifications: int = 0
+    sandbox_rejections: int = 0
     fallback_reasons: List[str] = field(default_factory=list)
 
     @property

@@ -1,0 +1,323 @@
+"""Self-healing distributed tuning: crashes degrade a run, never kill it.
+
+Each test injects a real process death (SIGKILL via the ``worker.task``
+fault point — the plan is armed in the parent and inherited by forked
+workers) or a hang, and asserts the supervisor contract: unfinished lease
+indices are released and re-tuned by siblings, workers respawn within the
+restart budget, a task that keeps crashing workers is quarantined into
+``poison.jsonl`` after exactly ``poison_threshold`` claims, and everything
+that completes is bit-identical to a single-process sweep.
+
+Fork-only where faults must reach the child: a spawn child re-imports the
+module and loses the armed plan, so those tests skip off POSIX.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.rewriter.session import TuningSession
+from repro.rewriter.store import ShardedTuningStore
+from repro.rewriter.workers import (
+    POISON_FILENAME,
+    DistributedTuner,
+    Heartbeat,
+    LeaseFile,
+    heartbeat_path,
+    read_heartbeat,
+    run_task,
+    tasks_from_layers,
+)
+from repro.testing import faults
+from repro.workloads.table1 import TABLE1_LAYERS
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fault plans reach workers via fork inheritance",
+)
+
+
+def _sigkill_self(injection):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _kill_once_marker(marker_path):
+    """SIGKILL the first worker to hit the point, fleet-wide.
+
+    Fault-plan rule state is per-process under fork (each child owns a
+    copy), so ``times=1`` would fire once in *every* worker; a marker file
+    on shared disk makes the crash transient across the whole fleet.
+    """
+
+    def action(injection):
+        if os.path.exists(marker_path):
+            return
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write(str(os.getpid()))
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    return action
+
+
+class TestLeaseLifecycle:
+    def test_release_makes_indices_claimable_again(self, tmp_path):
+        lease = LeaseFile(tmp_path / "leases.jsonl")
+        assert lease.claim("w1", total=4, batch=2) == [0, 1]
+        lease.release("w1", [1])
+        assert lease.claims() == {0: "w1"}
+        assert lease.claim("w2", total=4, batch=4) == [1, 2, 3]
+
+    def test_done_markers_are_separate_from_claims(self, tmp_path):
+        lease = LeaseFile(tmp_path / "leases.jsonl")
+        lease.claim("w1", total=2, batch=2)
+        lease.mark_done("w1", 0)
+        assert lease.done() == {0: "w1"}
+        assert set(lease.claims()) == {0, 1}  # done does not unclaim
+
+    def test_claim_counts_tally_reclaims(self, tmp_path):
+        lease = LeaseFile(tmp_path / "leases.jsonl")
+        lease.claim("w1", total=1)
+        lease.release("w1", [0])
+        lease.claim("w2", total=1)
+        assert lease.claim_counts() == {0: 2}
+
+    def test_release_empty_is_noop(self, tmp_path):
+        lease = LeaseFile(tmp_path / "leases.jsonl")
+        lease.release("w1", [])
+        assert not os.path.exists(lease.path)
+
+
+class TestHeartbeat:
+    def test_stamps_current_task_atomically(self, tmp_path):
+        path = heartbeat_path(str(tmp_path / "leases.jsonl"), "w1")
+        heartbeat = Heartbeat(path, "w1", interval=0.05)
+        heartbeat.start()
+        try:
+            heartbeat.begin(7)
+            stamp = read_heartbeat(path)
+            assert stamp["worker"] == "w1" and stamp["current"] == 7
+            assert stamp["pid"] == os.getpid()
+            heartbeat.finish()
+            assert read_heartbeat(path)["current"] is None
+        finally:
+            heartbeat.stop()
+
+    def test_background_thread_refreshes_stamp(self, tmp_path):
+        path = heartbeat_path(str(tmp_path / "leases.jsonl"), "w1")
+        heartbeat = Heartbeat(path, "w1", interval=0.05)
+        heartbeat.start()
+        try:
+            first = read_heartbeat(path)["t"]
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if read_heartbeat(path)["t"] > first:
+                    break
+                time.sleep(0.02)
+            assert read_heartbeat(path)["t"] > first
+        finally:
+            heartbeat.stop()
+
+    def test_read_heartbeat_tolerates_missing_and_torn(self, tmp_path):
+        assert read_heartbeat(str(tmp_path / "nope.json")) is None
+        torn = tmp_path / "torn.json"
+        torn.write_text('{"worker": "w1", "t"')
+        assert read_heartbeat(str(torn)) is None
+
+
+@fork_only
+class TestCrashHealing:
+    def test_transient_crash_is_reclaimed_and_retuned(self, tmp_path):
+        """One SIGKILLed worker: its task is released, a sibling (or the
+        respawn) finishes it, and the sweep is complete and bit-identical."""
+        layers = TABLE1_LAYERS[:4]
+        tasks = tasks_from_layers(layers)
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        tuner = DistributedTuner(
+            store, workers=2, heartbeat_interval=0.1, start_method="fork"
+        )
+        marker = str(tmp_path / "crash.marker")
+        with faults.FaultPlan(seed=11) as plan:
+            plan.on(
+                "worker.task",
+                _kill_once_marker(marker),
+                times=None,
+                when=lambda c: c["index"] == 1,
+            )
+            report = tuner.run(tasks)
+        assert report.complete
+        assert report.completed == [0, 1, 2, 3] and report.quarantined == []
+        assert report.crashes == 1
+        assert report.tasks_reclaimed >= 1
+        assert report.worker_restarts >= 1
+
+        # Bit identity: reload and compare against a single-process sweep.
+        session = TuningSession()
+        for task in tasks:
+            run_task(task, session)
+        reloaded = ShardedTuningStore(tmp_path / "s", shards=4).load()
+        for record in session.cache.records():
+            got = reloaded.lookup(record.key)
+            assert got is not None, f"record lost: {record.key}"
+            assert got.best_config == record.best_config
+            assert got.best_cost == record.best_cost
+
+    def test_poison_task_quarantined_exactly_k_times(self, tmp_path):
+        """A task that kills every claimer is searched exactly
+        ``poison_threshold`` times, then quarantined and never claimed
+        again; the rest of the sweep completes."""
+        tasks = tasks_from_layers(TABLE1_LAYERS[:4])
+        poison = 2
+        store = ShardedTuningStore(tmp_path / "s", shards=4)
+        tuner = DistributedTuner(
+            store,
+            workers=2,
+            max_restarts=2,
+            poison_threshold=2,
+            heartbeat_interval=0.1,
+            start_method="fork",
+        )
+        with faults.FaultPlan(seed=12) as plan:
+            plan.on(
+                "worker.task",
+                _sigkill_self,
+                times=None,
+                when=lambda c: c["index"] == poison,
+            )
+            report = tuner.run(tasks)
+        assert report.complete
+        assert report.quarantined == [poison]
+        assert poison not in report.completed
+        assert report.crashes == 2  # one per allowed claim
+
+        record = report.poison_records[0]
+        assert record["index"] == poison and record["crashes"] == 2
+        poison_file = os.path.join(store.root, POISON_FILENAME)
+        with open(poison_file, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == 1 and lines[0]["index"] == poison
+
+    def test_hung_worker_is_killed_and_healed(self, tmp_path):
+        """A worker wedged inside a task (heartbeat still beating) is killed
+        by the task timeout and its task handled like any crash."""
+        tasks = tasks_from_layers(TABLE1_LAYERS[:2])
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        tuner = DistributedTuner(
+            store,
+            workers=1,
+            max_restarts=2,
+            poison_threshold=2,
+            heartbeat_interval=0.1,
+            task_timeout=1.0,
+            join_timeout=60.0,
+            start_method="fork",
+        )
+        marker = str(tmp_path / "hang.marker")
+
+        def hang_once(injection):
+            if os.path.exists(marker):
+                return
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write("x")
+            time.sleep(600)
+
+        start = time.monotonic()
+        with faults.FaultPlan(seed=13) as plan:
+            plan.on("worker.task", hang_once, times=None, when=lambda c: c["index"] == 0)
+            report = tuner.run(tasks)
+        assert time.monotonic() - start < 45.0
+        assert report.complete and report.quarantined == []
+        assert report.completed == [0, 1]
+        assert report.crashes >= 1 and report.worker_restarts >= 1
+
+    def test_frozen_heartbeat_triggers_kill(self, tmp_path):
+        """A worker frozen whole (heartbeat stamping suppressed via the
+        ``worker.heartbeat`` point *and* the task wedged) is presumed dead
+        once its stamp goes stale, killed, and the run heals.  Only the
+        first worker freezes — the marker records its pid, and both rules
+        match on it — so the respawn finishes the sweep."""
+        tasks = tasks_from_layers(TABLE1_LAYERS[:2])
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        tuner = DistributedTuner(
+            store,
+            workers=1,
+            max_restarts=2,
+            poison_threshold=5,
+            heartbeat_interval=0.1,
+            heartbeat_timeout=1.5,
+            join_timeout=60.0,
+            start_method="fork",
+        )
+        marker = str(tmp_path / "frozen.marker")
+
+        def _frozen_pid():
+            try:
+                with open(marker, "r", encoding="utf-8") as handle:
+                    return handle.read().strip()
+            except OSError:
+                return None
+
+        def wedge_task(injection):
+            if _frozen_pid() is None:
+                with open(marker, "w", encoding="utf-8") as handle:
+                    handle.write(str(os.getpid()))
+            if _frozen_pid() == str(os.getpid()):
+                time.sleep(600)
+
+        def suppress_stamp(injection):
+            if _frozen_pid() == str(os.getpid()):
+                raise faults.InjectedFault("frozen heartbeat")
+
+        with faults.FaultPlan(seed=14) as plan:
+            plan.on("worker.task", wedge_task, times=None, when=lambda c: c["index"] == 0)
+            plan.on("worker.heartbeat", suppress_stamp, times=None)
+            report = tuner.run(tasks)
+        assert report.complete
+        assert report.completed == [0, 1]
+        assert report.crashes >= 1 and report.worker_restarts >= 1
+
+
+@fork_only
+class TestRestartBudget:
+    def test_restart_budget_bounds_respawns(self, tmp_path):
+        """Every claim of an always-crashing single task consumes the budget;
+        with quarantine disabled (huge threshold) the run must fail once the
+        budget is gone — and the lease file survives for inspection."""
+        tasks = tasks_from_layers(TABLE1_LAYERS[:1])
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        tuner = DistributedTuner(
+            store,
+            workers=1,
+            max_restarts=1,
+            poison_threshold=99,
+            heartbeat_interval=0.1,
+            start_method="fork",
+        )
+        with faults.FaultPlan(seed=15) as plan:
+            plan.on("worker.task", _sigkill_self, times=None)
+            with pytest.raises(RuntimeError, match="restart budget|fleet lost"):
+                tuner.run(tasks)
+        leftovers = [n for n in os.listdir(store.root) if n.startswith("leases-")]
+        assert leftovers  # failed runs keep the lease for post-mortems
+
+    def test_respawned_worker_names_are_generational(self, tmp_path):
+        tasks = tasks_from_layers(TABLE1_LAYERS[:3])
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        tuner = DistributedTuner(
+            store, workers=1, heartbeat_interval=0.1, start_method="fork"
+        )
+        marker = str(tmp_path / "gen.marker")
+        with faults.FaultPlan(seed=16) as plan:
+            plan.on(
+                "worker.task",
+                _kill_once_marker(marker),
+                times=None,
+                when=lambda c: c["index"] == 0,
+            )
+            report = tuner.run(tasks)
+        assert report.complete
+        names = {w.worker for w in report.workers}
+        assert "worker-0r1" in names  # the respawn reported, not the corpse

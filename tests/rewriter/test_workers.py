@@ -237,15 +237,68 @@ class TestFailureModes:
         leftovers = [n for n in os.listdir(store.root) if n.startswith("leases-")]
         assert leftovers == []
 
-    def test_crashed_worker_fails_fast(self, tmp_path):
-        """A worker that dies on a bad task must surface promptly, not after
-        the full join timeout."""
+    def test_crashed_worker_handled_fast(self, tmp_path):
+        """A worker that dies on a bad task is detected within poll slices
+        (drain path), the task is quarantined, and the run completes promptly
+        — never waiting out the full join timeout."""
         import time
 
         store = ShardedTuningStore(tmp_path / "s", shards=2)
         bad = [TuningTask(kind="conv2d", params=TABLE1_LAYERS[0], machine="warp-core")]
-        tuner = DistributedTuner(store, workers=1, join_timeout=120.0)
+        tuner = DistributedTuner(
+            store, workers=1, join_timeout=120.0, heartbeat_interval=0.1
+        )
         start = time.monotonic()
-        with pytest.raises(RuntimeError, match="abnormally"):
-            tuner.run(bad)
+        report = tuner.run(bad)
         assert time.monotonic() - start < 30.0
+        assert report.complete
+        assert report.completed == [] and report.quarantined == [0]
+        # One crash per allowed claim: poison_threshold workers died on it.
+        assert report.crashes == tuner.poison_threshold
+        assert report.poison_records[0]["index"] == 0
+
+    def test_crash_without_heartbeat_blame_still_fails_loudly(self, tmp_path):
+        """Drain path with no blamable index: a worker that dies with no
+        heartbeat stamp (crash before its first task) cannot be quarantined,
+        so a permanently crashing fleet must exhaust its restart budget and
+        raise instead of looping forever."""
+        import time
+
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        bad = [TuningTask(kind="conv2d", params=TABLE1_LAYERS[0], machine="warp-core")]
+        # poison_threshold high enough that quarantine never saves the run.
+        tuner = DistributedTuner(
+            store,
+            workers=1,
+            join_timeout=120.0,
+            max_restarts=1,
+            poison_threshold=99,
+            heartbeat_interval=0.1,
+        )
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="restart budget|fleet lost"):
+            tuner.run(bad)
+        assert time.monotonic() - start < 60.0
+
+    def test_queue_deadline_still_enforced(self, tmp_path, monkeypatch):
+        """A fleet making no progress (workers alive, nothing reported, no
+        crashes to heal) must still hit the join deadline, not hang."""
+        from repro.rewriter import workers as workers_module
+
+        store = ShardedTuningStore(tmp_path / "s", shards=2)
+        tasks = tasks_from_layers(TABLE1_LAYERS[:1])
+        tuner = DistributedTuner(
+            store,
+            workers=1,
+            join_timeout=1.5,
+            heartbeat_timeout=None,  # liveness killing off: pure deadline
+        )
+
+        def wedged_worker(*args, **kwargs):
+            import time as time_module
+
+            time_module.sleep(600)
+
+        monkeypatch.setattr(workers_module, "_worker_main", wedged_worker)
+        with pytest.raises(RuntimeError, match="within"):
+            tuner.run(tasks)

@@ -199,12 +199,45 @@ class TestPromoteAfterKnobs:
     def test_env_var_overrides(self, monkeypatch):
         monkeypatch.setenv("REPRO_NATIVE_PROMOTE_AFTER", "5")
         assert default_promote_after() == 5
+
+    def test_invalid_env_var_warns_and_falls_back(self, monkeypatch):
+        """A bad REPRO_NATIVE_PROMOTE_AFTER must not be swallowed silently:
+        the warning names the offending value, then the default applies."""
         monkeypatch.setenv("REPRO_NATIVE_PROMOTE_AFTER", "not-a-number")
-        assert default_promote_after() == default_promote_after()
+        with pytest.warns(RuntimeWarning, match="not-a-number"):
+            value = default_promote_after()
+        monkeypatch.delenv("REPRO_NATIVE_PROMOTE_AFTER")
+        assert value == default_promote_after()
 
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             set_default_promote_after(0)
+
+
+class TestCompileTimeout:
+    def test_hung_compiler_raises_lowering_error(self, tmp_path, monkeypatch):
+        """A wedged cc must surface as LoweringError (which demotes the
+        plan), not block promotion forever."""
+        from repro.codegen.lowlevel import generate_c
+        from repro.tir.backend import _compile_c
+
+        fake_cc = tmp_path / "slow-cc"
+        fake_cc.write_text("#!/bin/sh\nsleep 600\n")
+        fake_cc.chmod(0o755)
+        monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "0.3")
+        source = generate_c(lower(small_conv_hwc()))
+        with pytest.raises(LoweringError, match="timed out"):
+            _compile_c(source, str(fake_cc))
+
+    def test_timeout_env_parsing(self, monkeypatch):
+        from repro.tir.backend import _compile_timeout_s
+
+        monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "45")
+        assert _compile_timeout_s() == 45.0
+        monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "zero")
+        assert _compile_timeout_s() == 120.0
+        monkeypatch.setenv("REPRO_NATIVE_COMPILE_TIMEOUT", "-1")
+        assert _compile_timeout_s() == 120.0
 
 
 @needs_toolchain

@@ -73,6 +73,16 @@ GUARDED: Dict[str, Dict[str, Dict[str, Set[str]]]] = {
             },
         },
     },
+    "workers.py": {
+        # The heartbeat's task pointer is written by the worker's main
+        # thread (begin/finish) and read by the stamping thread (_stamp).
+        "Heartbeat": {
+            "_lock": {
+                "_current",
+                "_started",
+            },
+        },
+    },
 }
 
 # R5 policy: file basename -> class -> context-manager method -> methods that
@@ -90,6 +100,17 @@ REQUIRE_LOCKED: Dict[str, Dict[str, Dict[str, Set[str]]]] = {
                 "last_served",
                 "read_shard_since",
                 "fsck",
+            },
+        },
+    },
+    "workers.py": {
+        # Every lease-file mutation (claim / release / done) must happen
+        # under the cross-process lock, or two workers can tune one task.
+        "LeaseFile": {
+            "_lock": {
+                "claim",
+                "release",
+                "mark_done",
             },
         },
     },
