@@ -61,6 +61,9 @@ import numpy as np
 
 from repro.core import tensorize
 from repro.dsl.expr import expr_cache_stats, reset_expr_cache_stats
+from repro.telemetry import trace as telemetry_trace
+from repro.telemetry.resultsdb import default_db_path, record_bench
+from repro.telemetry.trace import span
 from repro.graph import Conv2DNode, Graph, InputNode, TensorShape, run_model
 from repro.rewriter import CpuTuningConfig
 from repro.tir import (
@@ -456,9 +459,22 @@ def main(argv=None) -> dict:
         "vectorized tier, bit-identical; skips without a toolchain) and exit "
         "without writing the report",
     )
+    parser.add_argument(
+        "--results-db",
+        default=None,
+        help="telemetry results DB path (default: $REPRO_RESULTS_DB or "
+        "./results.db)",
+    )
+    parser.add_argument(
+        "--no-results-db",
+        action="store_true",
+        help="skip recording this run (and its spans) in the results DB",
+    )
     args = parser.parse_args(argv)
 
     if args.plan_smoke:
+        # The CI gates run with *no* telemetry sink installed on purpose:
+        # they double as the disabled-overhead check.
         reset_expr_cache_stats()
         plan_smoke()
         return {}
@@ -466,20 +482,45 @@ def main(argv=None) -> dict:
         native_smoke()
         return {}
 
-    report = {
-        "benchmark": "compile_time",
-        "compile": bench_compile(),
-        "validation": bench_validation(),
-    }
-    if not args.quick:
-        report["table1"] = bench_table1_engine(args.table1_layers)
-        report["native_tier"] = bench_native_tier(1)
-        report["static_analysis"] = bench_static_analysis(args.table1_layers)
-    report["plan_cache"] = bench_plan_cache()
-    report["expr_cache"] = expr_cache_stats().as_dict()
+    # Full report runs are instrumented: a tracer collects the spans the
+    # library emits (tir.compile_plan, tir.native_promote,
+    # tir.sandbox_qualify, ...) and the results DB keeps them per run.
+    tracer = None if args.no_results_db else telemetry_trace.install()
+    try:
+        report = {"benchmark": "compile_time"}
+        with span("bench.compile"):
+            report["compile"] = bench_compile()
+        with span("bench.validation"):
+            report["validation"] = bench_validation()
+        if not args.quick:
+            with span("bench.table1", layers=args.table1_layers):
+                report["table1"] = bench_table1_engine(args.table1_layers)
+            with span("bench.native_tier"):
+                report["native_tier"] = bench_native_tier(1)
+            with span("bench.static_analysis", layers=args.table1_layers):
+                report["static_analysis"] = bench_static_analysis(args.table1_layers)
+        with span("bench.plan_cache"):
+            report["plan_cache"] = bench_plan_cache()
+        report["expr_cache"] = expr_cache_stats().as_dict()
+    finally:
+        if tracer is not None:
+            telemetry_trace.uninstall()
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
+
+    if tracer is not None:
+        run_id = record_bench(
+            "compile_time",
+            report,
+            db_path=args.results_db,
+            spans=tracer.finished(),
+        )
+        print(
+            f"recorded run {run_id} "
+            f"({len(tracer.finished())} spans) in "
+            f"{args.results_db or default_db_path()}"
+        )
 
     comp, val = report["compile"], report["validation"]
     print(f"compile   cold {comp['cold_s'] * 1e3:8.1f} ms")

@@ -424,7 +424,10 @@ def bench_chaos(layers, seed: int, output: str) -> dict:
     }
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2)
-    print(f"wrote {output}")
+    from repro.telemetry.resultsdb import record_bench
+
+    run_id = record_bench("distributed_chaos", report)
+    print(f"wrote {output} (results-DB run {run_id})")
     return report
 
 
@@ -502,7 +505,10 @@ def main(argv=None) -> dict:
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
-    print(f"wrote {args.output}")
+    from repro.telemetry.resultsdb import record_bench
+
+    run_id = record_bench("distributed_tuning", report)
+    print(f"wrote {args.output} (results-DB run {run_id})")
     return report
 
 

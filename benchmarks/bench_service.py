@@ -399,7 +399,10 @@ def main(argv=None) -> dict:
         }
         with open(args.output, "w") as handle:
             json.dump(report, handle, indent=2)
-        print(f"wrote {args.output}")
+        from repro.telemetry.resultsdb import record_bench
+
+        run_id = record_bench("service_chaos", report)
+        print(f"wrote {args.output} (results-DB run {run_id})")
         return report
 
     with tempfile.TemporaryDirectory(prefix="bench_service.") as root:
@@ -437,7 +440,10 @@ def main(argv=None) -> dict:
     }
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
-    print(f"wrote {args.output}")
+    from repro.telemetry.resultsdb import record_bench
+
+    run_id = record_bench("service", report)
+    print(f"wrote {args.output} (results-DB run {run_id})")
     return report
 
 

@@ -26,18 +26,50 @@ benchmark schema can grow without breaking the gate.
 Usage::
 
     python benchmarks/check_regression.py FRESH.json BASELINE.json \
-        [--tolerance 3.0] [--floor-ms 5.0]
+        [--tolerance 3.0] [--floor-ms 5.0] [--history K]
 
-Exit status 0 when no metric regressed, 1 otherwise (with a per-metric
-report either way).
+``--history K`` additionally reports each gated metric's *trend* over the
+last K runs recorded in the telemetry results DB (direction + worst
+step-to-step adverse delta) — regressions over time, not just vs one frozen
+snapshot.  The verdicts are also persisted into the DB when it exists, so
+``python -m repro query verdicts`` can replay gate history.  Exit-code
+semantics are unchanged in every mode: 0 when no metric regressed vs the
+committed baseline, 1 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
+
+def _resultsdb():
+    """Import :mod:`repro.telemetry.resultsdb`, adding ``src/`` if needed.
+
+    The gate is historically invoked without ``PYTHONPATH=src`` (it used to
+    be stdlib-only), so the telemetry import must bootstrap its own path.
+    """
+    try:
+        from repro.telemetry import resultsdb
+    except ImportError:
+        sys.path.insert(
+            0,
+            os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+        )
+        from repro.telemetry import resultsdb
+    return resultsdb
+
+
+# ``benchmark`` field in the fresh JSON -> run kind in the results DB.
+_KIND_BY_BENCHMARK = {
+    "compile_time": "compile_time",
+    "distributed_tuning": "distributed_tuning",
+    "distributed_tuning_chaos": "distributed_chaos",
+    "tuning_service": "service",
+    "tuning_service_chaos": "service_chaos",
+}
 
 
 def _numeric_leaves(data, prefix: str = "") -> Iterator[Tuple[str, float]]:
@@ -74,12 +106,17 @@ def _in_seconds(path: str, value: float) -> float:
 
 
 def compare(fresh: dict, base: dict, tolerance: float, floor_s: float):
-    """Returns (failures, checks, warnings) as lists of report lines."""
+    """Returns (failures, checks, warnings, verdicts).
+
+    The first three are report lines; ``verdicts`` are structured
+    ``(metric, kind, ok, fresh, baseline)`` rows for the results DB.
+    """
     fresh_leaves = dict(_numeric_leaves(fresh))
     base_leaves = dict(_numeric_leaves(base))
     failures: List[str] = []
     checks: List[str] = []
     warnings: List[str] = []
+    verdicts: List[Tuple[str, str, bool, float, float]] = []
     for path, base_value in sorted(base_leaves.items()):
         kind = _metric_kind(path)
         if kind == "ignored":
@@ -105,10 +142,51 @@ def compare(fresh: dict, base: dict, tolerance: float, floor_s: float):
             ok = fresh_value >= limit
             line = f"{path}: {fresh_value:.4g} vs baseline {base_value:.4g} (floor {limit:.4g})"
         (checks if ok else failures).append(("PASS " if ok else "FAIL ") + line)
+        verdicts.append((path, kind, ok, fresh_value, base_value))
     for path in sorted(set(fresh_leaves) - set(base_leaves)):
         if _metric_kind(path) != "ignored":
             warnings.append(f"not in baseline (uncompared): {path}")
-    return failures, checks, warnings
+    return failures, checks, warnings, verdicts
+
+
+def _trend_report(
+    base: dict, run_kind: Optional[str], last: int, db_path: Optional[str]
+) -> List[str]:
+    """Per-gated-metric trend lines over the last K recorded runs.
+
+    ``direction`` reads the trajectory first-to-last through the metric's
+    kind (a falling timing is *improving*); ``worst step`` is the largest
+    adverse run-to-run delta inside the window — a sawtooth that nets out
+    flat still shows its worst spike.
+    """
+    lines: List[str] = []
+    with _resultsdb().ResultsDB(db_path) as db:
+        for path, _ in sorted(_numeric_leaves(base)):
+            kind = _metric_kind(path)
+            if kind == "ignored":
+                continue
+            points = db.metric_trend(path, kind=run_kind, last=last)
+            values = [point["value"] for point in points if point["path"] == path]
+            if len(values) < 2:
+                lines.append(f"{path}: {len(values)} recorded run(s), no trend")
+                continue
+            adverse_is_up = kind == "lower_is_better"
+            net = values[-1] - values[0]
+            if abs(net) < 1e-12:
+                direction = "flat"
+            else:
+                worsened = net > 0 if adverse_is_up else net < 0
+                direction = "regressing" if worsened else "improving"
+            steps = [b - a for a, b in zip(values, values[1:])]
+            adverse = [s if adverse_is_up else -s for s in steps]
+            worst = max(adverse)
+            reference = max(abs(v) for v in values) or 1.0
+            lines.append(
+                f"{path} [{kind}]: {direction} over {len(values)} run(s) "
+                f"({values[0]:.4g} -> {values[-1]:.4g}), worst step "
+                f"{worst:+.4g} ({worst / reference * 100:+.1f}%)"
+            )
+    return lines
 
 
 def main(argv=None) -> int:
@@ -124,6 +202,20 @@ def main(argv=None) -> int:
         default=5.0,
         help="skip timings whose baseline is below this (noise)",
     )
+    parser.add_argument(
+        "--history",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also report each gated metric's trend over the last K runs "
+        "recorded in the results DB (requires the DB to exist)",
+    )
+    parser.add_argument(
+        "--results-db",
+        default=None,
+        help="telemetry results DB path (default: $REPRO_RESULTS_DB or "
+        "./results.db)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.fresh) as handle:
@@ -131,7 +223,7 @@ def main(argv=None) -> int:
     with open(args.baseline) as handle:
         base = json.load(handle)
 
-    failures, checks, warnings = compare(
+    failures, checks, warnings, verdicts = compare(
         fresh, base, args.tolerance, args.floor_ms / 1e3
     )
     for line in checks:
@@ -144,6 +236,22 @@ def main(argv=None) -> int:
         f"{len(checks)} ok, {len(failures)} regressed, {len(warnings)} warnings "
         f"(tolerance {args.tolerance}x, floor {args.floor_ms} ms)"
     )
+
+    # The results DB is optional everywhere here: the gate must keep
+    # working (and exiting identically) on a runner with no DB at all.
+    resultsdb = _resultsdb()
+    db_path = args.results_db or resultsdb.default_db_path()
+    run_kind = _KIND_BY_BENCHMARK.get(str(fresh.get("benchmark", "")))
+    if os.path.exists(db_path):
+        with resultsdb.ResultsDB(db_path) as db:
+            db.record_verdicts(db.latest_run_id(kind=run_kind), verdicts)
+    if args.history > 0:
+        if not os.path.exists(db_path):
+            print(f"HISTORY skipped: no results DB at {db_path}")
+        else:
+            print(f"-- trend over last {args.history} recorded run(s) --")
+            for line in _trend_report(base, run_kind, args.history, db_path):
+                print("HISTORY", line)
     return 1 if failures else 0
 
 

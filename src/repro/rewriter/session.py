@@ -16,6 +16,7 @@ import dataclasses
 from typing import Callable, Optional, Sequence
 
 from ..hwsim.cost import CostBreakdown
+from ..telemetry import metrics as _metrics, trace as _trace
 from .records import TuningCache, TuningKey, TuningRecord
 from .tuner import (
     TuningResult,
@@ -202,7 +203,13 @@ class TuningSession:
         :class:`~repro.service.client.RemoteSession`) can interpose between
         the lookup and the local search without duplicating this body.
         """
-        result = self._search(candidates, lambda cfg: evaluate(cfg).seconds, precheck)
+        with _trace.span("tuner.search", kind=key.kind) as sp:
+            result = self._search(
+                candidates, lambda cfg: evaluate(cfg).seconds, precheck
+            )
+            sp.set(trials=result.num_trials, rejected=result.rejected)
+        _metrics.count("tuner.searches")
+        _metrics.count("tuner.trials", result.num_trials)
         if validate is not None:
             validate(result.best_config)
         best = evaluate(result.best_config)
@@ -243,10 +250,14 @@ class TuningSession:
         subsequent lookups keep the cheap identity semantics (and stop paying
         the store read)."""
         record = self.cache.lookup(key)
-        if record is None and self.store is not None:
+        if record is not None:
+            _metrics.count("tuner.memory_hits")
+            return record
+        if self.store is not None:
             record = self.store.get(key)
             if record is not None:
                 self.store_hits += 1
+                _metrics.count("tuner.store_hits")
                 self.cache.insert(record)
         return record
 

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..retry import RetryPolicy
+from ..telemetry import metrics as _metrics
 from ..testing import faults
 from .records import (
     SCHEMA_VERSION,
@@ -360,6 +361,7 @@ class ShardedTuningStore:
         unreadable.
         """
         line = json.dumps(record.to_json(), sort_keys=True) + "\n"
+        _metrics.count("store.puts")
         index = self.shard_of(record.key)
         path = self.shard_path(index)
         with self._locked(index):
@@ -446,8 +448,10 @@ class ShardedTuningStore:
         found = self._scan_shard(self.shard_of(key)).get(key)
         if found is None:
             self._counters.misses += 1
+            _metrics.count("store.misses")
         else:
             self._counters.hits += 1
+            _metrics.count("store.hits")
             self._touch(key)
         return found
 

@@ -58,6 +58,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set
 
 from ..retry import RetryPolicy
+from ..telemetry import metrics as _metrics, trace as _trace
 from ..testing import faults
 from .session import TuningSession
 from .store import FileLock, LockTimeout, ShardedTuningStore, StoreStats
@@ -470,6 +471,7 @@ class Heartbeat:
         with self._lock:
             current, started = self._current, self._started
         faults.fire("worker.heartbeat", worker=self.worker, path=self.path)
+        _metrics.count("workers.heartbeat_stamps")
         entry = {
             "worker": self.worker,
             "pid": os.getpid(),
@@ -711,6 +713,8 @@ class _Supervisor:
     def _respawn(self, slot: int) -> None:
         self.restarts[slot] += 1
         self.worker_restarts += 1
+        _metrics.count("workers.restarts")
+        _metrics.event("workers.restarts", f"slot{slot}")
         self._spawn(slot)
 
     # -- failure handling -----------------------------------------------------
@@ -776,6 +780,7 @@ class _Supervisor:
 
     def _handle_crash(self, name: str, process) -> None:
         self.crashes += 1
+        _metrics.count("workers.crashes")
         self.handled.add(name)
         reason = self.kill_reasons.get(name, f"exitcode {process.exitcode}")
         undone = self._undone_claims(name)
@@ -793,6 +798,7 @@ class _Supervisor:
         if undone:
             self.lease.release(name, undone)
             self.tasks_reclaimed += len(undone)
+            _metrics.count("workers.tasks_reclaimed", len(undone))
         slot = self.slot_of[name]
         if self.restarts[slot] < self.tuner.max_restarts:
             self._respawn(slot)
@@ -819,6 +825,7 @@ class _Supervisor:
 
     def _quarantine(self, index: int, worker: str, exitcode, reason: str) -> None:
         self.quarantined.append(index)
+        _metrics.count("workers.quarantined")
         record = {
             "index": index,
             "task": self.tasks[index].describe(),
@@ -1035,7 +1042,19 @@ class DistributedTuner:
         lease = LeaseFile(lease_path, timeout=self.store.lock_timeout)
         supervisor = _Supervisor(self, tasks, lease, ctx, queue)
         start = time.perf_counter()
-        reports = supervisor.collect()
+        with _trace.span(
+            "workers.run", tasks=len(tasks), workers=self.workers
+        ) as run_span:
+            reports = supervisor.collect()
+            run_span.set(
+                crashes=supervisor.crashes,
+                worker_restarts=supervisor.worker_restarts,
+                tasks_reclaimed=supervisor.tasks_reclaimed,
+            )
+        _metrics.count("workers.runs")
+        _metrics.count(
+            "workers.tasks_completed", len(lease.done()) - len(supervisor.quarantined)
+        )
         report = DistributedReport(
             tasks=len(tasks),
             elapsed_s=time.perf_counter() - start,
@@ -1047,6 +1066,7 @@ class DistributedTuner:
             tasks_reclaimed=supervisor.tasks_reclaimed,
             poison_records=list(supervisor.poison_records),
         )
+        _metrics.register_stats_gauges("workers.report", report)
         if not report.complete:
             raise RuntimeError(
                 "lease coverage is incomplete or overlapping: "

@@ -42,6 +42,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..hwsim.cost import CostBreakdown
 from ..retry import CircuitBreaker, RetryPolicy
+from ..telemetry import metrics as _metrics
 from ..rewriter.records import TuningCache, TuningKey, TuningRecord, record_staleness
 from ..rewriter.session import TuningSession
 from ..rewriter.store import ShardedTuningStore
@@ -217,6 +218,7 @@ class ServiceClient:
         self._down_until[index] = 0.0
         if index != self._active:
             self.failovers += 1
+            _metrics.count("service.client.failovers")
             self._active = index
 
     # -- transport ------------------------------------------------------------
@@ -381,6 +383,7 @@ class ServiceClient:
                 self._endpoint_ok(index)
                 if index != order[0]:
                     self.hedged_wins += 1
+                    _metrics.count("service.client.hedged_wins")
                 return value
             if kind == "error":
                 self._endpoint_failed(index)
@@ -571,6 +574,7 @@ class RemoteSession(TuningSession):
                 self._mark_up()
             if record is not None:
                 self.server_hits += 1
+                _metrics.count("service.client.server_hits")
                 self.cache.insert(record)
                 return record
         if not self.online and self.fallback_store is not None:
@@ -633,6 +637,7 @@ class RemoteSession(TuningSession):
             else:
                 self._mark_up()
                 self.server_tunes += 1
+                _metrics.count("service.client.server_tunes")
                 self.cache.insert(record)
                 return record
         return self._search_and_record(key, candidates, evaluate, oracle, precheck)

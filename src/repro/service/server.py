@@ -58,6 +58,7 @@ from ..rewriter.records import TuningKey, TuningRecord, decode_record_line
 from ..rewriter.session import TuningSession
 from ..rewriter.store import ShardedTuningStore
 from ..rewriter.workers import TuningTask, run_task, task_from_key, tasks_from_layers
+from ..telemetry import metrics as _metrics, trace as _trace
 from ..testing import faults
 from . import protocol
 from .client import ServiceClient, ServiceError, ServiceUnavailable, normalize_addresses
@@ -242,6 +243,10 @@ class TuningService:
         self.stats = ServiceStats()
         self.tune_timeout = tune_timeout
         self.started_at: Optional[float] = None
+        # Monotonic twin of started_at: uptime_s must never jump when the
+        # host clock steps (NTP slew, manual set), so the wire responses
+        # derive it from time.monotonic(), not wall-clock arithmetic.
+        self.started_monotonic: Optional[float] = None
         self.replicate_from: Optional[Tuple[str, int]] = (
             normalize_addresses(replicate_from)[0] if replicate_from is not None else None
         )
@@ -291,6 +296,12 @@ class TuningService:
         self._server = Server((self.host, self.port), Handler)
         self._bound_address = self._server.server_address[:2]
         self.started_at = time.time()
+        self.started_monotonic = time.monotonic()
+        # No-ops unless a MetricsRegistry is installed in this process; the
+        # dataclasses stay the single source of truth for both views.
+        _metrics.register_stats_gauges("service", self.stats)
+        with self._gate:
+            _metrics.register_stats_gauges("service.replication", self.replication)
         serve = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.05},
@@ -441,15 +452,21 @@ class TuningService:
         if op not in protocol.OPS or handler is None:
             return protocol.error_response(f"unknown op {op!r}", "unknown_op")
         self.stats.count(op)
+        _metrics.event("service.requests", str(op))
+        registry = _metrics.active()
+        started = time.perf_counter() if registry is not None else 0.0
         with self._gate:
             self._foreground += 1
         try:
-            return handler(message)
+            with _trace.span("service.request", op=str(op)):
+                return handler(message)
         except Exception as exc:  # a bad request must not kill the handler
             return protocol.error_response(f"{type(exc).__name__}: {exc}", "server_error")
         finally:
             with self._gate:
                 self._foreground -= 1
+            if registry is not None:
+                registry.observe("service.request_s", time.perf_counter() - started)
 
     # -- operations -----------------------------------------------------------
     def _op_ping(self, message: Dict) -> Dict:
@@ -497,31 +514,7 @@ class TuningService:
         return protocol.ok_response(record=record.to_json(), how=how)
 
     def _op_stats(self, message: Dict) -> Dict:
-        cache = self.session.stats
-        expr = expr_cache_stats()
-        with self._gate:
-            inflight = len(self._inflight)
-            queued = len(self._spec_queue)
-        return protocol.ok_response(
-            uptime_s=self._uptime(),
-            service=dataclasses.asdict(self.stats),
-            session={
-                "records": cache.size,
-                "hits": cache.hits,
-                "misses": cache.misses,
-                "hit_rate": cache.hit_rate,
-                "store_hits": self.session.store_hits,
-                "trials_run": self.session.trials_run,
-                "searches_run": self.session.searches_run,
-                "strategy": self.session.strategy,
-            },
-            store=self.store.stats.as_dict(),
-            expr_cache={
-                f.name: getattr(expr, f.name) for f in dataclasses.fields(expr)
-            },
-            inflight=inflight,
-            speculative_queue=queued,
-        )
+        return protocol.ok_response(**self._snapshot())
 
     def _op_gc(self, message: Dict) -> Dict:
         report = self.store.evict(
@@ -578,7 +571,23 @@ class TuningService:
         return protocol.ok_response(shards=shards, role=self._role())
 
     def _op_health(self, message: Dict) -> Dict:
-        """The failover probe: role, load and (for replicas) sync lag."""
+        """The failover probe: the same unified snapshot ``stats`` serves."""
+        return protocol.ok_response(**self._snapshot())
+
+    def _snapshot(self) -> Dict:
+        """One consistent view behind both the ``stats`` and ``health`` ops.
+
+        Before this existed the two endpoints gathered overlapping fields
+        independently, so the memory-tier counters one returned could
+        disagree with the store counters the other returned *within a
+        single client call*.  Now everything is collected in one pass —
+        the gate is taken exactly once for the gate-guarded fields — and
+        both wire ops serve the identical payload, including the monotonic
+        ``uptime_s`` and the telemetry counter snapshot.
+        """
+        cache = self.session.stats
+        expr = expr_cache_stats()
+        store_stats = self.store.stats.as_dict()
         with self._gate:
             inflight = len(self._inflight)
             queued = len(self._spec_queue)
@@ -588,21 +597,39 @@ class TuningService:
             "role": self._role(),
             "uptime_s": self._uptime(),
             "shutting_down": self._stop.is_set(),
+            "service": dataclasses.asdict(self.stats),
+            "session": {
+                "records": cache.size,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+                "store_hits": self.session.store_hits,
+                "trials_run": self.session.trials_run,
+                "searches_run": self.session.searches_run,
+                "strategy": self.session.strategy,
+            },
+            "store": store_stats,
+            "expr_cache": {
+                f.name: getattr(expr, f.name) for f in dataclasses.fields(expr)
+            },
             "inflight": inflight,
             "foreground": foreground,
             "speculative_queue": queued,
+            "telemetry": _metrics.snapshot_counters(),
         }
         if self.replicate_from is not None:
             last = replication.get("last_sync_unix")
             replication["lag_s"] = (time.time() - last) if last else None
             replication["primary"] = list(self.replicate_from)
             payload["replication"] = replication
-        return protocol.ok_response(**payload)
+        return payload
 
     def _role(self) -> str:
         return "replica" if self.replicate_from is not None else "primary"
 
     def _uptime(self) -> float:
+        if self.started_monotonic is not None:
+            return time.monotonic() - self.started_monotonic
         return time.time() - self.started_at if self.started_at else 0.0
 
     # -- replication (replica role) -------------------------------------------
@@ -663,6 +690,9 @@ class TuningService:
             stats.corrupt_rejected += corrupt
             stats.offset_resets += resets
             stats.last_sync_unix = time.time()
+        _metrics.count("service.replication.syncs")
+        if applied:
+            _metrics.count("service.replication.records_applied", applied)
 
     # -- coalesced tuning core ------------------------------------------------
     def _tune_key(self, key: TuningKey) -> Tuple[Optional[TuningRecord], Optional[str]]:
@@ -682,6 +712,7 @@ class TuningService:
                 leader = False
                 entry.waiters += 1
                 self.stats.coalesced_waiters += 1
+                _metrics.count("service.coalesced_waiters")
             else:
                 entry = self._inflight[key] = _Inflight()
                 leader = True

@@ -1,0 +1,252 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry is **off by default** and follows the same zero-overhead
+discipline as :func:`repro.testing.faults.fire`: every module-level entry
+point (:func:`count`, :func:`observe`, :func:`event`) begins with a single
+global load and a ``None`` test and returns immediately when no registry is
+installed.  No locks, no dict lookups, no string formatting happen on the
+disabled path, so instrumentation can live permanently inside hot loops
+(plan-cache lookups, tiered dispatch, service request handling) without
+taxing production runs.
+
+Three instrument kinds:
+
+* **counters** — monotonically increasing event tallies
+  (``tir.plan_cache.hits``, ``service.requests.tune``);
+* **gauges** — values read lazily at snapshot time from a registered
+  callback.  :func:`register_stats_gauges` wires an existing stats
+  dataclass (``EngineStats``, ``StoreStats``, ``ServiceStats``, ...) so the
+  dataclass stays the single source of truth and the telemetry view can
+  never drift from it;
+* **histograms** — fixed-boundary bucket counts plus sum/count, for
+  latency distributions (``service.request_s``).
+
+Thread safety: one :class:`threading.Lock` per registry guards all three
+tables.  The lint in ``tools/lint_concurrency.py`` polices that discipline
+statically (``MetricsRegistry._lock`` guards ``_counters`` / ``_gauges`` /
+``_histograms``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from contextlib import contextmanager
+from dataclasses import fields as _dataclass_fields, is_dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS_S",
+    "MetricsRegistry",
+    "active",
+    "collecting",
+    "count",
+    "event",
+    "gauge",
+    "install",
+    "observe",
+    "register_stats_gauges",
+    "snapshot_counters",
+    "uninstall",
+]
+
+# Latency-flavoured defaults: 100us .. 10s, roughly log-spaced.  Fixed at
+# registry construction so concurrent observers never see a resize.
+DEFAULT_BUCKETS_S: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+class _Histogram:
+    """Fixed-boundary bucket counts.  Mutated only under the registry lock."""
+
+    __slots__ = ("boundaries", "counts", "total", "sum")
+
+    def __init__(self, boundaries: Sequence[float]) -> None:
+        self.boundaries: Tuple[float, ...] = tuple(boundaries)
+        self.counts: List[int] = [0] * (len(self.boundaries) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.boundaries, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "boundaries": list(self.boundaries),
+            "counts": list(self.counts),
+            "count": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe counters, lazy gauges, and fixed-bucket histograms."""
+
+    def __init__(self, buckets_s: Sequence[float] = DEFAULT_BUCKETS_S) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+        self.default_buckets: Tuple[float, ...] = tuple(buckets_s)
+
+    # -- counters -----------------------------------------------------------
+    def count(self, name: str, value: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    # -- gauges -------------------------------------------------------------
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register ``fn`` to be evaluated lazily at snapshot time."""
+        with self._lock:
+            self._gauges[name] = fn
+
+    def set_gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = lambda: value
+
+    def gauges(self) -> Dict[str, float]:
+        """Evaluate every gauge callback; broken callbacks are skipped."""
+        with self._lock:
+            callbacks = list(self._gauges.items())
+        out: Dict[str, float] = {}
+        for name, fn in callbacks:
+            try:
+                value = fn()
+            except Exception:
+                continue
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out[name] = float(value)
+        return out
+
+    # -- histograms ---------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = _Histogram(self.default_buckets)
+                self._histograms[name] = hist
+            hist.observe(value)
+
+    def histograms(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {name: hist.as_dict() for name, hist in self._histograms.items()}
+
+    # -- snapshot -----------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """Counters + evaluated gauges + histograms, as one JSON-safe dict."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
+
+# The single module-global every hot-path helper tests.  ``None`` means
+# telemetry is off and every entry point below is a two-instruction no-op.
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The installed registry, or ``None`` when telemetry is disabled."""
+    return _ACTIVE
+
+
+def install(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) the process-wide registry."""
+    global _ACTIVE
+    if registry is None:
+        registry = MetricsRegistry()
+    _ACTIVE = registry
+    return registry
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def collecting(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Scoped install: previous registry (usually ``None``) is restored."""
+    global _ACTIVE
+    previous = _ACTIVE
+    registry = install(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+def count(name: str, value: float = 1) -> None:
+    """Increment a counter; first statement returns when telemetry is off."""
+    registry = _ACTIVE
+    if registry is None:
+        return
+    registry.count(name, value)
+
+
+def event(prefix: str, label: str, value: float = 1) -> None:
+    """Count ``{prefix}.{label}``, formatting only when a sink is active."""
+    registry = _ACTIVE
+    if registry is None:
+        return
+    registry.count(f"{prefix}.{label}", value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation; no-op when telemetry is off."""
+    registry = _ACTIVE
+    if registry is None:
+        return
+    registry.observe(name, value)
+
+
+def gauge(name: str, fn: Callable[[], float]) -> None:
+    """Register a lazy gauge callback; no-op when telemetry is off."""
+    registry = _ACTIVE
+    if registry is None:
+        return
+    registry.gauge(name, fn)
+
+
+def snapshot_counters() -> Dict[str, float]:
+    """Counter snapshot for wire responses; ``{}`` when telemetry is off."""
+    registry = _ACTIVE
+    if registry is None:
+        return {}
+    return registry.counters()
+
+
+def register_stats_gauges(prefix: str, stats: object) -> None:
+    """Expose every numeric field of a stats dataclass as a lazy gauge.
+
+    The dataclass instance remains the single source of truth: each gauge
+    re-reads its field at snapshot time, so the ``EngineStats`` the engine
+    mutates and the ``tir.engine.*`` gauges the telemetry view renders can
+    never disagree.  No-op when telemetry is off or ``stats`` is not a
+    dataclass instance.
+    """
+    registry = _ACTIVE
+    if registry is None:
+        return
+    if not is_dataclass(stats) or isinstance(stats, type):
+        return
+    for field in _dataclass_fields(stats):
+        probe = getattr(stats, field.name, None)
+        if isinstance(probe, bool) or not isinstance(probe, (int, float)):
+            continue
+
+        def _read(obj=stats, attr=field.name) -> float:
+            return getattr(obj, attr)
+
+        registry.gauge(f"{prefix}.{field.name}", _read)

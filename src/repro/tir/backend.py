@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tupl
 import numpy as np
 
 from ..dsl.tensor import Tensor
+from ..telemetry import metrics as _metrics, trace as _trace
 from ..testing import faults
 
 if TYPE_CHECKING:  # runtime import is lazy (see _lowlevel) to avoid a cycle
@@ -358,6 +359,7 @@ def _demote(plan: ExecutablePlan, reason: str, stats: Optional[EngineStats]) -> 
     state.demotion_reason = reason
     if stats is not None:
         stats.native_demotions += 1
+    _metrics.count("tir.native_demotions")
 
 
 def _kernel_arrays(
@@ -402,44 +404,60 @@ def _try_promote(
 
     state = tier_state(plan)
     toolchain_kind, _ = native_toolchain()
-    if toolchain_kind is not None and sandbox.sandbox_enabled():
+    with _trace.span("tir.native_promote", func=plan.func.name) as promote_span:
+        if toolchain_kind is not None and sandbox.sandbox_enabled():
+            check = [np.array(a, copy=True) for a in inputs_before]
+            check.append(np.array(output_before, copy=True))
+            with _trace.span("tir.sandbox_qualify", func=plan.func.name) as sq:
+                verdict = sandbox.qualify(plan.func, check, expected)
+                sq.set(outcome=verdict.outcome)
+            state.sandbox_outcome = verdict.outcome
+            if stats is not None:
+                stats.sandbox_qualifications += 1
+            plan.stats.sandbox_qualifications += 1
+            _metrics.count("tir.sandbox_qualifications")
+            if not verdict.ok:
+                if stats is not None:
+                    stats.sandbox_rejections += 1
+                plan.stats.sandbox_rejections += 1
+                _metrics.count("tir.sandbox_rejections")
+                promote_span.set(outcome="sandbox_rejected")
+                _demote(
+                    plan,
+                    f"sandbox rejected native kernel ({verdict.describe()})",
+                    stats,
+                )
+                return
+        try:
+            with _trace.span("tir.native_compile", func=plan.func.name):
+                kernel = compile_native(plan.func)
+        except Exception as exc:  # NativeUnavailable, LoweringError, injected
+            promote_span.set(outcome="compile_failed")
+            _demote(plan, f"native compile failed: {exc}", stats)
+            return
         check = [np.array(a, copy=True) for a in inputs_before]
         check.append(np.array(output_before, copy=True))
-        verdict = sandbox.qualify(plan.func, check, expected)
-        state.sandbox_outcome = verdict.outcome
-        if stats is not None:
-            stats.sandbox_qualifications += 1
-        plan.stats.sandbox_qualifications += 1
-        if not verdict.ok:
-            if stats is not None:
-                stats.sandbox_rejections += 1
-            plan.stats.sandbox_rejections += 1
+        try:
+            got = kernel.run(check)
+        except Exception as exc:  # demote on *any* kernel failure
+            promote_span.set(outcome="spot_check_raised")
+            _demote(plan, f"native kernel raised during spot-check: {exc}", stats)
+            return
+        if not np.array_equal(got, expected):
+            promote_span.set(outcome="not_bit_identical")
             _demote(
                 plan,
-                f"sandbox rejected native kernel ({verdict.describe()})",
+                "native kernel is not bit-identical to the vectorized tier",
                 stats,
             )
             return
-    try:
-        kernel = compile_native(plan.func)
-    except Exception as exc:  # NativeUnavailable, LoweringError, injected
-        _demote(plan, f"native compile failed: {exc}", stats)
-        return
-    check = [np.array(a, copy=True) for a in inputs_before]
-    check.append(np.array(output_before, copy=True))
-    try:
-        got = kernel.run(check)
-    except Exception as exc:  # demote on *any* kernel failure
-        _demote(plan, f"native kernel raised during spot-check: {exc}", stats)
-        return
-    if not np.array_equal(got, expected):
-        _demote(plan, "native kernel is not bit-identical to the vectorized tier", stats)
-        return
-    state.kernel = kernel
-    state.tier = "native"
+        state.kernel = kernel
+        state.tier = "native"
+        promote_span.set(outcome="promoted")
     if stats is not None:
         stats.native_promotions += 1
     plan.stats.native_promotions += 1
+    _metrics.count("tir.native_promotions")
 
 
 def run_tiered(
@@ -472,6 +490,7 @@ def run_tiered(
             if stats is not None:
                 stats.native_runs += 1
             plan.stats.native_runs += 1
+            _metrics.count("tir.native_runs")
             return result
 
     if state.demoted or state.tier != "vectorized" or state.warm_runs + 1 < threshold:

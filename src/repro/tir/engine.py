@@ -1823,7 +1823,18 @@ def compile_plan(func: PrimFunc, strict: bool = False) -> ExecutablePlan:
     :func:`execute`) over calling this directly: the cache recognises
     structurally identical functions and compiles them once.
     """
-    return _PlanCompiler(func, strict=strict).compile()
+    from ..telemetry import metrics as _metrics, trace as _trace
+
+    with _trace.span("tir.compile_plan", func=func.name, strict=strict) as sp:
+        plan = _PlanCompiler(func, strict=strict).compile()
+        sp.set(
+            vector_nests=plan.stats.vector_nests,
+            fallback_nests=plan.stats.fallback_nests,
+            proved_nests=plan.stats.proved_nests,
+            elided_checks=plan.stats.elided_checks,
+        )
+    _metrics.count("tir.plan_compiles")
+    return plan
 
 
 # ---------------------------------------------------------------------------

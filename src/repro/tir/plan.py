@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..dsl import expr as E
+from ..telemetry import metrics as _metrics
 from .engine import ExecutablePlan, compile_plan
 from .lower import PrimFunc
 from .stmt import (
@@ -411,8 +412,10 @@ class PlanCache:
                     if plan.func is func or func_structural_equal(plan.func, func):
                         self._entries.move_to_end(key)
                         self.stats.hits += 1
+                        _metrics.count("tir.plan_cache.hits")
                         return plan
             self.stats.misses += 1
+            _metrics.count("tir.plan_cache.misses")
             plan = compile_plan(func)
             if bucket is None:
                 self._entries[key] = [plan]

@@ -1,0 +1,124 @@
+"""Tests for the ``python -m repro query`` CLI (plain-table path, no rich)."""
+
+import json
+
+import pytest
+
+from repro.telemetry import trace
+from repro.telemetry.query import main
+from repro.telemetry.resultsdb import ResultsDB
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    path = str(tmp_path / "results.db")
+    with ResultsDB(path) as db:
+        tracer = trace.Tracer()
+        with trace.tracing(tracer):
+            with trace.span("bench.table1"):
+                with trace.span("tir.compile_plan", func="conv"):
+                    pass
+        db.record_run(
+            "compile_time",
+            {"benchmark": "compile_time", "table1": [{"vector_s": 0.5}]},
+            label="first",
+            spans=tracer.finished(),
+        )
+        db.record_run(
+            "compile_time",
+            {"benchmark": "compile_time", "table1": [{"vector_s": 0.4}]},
+            label="second",
+        )
+        db.record_verdicts(1, [("table1[0].vector_s", "lower_is_better", True, 0.4, 0.5)])
+    return path
+
+
+class TestRuns:
+    def test_table_lists_both_runs(self, db_path, capsys):
+        assert main(["runs", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "first" in out and "second" in out
+        assert "compile_time" in out
+
+    def test_kind_filter_and_json(self, db_path, capsys):
+        assert main(["runs", "--db", db_path, "--kind", "service", "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_csv(self, db_path, capsys):
+        assert main(["runs", "--db", db_path, "--format", "csv"]) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header.startswith("id,kind,label,when")
+
+
+class TestTrend:
+    def test_metric_trajectory_with_delta(self, db_path, capsys):
+        assert main(["trend", "table1[0].vector_s", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "0.5" in out and "0.4" in out
+        assert "-20.0%" in out  # delta vs the previous run
+
+    def test_list_paths(self, db_path, capsys):
+        assert main(["trend", "--list", "--db", db_path]) == 0
+        assert "table1[0].vector_s" in capsys.readouterr().out
+
+    def test_no_metric_defaults_to_listing(self, db_path, capsys):
+        assert main(["trend", "--db", db_path]) == 0
+        assert "table1[0].vector_s" in capsys.readouterr().out
+
+
+class TestSpans:
+    def test_top_spans_defaults_to_latest_run_with_spans_absent(self, db_path, capsys):
+        # latest run (id 2) has no spans: empty summary, still exit 0
+        assert main(["spans", "--db", db_path]) == 0
+
+    def test_top_spans_for_run(self, db_path, capsys):
+        assert main(["spans", "--run", "1", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "bench.table1" in out and "tir.compile_plan" in out
+
+    def test_tree_preserves_nesting(self, db_path, capsys):
+        assert main(["spans", "--run", "1", "--tree", "--db", db_path]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        (parent_line,) = [l for l in lines if l.startswith("bench.table1")]
+        (child_line,) = [l for l in lines if "tir.compile_plan" in l]
+        assert child_line.startswith("  ")  # indented under its parent
+        assert "func=conv" in child_line
+
+    def test_empty_db_is_a_clean_error(self, tmp_path, capsys):
+        path = str(tmp_path / "empty.db")
+        ResultsDB(path).close()
+        assert main(["spans", "--db", path]) != 0
+        assert "no recorded runs" in capsys.readouterr().err
+
+
+class TestVerdicts:
+    def test_verdicts_render(self, db_path, capsys):
+        assert main(["verdicts", "--db", db_path]) == 0
+        out = capsys.readouterr().out
+        assert "table1[0].vector_s" in out and "PASS" in out
+
+
+class TestEntryPoint:
+    def test_help_exits_zero(self, capsys):
+        assert main(["--help"]) == 0
+        assert "trend" in capsys.readouterr().out
+
+    def test_unknown_subcommand_fails(self, capsys):
+        assert main(["nope"]) != 0
+
+    def test_module_dispatch(self, db_path):
+        """``python -m repro query`` must work without PYTHONPATH tricks
+        beyond src on sys.path (as the CI job invokes it)."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "query", "runs", "--db", db_path],
+            capture_output=True,
+            text=True,
+            cwd=os.path.join(os.path.dirname(__file__), os.pardir, os.pardir),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "compile_time" in proc.stdout

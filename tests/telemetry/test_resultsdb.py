@@ -1,0 +1,230 @@
+"""Tests for the sqlite results store: sanitation, round-trips, trends."""
+
+import json
+
+import pytest
+
+from repro.telemetry import trace
+from repro.telemetry.resultsdb import (
+    ResultsDB,
+    json_safe,
+    numeric_leaves,
+    record_bench,
+    run_metadata,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    with ResultsDB(str(tmp_path / "results.db")) as handle:
+        yield handle
+
+
+class TestJsonSafe:
+    def test_non_finite_floats_become_none(self):
+        data = {"nan": float("nan"), "inf": float("inf"), "ninf": float("-inf")}
+        assert json_safe(data) == {"nan": None, "inf": None, "ninf": None}
+
+    def test_result_round_trips_strict_json(self):
+        data = {
+            "t": [1, 2.5, float("nan")],
+            "nested": {"x": float("inf"), "ok": "text", "flag": True},
+        }
+        safe = json_safe(data)
+        # allow_nan=False is what sqlite consumers effectively require:
+        # the sanitized payload must never trip it.
+        encoded = json.dumps(safe, allow_nan=False)
+        assert json.loads(encoded) == safe
+
+    def test_tuples_become_lists_and_keys_become_strings(self):
+        assert json_safe({1: (1, 2)}) == {"1": [1, 2]}
+
+    def test_unknown_objects_stringify(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert json_safe({"o": Odd()}) == {"o": "<odd>"}
+
+
+class TestNumericLeaves:
+    def test_path_syntax_matches_check_regression(self):
+        """The DB and the gate must address metrics with identical paths."""
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "check_regression",
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "check_regression.py",
+        )
+        gate = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(gate)
+        payload = {"table1": [{"vector_s": 0.5, "label": "c1"}], "n": 3}
+        ours = dict(numeric_leaves(payload))
+        theirs = dict(gate._numeric_leaves(payload))
+        assert ours == theirs == {"table1[0].vector_s": 0.5, "n": 3.0}
+
+    def test_skips_bools_and_non_finite(self):
+        payload = {"flag": True, "bad": float("nan"), "ok": 1}
+        assert dict(numeric_leaves(payload)) == {"ok": 1.0}
+
+
+class TestResultsDB:
+    def test_record_run_round_trip_with_non_finite(self, db):
+        payload = {
+            "benchmark": "compile_time",
+            "timing_s": 1.25,
+            "bad_ratio": float("nan"),
+            "worse": float("inf"),
+            "table1": [{"vector_s": 0.5}],
+        }
+        run_id = db.record_run("compile_time", payload, label="unit")
+        stored = db.payload(run_id)
+        assert stored["timing_s"] == 1.25
+        assert stored["bad_ratio"] is None  # NaN sanitized on the way in
+        assert stored["worse"] is None
+        paths = db.metric_paths()
+        assert "timing_s" in paths and "table1[0].vector_s" in paths
+        assert "bad_ratio" not in paths  # non-finite never becomes a metric
+
+    def test_runs_lists_most_recent_first_with_counts(self, db):
+        first = db.record_run("compile_time", {"a": 1})
+        second = db.record_run("service", {"b": 2, "c": 3})
+        rows = db.runs()
+        assert [row["id"] for row in rows] == [second, first]
+        assert rows[0]["metrics"] == 2
+        assert db.runs(kind="service")[0]["id"] == second
+        assert db.latest_run_id() == second
+        assert db.latest_run_id(kind="compile_time") == first
+        assert db.latest_run_id(kind="nope") is None
+
+    def test_run_rows_carry_metadata(self, db):
+        run_id = db.record_run(
+            "compile_time",
+            {"a": 1},
+            metadata={"git_rev": "abc123", "host": "h", "python": "3.11",
+                      "toolchain": "cc"},
+        )
+        (row,) = [r for r in db.runs() if r["id"] == run_id]
+        assert row["git_rev"] == "abc123"
+        assert row["toolchain"] == "cc"
+
+    def test_metric_trend_is_oldest_first(self, db):
+        for value in (1.0, 2.0, 3.0):
+            db.record_run("compile_time", {"t_s": value})
+        points = db.metric_trend("t_s", kind="compile_time", last=10)
+        assert [p["value"] for p in points] == [1.0, 2.0, 3.0]
+
+    def test_metric_trend_respects_last_window(self, db):
+        for value in range(6):
+            db.record_run("compile_time", {"t_s": float(value)})
+        points = db.metric_trend("t_s", last=3)
+        assert [p["value"] for p in points] == [3.0, 4.0, 5.0]
+
+    def test_metric_trend_filters_kind(self, db):
+        db.record_run("compile_time", {"t_s": 1.0})
+        db.record_run("service", {"t_s": 99.0})
+        points = db.metric_trend("t_s", kind="compile_time")
+        assert [p["value"] for p in points] == [1.0]
+
+    def test_spans_round_trip_preserves_nesting(self, db):
+        tracer = trace.Tracer()
+        with trace.tracing(tracer):
+            with trace.span("outer"):
+                with trace.span("inner", outcome="promoted"):
+                    pass
+        run_id = db.record_run("compile_time", {"a": 1}, spans=tracer.finished())
+        rows = db.spans(run_id)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["attrs"] == {"outcome": "promoted"}
+        top = db.top_spans(run_id)
+        assert {row["name"] for row in top} == {"outer", "inner"}
+
+    def test_verdicts_round_trip(self, db):
+        run_id = db.record_run("compile_time", {"a": 1})
+        db.record_verdicts(
+            run_id,
+            [("t_s", "lower_is_better", True, 1.0, 1.1),
+             ("native_runs", "never_lower", False, 2.0, 5.0)],
+        )
+        rows = db.verdicts()
+        assert len(rows) == 2
+        assert rows[0]["metric"] == "native_runs" and rows[0]["ok"] is False
+        assert rows[1]["metric"] == "t_s" and rows[1]["ok"] is True
+
+    def test_service_snapshot(self, db):
+        db.record_service_snapshot("127.0.0.1:1234", {"uptime_s": 5.0})
+        # snapshots land in their own table, not in runs
+        assert db.runs() == []
+
+    def test_record_bench_helper(self, tmp_path):
+        path = str(tmp_path / "bench.db")
+        run_id = record_bench("compile_time", {"x": 1}, db_path=path, label="l")
+        with ResultsDB(path) as db:
+            assert db.payload(run_id) == {"x": 1}
+            assert db.runs()[0]["label"] == "l"
+
+
+class TestRunMetadata:
+    def test_has_expected_keys_and_is_stringy(self):
+        meta = run_metadata()
+        assert set(meta) == {"git_rev", "host", "python", "toolchain"}
+        assert all(isinstance(v, str) and v for v in meta.values())
+
+
+class TestCheckRegressionHistory:
+    """End-to-end: the gate's --history mode against a populated DB."""
+
+    def _gate(self):
+        import importlib.util
+        import pathlib
+
+        spec = importlib.util.spec_from_file_location(
+            "check_regression_e2e",
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "check_regression.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_history_reports_trend_and_keeps_exit_code(self, tmp_path, capsys):
+        gate = self._gate()
+        db_path = str(tmp_path / "results.db")
+        with ResultsDB(db_path) as db:
+            for value in (1.0, 1.2, 1.1):
+                db.record_run(
+                    "compile_time", {"benchmark": "compile_time", "lowering_s": value}
+                )
+        fresh = tmp_path / "fresh.json"
+        base = tmp_path / "base.json"
+        fresh.write_text(json.dumps({"benchmark": "compile_time", "lowering_s": 1.1}))
+        base.write_text(json.dumps({"benchmark": "compile_time", "lowering_s": 1.0}))
+        rc = gate.main(
+            [str(fresh), str(base), "--history", "5", "--results-db", db_path]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # within tolerance: exit semantics unchanged
+        assert "HISTORY lowering_s" in out
+        assert "3 run(s)" in out
+        # verdicts were persisted against the latest matching run
+        with ResultsDB(db_path) as db:
+            assert any(v["metric"] == "lowering_s" for v in db.verdicts())
+
+    def test_history_skips_gracefully_without_db(self, tmp_path, capsys):
+        gate = self._gate()
+        fresh = tmp_path / "fresh.json"
+        base = tmp_path / "base.json"
+        fresh.write_text(json.dumps({"benchmark": "compile_time", "lowering_s": 9.0}))
+        base.write_text(json.dumps({"benchmark": "compile_time", "lowering_s": 1.0}))
+        missing = str(tmp_path / "absent.db")
+        rc = gate.main(
+            [str(fresh), str(base), "--history", "3", "--results-db", missing]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1  # 9x blowup still fails, with or without a DB
+        assert "HISTORY skipped" in out

@@ -1,0 +1,177 @@
+"""Tests for the span tracer: null path, fake-clock math, nesting, rendering."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import trace
+from repro.telemetry.trace import NULL_SPAN, SpanRecord, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    trace.uninstall()
+    yield
+    trace.uninstall()
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted instant."""
+
+    def __init__(self, *instants):
+        self.instants = list(instants)
+
+    def __call__(self):
+        return self.instants.pop(0)
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_singleton(self):
+        assert trace.span("anything", key="value") is NULL_SPAN
+        assert trace.span("other") is NULL_SPAN  # one object, not one per call
+
+    def test_null_span_is_inert(self):
+        with trace.span("x") as sp:
+            assert sp is NULL_SPAN
+            assert sp.set(outcome="ignored") is NULL_SPAN
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(ValueError):
+            with trace.span("x"):
+                raise ValueError("must propagate")
+
+
+class TestSpanMath:
+    def test_single_span_duration(self):
+        tracer = Tracer(clock=FakeClock(10.0, 12.5))
+        with trace.tracing(tracer):
+            with trace.span("solo"):
+                pass
+        (record,) = tracer.finished()
+        assert record.name == "solo"
+        assert record.start_s == 10.0
+        assert record.dur_s == pytest.approx(2.5)
+        assert record.excl_s == pytest.approx(2.5)
+        assert record.parent_id is None
+
+    def test_nested_exclusive_time(self):
+        # outer enters at t=0, inner runs [1, 2], outer exits at t=3:
+        # outer wall = 3, outer exclusive = 3 - 1 = 2.
+        tracer = Tracer(clock=FakeClock(0.0, 1.0, 2.0, 3.0))
+        with trace.tracing(tracer):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+        inner, outer = tracer.finished()  # children finish first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.dur_s == pytest.approx(1.0)
+        assert inner.excl_s == pytest.approx(1.0)
+        assert outer.dur_s == pytest.approx(3.0)
+        assert outer.excl_s == pytest.approx(2.0)
+
+    def test_sibling_children_both_subtract(self):
+        # outer [0, 10]; children run [1, 3] and [4, 9]: excl = 10 - 2 - 5.
+        tracer = Tracer(clock=FakeClock(0.0, 1.0, 3.0, 4.0, 9.0, 10.0))
+        with trace.tracing(tracer):
+            with trace.span("outer"):
+                with trace.span("a"):
+                    pass
+                with trace.span("b"):
+                    pass
+        by_name = {r.name: r for r in tracer.finished()}
+        assert by_name["outer"].excl_s == pytest.approx(3.0)
+        assert by_name["a"].parent_id == by_name["outer"].span_id
+        assert by_name["b"].parent_id == by_name["outer"].span_id
+
+    def test_grandchild_subtracts_from_parent_not_grandparent(self):
+        # root [0, 10] > mid [1, 9] > leaf [2, 8]:
+        # leaf excl = 6; mid excl = 8 - 6 = 2; root excl = 10 - 8 = 2.
+        tracer = Tracer(clock=FakeClock(0.0, 1.0, 2.0, 8.0, 9.0, 10.0))
+        with trace.tracing(tracer):
+            with trace.span("root"):
+                with trace.span("mid"):
+                    with trace.span("leaf"):
+                        pass
+        by_name = {r.name: r for r in tracer.finished()}
+        assert by_name["leaf"].excl_s == pytest.approx(6.0)
+        assert by_name["mid"].excl_s == pytest.approx(2.0)
+        assert by_name["root"].excl_s == pytest.approx(2.0)
+
+    def test_set_merges_attrs(self):
+        tracer = Tracer(clock=FakeClock(0.0, 1.0))
+        with trace.tracing(tracer):
+            with trace.span("s", func="conv") as sp:
+                sp.set(outcome="promoted", trials=4)
+        (record,) = tracer.finished()
+        assert record.attrs == {"func": "conv", "outcome": "promoted", "trials": 4}
+
+    def test_threads_do_not_parent_each_other(self):
+        tracer = Tracer()
+        with trace.tracing(tracer):
+            with trace.span("main.outer"):
+                worker = threading.Thread(
+                    target=lambda: trace.span("worker.root").__enter__().__exit__()
+                )
+                worker.start()
+                worker.join()
+        by_name = {r.name: r for r in tracer.finished()}
+        # The worker's span opened while main held a span, but stacks are
+        # per-thread: it must be a root, not a child of main.outer.
+        assert by_name["worker.root"].parent_id is None
+
+
+class TestExportAndRender:
+    def _sample(self):
+        tracer = Tracer(clock=FakeClock(0.0, 1.0, 2.0, 3.0))
+        with trace.tracing(tracer):
+            with trace.span("outer", func="f"):
+                with trace.span("inner"):
+                    pass
+        return tracer
+
+    def test_export_jsonl_round_trip(self, tmp_path):
+        tracer = self._sample()
+        out = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(str(out)) == 2
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert {line["name"] for line in lines} == {"inner", "outer"}
+        assert all(
+            set(line) >= {"span_id", "parent_id", "dur_s", "excl_s", "attrs"}
+            for line in lines
+        )
+
+    def test_format_span_tree_indents_children(self):
+        rendered = trace.format_span_tree(self._sample().finished())
+        lines = rendered.splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+        assert "wall=3000.000ms" in lines[0]
+        assert "excl=2000.000ms" in lines[0]
+        assert "[func=f]" in lines[0]
+
+    def test_top_spans_ranks_by_exclusive(self):
+        rows = trace.top_spans(self._sample().finished())
+        assert rows[0][0] == "outer"  # excl 2.0 beats inner's 1.0
+        assert rows[0][1] == 1
+        assert rows[0][2] == pytest.approx(2.0)
+        assert rows[0][3] == pytest.approx(3.0)
+
+    def test_orphan_parents_render_as_roots(self):
+        record = SpanRecord(
+            span_id=7, parent_id=99, name="orphan", start_s=0.0,
+            dur_s=1.0, excl_s=1.0, thread="t",
+        )
+        assert trace.format_span_tree([record]).startswith("orphan")
+
+    def test_clear(self):
+        tracer = self._sample()
+        tracer.clear()
+        assert tracer.finished() == []
+
+    def test_tracing_restores_previous(self):
+        outer = trace.install()
+        with trace.tracing() as inner:
+            assert trace.active() is inner
+        assert trace.active() is outer

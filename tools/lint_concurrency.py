@@ -54,6 +54,9 @@ DEFAULT_FILES = [
     "src/repro/service/client.py",
     "src/repro/retry.py",
     "src/repro/testing/faults.py",
+    "src/repro/telemetry/metrics.py",
+    "src/repro/telemetry/trace.py",
+    "src/repro/telemetry/resultsdb.py",
 ]
 
 # Constructors whose result is a lock-like object when assigned to self.
@@ -80,6 +83,34 @@ GUARDED: Dict[str, Dict[str, Dict[str, Set[str]]]] = {
             "_lock": {
                 "_current",
                 "_started",
+            },
+        },
+    },
+    # Telemetry sinks are written from every instrumented thread (engine,
+    # service handlers, tuning workers' supervisor): all three instrument
+    # tables, the tracer's finished-span list + id sequence, and the
+    # results DB's sqlite connection live behind one lock each.
+    "metrics.py": {
+        "MetricsRegistry": {
+            "_lock": {
+                "_counters",
+                "_gauges",
+                "_histograms",
+            },
+        },
+    },
+    "trace.py": {
+        "Tracer": {
+            "_lock": {
+                "_finished",
+                "_seq",
+            },
+        },
+    },
+    "resultsdb.py": {
+        "ResultsDB": {
+            "_lock": {
+                "_conn",
             },
         },
     },
